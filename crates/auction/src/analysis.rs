@@ -1,0 +1,192 @@
+//! Post-hoc analysis of auction outcomes: cost decomposition and summary
+//! statistics.
+//!
+//! The paper's Fig. 7 narrative ("computation cost occupies a large
+//! proportion of the total cost at the early stage … the communication
+//! cost dominates" later) talks about the *composition* of the social
+//! cost. [`CostBreakdown`] makes that measurable: each winner's claimed
+//! cost is attributed to computation and communication in proportion to
+//! its per-round time components `T_l(θ)·t^cmp` and `t^com`.
+
+use crate::auction::AuctionOutcome;
+use crate::bid::Instance;
+use crate::coverage::Coverage;
+
+/// Attribution of the social cost to computation vs communication.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Cost share attributed to local computation.
+    pub computation: f64,
+    /// Cost share attributed to model-update communication.
+    pub communication: f64,
+}
+
+impl CostBreakdown {
+    /// Total attributed cost (equals the social cost up to rounding).
+    pub fn total(&self) -> f64 {
+        self.computation + self.communication
+    }
+
+    /// Fraction of the cost that is computation (`NaN`-free; 0 when the
+    /// total is 0).
+    pub fn computation_share(&self) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.computation / t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Splits the outcome's social cost into computation/communication shares
+/// using each winner's time profile.
+pub fn cost_breakdown(instance: &Instance, outcome: &AuctionOutcome) -> CostBreakdown {
+    let mut out = CostBreakdown::default();
+    for w in outcome.solution().winners() {
+        let bid = instance.bid(w.bid_ref);
+        let profile = &instance.clients()[w.bid_ref.client.index()];
+        let compute = instance.config().local_model().local_iterations(bid.accuracy())
+            * profile.compute_time();
+        let comm = profile.comm_time();
+        let total_time = compute + comm;
+        if total_time > 0.0 {
+            out.computation += w.price * compute / total_time;
+            out.communication += w.price * comm / total_time;
+        } else {
+            // Degenerate zero-time profile: attribute everything to
+            // communication (the round still has to be exchanged).
+            out.communication += w.price;
+        }
+    }
+    out
+}
+
+/// Aggregate statistics of one outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeStats {
+    /// Number of accepted bids.
+    pub winners: usize,
+    /// `Σ b_ij x_ij` — the social cost.
+    pub social_cost: f64,
+    /// `Σ p_i` — the server's total expenditure.
+    pub total_payment: f64,
+    /// `Σ p_i / Σ b_ij` — the price of truthfulness (≥ 1 under the
+    /// critical-value rule).
+    pub payment_overhead: f64,
+    /// Mean scheduled rounds per winner.
+    pub mean_rounds_per_winner: f64,
+    /// Scheduled participations beyond `K` per round, summed — coverage
+    /// the server paid for but does not need (constraint (6c) forces
+    /// winners to serve all `c_ij` rounds).
+    pub surplus_participations: u64,
+}
+
+/// Computes [`OutcomeStats`].
+///
+/// # Panics
+///
+/// Panics if the outcome's schedules reference rounds outside
+/// `1..=outcome.horizon()` (a malformed outcome; run
+/// [`verify`](crate::verify) first when in doubt).
+pub fn outcome_stats(instance: &Instance, outcome: &AuctionOutcome) -> OutcomeStats {
+    let winners = outcome.solution().winners();
+    let k = instance.config().clients_per_round();
+    let mut cov = Coverage::new(outcome.horizon(), k);
+    let mut total_rounds = 0u64;
+    for w in winners {
+        cov.add(&w.schedule);
+        total_rounds += w.schedule.len() as u64;
+    }
+    let surplus: u64 = (1..=outcome.horizon())
+        .map(|t| u64::from(cov.load(crate::types::Round(t)).saturating_sub(k)))
+        .sum();
+    let social_cost = outcome.social_cost();
+    let total_payment = outcome.solution().total_payment();
+    OutcomeStats {
+        winners: winners.len(),
+        social_cost,
+        total_payment,
+        payment_overhead: if social_cost > 0.0 {
+            total_payment / social_cost
+        } else {
+            1.0
+        },
+        mean_rounds_per_winner: if winners.is_empty() {
+            0.0
+        } else {
+            total_rounds as f64 / winners.len() as f64
+        },
+        surplus_participations: surplus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auction::run_auction;
+    use crate::bid::{Bid, ClientProfile};
+    use crate::config::AuctionConfig;
+    use crate::types::{Round, Window};
+
+    fn instance() -> Instance {
+        let cfg = AuctionConfig::builder()
+            .max_rounds(6)
+            .clients_per_round(2)
+            .round_time_limit(100.0)
+            .build()
+            .unwrap();
+        let mut inst = Instance::new(cfg);
+        for (price, theta) in [(10.0, 0.5), (14.0, 0.6), (8.0, 0.7), (20.0, 0.5), (12.0, 0.65)] {
+            let c = inst.add_client(ClientProfile::new(4.0, 6.0).unwrap());
+            inst.add_bid(c, Bid::new(price, theta, Window::new(Round(1), Round(6)), 6).unwrap())
+                .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn breakdown_sums_to_social_cost() {
+        let inst = instance();
+        let outcome = run_auction(&inst).unwrap();
+        let b = cost_breakdown(&inst, &outcome);
+        assert!((b.total() - outcome.social_cost()).abs() < 1e-9);
+        assert!(b.computation > 0.0 && b.communication > 0.0);
+        assert!((0.0..=1.0).contains(&b.computation_share()));
+    }
+
+    #[test]
+    fn more_accurate_winners_shift_cost_toward_computation() {
+        // θ = 0.5 → T_l = 5 → compute 20 vs comm 6: computation-heavy.
+        let inst = instance();
+        let outcome = run_auction(&inst).unwrap();
+        let b = cost_breakdown(&inst, &outcome);
+        assert!(
+            b.computation_share() > 0.5,
+            "these profiles are compute-dominated, share = {}",
+            b.computation_share()
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let inst = instance();
+        let outcome = run_auction(&inst).unwrap();
+        let s = outcome_stats(&inst, &outcome);
+        assert_eq!(s.winners, outcome.solution().winners().len());
+        assert!((s.social_cost - outcome.social_cost()).abs() < 1e-12);
+        assert!(s.payment_overhead >= 1.0 - 1e-9, "IR forces overhead ≥ 1");
+        assert!(s.mean_rounds_per_winner > 0.0);
+        // All bids run 6 rounds with K = 2: every winner beyond 2 is
+        // surplus in every round.
+        let expected_surplus = (s.winners as u64 - 2) * 6;
+        assert_eq!(s.surplus_participations, expected_surplus);
+    }
+
+    #[test]
+    fn empty_breakdown_defaults() {
+        let b = CostBreakdown::default();
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.computation_share(), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Round-coverage bookkeeping for greedy winner determination.
+//!
+//! Tracks `γ_t` — how many selected clients are scheduled in each global
+//! iteration — and the set-cover utility `R(S) = Σ_t min(γ_t, K)` from
+//! Sec. V-B of the paper.
+
+use crate::types::Round;
+
+/// Mutable coverage state over a fixed horizon.
+///
+/// # Example
+///
+/// ```
+/// use fl_auction::{Coverage, Round};
+///
+/// let mut cov = Coverage::new(3, 2); // 3 rounds, K = 2
+/// assert_eq!(cov.total_demand(), 6);
+/// cov.add(&[Round(1), Round(2)]);
+/// cov.add(&[Round(1), Round(3)]);
+/// assert_eq!(cov.covered(), 4);
+/// assert!(!cov.is_available(Round(1)), "round 1 already has K clients");
+/// assert!(!cov.is_complete());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    k: u32,
+    gamma: Vec<u32>,
+    covered: u64,
+}
+
+impl Coverage {
+    /// Empty coverage for rounds `1..=horizon` with per-round demand `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` or `k` is zero.
+    pub fn new(horizon: u32, k: u32) -> Self {
+        assert!(horizon >= 1, "horizon must be at least 1");
+        assert!(k >= 1, "per-round demand must be at least 1");
+        Coverage {
+            k,
+            gamma: vec![0; horizon as usize],
+            covered: 0,
+        }
+    }
+
+    /// The per-round demand `K`.
+    pub fn demand_per_round(&self) -> u32 {
+        self.k
+    }
+
+    /// The horizon `T̂_g`.
+    pub fn horizon(&self) -> u32 {
+        self.gamma.len() as u32
+    }
+
+    /// Total demand `K·T̂_g` — the value `R(S)` must reach.
+    pub fn total_demand(&self) -> u64 {
+        u64::from(self.k) * self.gamma.len() as u64
+    }
+
+    /// Current utility `R(S) = Σ_t min(γ_t, K)`.
+    pub fn covered(&self) -> u64 {
+        self.covered
+    }
+
+    /// Whether every round already has `K` scheduled clients.
+    pub fn is_complete(&self) -> bool {
+        self.covered == self.total_demand()
+    }
+
+    /// Current load `γ_t` of a round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round lies outside the horizon.
+    pub fn load(&self, t: Round) -> u32 {
+        self.gamma[t.index()]
+    }
+
+    /// Whether round `t` still needs clients (`γ_t < K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round lies outside the horizon.
+    pub fn is_available(&self, t: Round) -> bool {
+        self.gamma[t.index()] < self.k
+    }
+
+    /// Marginal utility `R_il(S)` of scheduling one client in each round of
+    /// `rounds`: the number of those rounds that are still available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any round lies outside the horizon.
+    pub fn gain(&self, rounds: &[Round]) -> u32 {
+        rounds.iter().filter(|&&t| self.is_available(t)).count() as u32
+    }
+
+    /// The still-available subset of `rounds` — the paper's `F_il` at the
+    /// moment of selection.
+    pub fn available_subset(&self, rounds: &[Round]) -> Vec<Round> {
+        rounds.iter().copied().filter(|&t| self.is_available(t)).collect()
+    }
+
+    /// Schedules one client in each round of `rounds`, updating `γ` and
+    /// `R(S)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any round lies outside the horizon or appears twice in
+    /// `rounds` *and* that double-counting is detectable (`rounds` must be
+    /// distinct by contract; duplicates inflate `γ` for the same client).
+    pub fn add(&mut self, rounds: &[Round]) {
+        debug_assert!(
+            {
+                let mut seen = vec![false; self.gamma.len()];
+                rounds.iter().all(|t| !std::mem::replace(&mut seen[t.index()], true))
+            },
+            "a schedule must not contain duplicate rounds"
+        );
+        for &t in rounds {
+            let g = &mut self.gamma[t.index()];
+            if *g < self.k {
+                self.covered += 1;
+            }
+            *g += 1;
+        }
+    }
+
+    /// Rounds sorted by `(γ_t, t)` — the non-decreasing-load order of
+    /// Alg. 2 line 3 with a deterministic tie-break.
+    pub fn rounds_by_load(&self) -> Vec<Round> {
+        let mut order: Vec<Round> = (1..=self.horizon()).map(Round).collect();
+        order.sort_by_key(|t| (self.gamma[t.index()], t.0));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_coverage_is_empty() {
+        let c = Coverage::new(4, 2);
+        assert_eq!(c.total_demand(), 8);
+        assert_eq!(c.covered(), 0);
+        assert!(!c.is_complete());
+        assert!(c.is_available(Round(1)));
+        assert_eq!(c.load(Round(3)), 0);
+    }
+
+    #[test]
+    fn gain_saturates_at_k() {
+        let mut c = Coverage::new(3, 1);
+        assert_eq!(c.gain(&[Round(1), Round(2)]), 2);
+        c.add(&[Round(1), Round(2)]);
+        // Round 1 and 2 are full (K = 1); only round 3 contributes.
+        assert_eq!(c.gain(&[Round(1), Round(3)]), 1);
+        assert_eq!(c.covered(), 2);
+        c.add(&[Round(1), Round(3)]);
+        assert_eq!(c.covered(), 3);
+        assert!(c.is_complete());
+        assert_eq!(c.load(Round(1)), 2, "overflow participation is recorded");
+    }
+
+    #[test]
+    fn available_subset_matches_gain() {
+        let mut c = Coverage::new(3, 1);
+        c.add(&[Round(2)]);
+        let sched = [Round(1), Round(2), Round(3)];
+        assert_eq!(c.available_subset(&sched), vec![Round(1), Round(3)]);
+        assert_eq!(c.gain(&sched) as usize, c.available_subset(&sched).len());
+    }
+
+    #[test]
+    fn rounds_by_load_orders_by_gamma_then_index() {
+        let mut c = Coverage::new(4, 3);
+        c.add(&[Round(2), Round(3)]);
+        c.add(&[Round(3)]);
+        assert_eq!(
+            c.rounds_by_load(),
+            vec![Round(1), Round(4), Round(2), Round(3)]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_horizon_round_panics() {
+        let c = Coverage::new(2, 1);
+        let _ = c.load(Round(3));
+    }
+
+    #[test]
+    fn completion_requires_every_round() {
+        let mut c = Coverage::new(2, 2);
+        c.add(&[Round(1)]);
+        c.add(&[Round(1)]);
+        assert!(!c.is_complete(), "round 2 is still empty");
+        c.add(&[Round(2)]);
+        c.add(&[Round(2)]);
+        assert!(c.is_complete());
+    }
+}

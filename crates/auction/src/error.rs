@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building instances or running the auction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AuctionError {
+    /// The instance or configuration is malformed; the payload explains why.
+    InvalidInstance(String),
+    /// No value of `T̂_g ∈ [T_0, T]` admits a feasible winner set: the
+    /// submitted bids cannot staff `K` clients in every round. ILP (6) is
+    /// infeasible for this instance.
+    Infeasible,
+}
+
+impl AuctionError {
+    pub(crate) fn invalid(msg: impl Into<String>) -> Self {
+        AuctionError::InvalidInstance(msg.into())
+    }
+}
+
+impl fmt::Display for AuctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuctionError::InvalidInstance(why) => write!(f, "invalid auction instance: {why}"),
+            AuctionError::Infeasible => {
+                write!(f, "no number of global iterations admits a feasible winner set")
+            }
+        }
+    }
+}
+
+impl Error for AuctionError {}
+
+/// Errors from solving a single winner-determination problem (one fixed
+/// `T̂_g`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WdpError {
+    /// The qualified bids cannot provide `K` clients in every round of this
+    /// WDP's horizon.
+    Infeasible,
+    /// The solver hit an internal resource limit (only the exact solver's
+    /// node budget triggers this in practice).
+    ResourceLimit(String),
+}
+
+impl fmt::Display for WdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WdpError::Infeasible => {
+                write!(f, "qualified bids cannot staff every round of this horizon")
+            }
+            WdpError::ResourceLimit(what) => write!(f, "solver resource limit reached: {what}"),
+        }
+    }
+}
+
+impl Error for WdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_meaningful() {
+        assert!(AuctionError::invalid("k is zero").to_string().contains("k is zero"));
+        assert!(AuctionError::Infeasible.to_string().contains("feasible"));
+        assert!(WdpError::Infeasible.to_string().contains("staff"));
+        assert!(WdpError::ResourceLimit("nodes".into()).to_string().contains("nodes"));
+    }
+
+    #[test]
+    fn errors_are_send_sync_static() {
+        fn ok<T: Send + Sync + 'static>() {}
+        ok::<AuctionError>();
+        ok::<WdpError>();
+    }
+}

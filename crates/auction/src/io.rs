@@ -1,0 +1,313 @@
+//! Plain-text instance serialisation.
+//!
+//! Auction instances can be saved and reloaded for sharing, archiving, or
+//! driving the `flp` CLI without re-generating workloads. The format is a
+//! deliberately boring line protocol (one record per line, `#` comments,
+//! whitespace-separated fields) so it diffs well and needs no external
+//! dependency:
+//!
+//! ```text
+//! # fl-procurement instance v1
+//! config <T> <K> <t_max> <model:linear|log> <model_param> <qualify:intent|literal>
+//! client <t_cmp> <t_com>
+//! bid <client_index> <price> <theta> <a> <d> <c>
+//! ```
+//!
+//! Clients are implicitly numbered in file order; bids may appear in any
+//! order after their client.
+
+use std::io::{BufRead, Write};
+
+use crate::bid::{Bid, ClientProfile, Instance};
+use crate::config::{AuctionConfig, LocalIterationModel, QualifyMode};
+use crate::error::AuctionError;
+use crate::types::{ClientId, Round, Window};
+
+/// Errors from reading an instance file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse; carries the 1-based line number and reason.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        why: String,
+    },
+    /// The parsed data violates instance invariants.
+    Invalid(AuctionError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error reading instance: {e}"),
+            ReadError::Parse { line, why } => write!(f, "parse error at line {line}: {why}"),
+            ReadError::Invalid(e) => write!(f, "invalid instance data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<AuctionError> for ReadError {
+    fn from(e: AuctionError) -> Self {
+        ReadError::Invalid(e)
+    }
+}
+
+/// Writes `instance` in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_instance(instance: &Instance, mut w: impl Write) -> std::io::Result<()> {
+    writeln!(w, "# fl-procurement instance v1")?;
+    let cfg = instance.config();
+    let (model_kind, model_param) = match cfg.local_model() {
+        LocalIterationModel::Linear { scale } => ("linear", scale),
+        LocalIterationModel::LogInverse { eta } => ("log", eta),
+    };
+    let qualify = match cfg.qualify_mode() {
+        QualifyMode::Intent => "intent",
+        QualifyMode::Literal => "literal",
+    };
+    writeln!(
+        w,
+        "config {} {} {} {model_kind} {model_param} {qualify}",
+        cfg.max_rounds(),
+        cfg.clients_per_round(),
+        cfg.round_time_limit(),
+    )?;
+    for (ci, p) in instance.clients().iter().enumerate() {
+        writeln!(w, "client {} {}", p.compute_time(), p.comm_time())?;
+        for bid in instance.bids_of(ClientId(ci as u32)) {
+            writeln!(
+                w,
+                "bid {ci} {} {} {} {} {}",
+                bid.price(),
+                bid.accuracy(),
+                bid.window().start().0,
+                bid.window().end().0,
+                bid.rounds(),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads an instance in the v1 text format.
+///
+/// # Errors
+///
+/// [`ReadError::Parse`] on malformed lines, [`ReadError::Invalid`] when
+/// records violate instance invariants, [`ReadError::Io`] on I/O failure.
+pub fn read_instance(r: impl BufRead) -> Result<Instance, ReadError> {
+    let mut instance: Option<Instance> = None;
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let record = fields.next().expect("non-empty line has a first token");
+        let parse_err = |why: &str| ReadError::Parse {
+            line: line_no,
+            why: why.to_string(),
+        };
+        match record {
+            "config" => {
+                if instance.is_some() {
+                    return Err(parse_err("duplicate config line"));
+                }
+                let vals: Vec<&str> = fields.collect();
+                let [t, k, t_max, kind, param, qualify] = vals.as_slice() else {
+                    return Err(parse_err("config needs 6 fields"));
+                };
+                let model = match *kind {
+                    "linear" => LocalIterationModel::Linear {
+                        scale: param.parse().map_err(|_| parse_err("bad model param"))?,
+                    },
+                    "log" => LocalIterationModel::LogInverse {
+                        eta: param.parse().map_err(|_| parse_err("bad model param"))?,
+                    },
+                    _ => return Err(parse_err("model kind must be linear|log")),
+                };
+                let qualify = match *qualify {
+                    "intent" => QualifyMode::Intent,
+                    "literal" => QualifyMode::Literal,
+                    _ => return Err(parse_err("qualify mode must be intent|literal")),
+                };
+                let cfg = AuctionConfig::builder()
+                    .max_rounds(t.parse().map_err(|_| parse_err("bad T"))?)
+                    .clients_per_round(k.parse().map_err(|_| parse_err("bad K"))?)
+                    .round_time_limit(t_max.parse().map_err(|_| parse_err("bad t_max"))?)
+                    .local_model(model)
+                    .qualify_mode(qualify)
+                    .build()?;
+                instance = Some(Instance::new(cfg));
+            }
+            "client" => {
+                let inst = instance.as_mut().ok_or_else(|| parse_err("client before config"))?;
+                let vals: Vec<&str> = fields.collect();
+                let [cmp, com] = vals.as_slice() else {
+                    return Err(parse_err("client needs 2 fields"));
+                };
+                inst.add_client(ClientProfile::new(
+                    cmp.parse().map_err(|_| parse_err("bad t_cmp"))?,
+                    com.parse().map_err(|_| parse_err("bad t_com"))?,
+                )?);
+            }
+            "bid" => {
+                let inst = instance.as_mut().ok_or_else(|| parse_err("bid before config"))?;
+                let vals: Vec<&str> = fields.collect();
+                let [client, price, theta, a, d, c] = vals.as_slice() else {
+                    return Err(parse_err("bid needs 6 fields"));
+                };
+                let client: u32 = client.parse().map_err(|_| parse_err("bad client index"))?;
+                let a: u32 = a.parse().map_err(|_| parse_err("bad window start"))?;
+                let d: u32 = d.parse().map_err(|_| parse_err("bad window end"))?;
+                if a == 0 || d < a {
+                    return Err(parse_err("window must satisfy 1 ≤ a ≤ d"));
+                }
+                let bid = Bid::new(
+                    price.parse().map_err(|_| parse_err("bad price"))?,
+                    theta.parse().map_err(|_| parse_err("bad accuracy"))?,
+                    Window::new(Round(a), Round(d)),
+                    c.parse().map_err(|_| parse_err("bad round count"))?,
+                )?;
+                inst.add_bid(ClientId(client), bid)?;
+            }
+            other => {
+                return Err(parse_err(&format!("unknown record '{other}'")));
+            }
+        }
+    }
+    instance.ok_or(ReadError::Parse {
+        line: 0,
+        why: "file contains no config line".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        let cfg = AuctionConfig::builder()
+            .max_rounds(12)
+            .clients_per_round(3)
+            .round_time_limit(55.5)
+            .local_model(LocalIterationModel::LogInverse { eta: 2.5 })
+            .qualify_mode(QualifyMode::Literal)
+            .build()
+            .unwrap();
+        let mut inst = Instance::new(cfg);
+        let a = inst.add_client(ClientProfile::new(5.25, 10.5).unwrap());
+        let b = inst.add_client(ClientProfile::new(7.0, 12.0).unwrap());
+        inst.add_bid(a, Bid::new(10.5, 0.5, Window::new(Round(1), Round(6)), 4).unwrap())
+            .unwrap();
+        inst.add_bid(a, Bid::new(8.0, 0.75, Window::new(Round(7), Round(12)), 3).unwrap())
+            .unwrap();
+        inst.add_bid(b, Bid::new(22.125, 0.4, Window::new(Round(2), Round(9)), 8).unwrap())
+            .unwrap();
+        inst
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let inst = sample();
+        let mut buf = Vec::new();
+        write_instance(&inst, &mut buf).unwrap();
+        let back = read_instance(buf.as_slice()).unwrap();
+        assert_eq!(back.config(), inst.config());
+        assert_eq!(back.num_clients(), inst.num_clients());
+        assert_eq!(back.num_bids(), inst.num_bids());
+        for ci in 0..inst.num_clients() {
+            let id = ClientId(ci as u32);
+            assert_eq!(back.clients()[ci], inst.clients()[ci]);
+            assert_eq!(back.bids_of(id), inst.bids_of(id));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\nconfig 4 1 60 linear 10 intent\n# a client\nclient 5 10\nbid 0 3 0.5 1 4 2\n";
+        let inst = read_instance(text.as_bytes()).unwrap();
+        assert_eq!(inst.num_clients(), 1);
+        assert_eq!(inst.num_bids(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "config 4 1 60 linear 10 intent\nclient nonsense 10\n";
+        match read_instance(text.as_bytes()) {
+            Err(ReadError::Parse { line, why }) => {
+                assert_eq!(line, 2);
+                assert!(why.contains("t_cmp"), "{why}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn records_before_config_are_rejected() {
+        let text = "client 5 10\n";
+        assert!(matches!(
+            read_instance(text.as_bytes()),
+            Err(ReadError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_bid_data_is_rejected_via_invariants() {
+        // θ = 1.5 violates Bid::new's contract.
+        let text = "config 4 1 60 linear 10 intent\nclient 5 10\nbid 0 3 1.5 1 4 2\n";
+        assert!(matches!(read_instance(text.as_bytes()), Err(ReadError::Invalid(_))));
+    }
+
+    #[test]
+    fn unknown_records_are_rejected() {
+        let text = "config 4 1 60 linear 10 intent\nfrobnicate 1 2 3\n";
+        match read_instance(text.as_bytes()) {
+            Err(ReadError::Parse { why, .. }) => assert!(why.contains("frobnicate")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        assert!(matches!(
+            read_instance("".as_bytes()),
+            Err(ReadError::Parse { line: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn auction_on_reloaded_instance_matches() {
+        let inst = sample();
+        let mut buf = Vec::new();
+        write_instance(&inst, &mut buf).unwrap();
+        let back = read_instance(buf.as_slice()).unwrap();
+        let a = crate::auction::run_auction(&inst);
+        let b = crate::auction::run_auction(&back);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.horizon(), y.horizon());
+                assert_eq!(x.social_cost(), y.social_cost());
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            other => panic!("outcomes diverged: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! `fl-auction` — a faithful implementation of the **truthful procurement
+//! auction for federated learning** from Zhou et al., *"A Truthful
+//! Procurement Auction for Incentivizing Heterogeneous Clients in Federated
+//! Learning"* (ICDCS 2021).
+//!
+//! A cloud server needs `K` clients in every global iteration of a
+//! federated-learning job; heterogeneous mobile clients each submit up to
+//! `J` sealed bids — price, local accuracy, availability window and a
+//! battery-limited round count. The mechanism, `A_FL`, must decide how many
+//! global iterations to run (`T_g`, coupled to the winners' accuracies),
+//! which bids to accept, when to schedule each winner, and what to pay —
+//! minimising social cost while staying truthful and individually rational.
+//!
+//! # Architecture
+//!
+//! * [`Instance`] holds the configuration ([`AuctionConfig`]), client
+//!   profiles and bids.
+//! * [`run_auction`] executes Alg. 1: it enumerates the admissible horizons
+//!   `T̂_g ∈ [T_0, T]`, builds a qualified bid set per horizon
+//!   ([`qualify`]), solves each winner-determination problem with
+//!   [`AWinner`] (Alg. 2, greedy over representative schedules) and the
+//!   critical-value payment rule (Alg. 3), and returns the cheapest
+//!   feasible [`AuctionOutcome`].
+//! * Every `A_winner` run carries a [`DualCertificate`]: the dual variables
+//!   of the relaxed compact-exponential ILP, giving the per-instance
+//!   approximation bound `H_{T̂_g}·ω` of Lemma 5.
+//! * Alternative WDP algorithms (the paper's benchmarks, the exact
+//!   branch-and-bound in `fl-exact`) plug into the same outer loop through
+//!   the [`WdpSolver`] trait; [`verify`] re-checks any solver's output
+//!   against ILP (6) independently.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fl_auction::{
+//!     run_auction, AuctionConfig, Bid, ClientProfile, Instance, Round, Window,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = AuctionConfig::builder()
+//!     .max_rounds(10)       // T: at most 10 global iterations
+//!     .clients_per_round(2) // K: 2 clients must train in every iteration
+//!     .round_time_limit(60.0)
+//!     .build()?;
+//! let mut instance = Instance::new(cfg);
+//! for i in 0..5 {
+//!     let client = instance.add_client(ClientProfile::new(5.0, 10.0)?);
+//!     let bid = Bid::new(
+//!         10.0 + i as f64,                    // claimed cost b_ij
+//!         0.5,                                // local accuracy θ_ij
+//!         Window::new(Round(1), Round(10)),   // availability [a_ij, d_ij]
+//!         10,                                 // participation rounds c_ij
+//!     )?;
+//!     instance.add_bid(client, bid)?;
+//! }
+//! let outcome = run_auction(&instance)?;
+//! println!(
+//!     "T_g = {}, social cost = {}",
+//!     outcome.horizon(),
+//!     outcome.social_cost()
+//! );
+//! for w in outcome.solution().winners() {
+//!     println!("{} serves {:?} for payment {}", w.bid_ref, w.schedule, w.payment);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod auction;
+mod bid;
+mod config;
+pub mod coverage;
+mod error;
+pub mod io;
+mod payment;
+pub mod preprocess;
+mod qualify;
+mod schedule;
+mod types;
+pub mod truthful;
+pub mod verify;
+mod wdp;
+mod winner;
+
+pub use auction::{run_auction, run_auction_with, sweep_horizons, AuctionOutcome, HorizonOutcome};
+pub use bid::{Bid, ClientProfile, Instance};
+pub use config::{AuctionConfig, AuctionConfigBuilder, LocalIterationModel, QualifyMode};
+pub use coverage::Coverage;
+pub use error::{AuctionError, WdpError};
+pub use payment::{payment, PaymentRule};
+pub use qualify::{min_horizon, qualify, QualifiedBid};
+pub use schedule::{pick_schedule, representative_schedule, SchedulePolicy};
+pub use types::{BidRef, ClientId, Round, Window};
+pub use wdp::{DualCertificate, Wdp, WdpSolution, WdpSolver, WinnerEntry};
+pub use winner::AWinner;

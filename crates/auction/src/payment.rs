@@ -1,0 +1,80 @@
+//! Payment rules for winner determination.
+//!
+//! The paper's `A_payment` (Alg. 3) awards each winner the *critical value*:
+//! the highest price at which its schedule would still have been selected,
+//! namely `R_{i*l*}(S) · ρ_{i'l'} / R_{i'l'}(S)` where `(i', l')` is the
+//! candidate with the second-smallest average cost at the selection step.
+//! Pay-as-bid is kept for the payment-rule ablation (it is cheaper for the
+//! server but demonstrably not truthful).
+
+/// Which remuneration rule the winner-determination greedy applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PaymentRule {
+    /// Alg. 3: pay the winner's marginal utility times the runner-up's
+    /// average cost. Truthful and individually rational (Theorems 1–2).
+    #[default]
+    CriticalValue,
+    /// Pay exactly the claimed cost. Individually rational but manipulable;
+    /// used only by the `ablation_payment` experiment and the baselines.
+    PayAsBid,
+}
+
+/// Computes the payment for a freshly selected schedule.
+///
+/// * `price` — the winner's claimed cost `ρ_{i*l*}`.
+/// * `gain` — the winner's marginal utility `R_{i*l*}(S)` at selection.
+/// * `critical_avg` — the runner-up's average cost `ρ_{i'l'}/R_{i'l'}(S)`,
+///   or `None` when the candidate set held no other schedule (the winner is
+///   then paid its bid: with no competitor there is no critical threshold
+///   below infinity that the mechanism can justify from bids alone, and
+///   paying the bid preserves individual rationality).
+pub fn payment(rule: PaymentRule, price: f64, gain: u32, critical_avg: Option<f64>) -> f64 {
+    match rule {
+        PaymentRule::PayAsBid => price,
+        PaymentRule::CriticalValue => match critical_avg {
+            Some(avg) => f64::from(gain) * avg,
+            None => price,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_value_pays_gain_times_runner_up_average() {
+        // Paper's worked example, first iteration: winner B1 ($2, gain 1),
+        // runner-up average 2.5 → p_1 = 2.5.
+        let p = payment(PaymentRule::CriticalValue, 2.0, 1, Some(2.5));
+        assert!((p - 2.5).abs() < 1e-12);
+        // Second iteration: winner B3 ($5, gain 2), runner-up average 3 →
+        // p_3 = 6.
+        let p3 = payment(PaymentRule::CriticalValue, 5.0, 2, Some(3.0));
+        assert!((p3 - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_value_is_never_below_price_when_runner_up_is_worse() {
+        // The runner-up has a (weakly) larger average cost by construction,
+        // so payment ≥ gain · own-average = price.
+        let price = 7.0;
+        let gain = 3;
+        let own_avg = price / f64::from(gain);
+        for delta in [0.0, 0.1, 5.0] {
+            let p = payment(PaymentRule::CriticalValue, price, gain, Some(own_avg + delta));
+            assert!(p >= price - 1e-12);
+        }
+    }
+
+    #[test]
+    fn missing_runner_up_pays_the_bid() {
+        let p = payment(PaymentRule::CriticalValue, 4.0, 2, None);
+        assert_eq!(p, 4.0);
+    }
+
+    #[test]
+    fn pay_as_bid_ignores_competition() {
+        assert_eq!(payment(PaymentRule::PayAsBid, 4.0, 2, Some(100.0)), 4.0);
+    }
+}

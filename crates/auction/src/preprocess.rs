@@ -1,0 +1,151 @@
+//! Qualified-bid preprocessing: within-client dominated-bid elimination.
+//!
+//! For one client, bid `B'` **dominates** bid `B` when it is no more
+//! expensive (`p' ≤ p`), at least as available (`a' ≤ a`, `d' ≥ d`) and
+//! offers at least as many rounds (`c' ≥ c`). Any feasible solution using
+//! `B` stays feasible (at no higher cost) after swapping in `B'`: the
+//! wider window contains every schedulable round of the narrower one and
+//! the extra rounds only add coverage, which ILP (6) never penalises. So
+//! removing dominated bids preserves the optimal social cost exactly —
+//! property-tested against the brute-force solver.
+//!
+//! Scope note: preprocessing is a *cost-side* tool (exact solving,
+//! relaxations, what-if analyses). Running the payment rule on a pruned
+//! bid set changes critical values, so the mechanism itself never prunes.
+
+use crate::qualify::QualifiedBid;
+use crate::wdp::Wdp;
+
+/// Returns a WDP without within-client dominated bids, plus how many bids
+/// were removed. Exact ties (identical price, window and rounds) keep the
+/// earliest bid reference.
+pub fn remove_dominated(wdp: &Wdp) -> (Wdp, usize) {
+    let bids = wdp.bids();
+    let mut keep = vec![true; bids.len()];
+    // Pairwise scan (bid counts per client are tiny — J ≤ 10).
+    for i in 0..bids.len() {
+        for j in 0..bids.len() {
+            if i == j || !keep[i] || !keep[j] {
+                continue;
+            }
+            if bids[i].bid_ref.client != bids[j].bid_ref.client {
+                continue;
+            }
+            if dominates(&bids[j], &bids[i]) && (!dominates(&bids[i], &bids[j]) || j < i) {
+                keep[i] = false;
+            }
+        }
+    }
+    let kept: Vec<QualifiedBid> = bids
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(b, _)| b.clone())
+        .collect();
+    let removed = bids.len() - kept.len();
+    (Wdp::new(wdp.horizon(), wdp.demand_per_round(), kept), removed)
+}
+
+/// Whether `a` (weakly) dominates `b` for the same client.
+fn dominates(a: &QualifiedBid, b: &QualifiedBid) -> bool {
+    a.price <= b.price
+        && a.window.start() <= b.window.start()
+        && a.window.end() >= b.window.end()
+        && a.rounds >= b.rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BidRef, ClientId, Round, Window};
+    use crate::winner::AWinner;
+    use crate::wdp::WdpSolver;
+
+    fn qb(client: u32, bid: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+        QualifiedBid {
+            bid_ref: BidRef::new(ClientId(client), bid),
+            price,
+            accuracy: 0.5,
+            window: Window::new(Round(a), Round(d)),
+            rounds: c,
+            round_time: 1.0,
+        }
+    }
+
+    #[test]
+    fn strictly_dominated_bid_is_removed() {
+        // Bid 1 is pricier, narrower and offers fewer rounds than bid 0.
+        let wdp = Wdp::new(
+            5,
+            1,
+            vec![qb(0, 0, 3.0, 1, 5, 3), qb(0, 1, 7.0, 2, 4, 2), qb(1, 0, 4.0, 1, 5, 5)],
+        );
+        let (pruned, removed) = remove_dominated(&wdp);
+        assert_eq!(removed, 1);
+        assert!(pruned.bids().iter().all(|b| b.bid_ref != BidRef::new(ClientId(0), 1)));
+    }
+
+    #[test]
+    fn cross_client_bids_never_dominate() {
+        let wdp = Wdp::new(5, 1, vec![qb(0, 0, 1.0, 1, 5, 5), qb(1, 0, 50.0, 2, 3, 1)]);
+        let (pruned, removed) = remove_dominated(&wdp);
+        assert_eq!(removed, 0);
+        assert_eq!(pruned.bids().len(), 2);
+    }
+
+    #[test]
+    fn exact_ties_keep_the_earliest_reference() {
+        let wdp = Wdp::new(4, 1, vec![qb(0, 0, 2.0, 1, 4, 2), qb(0, 1, 2.0, 1, 4, 2)]);
+        let (pruned, removed) = remove_dominated(&wdp);
+        assert_eq!(removed, 1);
+        assert_eq!(pruned.bids()[0].bid_ref, BidRef::new(ClientId(0), 0));
+    }
+
+    #[test]
+    fn incomparable_bids_both_survive() {
+        // Cheaper-but-narrow vs pricier-but-wide: neither dominates.
+        let wdp = Wdp::new(6, 1, vec![qb(0, 0, 2.0, 2, 3, 1), qb(0, 1, 5.0, 1, 6, 4)]);
+        let (_, removed) = remove_dominated(&wdp);
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn greedy_cost_never_worsens_after_pruning() {
+        let mut state = 0x0ddba11u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..40 {
+            let h = 3 + (next() % 4) as u32;
+            let n = 8 + (next() % 8) as usize;
+            let bids: Vec<QualifiedBid> = (0..n)
+                .map(|i| {
+                    let a = 1 + (next() % u64::from(h)) as u32;
+                    let d = a + (next() % u64::from(h - a + 1)) as u32;
+                    let c = 1 + (next() % u64::from(d - a + 1)) as u32;
+                    qb((i / 3) as u32, (i % 3) as u32, 1.0 + (next() % 20) as f64, a, d, c)
+                })
+                .collect();
+            let wdp = Wdp::new(h, 1, bids);
+            let (pruned, _) = remove_dominated(&wdp);
+            let before = AWinner::new().without_certificate().solve_wdp(&wdp);
+            let after = AWinner::new().without_certificate().solve_wdp(&pruned);
+            match (before, after) {
+                (Ok(b), Ok(a)) => assert!(
+                    a.cost() <= b.cost() + 1e-9,
+                    "trial {trial}: pruning worsened the greedy {} → {}",
+                    b.cost(),
+                    a.cost()
+                ),
+                (Err(_), Err(_)) => {}
+                (Err(_), Ok(_)) => {} // pruning can only help the greedy
+                (Ok(b), Err(e)) => {
+                    panic!("trial {trial}: pruning broke feasibility ({}, {e})", b.cost())
+                }
+            }
+        }
+    }
+}

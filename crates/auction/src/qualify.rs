@@ -1,0 +1,220 @@
+//! Qualified-bid construction (Alg. 1 lines 4–6).
+//!
+//! For each candidate horizon `T̂_g`, a bid enters the winner-determination
+//! problem only if it can actually serve under that horizon: its local
+//! accuracy keeps the global-iteration bound satisfied, its per-round time
+//! fits the round budget, and its availability window (clipped to the
+//! horizon) still has room for all of its participation rounds.
+
+use crate::bid::Instance;
+use crate::config::QualifyMode;
+use crate::types::{BidRef, Round, Window};
+use crate::wdp::Wdp;
+
+/// Numerical slack for the `θ ≤ θ_max` and `t_ij ≤ t_max` comparisons, so
+/// that boundary bids generated from exact arithmetic are not rejected by
+/// floating-point jitter.
+const QUALIFY_EPS: f64 = 1e-9;
+
+/// One bid together with the per-horizon data the solvers need.
+///
+/// This is a passive record; fields are public on purpose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualifiedBid {
+    /// Which submitted bid this is.
+    pub bid_ref: BidRef,
+    /// Claimed cost `b_ij`.
+    pub price: f64,
+    /// Local accuracy `θ_ij`.
+    pub accuracy: f64,
+    /// Availability window clipped to the WDP horizon.
+    pub window: Window,
+    /// Participation rounds `c_ij`.
+    pub rounds: u32,
+    /// Per-round wall clock `t_ij` under the instance's local model.
+    pub round_time: f64,
+}
+
+/// Builds the qualified bid set `J_{T̂_g}` for a fixed horizon and wraps it
+/// in a [`Wdp`].
+///
+/// The maximum admissible local accuracy is `θ_max = 1 − 1/T̂_g` (from
+/// `T_g ≥ 1/(1−θ)`), the per-round time limit is the configured `t_max`,
+/// and window admission follows the instance's [`QualifyMode`].
+///
+/// # Example
+///
+/// ```
+/// use fl_auction::{qualify, AuctionConfig, Bid, ClientProfile, Instance, Round, Window};
+///
+/// # fn main() -> Result<(), fl_auction::AuctionError> {
+/// let cfg = AuctionConfig::builder().max_rounds(8).clients_per_round(1).build()?;
+/// let mut inst = Instance::new(cfg);
+/// let c = inst.add_client(ClientProfile::new(2.0, 5.0)?);
+/// // θ = 0.75 requires T̂_g ≥ 4 to satisfy θ ≤ 1 − 1/T̂_g.
+/// inst.add_bid(c, Bid::new(9.0, 0.75, Window::new(Round(1), Round(8)), 3)?)?;
+/// assert_eq!(qualify(&inst, 3).bids().len(), 0);
+/// assert_eq!(qualify(&inst, 4).bids().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `horizon` is zero (horizons are counted from 1).
+pub fn qualify(instance: &Instance, horizon: u32) -> Wdp {
+    assert!(horizon >= 1, "horizon must be at least 1");
+    let theta_max = 1.0 - 1.0 / f64::from(horizon);
+    let t_max = instance.config().round_time_limit();
+    let mode = instance.config().qualify_mode();
+    let last = Round(horizon);
+
+    let mut bids = Vec::new();
+    for (bid_ref, bid) in instance.iter_bids() {
+        if bid.accuracy() > theta_max + QUALIFY_EPS {
+            continue;
+        }
+        let round_time = instance.round_time(bid_ref);
+        if round_time > t_max + QUALIFY_EPS {
+            continue;
+        }
+        let Some(window) = bid.window().truncate(last) else {
+            continue;
+        };
+        let admissible = match mode {
+            QualifyMode::Intent => window.len() >= bid.rounds(),
+            // Literal Alg. 1 line 6: `a_ij + c_ij ≤ T̂_g`. Bid validation
+            // already guarantees `c ≤ d − a + 1`, so the truncated window
+            // can hold the schedule whenever the literal test passes.
+            QualifyMode::Literal => bid.window().start().0 + bid.rounds() <= horizon,
+        };
+        if !admissible {
+            continue;
+        }
+        bids.push(QualifiedBid {
+            bid_ref,
+            price: bid.price(),
+            accuracy: bid.accuracy(),
+            window,
+            rounds: bid.rounds(),
+            round_time,
+        });
+    }
+    Wdp::new(horizon, instance.config().clients_per_round(), bids)
+}
+
+/// The smallest horizon worth trying, `T_0 = ⌈1/(1−θ_min)⌉` (Alg. 1
+/// line 3), clamped to at least 1. Returns `None` when no bids exist.
+pub fn min_horizon(instance: &Instance) -> Option<u32> {
+    let theta_min = instance.min_accuracy()?;
+    let raw = 1.0 / (1.0 - theta_min);
+    // Guard against fp jitter pushing an exact integer up a notch.
+    Some(((raw - 1e-9).ceil().max(1.0)) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bid::{Bid, ClientProfile};
+    use crate::config::AuctionConfig;
+
+    fn instance(mode: QualifyMode) -> Instance {
+        let cfg = AuctionConfig::builder()
+            .max_rounds(10)
+            .clients_per_round(1)
+            .round_time_limit(40.0)
+            .qualify_mode(mode)
+            .build()
+            .unwrap();
+        let mut inst = Instance::new(cfg);
+        let c = inst.add_client(ClientProfile::new(5.0, 10.0).unwrap());
+        // θ = 0.5 → T_l = 5 → t = 35 ≤ 40. Window [1,4], c = 3.
+        inst.add_bid(c, Bid::new(10.0, 0.5, Window::new(Round(1), Round(4)), 3).unwrap())
+            .unwrap();
+        // θ = 0.3 → T_l = 7 → t = 45 > 40: time-disqualified everywhere.
+        inst.add_bid(c, Bid::new(10.0, 0.3, Window::new(Round(1), Round(4)), 2).unwrap())
+            .unwrap();
+        // θ = 0.8 → T_l = 2 → t = 20; needs T̂_g ≥ 5 for θ ≤ 1 − 1/T̂_g.
+        inst.add_bid(c, Bid::new(10.0, 0.8, Window::new(Round(2), Round(9)), 4).unwrap())
+            .unwrap();
+        inst
+    }
+
+    #[test]
+    fn accuracy_gate_scales_with_horizon() {
+        let inst = instance(QualifyMode::Intent);
+        // T̂_g = 2 → θ_max = 0.5: only the θ = 0.5 bid qualifies... but its
+        // truncated window [1,2] holds only 2 < 3 rounds → none qualify.
+        assert_eq!(qualify(&inst, 2).bids().len(), 0);
+        // T̂_g = 4 → θ_max = 0.75: θ = 0.5 bid qualifies with full window.
+        let w4 = qualify(&inst, 4);
+        assert_eq!(w4.bids().len(), 1);
+        assert_eq!(w4.bids()[0].accuracy, 0.5);
+        // T̂_g = 5 → θ_max = 0.8: θ = 0.8 bid joins.
+        assert_eq!(qualify(&inst, 5).bids().len(), 2);
+    }
+
+    #[test]
+    fn time_gate_rejects_slow_bids() {
+        let inst = instance(QualifyMode::Intent);
+        for t_g in 2..=10 {
+            assert!(
+                qualify(&inst, t_g).bids().iter().all(|b| b.accuracy != 0.3),
+                "the 45-time-unit bid must never qualify"
+            );
+        }
+    }
+
+    #[test]
+    fn windows_are_truncated_to_horizon() {
+        let inst = instance(QualifyMode::Intent);
+        let w5 = qualify(&inst, 5);
+        let slow = w5.bids().iter().find(|b| b.accuracy == 0.8).unwrap();
+        assert_eq!(slow.window, Window::new(Round(2), Round(5)));
+    }
+
+    #[test]
+    fn literal_mode_is_stricter_than_intent() {
+        let intent = instance(QualifyMode::Intent);
+        let literal = instance(QualifyMode::Literal);
+        for t_g in 2..=10 {
+            let qi = qualify(&intent, t_g);
+            let ql = qualify(&literal, t_g);
+            let intent_refs: Vec<_> = qi.bids().iter().map(|b| b.bid_ref).collect();
+            for b in ql.bids() {
+                assert!(intent_refs.contains(&b.bid_ref), "literal ⊆ intent at T̂_g={t_g}");
+            }
+        }
+        // θ = 0.5 bid: window starts at 1, c = 3 → literal needs T̂_g ≥ 4,
+        // intent needs T̂_g ≥ 3 (but accuracy forces ≥ 2; window forces ≥ 3).
+        assert_eq!(qualify(&intent, 3).bids().len(), 1);
+        assert_eq!(qualify(&literal, 3).bids().len(), 0);
+    }
+
+    #[test]
+    fn min_horizon_rounds_up() {
+        let inst = instance(QualifyMode::Intent);
+        // θ_min = 0.3 → 1/0.7 ≈ 1.43 → T_0 = 2.
+        assert_eq!(min_horizon(&inst), Some(2));
+        let empty = Instance::new(AuctionConfig::paper_default());
+        assert_eq!(min_horizon(&empty), None);
+    }
+
+    #[test]
+    fn min_horizon_exact_integer_boundary() {
+        let cfg = AuctionConfig::builder().max_rounds(10).clients_per_round(1).build().unwrap();
+        let mut inst = Instance::new(cfg);
+        let c = inst.add_client(ClientProfile::new(1.0, 1.0).unwrap());
+        // θ = 0.5 → 1/(1−θ) = 2 exactly.
+        inst.add_bid(c, Bid::new(1.0, 0.5, Window::new(Round(1), Round(2)), 1).unwrap())
+            .unwrap();
+        assert_eq!(min_horizon(&inst), Some(2));
+    }
+
+    #[test]
+    fn qualified_bid_carries_round_time() {
+        let inst = instance(QualifyMode::Intent);
+        let w4 = qualify(&inst, 4);
+        assert!((w4.bids()[0].round_time - 35.0).abs() < 1e-12);
+    }
+}

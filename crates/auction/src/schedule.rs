@@ -1,0 +1,133 @@
+//! Representative-schedule selection (Sec. V-B2).
+//!
+//! A bid `(i, j)` has up to `C(d−a, c)` feasible schedules, but the greedy
+//! only ever needs the *representative* one: the `c_ij` rounds inside the
+//! availability window with the smallest current load `γ_t` (ties broken by
+//! the earlier round for determinism). That schedule maximises the marginal
+//! utility `R_il(S)` among all feasible schedules of the bid.
+
+use crate::coverage::Coverage;
+use crate::types::{Round, Window};
+
+/// Strategy for picking a bid's concrete schedule inside its window; the
+/// paper's choice is [`SchedulePolicy::LeastLoaded`]. The alternative is
+/// used by the scheduling ablation and by the FCFS baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Pick the `c` least-loaded rounds (the representative schedule).
+    #[default]
+    LeastLoaded,
+    /// Pick the `c` earliest rounds of the window regardless of load.
+    Earliest,
+}
+
+/// Computes a bid's schedule under `policy`: `c` distinct rounds of
+/// `window`, sorted increasingly.
+///
+/// # Panics
+///
+/// Panics if the window holds fewer than `c` rounds or extends past the
+/// coverage horizon (qualification is supposed to rule both out).
+pub fn pick_schedule(cov: &Coverage, window: Window, c: u32, policy: SchedulePolicy) -> Vec<Round> {
+    assert!(
+        window.len() >= c,
+        "window {window} cannot hold {c} rounds; qualification should have rejected this bid"
+    );
+    assert!(
+        window.end().0 <= cov.horizon(),
+        "window {window} extends past horizon {}",
+        cov.horizon()
+    );
+    let mut rounds: Vec<Round> = window.rounds().collect();
+    match policy {
+        SchedulePolicy::LeastLoaded => {
+            rounds.sort_by_key(|&t| (cov.load(t), t.0));
+            rounds.truncate(c as usize);
+            rounds.sort_by_key(|t| t.0);
+        }
+        SchedulePolicy::Earliest => rounds.truncate(c as usize),
+    }
+    rounds
+}
+
+/// The representative schedule (least-loaded policy), as used by `A_winner`.
+pub fn representative_schedule(cov: &Coverage, window: Window, c: u32) -> Vec<Round> {
+    pick_schedule(cov, window, c, SchedulePolicy::LeastLoaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(a: u32, d: u32) -> Window {
+        Window::new(Round(a), Round(d))
+    }
+
+    #[test]
+    fn picks_least_loaded_rounds() {
+        let mut cov = Coverage::new(5, 2);
+        cov.add(&[Round(1), Round(2)]);
+        cov.add(&[Round(2)]);
+        // Loads: [1, 2, 0, 0, 0]. Representative of window [1,5], c = 3:
+        // rounds 3, 4, 5 (load 0) — sorted ascending.
+        let s = representative_schedule(&cov, w(1, 5), 3);
+        assert_eq!(s, vec![Round(3), Round(4), Round(5)]);
+    }
+
+    #[test]
+    fn ties_break_toward_earlier_rounds() {
+        let cov = Coverage::new(4, 1);
+        let s = representative_schedule(&cov, w(1, 4), 2);
+        assert_eq!(s, vec![Round(1), Round(2)]);
+    }
+
+    #[test]
+    fn window_bounds_are_respected() {
+        let mut cov = Coverage::new(6, 1);
+        cov.add(&[Round(3)]);
+        let s = representative_schedule(&cov, w(3, 5), 2);
+        assert_eq!(s, vec![Round(4), Round(5)], "round 3 is loaded, 4 and 5 are not");
+        assert!(s.iter().all(|&t| w(3, 5).contains(t)));
+    }
+
+    #[test]
+    fn representative_maximises_gain() {
+        // Exhaustively compare against all C(window, c) schedules.
+        let mut cov = Coverage::new(5, 2);
+        cov.add(&[Round(1), Round(2), Round(3)]);
+        cov.add(&[Round(2)]);
+        let window = w(1, 5);
+        let c = 2;
+        let rep = representative_schedule(&cov, window, c);
+        let rep_gain = cov.gain(&rep);
+        let rounds: Vec<Round> = window.rounds().collect();
+        for i in 0..rounds.len() {
+            for j in (i + 1)..rounds.len() {
+                let alt = [rounds[i], rounds[j]];
+                assert!(cov.gain(&alt) <= rep_gain, "{alt:?} beats representative {rep:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn earliest_policy_ignores_load() {
+        let mut cov = Coverage::new(4, 1);
+        cov.add(&[Round(1), Round(2)]);
+        let s = pick_schedule(&cov, w(1, 4), 2, SchedulePolicy::Earliest);
+        assert_eq!(s, vec![Round(1), Round(2)]);
+    }
+
+    #[test]
+    fn full_window_schedule_is_identity() {
+        let cov = Coverage::new(3, 1);
+        let s = representative_schedule(&cov, w(1, 3), 3);
+        assert_eq!(s, vec![Round(1), Round(2), Round(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn oversized_demand_panics() {
+        let cov = Coverage::new(3, 1);
+        let _ = representative_schedule(&cov, w(1, 2), 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Exact Myerson (threshold) payments, and misreport search utilities.
+//!
+//! # Why this module exists
+//!
+//! The paper pays each winner `R_{i*l*}(S)·ρ_{i'l'}/R_{i'l'}(S)` — the
+//! runner-up's average cost *in the iteration where the winner was
+//! selected* (Alg. 3), and Lemma 2 claims a bid priced above that payment
+//! "will fail". Empirically that is not quite the whole story: a bid
+//! priced above its iteration-`k` payment can simply be *selected in a
+//! later iteration* (possibly at a higher payment), and a bid with no
+//! competing candidate is paid its own price, which makes overstating it
+//! profitable. Our reproduction measures a ~5% profitable-overbid rate
+//! for the paper's rule on small winner-determination problems (see
+//! `EXPERIMENTS.md`, ablation A4).
+//!
+//! Because the *allocation* is price-monotone (lowering a winning bid's
+//! price keeps it winning — Lemma 1, which does hold), Myerson's lemma
+//! prescribes the unique truthful payment: the **threshold price** above
+//! which the bid stops winning. [`myerson_payment`] computes it by
+//! bisection over re-runs of `A_winner`; [`myerson_payments`] prices a
+//! whole solution. This is an extension beyond the paper: `O(log(1/ε))`
+//! full WDP solves per winner, practical for analysis-scale instances.
+
+use crate::types::BidRef;
+use crate::wdp::{Wdp, WdpSolution, WdpSolver};
+use crate::winner::AWinner;
+
+/// Does `bid` win the WDP when its price is replaced by `price`?
+fn wins_at(wdp: &Wdp, bid: BidRef, price: f64) -> bool {
+    let mut bids = wdp.bids().to_vec();
+    for b in bids.iter_mut() {
+        if b.bid_ref == bid {
+            b.price = price;
+        }
+    }
+    let patched = Wdp::new(wdp.horizon(), wdp.demand_per_round(), bids);
+    AWinner::new()
+        .without_certificate()
+        .solve_wdp(&patched)
+        .map(|s| s.winners().iter().any(|w| w.bid_ref == bid))
+        .unwrap_or(false)
+}
+
+/// The exact threshold payment for `bid` under the `A_winner` allocation:
+/// the largest price (up to `cap`) at which the bid still wins, located by
+/// bisection to absolute tolerance `tol`.
+///
+/// Returns `None` if the bid does not win even at its current price.
+/// Returns `Some(cap)` when the bid wins at every probed price — a
+/// monopolist whose true threshold is unbounded; `cap` then acts as the
+/// market's reserve price.
+///
+/// # Example
+///
+/// ```
+/// use fl_auction::truthful::myerson_payment;
+/// use fl_auction::{BidRef, ClientId, QualifiedBid, Round, Wdp, Window};
+///
+/// let bid = |client, price, a, d, c| QualifiedBid {
+///     bid_ref: BidRef::new(ClientId(client), 0),
+///     price,
+///     accuracy: 0.5,
+///     window: Window::new(Round(a), Round(d)),
+///     rounds: c,
+///     round_time: 1.0,
+/// };
+/// // Two clients for one 2-round job: the $3 bid wins and its threshold
+/// // is the competitor's price.
+/// let wdp = Wdp::new(2, 1, vec![bid(0, 3.0, 1, 2, 2), bid(1, 10.0, 1, 2, 2)]);
+/// let p = myerson_payment(&wdp, BidRef::new(ClientId(0), 0), 100.0, 1e-7).unwrap();
+/// assert!((p - 10.0).abs() < 1e-5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `cap` is not positive/finite or `tol` is not positive.
+pub fn myerson_payment(wdp: &Wdp, bid: BidRef, cap: f64, tol: f64) -> Option<f64> {
+    assert!(cap.is_finite() && cap > 0.0, "cap must be positive and finite");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let current = wdp.bids().iter().find(|b| b.bid_ref == bid)?.price;
+    if !wins_at(wdp, bid, current) {
+        return None;
+    }
+    if wins_at(wdp, bid, cap) {
+        return Some(cap);
+    }
+    // Invariant: wins at `lo`, loses at `hi`.
+    let (mut lo, mut hi) = (current, cap);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if wins_at(wdp, bid, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Re-prices every winner of `solution` with its exact threshold payment.
+/// Returns `(bid_ref, paper_payment, myerson_payment)` triples.
+pub fn myerson_payments(
+    wdp: &Wdp,
+    solution: &WdpSolution,
+    cap: f64,
+    tol: f64,
+) -> Vec<(BidRef, f64, f64)> {
+    solution
+        .winners()
+        .iter()
+        .map(|w| {
+            let exact = myerson_payment(wdp, w.bid_ref, cap, tol)
+                .expect("a winner must win at its own price");
+            (w.bid_ref, w.payment, exact)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qualify::QualifiedBid;
+    use crate::types::{ClientId, Round, Window};
+
+    fn qb(client: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+        QualifiedBid {
+            bid_ref: BidRef::new(ClientId(client), 0),
+            price,
+            accuracy: 0.5,
+            window: Window::new(Round(a), Round(d)),
+            rounds: c,
+            round_time: 1.0,
+        }
+    }
+
+    fn paper_example() -> Wdp {
+        Wdp::new(
+            3,
+            1,
+            vec![qb(1, 2.0, 1, 2, 1), qb(2, 6.0, 2, 3, 2), qb(3, 5.0, 1, 3, 2)],
+        )
+    }
+
+    #[test]
+    fn loser_has_no_threshold() {
+        // B_2 loses the paper example.
+        let wdp = paper_example();
+        assert_eq!(myerson_payment(&wdp, BidRef::new(ClientId(2), 0), 100.0, 1e-6), None);
+    }
+
+    #[test]
+    fn threshold_is_at_least_the_paper_payment_for_b3() {
+        // B_3's paper payment is 6; it would still win at any price < its
+        // true threshold, which bisection locates.
+        let wdp = paper_example();
+        let sol = AWinner::new().solve_wdp(&wdp).unwrap();
+        for (bid_ref, paper, exact) in myerson_payments(&wdp, &sol, 100.0, 1e-7) {
+            assert!(
+                exact >= paper - 1e-6,
+                "{bid_ref}: exact threshold {exact} below paper payment {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_is_tight() {
+        // Winning at threshold − tol, losing at threshold + tol.
+        let wdp = paper_example();
+        let b3 = BidRef::new(ClientId(3), 0);
+        let p = myerson_payment(&wdp, b3, 100.0, 1e-9).unwrap();
+        assert!(wins_at(&wdp, b3, p - 1e-6));
+        assert!(!wins_at(&wdp, b3, p + 1e-6), "threshold {p} not tight");
+    }
+
+    #[test]
+    fn monopolist_is_capped() {
+        // One client, K = 1: it wins at any price.
+        let wdp = Wdp::new(2, 1, vec![qb(0, 3.0, 1, 2, 2)]);
+        let p = myerson_payment(&wdp, BidRef::new(ClientId(0), 0), 50.0, 1e-6).unwrap();
+        assert_eq!(p, 50.0);
+    }
+
+    #[test]
+    fn threshold_payment_is_individually_rational() {
+        let wdp = Wdp::new(
+            4,
+            2,
+            vec![
+                qb(0, 3.0, 1, 4, 4),
+                qb(1, 4.0, 1, 4, 3),
+                qb(2, 5.0, 2, 4, 2),
+                qb(3, 2.0, 1, 2, 2),
+                qb(4, 6.0, 1, 4, 4),
+                qb(5, 3.5, 1, 3, 2),
+            ],
+        );
+        let sol = AWinner::new().solve_wdp(&wdp).unwrap();
+        for (bid_ref, _, exact) in myerson_payments(&wdp, &sol, 200.0, 1e-6) {
+            let price = wdp.bids().iter().find(|b| b.bid_ref == bid_ref).unwrap().price;
+            assert!(exact >= price - 1e-6, "{bid_ref} paid {exact} below price {price}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be")]
+    fn bad_cap_panics() {
+        let wdp = paper_example();
+        let _ = myerson_payment(&wdp, BidRef::new(ClientId(1), 0), f64::INFINITY, 1e-6);
+    }
+}

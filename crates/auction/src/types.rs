@@ -1,0 +1,211 @@
+//! Identifier and index newtypes shared across the auction crates.
+
+use std::fmt;
+
+/// Identifier of a client (a mobile device bidding into the auction).
+///
+/// Clients are numbered densely from zero in instance order; the id doubles
+/// as the index into [`Instance::clients`](crate::Instance::clients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u32);
+
+impl ClientId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client#{}", self.0)
+    }
+}
+
+/// Reference to the `j`-th bid of a client (the paper's pair `(i, j)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BidRef {
+    /// The bidding client `i`.
+    pub client: ClientId,
+    /// Zero-based index `j` into the client's bid list.
+    pub bid: u32,
+}
+
+impl BidRef {
+    /// Convenience constructor.
+    pub fn new(client: ClientId, bid: u32) -> Self {
+        BidRef { client, bid }
+    }
+}
+
+impl fmt::Display for BidRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bid({}, {})", self.client.0, self.bid)
+    }
+}
+
+/// A global iteration (communication round), numbered from **1** as in the
+/// paper: the FL job runs rounds `1..=T_g`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Round(pub u32);
+
+impl Round {
+    /// First round of any job.
+    pub const FIRST: Round = Round(1);
+
+    /// Zero-based index for array storage (`round 1 → index 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the round is 0 (rounds are 1-based).
+    pub fn index(self) -> usize {
+        debug_assert!(self.0 >= 1, "rounds are 1-based");
+        (self.0 - 1) as usize
+    }
+
+    /// The round after this one.
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+/// Inclusive availability window `[a_ij, d_ij]` of a bid, in global
+/// iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    start: Round,
+    end: Round,
+}
+
+impl Window {
+    /// Creates the window `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is round 0 or `end < start`.
+    pub fn new(start: Round, end: Round) -> Self {
+        assert!(start.0 >= 1, "windows start at round 1 or later");
+        assert!(end >= start, "window end {end} precedes start {start}");
+        Window { start, end }
+    }
+
+    /// First round of the window (`a_ij`).
+    pub fn start(self) -> Round {
+        self.start
+    }
+
+    /// Last round of the window (`d_ij`), inclusive.
+    pub fn end(self) -> Round {
+        self.end
+    }
+
+    /// Number of rounds in the window.
+    pub fn len(self) -> u32 {
+        self.end.0 - self.start.0 + 1
+    }
+
+    /// Whether the window is a single round.
+    pub fn is_empty(self) -> bool {
+        false // a constructed window always holds at least one round
+    }
+
+    /// Whether round `t` falls inside the window.
+    pub fn contains(self, t: Round) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// The window clipped to `[1, horizon]`, or `None` if it lies entirely
+    /// beyond the horizon.
+    pub fn truncate(self, horizon: Round) -> Option<Window> {
+        if self.start > horizon {
+            None
+        } else {
+            Some(Window {
+                start: self.start,
+                end: self.end.min(horizon),
+            })
+        }
+    }
+
+    /// Iterates the rounds of the window in increasing order.
+    pub fn rounds(self) -> impl Iterator<Item = Round> {
+        (self.start.0..=self.end.0).map(Round)
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start.0, self.end.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_index_is_zero_based() {
+        assert_eq!(Round(1).index(), 0);
+        assert_eq!(Round(7).index(), 6);
+        assert_eq!(Round(3).next(), Round(4));
+    }
+
+    #[test]
+    fn window_basics() {
+        let w = Window::new(Round(2), Round(5));
+        assert_eq!(w.len(), 4);
+        assert!(w.contains(Round(2)));
+        assert!(w.contains(Round(5)));
+        assert!(!w.contains(Round(1)));
+        assert!(!w.contains(Round(6)));
+        assert_eq!(w.rounds().collect::<Vec<_>>(), vec![Round(2), Round(3), Round(4), Round(5)]);
+    }
+
+    #[test]
+    fn window_truncation() {
+        let w = Window::new(Round(2), Round(8));
+        assert_eq!(w.truncate(Round(5)), Some(Window::new(Round(2), Round(5))));
+        assert_eq!(w.truncate(Round(8)), Some(w));
+        assert_eq!(w.truncate(Round(1)), None);
+        let single = Window::new(Round(3), Round(3));
+        assert_eq!(single.truncate(Round(3)), Some(single));
+        assert_eq!(single.truncate(Round(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes start")]
+    fn reversed_window_panics() {
+        let _ = Window::new(Round(5), Round(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "start at round 1")]
+    fn zero_start_window_panics() {
+        let _ = Window::new(Round(0), Round(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ClientId(3).to_string(), "client#3");
+        assert_eq!(BidRef::new(ClientId(1), 2).to_string(), "bid(1, 2)");
+        assert_eq!(Round(4).to_string(), "t=4");
+        assert_eq!(Window::new(Round(1), Round(9)).to_string(), "[1, 9]");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(BidRef::new(ClientId(0), 0));
+        s.insert(BidRef::new(ClientId(0), 1));
+        s.insert(BidRef::new(ClientId(0), 0));
+        assert_eq!(s.len(), 2);
+        assert!(ClientId(1) < ClientId(2));
+    }
+}

@@ -1,0 +1,320 @@
+//! The winner-determination problem (WDP) and its solution types.
+//!
+//! For a fixed horizon `T̂_g`, the WDP asks for a minimum-cost set of
+//! qualified bids — at most one per client — together with per-bid schedules
+//! such that every round `1..=T̂_g` has at least `K` scheduled clients
+//! (ILP (7) in the paper, after the compact-exponential reformulation).
+
+use crate::qualify::QualifiedBid;
+use crate::types::{BidRef, Round};
+use crate::error::WdpError;
+
+/// One WDP instance: a horizon, the per-round demand, and the qualified
+/// bids admitted for this horizon.
+#[derive(Debug, Clone)]
+pub struct Wdp {
+    horizon: u32,
+    k: u32,
+    bids: Vec<QualifiedBid>,
+}
+
+impl Wdp {
+    /// Wraps a qualified bid set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` or `k` is zero, or if any bid's window escapes
+    /// the horizon (qualification is supposed to clip windows).
+    pub fn new(horizon: u32, k: u32, bids: Vec<QualifiedBid>) -> Self {
+        assert!(horizon >= 1, "horizon must be at least 1");
+        assert!(k >= 1, "per-round demand must be at least 1");
+        for b in &bids {
+            assert!(
+                b.window.end().0 <= horizon,
+                "bid {} window {} escapes horizon {horizon}",
+                b.bid_ref,
+                b.window
+            );
+        }
+        Wdp { horizon, k, bids }
+    }
+
+    /// The horizon `T̂_g`.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// The per-round demand `K`.
+    pub fn demand_per_round(&self) -> u32 {
+        self.k
+    }
+
+    /// The qualified bids.
+    pub fn bids(&self) -> &[QualifiedBid] {
+        &self.bids
+    }
+
+    /// A quick necessary (not sufficient) feasibility check: every round
+    /// must be inside at least `K` qualified windows of *distinct* clients.
+    pub fn obviously_infeasible(&self) -> bool {
+        let mut per_round: Vec<std::collections::HashSet<u32>> =
+            vec![std::collections::HashSet::new(); self.horizon as usize];
+        for b in &self.bids {
+            for t in b.window.rounds() {
+                per_round[t.index()].insert(b.bid_ref.client.0);
+            }
+        }
+        per_round.iter().any(|s| (s.len() as u32) < self.k)
+    }
+}
+
+/// One accepted bid in a WDP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinnerEntry {
+    /// Which bid won.
+    pub bid_ref: BidRef,
+    /// The winner's claimed cost `b_ij` (equals the true cost under
+    /// truthful bidding).
+    pub price: f64,
+    /// The remuneration `p_i` awarded to the client. Critical-value for
+    /// `A_winner`; pay-as-bid for baselines (their social-cost comparison
+    /// does not involve payments).
+    pub payment: f64,
+    /// The `c_ij` scheduled rounds, strictly increasing.
+    pub schedule: Vec<Round>,
+}
+
+impl WinnerEntry {
+    /// The winner's utility under truthful bidding, `p_i − v_ij`.
+    pub fn utility(&self) -> f64 {
+        self.payment - self.price
+    }
+}
+
+/// Dual-variable certificate emitted by `A_winner` (Alg. 2 lines 16–23).
+///
+/// Feeding the selected schedules' average costs into the dual of the
+/// relaxed ILP (7) yields a feasible dual point whose objective `D`
+/// satisfies `D ≤ OPT_LP ≤ OPT ≤ P ≤ H_{T̂_g}·ω·D` (Lemma 5), so
+/// `ratio_bound()` is an *instance-specific* upper bound on how far the
+/// greedy cost `P` is from optimal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualCertificate {
+    /// Harmonic number `H_{T̂_g} = Σ_{t≤T̂_g} 1/t`.
+    pub harmonic: f64,
+    /// `ω = max_t ψ_max^t / ψ_min^t` (Alg. 2 line 18).
+    pub omega: f64,
+    /// Dual variable `g(t)` per round (index 0 ↔ round 1).
+    pub g: Vec<f64>,
+    /// Dual variable `λ_il` per winner, parallel to the solution's winner
+    /// list.
+    pub lambda: Vec<f64>,
+    /// Dual objective `D = K·Σ_t g(t) − Σ λ_il` (all `q_i = 0`).
+    pub dual_objective: f64,
+}
+
+impl DualCertificate {
+    /// The a-posteriori approximation guarantee `H_{T̂_g}·ω`.
+    pub fn ratio_bound(&self) -> f64 {
+        self.harmonic * self.omega
+    }
+
+    /// The tighter empirical bound `P / D` implied by weak duality (always
+    /// `≤ ratio_bound()` when the certificate is valid).
+    pub fn empirical_bound(&self, primal_cost: f64) -> f64 {
+        if self.dual_objective <= 0.0 {
+            f64::INFINITY
+        } else {
+            primal_cost / self.dual_objective
+        }
+    }
+}
+
+/// A feasible solution to one WDP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WdpSolution {
+    horizon: u32,
+    winners: Vec<WinnerEntry>,
+    cost: f64,
+    certificate: Option<DualCertificate>,
+}
+
+impl WdpSolution {
+    /// Assembles a solution; `cost` must equal the sum of winner prices.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `cost` disagrees with the winners' total
+    /// price by more than a relative epsilon.
+    pub fn new(
+        horizon: u32,
+        winners: Vec<WinnerEntry>,
+        cost: f64,
+        certificate: Option<DualCertificate>,
+    ) -> Self {
+        debug_assert!(
+            {
+                let total: f64 = winners.iter().map(|w| w.price).sum();
+                (total - cost).abs() <= 1e-6 * (1.0 + total.abs())
+            },
+            "cost must be the sum of winning prices"
+        );
+        WdpSolution {
+            horizon,
+            winners,
+            cost,
+            certificate,
+        }
+    }
+
+    /// The horizon this solution was computed for.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// The accepted bids with their schedules and payments.
+    pub fn winners(&self) -> &[WinnerEntry] {
+        &self.winners
+    }
+
+    /// The social cost `Σ b_ij x_ij` of the solution.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Total remuneration paid out, `Σ p_i`.
+    pub fn total_payment(&self) -> f64 {
+        self.winners.iter().map(|w| w.payment).sum()
+    }
+
+    /// The dual certificate, when the solver produced one (`A_winner`
+    /// does; baselines and the exact solver do not).
+    pub fn certificate(&self) -> Option<&DualCertificate> {
+        self.certificate.as_ref()
+    }
+}
+
+/// A winner-determination algorithm: anything that can solve one WDP.
+///
+/// Implemented by `A_winner` (this crate), the three baselines
+/// (`fl-baselines`), and the exact branch-and-bound (`fl-exact`), so the
+/// outer `A_FL` enumeration can run any of them interchangeably.
+pub trait WdpSolver {
+    /// Short human-readable name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Solves one WDP.
+    ///
+    /// # Errors
+    ///
+    /// [`WdpError::Infeasible`] when the qualified bids cannot staff every
+    /// round; [`WdpError::ResourceLimit`] when an internal budget is hit.
+    fn solve_wdp(&self, wdp: &Wdp) -> Result<WdpSolution, WdpError>;
+}
+
+impl<S: WdpSolver + ?Sized> WdpSolver for &S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn solve_wdp(&self, wdp: &Wdp) -> Result<WdpSolution, WdpError> {
+        (**self).solve_wdp(wdp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ClientId, Window};
+
+    fn qb(client: u32, bid: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+        QualifiedBid {
+            bid_ref: BidRef::new(ClientId(client), bid),
+            price,
+            accuracy: 0.5,
+            window: Window::new(Round(a), Round(d)),
+            rounds: c,
+            round_time: 10.0,
+        }
+    }
+
+    #[test]
+    fn wdp_accessors() {
+        let w = Wdp::new(3, 1, vec![qb(0, 0, 2.0, 1, 2, 1)]);
+        assert_eq!(w.horizon(), 3);
+        assert_eq!(w.demand_per_round(), 1);
+        assert_eq!(w.bids().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes horizon")]
+    fn window_escaping_horizon_panics() {
+        let _ = Wdp::new(2, 1, vec![qb(0, 0, 2.0, 1, 3, 1)]);
+    }
+
+    #[test]
+    fn obvious_infeasibility_detects_uncovered_round() {
+        // Round 3 is covered by nobody.
+        let w = Wdp::new(3, 1, vec![qb(0, 0, 2.0, 1, 2, 1), qb(1, 0, 2.0, 1, 2, 2)]);
+        assert!(w.obviously_infeasible());
+        // Distinct clients cover everything.
+        let w2 = Wdp::new(2, 2, vec![qb(0, 0, 2.0, 1, 2, 1), qb(1, 0, 2.0, 1, 2, 2)]);
+        assert!(!w2.obviously_infeasible());
+        // Two bids of the SAME client do not count twice.
+        let w3 = Wdp::new(2, 2, vec![qb(0, 0, 2.0, 1, 2, 1), qb(0, 1, 2.0, 1, 2, 2)]);
+        assert!(w3.obviously_infeasible());
+    }
+
+    #[test]
+    fn winner_entry_utility() {
+        let w = WinnerEntry {
+            bid_ref: BidRef::new(ClientId(0), 0),
+            price: 4.0,
+            payment: 6.5,
+            schedule: vec![Round(1)],
+        };
+        assert!((w.utility() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solution_aggregates() {
+        let winners = vec![
+            WinnerEntry {
+                bid_ref: BidRef::new(ClientId(0), 0),
+                price: 4.0,
+                payment: 6.0,
+                schedule: vec![Round(1)],
+            },
+            WinnerEntry {
+                bid_ref: BidRef::new(ClientId(1), 0),
+                price: 3.0,
+                payment: 3.5,
+                schedule: vec![Round(2)],
+            },
+        ];
+        let sol = WdpSolution::new(2, winners, 7.0, None);
+        assert_eq!(sol.cost(), 7.0);
+        assert!((sol.total_payment() - 9.5).abs() < 1e-12);
+        assert_eq!(sol.winners().len(), 2);
+        assert!(sol.certificate().is_none());
+        assert_eq!(sol.horizon(), 2);
+    }
+
+    #[test]
+    fn certificate_bounds() {
+        let cert = DualCertificate {
+            harmonic: 1.5,
+            omega: 2.0,
+            g: vec![1.0, 1.0],
+            lambda: vec![0.0],
+            dual_objective: 4.0,
+        };
+        assert!((cert.ratio_bound() - 3.0).abs() < 1e-12);
+        assert!((cert.empirical_bound(6.0) - 1.5).abs() < 1e-12);
+        let degenerate = DualCertificate {
+            dual_objective: 0.0,
+            ..cert
+        };
+        assert!(degenerate.empirical_bound(6.0).is_infinite());
+    }
+}

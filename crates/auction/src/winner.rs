@@ -1,0 +1,753 @@
+//! `A_winner` — the greedy winner-determination algorithm (Alg. 2).
+//!
+//! Starting from an empty winner set, each iteration computes every
+//! unselected bid's *representative schedule* (its `c_ij` least-loaded
+//! rounds), prices it by average cost `ρ / R_il(S)` — price per newly
+//! covered round — and selects the cheapest. The selected client's
+//! remaining bids leave the candidate set; the loop ends when every round
+//! has `K` participants. Payments follow the critical-value rule, and the
+//! run is replayed into the dual of the relaxed compact-exponential ILP to
+//! produce an instance-specific approximation certificate (Lemma 5).
+
+use crate::coverage::Coverage;
+use crate::error::WdpError;
+use crate::payment::{payment, PaymentRule};
+use crate::schedule::{pick_schedule, SchedulePolicy};
+use crate::types::Round;
+use crate::wdp::{DualCertificate, Wdp, WdpSolution, WdpSolver, WinnerEntry};
+
+/// The paper's greedy WDP solver.
+///
+/// The default configuration is exactly Alg. 2; the policy and payment
+/// knobs exist for the ablation experiments.
+///
+/// # Example
+///
+/// The worked example of Sec. V-B2 (`T̂_g = 3`, `K = 1`, three single-bid
+/// clients) selects `B_1` and `B_3` for a social cost of 7:
+///
+/// ```
+/// use fl_auction::{AWinner, QualifiedBid, Wdp, WdpSolver};
+/// use fl_auction::{BidRef, ClientId, Round, Window};
+///
+/// # fn main() -> Result<(), fl_auction::WdpError> {
+/// let bid = |client, price, a, d, c| QualifiedBid {
+///     bid_ref: BidRef::new(ClientId(client), 0),
+///     price,
+///     accuracy: 0.5,
+///     window: Window::new(Round(a), Round(d)),
+///     rounds: c,
+///     round_time: 1.0,
+/// };
+/// let wdp = Wdp::new(3, 1, vec![
+///     bid(1, 2.0, 1, 2, 1),
+///     bid(2, 6.0, 2, 3, 2),
+///     bid(3, 5.0, 1, 3, 2),
+/// ]);
+/// let sol = AWinner::new().solve_wdp(&wdp)?;
+/// assert_eq!(sol.cost(), 7.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AWinner {
+    policy: SchedulePolicy,
+    payment_rule: PaymentRule,
+    with_certificate: bool,
+    full_scan: bool,
+}
+
+impl AWinner {
+    /// The paper's configuration: least-loaded representative schedules,
+    /// critical-value payments, certificate enabled.
+    pub fn new() -> Self {
+        AWinner {
+            policy: SchedulePolicy::LeastLoaded,
+            payment_rule: PaymentRule::CriticalValue,
+            with_certificate: true,
+            full_scan: false,
+        }
+    }
+
+    /// Overrides the scheduling policy (ablation A1).
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the payment rule (ablation A4).
+    pub fn with_payment_rule(mut self, rule: PaymentRule) -> Self {
+        self.payment_rule = rule;
+        self
+    }
+
+    /// Disables the dual certificate (skips the `O(I·J·T̂_g)` post-pass;
+    /// useful in tight benchmarking loops).
+    pub fn without_certificate(mut self) -> Self {
+        self.with_certificate = false;
+        self
+    }
+
+    /// Forces the straightforward full-scan candidate selection instead of
+    /// the default lazy priority queue. Both produce bit-identical
+    /// results (tested); the full scan re-evaluates every bid each
+    /// iteration and exists as the equivalence oracle and for debugging.
+    pub fn with_full_scan(mut self) -> Self {
+        self.full_scan = true;
+        self
+    }
+}
+
+/// A candidate: an unselected bid with its representative schedule under
+/// the current coverage.
+struct Candidate {
+    bid_idx: usize,
+    schedule: Vec<Round>,
+    gain: u32,
+    avg: f64,
+}
+
+/// Per-winner data retained for the dual replay.
+struct RawWinner {
+    bid_idx: usize,
+    schedule: Vec<Round>,
+    /// `F_{i*l*}`: the rounds of the schedule still available at selection.
+    available: Vec<Round>,
+    avg: f64,
+    pay: f64,
+}
+
+impl WdpSolver for AWinner {
+    fn name(&self) -> &str {
+        "A_winner"
+    }
+
+    fn solve_wdp(&self, wdp: &Wdp) -> Result<WdpSolution, WdpError> {
+        let horizon = wdp.horizon();
+        let k = wdp.demand_per_round();
+        let bids = wdp.bids();
+        let mut cov = Coverage::new(horizon, k);
+        let mut pair_selected = vec![false; bids.len()];
+        let mut client_selected: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut raw: Vec<RawWinner> = Vec::new();
+        // φ(t, l) of selected schedules, per round (for η_φ and ψ_min).
+        let mut phi: Vec<Vec<f64>> = vec![Vec::new(); horizon as usize];
+        // φ plus the per-iteration runner-up φ′ values (ψ_min's domain).
+        let mut phi_all: Vec<Vec<f64>> = vec![Vec::new(); horizon as usize];
+        let mut lazy = if self.full_scan {
+            None
+        } else {
+            Some(LazyQueue::new(bids, &cov, self.policy))
+        };
+
+        while !cov.is_complete() {
+            let pick = match &mut lazy {
+                Some(q) => q.pick(&cov, bids, &pair_selected, &client_selected, self.policy),
+                None => full_scan_pick(&cov, bids, &pair_selected, &client_selected, self.policy),
+            };
+            let Some(winner) = pick.best_c else {
+                return Err(WdpError::Infeasible);
+            };
+            let qb = &bids[winner.bid_idx];
+            let pay = payment(
+                self.payment_rule,
+                qb.price,
+                winner.gain,
+                pick.second_c.as_ref().map(|c| c.avg),
+            );
+            let available = cov.available_subset(&winner.schedule);
+            debug_assert_eq!(available.len() as u32, winner.gain);
+            for &t in &available {
+                phi[t.index()].push(winner.avg);
+                phi_all[t.index()].push(winner.avg);
+            }
+            // Alg. 2 line 11–12: the runner-up over G (which at this point
+            // still contains the winner) contributes φ′ to ψ_min.
+            if let Some(ru) = &pick.best_g {
+                for t in cov.available_subset(&ru.schedule) {
+                    phi_all[t.index()].push(ru.avg);
+                }
+            }
+            cov.add(&winner.schedule);
+            pair_selected[winner.bid_idx] = true;
+            client_selected.insert(qb.bid_ref.client.0);
+            if let Some(q) = &mut lazy {
+                q.end_iteration();
+            }
+            raw.push(RawWinner {
+                bid_idx: winner.bid_idx,
+                schedule: winner.schedule,
+                available,
+                avg: winner.avg,
+                pay,
+            });
+        }
+
+        let certificate = if self.with_certificate {
+            Some(build_certificate(wdp, &raw, &phi, &phi_all))
+        } else {
+            None
+        };
+
+        let mut cost = 0.0;
+        let winners: Vec<WinnerEntry> = raw
+            .into_iter()
+            .map(|w| {
+                let qb = &bids[w.bid_idx];
+                cost += qb.price;
+                WinnerEntry {
+                    bid_ref: qb.bid_ref,
+                    price: qb.price,
+                    payment: w.pay,
+                    schedule: w.schedule,
+                }
+            })
+            .collect();
+        Ok(WdpSolution::new(horizon, winners, cost, certificate))
+    }
+}
+
+/// One greedy iteration's selection: the cheapest candidate of the
+/// candidate set `C`, the runner-up within `C` (for the critical payment),
+/// and the cheapest of the grand set `G` (for the dual's φ′).
+struct IterationPick {
+    best_c: Option<Candidate>,
+    second_c: Option<Candidate>,
+    best_g: Option<Candidate>,
+}
+
+/// The straightforward O(bids) per-iteration scan (the equivalence oracle).
+fn full_scan_pick(
+    cov: &Coverage,
+    bids: &[crate::QualifiedBid],
+    pair_selected: &[bool],
+    client_selected: &std::collections::HashSet<u32>,
+    policy: SchedulePolicy,
+) -> IterationPick {
+    let mut best_c: Option<Candidate> = None;
+    let mut second_c: Option<Candidate> = None;
+    let mut best_g: Option<Candidate> = None;
+    for (idx, qb) in bids.iter().enumerate() {
+        if pair_selected[idx] {
+            continue;
+        }
+        let schedule = pick_schedule(cov, qb.window, qb.rounds, policy);
+        let gain = cov.gain(&schedule);
+        if gain == 0 {
+            continue;
+        }
+        let cand = Candidate {
+            bid_idx: idx,
+            schedule,
+            gain,
+            avg: qb.price / f64::from(gain),
+        };
+        if better(&cand, &best_g, bids) {
+            best_g = Some(clone_cand(&cand));
+        }
+        if client_selected.contains(&qb.bid_ref.client.0) {
+            continue;
+        }
+        if better(&cand, &best_c, bids) {
+            second_c = best_c.take();
+            best_c = Some(cand);
+        } else if better(&cand, &second_c, bids) {
+            second_c = Some(cand);
+        }
+    }
+    IterationPick {
+        best_c,
+        second_c,
+        best_g,
+    }
+}
+
+/// Lazy-greedy candidate queue.
+///
+/// A candidate's average cost `ρ / R_il(S)` can only **grow** as coverage
+/// accumulates (availability shrinks monotonically), so a stale cached
+/// value is a lower bound on the current one. The classic lazy-greedy
+/// argument then applies: pop the heap minimum; if its value was computed
+/// this iteration it is the exact current minimum (any stale entry's true
+/// value is at least its cached key, which is at least the fresh top);
+/// otherwise re-evaluate and re-insert. Ties are broken by `(price,
+/// bid_ref)` exactly as the full scan does, so the two strategies are
+/// bit-identical (asserted by tests).
+struct LazyQueue {
+    heap: std::collections::BinaryHeap<HeapEntry>,
+    iteration: u64,
+}
+
+/// Heap entry ordered as a **min-heap** on `(avg, price, bid_ref)`.
+struct HeapEntry {
+    avg: f64,
+    price: f64,
+    bid_ref: crate::types::BidRef,
+    bid_idx: usize,
+    schedule: Vec<Round>,
+    gain: u32,
+    stamp: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the smallest key on
+        // top.
+        self.avg
+            .total_cmp(&other.avg)
+            .then(self.price.total_cmp(&other.price))
+            .then(self.bid_ref.cmp(&other.bid_ref))
+            .reverse()
+    }
+}
+
+impl LazyQueue {
+    fn new(bids: &[crate::QualifiedBid], cov: &Coverage, policy: SchedulePolicy) -> Self {
+        let mut heap = std::collections::BinaryHeap::with_capacity(bids.len());
+        for (idx, qb) in bids.iter().enumerate() {
+            let schedule = pick_schedule(cov, qb.window, qb.rounds, policy);
+            let gain = cov.gain(&schedule);
+            if gain == 0 {
+                continue; // gains never grow back
+            }
+            heap.push(HeapEntry {
+                avg: qb.price / f64::from(gain),
+                price: qb.price,
+                bid_ref: qb.bid_ref,
+                bid_idx: idx,
+                schedule,
+                gain,
+                stamp: 0,
+            });
+        }
+        LazyQueue { heap, iteration: 0 }
+    }
+
+    fn end_iteration(&mut self) {
+        self.iteration += 1;
+    }
+
+    fn pick(
+        &mut self,
+        cov: &Coverage,
+        bids: &[crate::QualifiedBid],
+        pair_selected: &[bool],
+        client_selected: &std::collections::HashSet<u32>,
+        policy: SchedulePolicy,
+    ) -> IterationPick {
+        // Extract fresh entries in exact ascending order until we hold the
+        // G-minimum plus two C-entries (winner + critical runner-up).
+        let mut fresh: Vec<HeapEntry> = Vec::new();
+        let mut c_entries = 0usize;
+        while c_entries < 2 {
+            let Some(top) = self.heap.pop() else {
+                break;
+            };
+            if pair_selected[top.bid_idx] {
+                continue; // selected pairs leave G permanently
+            }
+            if top.stamp == self.iteration {
+                if !client_selected.contains(&top.bid_ref.client.0) {
+                    c_entries += 1;
+                }
+                fresh.push(top);
+            } else {
+                let qb = &bids[top.bid_idx];
+                let schedule = pick_schedule(cov, qb.window, qb.rounds, policy);
+                let gain = cov.gain(&schedule);
+                if gain == 0 {
+                    continue; // monotone: will never help again
+                }
+                self.heap.push(HeapEntry {
+                    avg: qb.price / f64::from(gain),
+                    price: qb.price,
+                    bid_ref: qb.bid_ref,
+                    bid_idx: top.bid_idx,
+                    schedule,
+                    gain,
+                    stamp: self.iteration,
+                });
+            }
+        }
+        let to_candidate = |e: &HeapEntry| Candidate {
+            bid_idx: e.bid_idx,
+            schedule: e.schedule.clone(),
+            gain: e.gain,
+            avg: e.avg,
+        };
+        let best_g = fresh.first().map(to_candidate);
+        let mut best_c = None;
+        let mut second_c = None;
+        let mut winner_pos = None;
+        for (pos, e) in fresh.iter().enumerate() {
+            if client_selected.contains(&e.bid_ref.client.0) {
+                continue;
+            }
+            if best_c.is_none() {
+                best_c = Some(to_candidate(e));
+                winner_pos = Some(pos);
+            } else if second_c.is_none() {
+                second_c = Some(to_candidate(e));
+                break;
+            }
+        }
+        // Everything except the winner goes back (still fresh this
+        // iteration; stale next).
+        for (pos, e) in fresh.into_iter().enumerate() {
+            if Some(pos) != winner_pos {
+                self.heap.push(e);
+            }
+        }
+        IterationPick {
+            best_c,
+            second_c,
+            best_g,
+        }
+    }
+}
+
+/// Deterministic "strictly better" comparison for candidates: smaller
+/// average cost, then smaller price, then smaller bid reference.
+fn better(cand: &Candidate, incumbent: &Option<Candidate>, bids: &[crate::QualifiedBid]) -> bool {
+    let Some(inc) = incumbent else {
+        return true;
+    };
+    let key = |c: &Candidate| {
+        let qb = &bids[c.bid_idx];
+        (c.avg, qb.price, qb.bid_ref)
+    };
+    let (a1, p1, r1) = key(cand);
+    let (a2, p2, r2) = key(inc);
+    a1.total_cmp(&a2)
+        .then(p1.total_cmp(&p2))
+        .then(r1.cmp(&r2))
+        .is_lt()
+}
+
+fn clone_cand(c: &Candidate) -> Candidate {
+    Candidate {
+        bid_idx: c.bid_idx,
+        schedule: c.schedule.clone(),
+        gain: c.gain,
+        avg: c.avg,
+    }
+}
+
+/// Replays the run into the dual program (Alg. 2 lines 16–23).
+fn build_certificate(
+    wdp: &Wdp,
+    raw: &[RawWinner],
+    phi: &[Vec<f64>],
+    phi_all: &[Vec<f64>],
+) -> DualCertificate {
+    let horizon = wdp.horizon();
+    let harmonic: f64 = (1..=horizon).map(|t| 1.0 / f64::from(t)).sum();
+
+    // ψ_max^t: the largest qualified bid price whose window covers t.
+    // ψ_min^t: the smallest recorded average cost (selected φ or runner-up
+    // φ′) at t. ω_t = ψ_max^t / ψ_min^t.
+    let mut omega: f64 = 0.0;
+    for t in (1..=horizon).map(Round) {
+        let psi_max = wdp
+            .bids()
+            .iter()
+            .filter(|b| b.window.contains(t))
+            .map(|b| b.price)
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        let psi_min = phi_all[t.index()]
+            .iter()
+            .copied()
+            .min_by(f64::total_cmp)
+            .unwrap_or(f64::INFINITY);
+        let w_t = if psi_min > 0.0 && psi_min.is_finite() {
+            psi_max / psi_min
+        } else if psi_max == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        };
+        omega = omega.max(w_t);
+    }
+
+    // η_φ(t) = max_l φ(t, l) over selected schedules; g(t) = η_φ/(H·ω).
+    let scale = harmonic * omega;
+    let eta: Vec<f64> = phi
+        .iter()
+        .map(|v| v.iter().copied().max_by(f64::total_cmp).unwrap_or(0.0))
+        .collect();
+    let g: Vec<f64> = eta.iter().map(|&e| e / scale).collect();
+
+    // λ_il = Σ_{t∈F_il} (η_φ(t) − φ(t,l)) / (H·ω) per winner.
+    let lambda: Vec<f64> = raw
+        .iter()
+        .map(|w| {
+            w.available
+                .iter()
+                .map(|t| (eta[t.index()] - w.avg) / scale)
+                .sum()
+        })
+        .collect();
+
+    let k = f64::from(wdp.demand_per_round());
+    let dual_objective = k * g.iter().sum::<f64>() - lambda.iter().sum::<f64>();
+    DualCertificate {
+        harmonic,
+        omega,
+        g,
+        lambda,
+        dual_objective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qualify::QualifiedBid;
+    use crate::types::{BidRef, ClientId, Window};
+
+    fn qb(client: u32, bid: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+        QualifiedBid {
+            bid_ref: BidRef::new(ClientId(client), bid),
+            price,
+            accuracy: 0.5,
+            window: Window::new(Round(a), Round(d)),
+            rounds: c,
+            round_time: 1.0,
+        }
+    }
+
+    /// The worked example of Sec. V-B2.
+    fn paper_example() -> Wdp {
+        Wdp::new(
+            3,
+            1,
+            vec![
+                qb(1, 0, 2.0, 1, 2, 1), // B_1($2, [1,2], 1)
+                qb(2, 0, 6.0, 2, 3, 2), // B_2($6, [2,3], 2)
+                qb(3, 0, 5.0, 1, 3, 2), // B_3($5, [1,3], 2)
+            ],
+        )
+    }
+
+    #[test]
+    fn reproduces_the_papers_worked_example() {
+        let sol = AWinner::new().solve_wdp(&paper_example()).unwrap();
+        assert_eq!(sol.winners().len(), 2);
+        let w1 = &sol.winners()[0];
+        let w3 = &sol.winners()[1];
+        assert_eq!(w1.bid_ref, BidRef::new(ClientId(1), 0));
+        assert_eq!(w1.schedule, vec![Round(1)]);
+        assert!((w1.payment - 2.5).abs() < 1e-12, "p_1 = 2.5 in the paper");
+        assert_eq!(w3.bid_ref, BidRef::new(ClientId(3), 0));
+        assert_eq!(w3.schedule, vec![Round(2), Round(3)]);
+        assert!((w3.payment - 6.0).abs() < 1e-12, "p_3 = 6 in the paper");
+        assert_eq!(sol.cost(), 7.0);
+    }
+
+    #[test]
+    fn coverage_is_complete_in_every_round() {
+        let sol = AWinner::new().solve_wdp(&paper_example()).unwrap();
+        let mut cov = Coverage::new(3, 1);
+        for w in sol.winners() {
+            cov.add(&w.schedule);
+        }
+        assert!(cov.is_complete());
+    }
+
+    #[test]
+    fn infeasible_wdp_is_reported() {
+        // Only one client but K = 2.
+        let wdp = Wdp::new(2, 2, vec![qb(0, 0, 1.0, 1, 2, 2)]);
+        assert_eq!(AWinner::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+    }
+
+    #[test]
+    fn round_not_covered_by_any_window_is_infeasible() {
+        let wdp = Wdp::new(3, 1, vec![qb(0, 0, 1.0, 1, 2, 2), qb(1, 0, 1.0, 1, 2, 2)]);
+        assert_eq!(AWinner::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+    }
+
+    #[test]
+    fn at_most_one_bid_per_client_is_selected() {
+        let wdp = Wdp::new(
+            2,
+            1,
+            vec![
+                qb(0, 0, 1.0, 1, 1, 1),
+                qb(0, 1, 1.0, 2, 2, 1), // same client, cheap second bid
+                qb(1, 0, 50.0, 2, 2, 1),
+            ],
+        );
+        let sol = AWinner::new().solve_wdp(&wdp).unwrap();
+        let clients: Vec<u32> = sol.winners().iter().map(|w| w.bid_ref.client.0).collect();
+        let mut dedup = clients.clone();
+        dedup.dedup();
+        assert_eq!(clients.len(), dedup.len());
+        // Client 0 wins one bid, client 1 must staff the other round.
+        assert_eq!(sol.winners().len(), 2);
+        assert!((sol.cost() - 51.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payments_are_individually_rational() {
+        let sol = AWinner::new().solve_wdp(&paper_example()).unwrap();
+        for w in sol.winners() {
+            assert!(
+                w.payment >= w.price - 1e-12,
+                "winner {} paid {} below price {}",
+                w.bid_ref,
+                w.payment,
+                w.price
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_stay_inside_windows() {
+        let wdp = Wdp::new(
+            4,
+            2,
+            vec![
+                qb(0, 0, 3.0, 1, 4, 3),
+                qb(1, 0, 4.0, 1, 2, 2),
+                qb(2, 0, 5.0, 2, 4, 3),
+                qb(3, 0, 2.0, 3, 4, 1),
+                qb(4, 0, 6.0, 1, 4, 4),
+                qb(5, 0, 3.5, 1, 3, 2),
+            ],
+        );
+        let sol = AWinner::new().solve_wdp(&wdp).unwrap();
+        for w in sol.winners() {
+            let qb = wdp.bids().iter().find(|b| b.bid_ref == w.bid_ref).unwrap();
+            assert_eq!(w.schedule.len() as u32, qb.rounds, "exactly c_ij rounds");
+            assert!(w.schedule.windows(2).all(|p| p[0] < p[1]), "strictly increasing");
+            assert!(w.schedule.iter().all(|&t| qb.window.contains(t)));
+        }
+    }
+
+    #[test]
+    fn certificate_satisfies_weak_duality_bound() {
+        let sol = AWinner::new().solve_wdp(&paper_example()).unwrap();
+        let cert = sol.certificate().expect("certificate enabled by default");
+        assert!(cert.dual_objective > 0.0);
+        // Lemma 5: P ≤ H·ω·D.
+        assert!(
+            sol.cost() <= cert.ratio_bound() * cert.dual_objective + 1e-9,
+            "P = {}, bound = {}",
+            sol.cost(),
+            cert.ratio_bound() * cert.dual_objective
+        );
+        assert_eq!(cert.lambda.len(), sol.winners().len());
+        assert_eq!(cert.g.len(), 3);
+        assert!(cert.lambda.iter().all(|&l| l >= -1e-12), "λ must be non-negative");
+        assert!(cert.g.iter().all(|&g| g >= 0.0));
+    }
+
+    #[test]
+    fn without_certificate_skips_the_dual_pass() {
+        let sol = AWinner::new()
+            .without_certificate()
+            .solve_wdp(&paper_example())
+            .unwrap();
+        assert!(sol.certificate().is_none());
+    }
+
+    #[test]
+    fn earliest_policy_changes_schedules_not_feasibility() {
+        let wdp = Wdp::new(
+            3,
+            1,
+            vec![qb(0, 0, 1.0, 1, 3, 1), qb(1, 0, 1.0, 1, 3, 1), qb(2, 0, 1.0, 1, 3, 1)],
+        );
+        let sol = AWinner::new()
+            .with_policy(SchedulePolicy::Earliest)
+            .solve_wdp(&wdp);
+        // Earliest policy keeps piling clients on round 1; gains drop to
+        // zero for later bids only if rounds 2, 3 become uncoverable —
+        // they do not here because each bid has the whole window... but the
+        // earliest pick is always round 1, so after round 1 is full the
+        // gain of the representative becomes 0 and the WDP stalls.
+        // This documents why the paper's least-loaded choice matters.
+        assert!(sol.is_err());
+        let sol_ll = AWinner::new().solve_wdp(&wdp);
+        assert!(sol_ll.is_ok());
+    }
+
+    #[test]
+    fn pay_as_bid_rule_pays_exactly_the_price() {
+        let sol = AWinner::new()
+            .with_payment_rule(PaymentRule::PayAsBid)
+            .solve_wdp(&paper_example())
+            .unwrap();
+        for w in sol.winners() {
+            assert_eq!(w.payment, w.price);
+        }
+    }
+
+    #[test]
+    fn zero_price_bids_do_not_break_the_certificate() {
+        let wdp = Wdp::new(
+            2,
+            1,
+            vec![qb(0, 0, 0.0, 1, 2, 2), qb(1, 0, 3.0, 1, 2, 2)],
+        );
+        let sol = AWinner::new().solve_wdp(&wdp).unwrap();
+        assert_eq!(sol.cost(), 0.0);
+        let cert = sol.certificate().unwrap();
+        // ψ_min = 0 ⇒ ω = ∞; the bound degrades gracefully instead of
+        // producing NaN.
+        assert!(cert.omega.is_infinite() || cert.omega >= 1.0);
+        assert!(!cert.dual_objective.is_nan());
+    }
+
+    #[test]
+    fn lazy_and_full_scan_are_bit_identical() {
+        let mut state = 0x1357_9bdfu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..60 {
+            let h = 3 + (next() % 8) as u32;
+            let k = 1 + (next() % 3) as u32;
+            let n = 6 + (next() % 20) as usize;
+            let bids: Vec<QualifiedBid> = (0..n)
+                .map(|i| {
+                    let a = 1 + (next() % u64::from(h)) as u32;
+                    let d = a + (next() % u64::from(h - a + 1)) as u32;
+                    let c = 1 + (next() % u64::from(d - a + 1)) as u32;
+                    // Deliberately generate duplicate prices to stress
+                    // tie-breaking.
+                    qb((i / 2) as u32, (i % 2) as u32, (1 + next() % 12) as f64, a, d, c)
+                })
+                .collect();
+            let wdp = Wdp::new(h, k, bids);
+            let lazy = AWinner::new().solve_wdp(&wdp);
+            let full = AWinner::new().with_full_scan().solve_wdp(&wdp);
+            match (lazy, full) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "trial {trial}: strategies diverged"),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("trial {trial}: feasibility diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(AWinner::new().name(), "A_winner");
+    }
+}

@@ -1,0 +1,178 @@
+//! The `FCFS` benchmark [21]: first-come, first-served.
+//!
+//! Bids are admitted in non-decreasing order of their start time `a_ij`,
+//! oblivious to price — the natural "accept whoever shows up first" policy
+//! of an un-incentivised platform, and the paper's worst performer. One
+//! minimal usefulness filter is kept (a bid whose rounds are all saturated
+//! is turned away): without it the platform enrolls each client at its
+//! earliest-starting bid and routinely starves late rounds outright. Even
+//! with the filter, FCFS schedules first-come (earliest rounds first) and
+//! pays whatever the early arrivals ask.
+
+use fl_auction::{Coverage, Round, Wdp, WdpError, WdpSolution, WdpSolver, WinnerEntry};
+
+/// First-come-first-served WDP solver (pay-as-bid).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsBaseline;
+
+impl FcfsBaseline {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        FcfsBaseline
+    }
+}
+
+impl WdpSolver for FcfsBaseline {
+    fn name(&self) -> &str {
+        "FCFS"
+    }
+
+    fn solve_wdp(&self, wdp: &Wdp) -> Result<WdpSolution, WdpError> {
+        let mut order: Vec<usize> = (0..wdp.bids().len()).collect();
+        order.sort_by(|&a, &b| {
+            let qa = &wdp.bids()[a];
+            let qb = &wdp.bids()[b];
+            qa.window
+                .start()
+                .cmp(&qb.window.start())
+                .then(qa.bid_ref.cmp(&qb.bid_ref))
+        });
+
+        let mut cov = Coverage::new(wdp.horizon(), wdp.demand_per_round());
+        let mut chosen_clients = std::collections::HashSet::new();
+        let mut winners = Vec::new();
+        let mut cost = 0.0;
+        for idx in order {
+            if cov.is_complete() {
+                break;
+            }
+            let qb = &wdp.bids()[idx];
+            if chosen_clients.contains(&qb.bid_ref.client) {
+                continue; // one accepted bid per client
+            }
+            // First-come scheduling: the earliest *available* rounds of the
+            // window first, padded with the earliest saturated rounds when
+            // fewer than c_ij are available (the bid still serves its full
+            // c_ij rounds, constraint (6c)).
+            let schedule = earliest_available(&cov, qb.window.rounds(), qb.rounds);
+            if cov.gain(&schedule) == 0 {
+                continue; // nothing useful left in this bid's window
+            }
+            chosen_clients.insert(qb.bid_ref.client);
+            cov.add(&schedule);
+            cost += qb.price;
+            winners.push(WinnerEntry {
+                bid_ref: qb.bid_ref,
+                price: qb.price,
+                payment: qb.price,
+                schedule,
+            });
+        }
+        if !cov.is_complete() {
+            return Err(WdpError::Infeasible);
+        }
+        Ok(WdpSolution::new(wdp.horizon(), winners, cost, None))
+    }
+}
+
+/// Picks `c` rounds: every available round first (in time order), then the
+/// earliest saturated ones; the result is re-sorted by time.
+fn earliest_available(cov: &Coverage, rounds: impl Iterator<Item = Round>, c: u32) -> Vec<Round> {
+    let all: Vec<Round> = rounds.collect();
+    let mut picked: Vec<Round> = all.iter().copied().filter(|&t| cov.is_available(t)).collect();
+    picked.truncate(c as usize);
+    if (picked.len() as u32) < c {
+        for &t in &all {
+            if !cov.is_available(t) && !picked.contains(&t) {
+                picked.push(t);
+                if picked.len() as u32 == c {
+                    break;
+                }
+            }
+        }
+    }
+    picked.sort_by_key(|t| t.0);
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_auction::{BidRef, ClientId, QualifiedBid, Window};
+
+    fn qb(client: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+        QualifiedBid {
+            bid_ref: BidRef::new(ClientId(client), 0),
+            price,
+            accuracy: 0.5,
+            window: Window::new(Round(a), Round(d)),
+            rounds: c,
+            round_time: 1.0,
+        }
+    }
+
+    #[test]
+    fn admits_by_start_time_not_price() {
+        // The early expensive bid wins over the late cheap one.
+        let wdp = Wdp::new(2, 1, vec![qb(0, 100.0, 1, 2, 2), qb(1, 1.0, 2, 2, 1)]);
+        let sol = FcfsBaseline::new().solve_wdp(&wdp).unwrap();
+        assert_eq!(sol.winners()[0].bid_ref.client, ClientId(0));
+        assert_eq!(sol.cost(), 100.0);
+    }
+
+    #[test]
+    fn fills_rounds_in_time_order() {
+        let wdp = Wdp::new(
+            3,
+            1,
+            vec![qb(0, 1.0, 1, 3, 1), qb(1, 1.0, 1, 3, 1), qb(2, 1.0, 1, 3, 1)],
+        );
+        let sol = FcfsBaseline::new().solve_wdp(&wdp).unwrap();
+        // Each client grabs the earliest available round: 1, then 2, then 3.
+        let scheduled: Vec<Round> = sol.winners().iter().flat_map(|w| w.schedule.clone()).collect();
+        assert_eq!(scheduled, vec![Round(1), Round(2), Round(3)]);
+    }
+
+    #[test]
+    fn pads_with_saturated_rounds_when_needed() {
+        // K = 1. Client 0 takes rounds 1-2. Client 1 must serve c = 2 inside
+        // [1, 3]; only round 3 is available, so it pads with round 1.
+        let wdp = Wdp::new(3, 1, vec![qb(0, 1.0, 1, 2, 2), qb(1, 1.0, 1, 3, 2)]);
+        let sol = FcfsBaseline::new().solve_wdp(&wdp).unwrap();
+        let w1 = &sol.winners()[1];
+        assert_eq!(w1.schedule.len(), 2);
+        assert!(w1.schedule.contains(&Round(3)));
+        assert!(fl_auction::verify::wdp_violations(&wdp, &sol).is_empty());
+    }
+
+    #[test]
+    fn infeasible_when_rounds_uncoverable() {
+        let wdp = Wdp::new(3, 1, vec![qb(0, 1.0, 1, 2, 1)]);
+        assert_eq!(FcfsBaseline::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+    }
+
+    #[test]
+    fn skips_bids_with_fully_saturated_windows() {
+        // Clients 0 and 1 both sit in round 1 (K = 1): client 1's window
+        // holds nothing useful and is turned away; client 2 covers round 2.
+        let wdp = Wdp::new(
+            2,
+            1,
+            vec![qb(0, 1.0, 1, 1, 1), qb(1, 7.0, 1, 1, 1), qb(2, 1.0, 2, 2, 1)],
+        );
+        let sol = FcfsBaseline::new().solve_wdp(&wdp).unwrap();
+        assert_eq!(sol.winners().len(), 2);
+        assert_eq!(sol.cost(), 2.0);
+    }
+
+    #[test]
+    fn stops_enrolling_once_demand_is_met() {
+        let wdp = Wdp::new(
+            1,
+            1,
+            vec![qb(0, 1.0, 1, 1, 1), qb(1, 1.0, 1, 1, 1), qb(2, 1.0, 1, 1, 1)],
+        );
+        let sol = FcfsBaseline::new().solve_wdp(&wdp).unwrap();
+        assert_eq!(sol.winners().len(), 1, "coverage completed after the first");
+    }
+}

@@ -1,0 +1,43 @@
+//! Benchmark mechanisms from the paper's evaluation (§VII-A).
+//!
+//! All three implement [`fl_auction::WdpSolver`], so they can be dropped
+//! into the `A_FL` outer enumeration (`run_auction_with`) or evaluated at a
+//! fixed horizon, exactly as Figs. 4–8 require:
+//!
+//! * [`FcfsBaseline`] — first-come-first-served by bid start time (paper's ref. \[21\]);
+//! * [`GreedyBaseline`] — static `b_ij/c_ij` ranking (paper's ref. \[20\]);
+//! * [`OnlineBaseline`] — posted-price online mechanism adapted from the paper's ref. \[17\].
+//!
+//! The baselines pay as bid (except `A_online`'s posted offers): the
+//! paper compares them on **social cost**, not on payments, and none of
+//! them has a truthful payment rule.
+//!
+//! # Example
+//!
+//! ```
+//! use fl_auction::{run_auction_with, AuctionConfig, Bid, ClientProfile, Instance, Round, Window};
+//! use fl_baselines::GreedyBaseline;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = AuctionConfig::builder().max_rounds(4).clients_per_round(1).build()?;
+//! let mut inst = Instance::new(cfg);
+//! for price in [3.0, 5.0] {
+//!     let c = inst.add_client(ClientProfile::new(2.0, 5.0)?);
+//!     inst.add_bid(c, Bid::new(price, 0.6, Window::new(Round(1), Round(4)), 4)?)?;
+//! }
+//! let outcome = run_auction_with(&inst, &GreedyBaseline::new())?;
+//! assert_eq!(outcome.social_cost(), 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fcfs;
+mod greedy;
+mod online;
+
+pub use fcfs::FcfsBaseline;
+pub use greedy::GreedyBaseline;
+pub use online::{unit_payment, OnlineBaseline};

@@ -1,0 +1,491 @@
+//! The `A_online` benchmark, adapted from Zhou et al. [17] the way the
+//! paper's evaluation describes it: *"A_online first calculates the unit
+//! payment of each global iteration based on a payment function. Then it
+//! selects the client with larger utility and schedules the client
+//! according to the best schedule that maximizes its utility."*
+//!
+//! [17] is an **online** mechanism: clients arrive one by one and the
+//! decision for each is immediate and irrevocable, driven by posted prices
+//! rather than by cost comparisons across clients. Our adaptation to this
+//! procurement setting keeps that character:
+//!
+//! * every round posts a unit payment that **decays exponentially with its
+//!   load** — early capacity is bought at up to `U_max` (the largest
+//!   qualified price) and the offer approaches `U_min` (the smallest price
+//!   per offered round) as the round fills:
+//!   `π_t(γ) = U_max·(U_min/U_max)^{γ/K}` for `γ < K`, else `0`;
+//! * clients are processed in **arrival order**; each picks, among its own
+//!   bids, the one whose utility-maximising schedule (highest-offer rounds
+//!   in the window) earns the most, and is admitted iff that utility is
+//!   non-negative — no comparison against other clients ever happens,
+//!   which is exactly why it overpays relative to `A_FL`;
+//! * if arrivals run out with rounds still understaffed, the server must
+//!   still deliver the job: a cheapest-average-cost backfill (paid as bid)
+//!   completes the quota. (An online platform would hit this as a "panic
+//!   re-solicitation" phase; we fold it in so every mechanism answers the
+//!   same feasibility question.)
+
+use fl_auction::{
+    representative_schedule, Coverage, Round, Wdp, WdpError, WdpSolution, WdpSolver, WinnerEntry,
+};
+
+/// Online posted-price WDP solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineBaseline;
+
+impl OnlineBaseline {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        OnlineBaseline
+    }
+}
+
+/// The exponential posted-payment function for one round.
+///
+/// `u_min`/`u_max` bound the per-round unit value of qualified bids; `gamma`
+/// is the round's current load out of `k`. Saturated rounds pay nothing.
+pub fn unit_payment(u_min: f64, u_max: f64, gamma: u32, k: u32) -> f64 {
+    if gamma >= k {
+        return 0.0;
+    }
+    if u_max <= 0.0 {
+        return 0.0;
+    }
+    let ratio = (u_min / u_max).max(f64::MIN_POSITIVE);
+    u_max * ratio.powf(f64::from(gamma) / f64::from(k))
+}
+
+impl WdpSolver for OnlineBaseline {
+    fn name(&self) -> &str {
+        "A_online"
+    }
+
+    fn solve_wdp(&self, wdp: &Wdp) -> Result<WdpSolution, WdpError> {
+        let k = wdp.demand_per_round();
+        let bids = wdp.bids();
+        let u_max = bids
+            .iter()
+            .map(|b| b.price)
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        let u_min = bids
+            .iter()
+            .map(|b| b.price / f64::from(b.rounds))
+            .min_by(f64::total_cmp)
+            .unwrap_or(0.0);
+
+        let mut cov = Coverage::new(wdp.horizon(), k);
+        let mut chosen_clients = std::collections::HashSet::new();
+        let mut taken = vec![false; bids.len()];
+        let mut winners = Vec::new();
+        let mut cost = 0.0;
+
+        // Phase 1: one pass over clients in arrival order. A client looks
+        // at the current posted prices, picks its best own bid, and is
+        // admitted on the spot iff it breaks even.
+        let mut clients_in_arrival: Vec<u32> = bids.iter().map(|b| b.bid_ref.client.0).collect();
+        clients_in_arrival.dedup();
+        for client in clients_in_arrival {
+            if cov.is_complete() {
+                break;
+            }
+            if chosen_clients.contains(&client) {
+                continue;
+            }
+            // The client's own best bid under today's prices.
+            let mut best: Option<(usize, Vec<Round>, f64, f64)> = None;
+            for (idx, qb) in bids.iter().enumerate() {
+                if qb.bid_ref.client.0 != client || taken[idx] {
+                    continue;
+                }
+                let (schedule, offer) = best_schedule_offer(&cov, qb, u_min, u_max, k);
+                if cov.gain(&schedule) == 0 {
+                    continue;
+                }
+                let utility = offer - qb.price;
+                if best.as_ref().is_none_or(|(_, _, bu, _)| utility > *bu) {
+                    best = Some((idx, schedule, utility, offer));
+                }
+            }
+            let Some((idx, schedule, utility, offer)) = best else {
+                continue;
+            };
+            if utility < 0.0 {
+                continue; // the client walks away
+            }
+            let qb = &bids[idx];
+            cov.add(&schedule);
+            taken[idx] = true;
+            chosen_clients.insert(client);
+            cost += qb.price;
+            winners.push(WinnerEntry {
+                bid_ref: qb.bid_ref,
+                price: qb.price,
+                payment: offer,
+                schedule,
+            });
+        }
+
+        // Phase 2: quota backfill with the cheapest remaining average
+        // cost. Lazy-greedy: average costs only grow as coverage fills, so
+        // a stale heap entry is a lower bound and a fresh top is the exact
+        // minimum (same argument as `A_winner`'s queue). Ties break toward
+        // the smaller bid index, matching the plain scan.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(OrderedAvg, usize, u64)>> =
+            std::collections::BinaryHeap::new();
+        let mut stamp = 0u64;
+        for (idx, qb) in bids.iter().enumerate() {
+            if taken[idx] || chosen_clients.contains(&qb.bid_ref.client.0) {
+                continue;
+            }
+            let schedule = representative_schedule(&cov, qb.window, qb.rounds);
+            let gain = cov.gain(&schedule);
+            if gain > 0 {
+                heap.push(std::cmp::Reverse((
+                    OrderedAvg(qb.price / f64::from(gain)),
+                    idx,
+                    stamp,
+                )));
+            }
+        }
+        while !cov.is_complete() {
+            let winner = loop {
+                let Some(std::cmp::Reverse((_, idx, entry_stamp))) = heap.pop() else {
+                    return Err(WdpError::Infeasible);
+                };
+                if taken[idx] || chosen_clients.contains(&bids[idx].bid_ref.client.0) {
+                    continue;
+                }
+                if entry_stamp == stamp {
+                    break idx;
+                }
+                let qb = &bids[idx];
+                let schedule = representative_schedule(&cov, qb.window, qb.rounds);
+                let gain = cov.gain(&schedule);
+                if gain > 0 {
+                    heap.push(std::cmp::Reverse((
+                        OrderedAvg(qb.price / f64::from(gain)),
+                        idx,
+                        stamp,
+                    )));
+                }
+            };
+            let qb = &bids[winner];
+            let schedule = representative_schedule(&cov, qb.window, qb.rounds);
+            cov.add(&schedule);
+            taken[winner] = true;
+            chosen_clients.insert(qb.bid_ref.client.0);
+            cost += qb.price;
+            winners.push(WinnerEntry {
+                bid_ref: qb.bid_ref,
+                price: qb.price,
+                payment: qb.price,
+                schedule,
+            });
+            stamp += 1;
+        }
+        Ok(WdpSolution::new(wdp.horizon(), winners, cost, None))
+    }
+}
+
+/// Total-ordered f64 key for the backfill heap (averages are never NaN:
+/// prices are finite and gains ≥ 1).
+#[derive(PartialEq)]
+struct OrderedAvg(f64);
+
+impl Eq for OrderedAvg {}
+impl PartialOrd for OrderedAvg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedAvg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The client-optimal schedule under posted prices: the `c` rounds of the
+/// window with the highest current offers, plus the total offer.
+fn best_schedule_offer(
+    cov: &Coverage,
+    qb: &fl_auction::QualifiedBid,
+    u_min: f64,
+    u_max: f64,
+    k: u32,
+) -> (Vec<Round>, f64) {
+    let mut rounds: Vec<(f64, Round)> = qb
+        .window
+        .rounds()
+        .map(|t| (unit_payment(u_min, u_max, cov.load(t), k), t))
+        .collect();
+    rounds.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1 .0.cmp(&b.1 .0)));
+    rounds.truncate(qb.rounds as usize);
+    let offer = rounds.iter().map(|(p, _)| *p).sum();
+    let mut schedule: Vec<Round> = rounds.into_iter().map(|(_, t)| t).collect();
+    schedule.sort_by_key(|t| t.0);
+    (schedule, offer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_auction::{BidRef, ClientId, QualifiedBid, Window};
+
+    fn qb(client: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+        QualifiedBid {
+            bid_ref: BidRef::new(ClientId(client), 0),
+            price,
+            accuracy: 0.5,
+            window: Window::new(Round(a), Round(d)),
+            rounds: c,
+            round_time: 1.0,
+        }
+    }
+
+    #[test]
+    fn unit_payment_decays_with_load() {
+        let k = 4;
+        let p0 = unit_payment(1.0, 16.0, 0, k);
+        let p1 = unit_payment(1.0, 16.0, 1, k);
+        let p3 = unit_payment(1.0, 16.0, 3, k);
+        assert_eq!(p0, 16.0);
+        assert!(p1 < p0 && p3 < p1);
+        assert_eq!(unit_payment(1.0, 16.0, 4, k), 0.0, "saturated rounds pay nothing");
+        // Exact decay: 16·(1/16)^(γ/4) = 16·2^(−γ).
+        assert!((p1 - 8.0).abs() < 1e-9);
+        assert!((p3 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_payment_degenerate_bounds() {
+        assert_eq!(unit_payment(0.0, 0.0, 0, 2), 0.0);
+        assert!(unit_payment(0.0, 4.0, 1, 2) >= 0.0);
+    }
+
+    #[test]
+    fn arrival_order_admits_the_early_expensive_client() {
+        // Client 0 arrives first, breaks even at the opening offer and is
+        // admitted although client 1 is far cheaper — the online regret
+        // A_FL does not have.
+        let wdp = Wdp::new(2, 1, vec![qb(0, 10.0, 1, 2, 2), qb(1, 2.0, 1, 2, 2)]);
+        let sol = OnlineBaseline::new().solve_wdp(&wdp).unwrap();
+        assert_eq!(sol.winners()[0].bid_ref.client, ClientId(0));
+        assert_eq!(sol.cost(), 10.0);
+    }
+
+    #[test]
+    fn clients_pick_their_own_best_bid() {
+        // Client 0's second bid earns it more at the posted prices.
+        let mut b0 = qb(0, 8.0, 1, 1, 1);
+        b0.bid_ref = BidRef::new(ClientId(0), 0);
+        let mut b1 = qb(0, 2.0, 1, 2, 2);
+        b1.bid_ref = BidRef::new(ClientId(0), 1);
+        let wdp = Wdp::new(2, 1, vec![b0, b1, qb(1, 5.0, 1, 2, 2)]);
+        let sol = OnlineBaseline::new().solve_wdp(&wdp).unwrap();
+        let w0 = sol.winners().iter().find(|w| w.bid_ref.client == ClientId(0)).unwrap();
+        assert_eq!(w0.bid_ref.bid, 1, "the wider cheap bid has higher utility");
+    }
+
+    #[test]
+    fn walkaways_are_backfilled() {
+        // Only client: its price exceeds any offer once u_max is small...
+        // construct: two clients, the second one's price far above u_max
+        // cannot happen (u_max = max price), so force walk-away via
+        // saturated offers: client 0 fills round 1; client 1's window is
+        // only round 1 → offer 0 < price → walks; backfill must then fail
+        // (no capacity) for round 2 → infeasible.
+        let wdp = Wdp::new(2, 1, vec![qb(0, 1.0, 1, 1, 1), qb(1, 5.0, 1, 1, 1)]);
+        assert_eq!(OnlineBaseline::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let wdp = Wdp::new(2, 2, vec![qb(0, 1.0, 1, 2, 2)]);
+        assert_eq!(OnlineBaseline::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+    }
+
+    #[test]
+    fn output_is_feasible_on_mixed_instance() {
+        let wdp = Wdp::new(
+            4,
+            2,
+            vec![
+                qb(0, 3.0, 1, 4, 4),
+                qb(1, 4.0, 1, 4, 3),
+                qb(2, 5.0, 2, 4, 2),
+                qb(3, 2.0, 1, 2, 2),
+                qb(4, 6.0, 1, 4, 4),
+                qb(5, 9.0, 3, 4, 2),
+            ],
+        );
+        let sol = OnlineBaseline::new().solve_wdp(&wdp).unwrap();
+        assert!(fl_auction::verify::wdp_violations(&wdp, &sol).is_empty());
+    }
+
+    #[test]
+    fn phase1_payments_cover_prices() {
+        let wdp = Wdp::new(3, 1, vec![qb(0, 2.0, 1, 3, 3), qb(1, 50.0, 1, 3, 3)]);
+        let sol = OnlineBaseline::new().solve_wdp(&wdp).unwrap();
+        let w = &sol.winners()[0];
+        assert!(w.payment >= w.price - 1e-9);
+    }
+
+    /// The lazy backfill must match a naive full-scan backfill exactly.
+    #[test]
+    fn lazy_backfill_matches_naive_reference() {
+        // Reference: same algorithm with the backfill done by full scans.
+        fn reference(wdp: &Wdp) -> Result<Vec<(u32, f64)>, WdpError> {
+            let sol = OnlineBaseline::new().solve_wdp(wdp)?;
+            // Recompute independently: replay phase 1 + naive phase 2.
+            let k = wdp.demand_per_round();
+            let bids = wdp.bids();
+            let u_max = bids.iter().map(|b| b.price).max_by(f64::total_cmp).unwrap_or(0.0);
+            let u_min = bids
+                .iter()
+                .map(|b| b.price / f64::from(b.rounds))
+                .min_by(f64::total_cmp)
+                .unwrap_or(0.0);
+            let mut cov = Coverage::new(wdp.horizon(), k);
+            let mut chosen = std::collections::HashSet::new();
+            let mut taken = vec![false; bids.len()];
+            let mut picks = Vec::new();
+            let mut clients: Vec<u32> = bids.iter().map(|b| b.bid_ref.client.0).collect();
+            clients.dedup();
+            for client in clients {
+                if cov.is_complete() {
+                    break;
+                }
+                if chosen.contains(&client) {
+                    continue;
+                }
+                let mut best: Option<(usize, Vec<Round>, f64)> = None;
+                for (idx, qb) in bids.iter().enumerate() {
+                    if qb.bid_ref.client.0 != client || taken[idx] {
+                        continue;
+                    }
+                    let (schedule, offer) = best_schedule_offer(&cov, qb, u_min, u_max, k);
+                    if cov.gain(&schedule) == 0 {
+                        continue;
+                    }
+                    let utility = offer - qb.price;
+                    if best.as_ref().is_none_or(|(_, _, bu)| utility > *bu) {
+                        best = Some((idx, schedule, utility));
+                    }
+                }
+                if let Some((idx, schedule, utility)) = best {
+                    if utility >= 0.0 {
+                        cov.add(&schedule);
+                        taken[idx] = true;
+                        chosen.insert(client);
+                        picks.push((bids[idx].bid_ref.client.0, bids[idx].price));
+                    }
+                }
+            }
+            while !cov.is_complete() {
+                let mut best: Option<(usize, f64)> = None;
+                for (idx, qb) in bids.iter().enumerate() {
+                    if taken[idx] || chosen.contains(&qb.bid_ref.client.0) {
+                        continue;
+                    }
+                    let schedule = representative_schedule(&cov, qb.window, qb.rounds);
+                    let gain = cov.gain(&schedule);
+                    if gain == 0 {
+                        continue;
+                    }
+                    let avg = qb.price / f64::from(gain);
+                    if best.is_none_or(|(_, b)| avg < b) {
+                        best = Some((idx, avg));
+                    }
+                }
+                let Some((idx, _)) = best else {
+                    return Err(WdpError::Infeasible);
+                };
+                let qb = &bids[idx];
+                let schedule = representative_schedule(&cov, qb.window, qb.rounds);
+                cov.add(&schedule);
+                taken[idx] = true;
+                chosen.insert(qb.bid_ref.client.0);
+                picks.push((qb.bid_ref.client.0, qb.price));
+            }
+            let got: Vec<(u32, f64)> = sol
+                .winners()
+                .iter()
+                .map(|w| (w.bid_ref.client.0, w.price))
+                .collect();
+            assert_eq!(got, picks, "winner sequences diverged");
+            Ok(picks)
+        }
+
+        let mut state = 0x0411e5u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut checked = 0;
+        for _ in 0..25 {
+            let h = 3 + (next() % 5) as u32;
+            let kk = 1 + (next() % 2) as u32;
+            let n = 8 + (next() % 10) as usize;
+            let bids: Vec<QualifiedBid> = (0..n)
+                .map(|i| {
+                    let a = 1 + (next() % u64::from(h)) as u32;
+                    let d = a + (next() % u64::from(h - a + 1)) as u32;
+                    let c = 1 + (next() % u64::from(d - a + 1)) as u32;
+                    let mut q = qb(i as u32, 1.0 + (next() % 30) as f64, a, d, c);
+                    q.bid_ref = BidRef::new(ClientId((i / 2) as u32), (i % 2) as u32);
+                    q
+                })
+                .collect();
+            let wdp = Wdp::new(h, kk, bids);
+            if reference(&wdp).is_ok() {
+                checked += 1;
+            }
+        }
+        assert!(checked > 5, "too few feasible cases ({checked})");
+    }
+
+    #[test]
+    fn costs_at_least_afl_on_average() {
+        // Statistical: over seeded random WDPs, the online mechanism's
+        // cost is (weakly) above A_winner's.
+        use fl_auction::AWinner;
+        let mut state = 0x5a5a5a5au64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut online_total = 0.0;
+        let mut afl_total = 0.0;
+        let mut n = 0;
+        for _ in 0..30 {
+            let h = 4 + (next() % 4) as u32;
+            let bids: Vec<QualifiedBid> = (0..12)
+                .map(|i| {
+                    let a = 1 + (next() % u64::from(h)) as u32;
+                    let d = a + (next() % u64::from(h - a + 1)) as u32;
+                    let c = 1 + (next() % u64::from(d - a + 1)) as u32;
+                    qb(i, 1.0 + (next() % 40) as f64, a, d, c)
+                })
+                .collect();
+            let wdp = Wdp::new(h, 2, bids);
+            if let (Ok(o), Ok(a)) = (
+                OnlineBaseline::new().solve_wdp(&wdp),
+                AWinner::new().without_certificate().solve_wdp(&wdp),
+            ) {
+                online_total += o.cost();
+                afl_total += a.cost();
+                n += 1;
+            }
+        }
+        assert!(n > 10, "need enough feasible samples");
+        assert!(
+            online_total >= afl_total,
+            "online ({online_total}) should aggregate above A_winner ({afl_total})"
+        );
+    }
+}

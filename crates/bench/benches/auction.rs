@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the full `A_FL` mechanism (outer enumeration +
+//! greedy WDPs + payments) — the programmatic counterpart of Fig. 8's
+//! `A_FL` curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fl_bench::Algo;
+use fl_workload::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_afl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a_fl_full_auction");
+    group.sample_size(10);
+    for &clients in &[200usize, 500, 1000] {
+        let inst = WorkloadSpec::paper_default()
+            .with_clients(clients)
+            .generate(1)
+            .expect("paper spec is valid");
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {
+            b.iter(|| Algo::Afl.run(black_box(inst)).map(|o| o.social_cost()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("baselines_full_auction_I500");
+    group.sample_size(10);
+    let inst = WorkloadSpec::paper_default()
+        .with_clients(500)
+        .generate(1)
+        .expect("paper spec is valid");
+    for algo in [Algo::Greedy, Algo::Fcfs] {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| algo.run(black_box(&inst)).map(|o| o.social_cost()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_afl);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the exact substrate: branch-and-bound winner
+//! determination, the LP relaxations, and the max-flow feasibility check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fl_auction::WdpSolver;
+use fl_bench::gen_prequalified_wdp;
+use fl_exact::{colgen, relax, ExactSolver, RefineSolver};
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_bnb");
+    group.sample_size(10);
+    for &(clients, j, horizon) in &[(12u32, 2u32, 6u32), (20, 3, 8), (30, 3, 10)] {
+        let wdp = gen_prequalified_wdp(11, clients, j, horizon, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("I{clients}_J{j}_T{horizon}")),
+            &wdp,
+            |b, wdp| b.iter(|| ExactSolver::new().solve_wdp(black_box(wdp)).map(|s| s.cost())),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lp_relaxations");
+    group.sample_size(10);
+    let wdp = gen_prequalified_wdp(11, 20, 3, 8, 2);
+    group.bench_function("schedule_lp", |b| {
+        b.iter(|| relax::schedule_lp_bound(black_box(&wdp)))
+    });
+    group.bench_function("window_capacity", |b| {
+        b.iter(|| relax::window_capacity_bound(black_box(&wdp)))
+    });
+    group.bench_function("column_generation_lp7", |b| {
+        b.iter(|| colgen::solve_lp7(black_box(&wdp)).map(|r| r.objective))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("refine");
+    group.sample_size(10);
+    let wdp = gen_prequalified_wdp(11, 40, 3, 10, 3);
+    group.bench_function("drop_and_repair_I40", |b| {
+        b.iter(|| RefineSolver::new().solve_wdp(black_box(&wdp)).map(|s| s.cost()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmarks for the `A_online` benchmark — the other curve of
+//! Fig. 8 (the paper reports `A_FL` consistently faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fl_bench::Algo;
+use fl_workload::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_online(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a_online_full_auction");
+    group.sample_size(10);
+    for &clients in &[200usize, 500, 1000] {
+        let inst = WorkloadSpec::paper_default()
+            .with_clients(clients)
+            .generate(1)
+            .expect("paper spec is valid");
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {
+            b.iter(|| Algo::Online.run(black_box(inst)).map(|o| o.social_cost()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the federated-learning simulator substrate:
+//! local training to a target accuracy and a full FedAvg job over an
+//! auctioned schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fl_auction::{run_auction, AuctionConfig};
+use fl_sim::{DatasetSpec, Federation, FlJob, LinearModel, LocalTrainer};
+use fl_workload::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_training");
+    group.sample_size(20);
+    let fed = Federation::generate(
+        &DatasetSpec {
+            dim: 10,
+            samples_per_client: 100,
+            ..DatasetSpec::default()
+        },
+        1,
+        3,
+    );
+    let start = LinearModel::zeros(11);
+    for &theta in &[0.8f64, 0.5, 0.3] {
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &theta| {
+            b.iter(|| {
+                LocalTrainer::default().train(black_box(&start), black_box(&fed.shards[0]), theta)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fedavg_job");
+    group.sample_size(10);
+    let spec = WorkloadSpec::paper_default()
+        .with_clients(120)
+        .with_bids_per_client(3)
+        .with_config(
+            AuctionConfig::builder()
+                .max_rounds(12)
+                .clients_per_round(3)
+                .round_time_limit(60.0)
+                .build()
+                .expect("valid config"),
+        );
+    let inst = spec.generate(5).expect("valid spec");
+    let outcome = run_auction(&inst).expect("feasible");
+    let federation = Federation::generate(&DatasetSpec::default(), inst.num_clients(), 9);
+    group.bench_function("auctioned_schedule", |b| {
+        b.iter(|| {
+            FlJob::new(0.3).run(
+                black_box(&inst),
+                black_box(&outcome),
+                black_box(&federation),
+                0,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for `A_winner` (single WDP solves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fl_auction::{AWinner, WdpSolver};
+use fl_bench::gen_prequalified_wdp;
+use std::hint::black_box;
+
+fn bench_winner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a_winner");
+    group.sample_size(20);
+    for &(clients, j, horizon, k) in &[(100u32, 3u32, 10u32, 3u32), (500, 5, 20, 10), (1000, 5, 30, 20)] {
+        let wdp = gen_prequalified_wdp(7, clients, j, horizon, k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("I{clients}_J{j}_T{horizon}_K{k}")),
+            &wdp,
+            |b, wdp| {
+                b.iter(|| {
+                    AWinner::new()
+                        .without_certificate()
+                        .solve_wdp(black_box(wdp))
+                        .map(|s| s.cost())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // The certificate post-pass cost, isolated.
+    let mut group = c.benchmark_group("a_winner_certificate");
+    group.sample_size(20);
+    let wdp = gen_prequalified_wdp(7, 500, 5, 20, 10);
+    group.bench_function("with_certificate", |b| {
+        b.iter(|| AWinner::new().solve_wdp(black_box(&wdp)).map(|s| s.cost()))
+    });
+    group.bench_function("without_certificate", |b| {
+        b.iter(|| {
+            AWinner::new()
+                .without_certificate()
+                .solve_wdp(black_box(&wdp))
+                .map(|s| s.cost())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_winner);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation A5 (extension) — buying robustness against dropout.
+//!
+//! The paper's future work (§VIII) worries about clients dropping out
+//! mid-job. The auction offers a lever the paper doesn't explore: *buy
+//! more than you need*. This experiment fixes the model's true requirement
+//! at `K_need` participants per round, lets the server procure
+//! `K_buy ≥ K_need`, injects dropout, and measures what the extra spend
+//! actually buys: the fraction of rounds that still meet `K_need` and the
+//! convergence round.
+
+use fl_auction::AuctionConfig;
+use fl_bench::{results_dir, Algo, Table};
+use fl_sim::{DatasetSpec, DropoutModel, Federation, FlJob};
+use fl_workload::WorkloadSpec;
+
+fn main() {
+    let k_need = 5u32;
+    let dropout = 0.3;
+    let seeds: [u64; 3] = [1, 2, 3];
+    let mut table = Table::new([
+        "K_buy",
+        "mean cost",
+        "rounds meeting K_need (%)",
+        "mean convergence round",
+    ]);
+    println!(
+        "Ablation A5: over-provisioning vs {:.0}% dropout (K_need = {k_need}, {} seeds)",
+        dropout * 100.0,
+        seeds.len()
+    );
+    for k_buy in [5u32, 7, 10, 15] {
+        let mut costs = Vec::new();
+        let mut met = 0usize;
+        let mut total_rounds = 0usize;
+        let mut convergence = Vec::new();
+        for &seed in &seeds {
+            let spec = WorkloadSpec::paper_default()
+                .with_clients(400)
+                .with_bids_per_client(4)
+                .with_config(
+                    AuctionConfig::builder()
+                        .max_rounds(16)
+                        .clients_per_round(k_buy)
+                        .round_time_limit(60.0)
+                        .build()
+                        .expect("valid config"),
+                );
+            let Ok(inst) = spec.generate(seed) else { continue };
+            let Ok(outcome) = Algo::Afl.run(&inst) else { continue };
+            costs.push(outcome.social_cost());
+            let federation = Federation::generate(&DatasetSpec::default(), inst.num_clients(), seed);
+            let report = FlJob::new(0.3)
+                .with_dropout(DropoutModel::new(dropout))
+                .run(&inst, &outcome, &federation, seed);
+            for r in &report.rounds {
+                total_rounds += 1;
+                if r.participants.len() as u32 >= k_need {
+                    met += 1;
+                }
+            }
+            if let Some(t) = report.reached_at {
+                convergence.push(f64::from(t));
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        table.push_row([
+            k_buy.to_string(),
+            format!("{:.1}", mean(&costs)),
+            format!("{:.1}", 100.0 * met as f64 / total_rounds.max(1) as f64),
+            if convergence.is_empty() {
+                "never".into()
+            } else {
+                format!("{:.1}", mean(&convergence))
+            },
+        ]);
+    }
+    print!("{}", table.render());
+    match table.write_csv(results_dir(), "ablation_overprovision") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

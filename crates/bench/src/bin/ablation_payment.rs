@@ -1,0 +1,154 @@
+//! Ablation A4 — payment rules and actual truthfulness.
+//!
+//! Sweeps price misreports on small fixed-horizon WDPs and reports, per
+//! payment rule, how often lying beats truth-telling and by how much:
+//!
+//! * **paper critical value** (Alg. 3) — truthful per-iteration, but a bid
+//!   priced above its iteration payment can re-win later, and a
+//!   competitor-less winner is paid its own bid, so profitable *overbids*
+//!   exist (Lemma 2's "will fail otherwise" is optimistic);
+//! * **pay-as-bid** — overbidding is directly profitable whenever the bid
+//!   still wins;
+//! * **exact Myerson threshold** (`fl_auction::truthful`) — payment is the
+//!   bisection-located price at which the bid stops winning; utility is
+//!   claim-independent while winning, so no profitable misreport exists
+//!   (up to the monopoly cap);
+//! * **VCG on the exact allocation** (`fl_exact::vcg`) — Clarke-pivot
+//!   externality payments; dominant-strategy truthful by construction.
+//!
+//! Underbidding never helps any rule (the allocation is price-monotone,
+//! Lemma 1) — also verified here.
+
+use fl_auction::truthful::myerson_payment;
+use fl_auction::{AWinner, BidRef, PaymentRule, Wdp, WdpSolver};
+use fl_bench::{gen_prequalified_wdp, results_dir, Table};
+use fl_exact::{vcg, ExactSolver};
+
+const CAP: f64 = 500.0;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Rule {
+    Paper,
+    PayAsBid,
+    Myerson,
+    Vcg,
+}
+
+/// **Client-level** utility when the WDP runs with (possibly misreported)
+/// prices: if any of the client's bids wins, its payment minus the *true*
+/// cost of that bid (looked up in `true_prices`, indexed like
+/// `wdp.bids()`); otherwise 0. Client-level accounting matters: a client
+/// holding several bids can "win via the other bid" after a misreport,
+/// which per-bid accounting would misread as a utility jump.
+fn utility(wdp: &Wdp, client: fl_auction::ClientId, true_prices: &[f64], rule: Rule) -> f64 {
+    let true_cost_of = |r: BidRef| -> f64 {
+        wdp.bids()
+            .iter()
+            .position(|b| b.bid_ref == r)
+            .map(|i| true_prices[i])
+            .expect("winner is a qualified bid")
+    };
+    if rule == Rule::Vcg {
+        return match vcg(wdp, &ExactSolver::new(), CAP) {
+            Ok(out) => out
+                .solution
+                .winners()
+                .iter()
+                .find(|w| w.bid_ref.client == client)
+                .map_or(0.0, |w| w.payment - true_cost_of(w.bid_ref)),
+            Err(_) => 0.0,
+        };
+    }
+    let solver = match rule {
+        Rule::PayAsBid => AWinner::new().with_payment_rule(PaymentRule::PayAsBid),
+        _ => AWinner::new(),
+    }
+    .without_certificate();
+    let Ok(sol) = solver.solve_wdp(wdp) else { return 0.0 };
+    let Some(w) = sol.winners().iter().find(|w| w.bid_ref.client == client) else {
+        return 0.0;
+    };
+    let payment = match rule {
+        Rule::Myerson => {
+            myerson_payment(wdp, w.bid_ref, CAP, 1e-7).expect("winner has a threshold")
+        }
+        _ => w.payment,
+    };
+    payment - true_cost_of(w.bid_ref)
+}
+
+fn reprice(wdp: &Wdp, bid: BidRef, price: f64) -> Wdp {
+    let mut bids = wdp.bids().to_vec();
+    for b in bids.iter_mut() {
+        if b.bid_ref == bid {
+            b.price = price;
+        }
+    }
+    Wdp::new(wdp.horizon(), wdp.demand_per_round(), bids)
+}
+
+fn main() {
+    let seeds: Vec<u64> = (0..8).collect();
+    let factors = [0.5, 0.8, 1.2, 1.5, 2.5];
+    // Two client populations: single-bid clients are single-parameter
+    // agents (threshold payments apply cleanly); multi-bid clients are
+    // multi-parameter (a client can steer which of its own bids wins),
+    // where per-bid threshold payments lose their guarantee.
+    for (label, clients, j, file) in [
+        ("single-bid clients (J=1)", 16u32, 1u32, "ablation_payment_j1"),
+        ("multi-bid clients (J=2)", 10, 2, "ablation_payment"),
+    ] {
+        let mut table = Table::new([
+            "rule",
+            "profitable overbids",
+            "profitable underbids",
+            "max gain",
+            "cases",
+        ]);
+        println!("Ablation A4 [{label}]: misreport search (I={clients}, T_g=5, K=2)");
+        for (name, rule) in [
+            ("paper critical value", Rule::Paper),
+            ("pay-as-bid", Rule::PayAsBid),
+            ("exact Myerson", Rule::Myerson),
+            ("VCG (exact allocation)", Rule::Vcg),
+        ] {
+            let mut over = 0usize;
+            let mut under = 0usize;
+            let mut cases = 0usize;
+            let mut max_gain: f64 = 0.0;
+            for &seed in &seeds {
+                let wdp = gen_prequalified_wdp(seed, clients, j, 5, 2);
+                let true_prices: Vec<f64> = wdp.bids().iter().map(|b| b.price).collect();
+                for qb in wdp.bids() {
+                    let truth = qb.price;
+                    let honest = utility(&wdp, qb.bid_ref.client, &true_prices, rule);
+                    for f in factors {
+                        let lied = reprice(&wdp, qb.bid_ref, truth * f);
+                        let u = utility(&lied, qb.bid_ref.client, &true_prices, rule);
+                        cases += 1;
+                        if u > honest + 1e-5 {
+                            if f > 1.0 {
+                                over += 1;
+                            } else {
+                                under += 1;
+                            }
+                            max_gain = max_gain.max(u - honest);
+                        }
+                    }
+                }
+            }
+            table.push_row([
+                name.to_string(),
+                over.to_string(),
+                under.to_string(),
+                format!("{max_gain:.2}"),
+                cases.to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+        match table.write_csv(results_dir(), file) {
+            Ok(p) => println!("wrote {}\n", p.display()),
+            Err(e) => eprintln!("could not write CSV: {e}"),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation A1 — representative-schedule policy inside `A_winner`.
+//!
+//! The paper schedules each candidate bid on its *least-loaded* rounds
+//! (which maximises the marginal utility `R_il(S)`). This ablation swaps
+//! in an earliest-rounds policy and measures the damage: higher cost and,
+//! on tight instances, outright infeasibility (the earliest rounds
+//! saturate and later rounds starve).
+
+use fl_auction::{run_auction_with, AWinner, SchedulePolicy};
+use fl_bench::{results_dir, Summary, Table};
+use fl_workload::WorkloadSpec;
+
+fn main() {
+    let seeds: Vec<u64> = (1..=5).collect();
+    let spec = WorkloadSpec::paper_default().with_clients(500);
+
+    let mut table = Table::new(["policy", "mean cost", "feasible runs"]);
+    println!("Ablation A1: schedule policy inside A_winner (I=500, {} seeds)", seeds.len());
+    for (name, policy) in [
+        ("least-loaded (paper)", SchedulePolicy::LeastLoaded),
+        ("earliest", SchedulePolicy::Earliest),
+    ] {
+        let solver = AWinner::new().with_policy(policy).without_certificate();
+        let mut costs = Vec::new();
+        let mut feasible = 0usize;
+        for &seed in &seeds {
+            let inst = spec.generate(seed).expect("paper spec is valid");
+            if let Ok(out) = run_auction_with(&inst, &solver) {
+                costs.push(out.social_cost());
+                feasible += 1;
+            }
+        }
+        table.push_row([
+            name.to_string(),
+            if costs.is_empty() {
+                "n/a".into()
+            } else {
+                format!("{:.1}", Summary::of(&costs).mean)
+            },
+            format!("{feasible}/{}", seeds.len()),
+        ]);
+    }
+    print!("{}", table.render());
+    match table.write_csv(results_dir(), "ablation_schedule") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig. 3 — performance ratio of `A_winner` under different numbers of
+//! global iterations `T̂_g` and bids per client `J`.
+//!
+//! Paper setting: all bids pre-qualified (constraints (6b)/(6d) assumed
+//! satisfied); ratio = `A_winner` cost / optimal cost. The paper reports
+//! ratios < 1.3, decreasing in `J` and increasing in `T̂_g`.
+//!
+//! Scale note: the optimum comes from our branch-and-bound, so the sweep
+//! runs at `I = 20`, `K = 3` (the paper used MATLAB's ILP solver; see
+//! DESIGN.md substitutions). Pass `--full` for a wider sweep.
+
+use fl_auction::{AWinner, WdpSolver};
+use fl_bench::{gen_prequalified_wdp, results_dir, Summary, Table};
+use fl_exact::ExactSolver;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let horizons: Vec<u32> = if full {
+        vec![4, 6, 8, 10, 12, 14]
+    } else {
+        vec![4, 6, 8, 10, 12]
+    };
+    let js: Vec<u32> = vec![2, 3, 4];
+    let seeds: Vec<u64> = if full { (0..20).collect() } else { (0..10).collect() };
+    let (clients, k) = (30u32, 3u32);
+
+    let mut table = Table::new(
+        std::iter::once("T_g".to_string()).chain(js.iter().map(|j| format!("ratio(J={j})"))),
+    );
+    println!("Fig. 3: A_winner performance ratio (I={clients}, K={k}, {} seeds)", seeds.len());
+    for &h in &horizons {
+        let mut row = vec![h.to_string()];
+        for &j in &js {
+            if 2 * j > h {
+                row.push("—".into());
+                continue;
+            }
+            let mut ratios = Vec::new();
+            let mut skipped = 0usize;
+            for &seed in &seeds {
+                let wdp = gen_prequalified_wdp(seed * 1000 + u64::from(h) * 10 + u64::from(j), clients, j, h, k);
+                let greedy = AWinner::new().solve_wdp(&wdp);
+                let opt = ExactSolver::new().with_node_budget(2_000_000).solve_wdp(&wdp);
+                match (greedy, opt) {
+                    (Ok(g), Ok(o)) if o.cost() > 0.0 => ratios.push(g.cost() / o.cost()),
+                    _ => skipped += 1,
+                }
+            }
+            if ratios.is_empty() {
+                row.push(format!("n/a ({skipped} skipped)"));
+            } else {
+                let s = Summary::of(&ratios);
+                row.push(format!("{:.3}", s.mean));
+            }
+        }
+        table.push_row(row);
+    }
+    print!("{}", table.render());
+    match table.write_csv(results_dir(), "fig3") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig. 4 — performance ratio of `A_FL` and the three benchmarks under
+//! different numbers of clients `I` and bids per client `J`.
+//!
+//! Ratio = algorithm's social cost / exact optimum's social cost, with the
+//! full outer `T̂_g` enumeration on both sides. The paper reports `A_FL`'s
+//! ratio as the smallest and largely insensitive to `I` and `J`.
+//!
+//! Scale note: the optimum is branch-and-bound, so this runs at `T = 10`,
+//! `K = 2` with tens of clients (see DESIGN.md substitutions).
+
+use fl_auction::{run_auction_with, AuctionConfig};
+use fl_bench::{results_dir, Algo, Summary, Table};
+use fl_exact::ExactSolver;
+use fl_workload::WorkloadSpec;
+
+fn spec(i: usize, j: u32) -> WorkloadSpec {
+    WorkloadSpec::paper_default()
+        .with_clients(i)
+        .with_bids_per_client(j)
+        .with_config(
+            AuctionConfig::builder()
+                .max_rounds(10)
+                .clients_per_round(2)
+                .round_time_limit(60.0)
+                .build()
+                .expect("static config is valid"),
+        )
+}
+
+fn ratios_for(spec: &WorkloadSpec, seeds: &[u64]) -> Vec<(Algo, Option<Summary>)> {
+    let opt_solver = ExactSolver::new().with_node_budget(2_000_000);
+    let mut per_algo: Vec<(Algo, Vec<f64>)> = Algo::ALL.iter().map(|&a| (a, Vec::new())).collect();
+    for &seed in seeds {
+        let Ok(inst) = spec.generate(seed) else { continue };
+        let Ok(opt) = run_auction_with(&inst, &opt_solver) else {
+            continue;
+        };
+        if opt.social_cost() <= 0.0 {
+            continue;
+        }
+        for (algo, ratios) in per_algo.iter_mut() {
+            if let Ok(out) = algo.run(&inst) {
+                ratios.push(out.social_cost() / opt.social_cost());
+            }
+        }
+    }
+    per_algo
+        .into_iter()
+        .map(|(a, r)| (a, if r.is_empty() { None } else { Some(Summary::of(&r)) }))
+        .collect()
+}
+
+fn sweep(label: &str, specs: Vec<(String, WorkloadSpec)>, seeds: &[u64]) -> Table {
+    let mut table = Table::new(
+        std::iter::once(label.to_string()).chain(Algo::ALL.iter().map(|a| a.name().to_string())),
+    );
+    for (x, s) in specs {
+        let mut row = vec![x];
+        for (_, summary) in ratios_for(&s, seeds) {
+            row.push(match summary {
+                Some(s) => format!("{:.3}", s.mean),
+                None => "n/a".into(),
+            });
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let seeds: Vec<u64> = if full { (0..10).collect() } else { (0..5).collect() };
+
+    println!("Fig. 4a: performance ratio vs number of clients I (J=3, T=10, K=2)");
+    let i_values: Vec<usize> = if full { vec![10, 20, 30, 40, 50] } else { vec![10, 20, 30] };
+    let t1 = sweep(
+        "I",
+        i_values
+            .iter()
+            .map(|&i| (i.to_string(), spec(i, 3)))
+            .collect(),
+        &seeds,
+    );
+    print!("{}", t1.render());
+    t1.write_csv(results_dir(), "fig4_clients").map(|p| println!("wrote {}", p.display())).ok();
+
+    println!("\nFig. 4b: performance ratio vs bids per client J (I=20, T=10, K=2)");
+    let j_values: Vec<u32> = if full { vec![1, 2, 3, 4, 5] } else { vec![1, 2, 3, 4] };
+    let t2 = sweep(
+        "J",
+        j_values
+            .iter()
+            .map(|&j| (j.to_string(), spec(20, j)))
+            .collect(),
+        &seeds,
+    );
+    print!("{}", t2.render());
+    t2.write_csv(results_dir(), "fig4_bids").map(|p| println!("wrote {}", p.display())).ok();
+}

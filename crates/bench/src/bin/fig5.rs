@@ -1,0 +1,51 @@
+//! Fig. 5 — social cost under different numbers of clients `I`.
+//!
+//! Paper defaults (`J = 5`, `T = 50`, `K = 20`); the paper reports `A_FL`
+//! lowest everywhere, with its cost falling slightly as `I` grows (more
+//! clients → higher probability of cheap bids).
+
+use fl_bench::{par_map, results_dir, Algo, Summary, Table};
+use fl_workload::WorkloadSpec;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let i_values: Vec<usize> = if full {
+        vec![1000, 3000, 5000, 7000, 9000]
+    } else {
+        vec![1000, 2000, 3000]
+    };
+    let seeds: Vec<u64> = vec![1, 2, 3];
+
+    let mut table = Table::new(
+        std::iter::once("I".to_string()).chain(Algo::ALL.iter().map(|a| a.name().to_string())),
+    );
+    println!("Fig. 5: social cost vs number of clients ({} seeds each)", seeds.len());
+    let rows = par_map(i_values.clone(), |i| {
+        let spec = WorkloadSpec::paper_default().with_clients(i);
+        let mut row = vec![i.to_string()];
+        for algo in Algo::ALL {
+            let mut costs = Vec::new();
+            for &seed in &seeds {
+                let inst = spec.generate(seed).expect("paper spec is valid");
+                if let Ok(out) = algo.run(&inst) {
+                    costs.push(out.social_cost());
+                }
+            }
+            row.push(if costs.is_empty() {
+                "n/a".into()
+            } else {
+                format!("{:.1}", Summary::of(&costs).mean)
+            });
+        }
+        println!("  I = {i} done");
+        row
+    });
+    for row in rows {
+        table.push_row(row);
+    }
+    print!("{}", table.render());
+    match table.write_csv(results_dir(), "fig5") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 8 — running time of `A_FL` and `A_online` under different numbers
+//! of clients.
+//!
+//! Paper setting: `J = 10`, `I` up to 9000, mean of 5 runs (MATLAB tic/toc
+//! on an i7-4270HQ). Absolute numbers are incomparable (this is Rust); the
+//! *shape* to reproduce: `A_FL` grows mildly with `I`, runs faster than
+//! `A_online`, and finishes a 9000-client instance comfortably.
+
+use fl_bench::{results_dir, timed, Algo, Summary, Table};
+use fl_workload::WorkloadSpec;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let i_values: Vec<usize> = if full {
+        vec![1000, 3000, 5000, 7000, 9000]
+    } else {
+        vec![1000, 2000, 3000]
+    };
+    let reps = if full { 5 } else { 3 };
+
+    let mut table = Table::new(["I", "A_FL (s)", "A_online (s)"]);
+    println!("Fig. 8: running time vs number of clients (J=10, mean of {reps} runs)");
+    for &i in &i_values {
+        let spec = WorkloadSpec::paper_default().with_clients(i).with_bids_per_client(10);
+        let mut row = vec![i.to_string()];
+        for algo in [Algo::Afl, Algo::Online] {
+            let mut secs = Vec::new();
+            for rep in 0..reps {
+                let inst = spec.generate(rep as u64 + 1).expect("paper spec is valid");
+                let (result, elapsed) = timed(|| algo.run(&inst));
+                if result.is_ok() {
+                    secs.push(elapsed.as_secs_f64());
+                }
+            }
+            row.push(if secs.is_empty() {
+                "n/a".into()
+            } else {
+                format!("{:.3}", Summary::of(&secs).mean)
+            });
+        }
+        table.push_row(row);
+        println!("  I = {i} done");
+    }
+    print!("{}", table.render());
+    match table.write_csv(results_dir(), "fig8") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 9 — payment versus claimed cost of every winning bid.
+//!
+//! One default-sized `A_FL` run; the paper's scatter shows payment ≥
+//! claimed cost for every winner (individual rationality, Theorem 2).
+//! The CSV written here is the scatter's raw data.
+
+use fl_auction::verify::ir_violations;
+use fl_bench::{results_dir, Algo, Table};
+use fl_workload::WorkloadSpec;
+
+fn main() {
+    let inst = WorkloadSpec::paper_default().generate(1).expect("paper spec is valid");
+    let outcome = Algo::Afl.run(&inst).expect("default instance is feasible");
+
+    let mut table = Table::new(["winner", "claimed_cost", "payment", "utility"]);
+    for (idx, w) in outcome.solution().winners().iter().enumerate() {
+        table.push_row([
+            idx.to_string(),
+            format!("{:.2}", w.price),
+            format!("{:.2}", w.payment),
+            format!("{:.2}", w.utility()),
+        ]);
+    }
+    let violations = ir_violations(outcome.solution());
+    let total_paid = outcome.solution().total_payment();
+    println!(
+        "Fig. 9: {} winners, social cost {:.1}, total payment {:.1}",
+        outcome.solution().winners().len(),
+        outcome.social_cost(),
+        total_paid
+    );
+    println!("individual-rationality violations: {}", violations.len());
+    assert!(violations.is_empty(), "Theorem 2 must hold: {violations:?}");
+    // Print only the first rows on the console; the CSV has everything.
+    let preview: Vec<String> = table.render().lines().take(12).map(String::from).collect();
+    println!("{}", preview.join("\n"));
+    println!("... ({} winners total)", table.len());
+    match table.write_csv(results_dir(), "fig9") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,290 @@
+//! Experiment output: aligned console tables and CSV files.
+//!
+//! Every figure binary prints a table (the "series" the paper plots) and
+//! mirrors it into `results/<name>.csv` so plots can be regenerated
+//! without re-running the experiment.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A rectangular experiment result: header plus rows of cells.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned, boxless console table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV under `dir/name.csv`, creating `dir` if needed, and
+    /// returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+impl Table {
+    /// Parses a table back from CSV text produced by [`Table::to_csv`]
+    /// (RFC-4180 quoting; embedded newlines inside quoted cells are
+    /// supported).
+    ///
+    /// Returns `None` for empty input or rows whose width disagrees with
+    /// the header.
+    pub fn from_csv(text: &str) -> Option<Table> {
+        let rows = parse_csv(text);
+        let mut it = rows.into_iter();
+        let header = it.next()?;
+        let width = header.len();
+        let mut table = Table::new(header);
+        for row in it {
+            if row.len() != width {
+                return None;
+            }
+            table.push_row(row);
+        }
+        Some(table)
+    }
+
+    /// Renders the table as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | "));
+        out.push_str(" |\n|");
+        out.push_str(&"---|".repeat(self.header.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+/// Minimal RFC-4180 CSV reader matching [`Table::to_csv`]'s writer.
+fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut cell = String::new();
+    let mut quoted = false;
+    let mut chars = text.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if quoted {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                _ => cell.push(ch),
+            }
+        } else {
+            match ch {
+                '"' if cell.is_empty() => quoted = true,
+                ',' => row.push(std::mem::take(&mut cell)),
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {}
+                _ => cell.push(ch),
+            }
+        }
+    }
+    if !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+/// The default output directory for experiment CSVs, relative to the
+/// workspace root (`results/`).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two levels up.
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    Path::new(manifest)
+        .ancestors()
+        .nth(2)
+        .unwrap_or_else(|| Path::new("."))
+        .join("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["x", "cost"]);
+        t.push_row(["1", "10.5"]);
+        t.push_row(["2", "9.75"]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample().render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('x') && lines[0].contains("cost"));
+        assert!(lines[2].trim_start().starts_with('1'));
+    }
+
+    #[test]
+    fn csv_round_trip_and_escaping() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["plain", "with,comma"]);
+        t.push_row(["quote\"inside", "ok"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"quote\"\"inside\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("fl-bench-test-output");
+        let path = sample().write_csv(&dir, "unit").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x,cost"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_round_trips_through_from_csv() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["plain", "with,comma"]);
+        t.push_row(["quote\"inside", "multi\nline"]);
+        let csv = t.to_csv();
+        let back = Table::from_csv(&csv).expect("well-formed");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_csv_rejects_ragged_rows() {
+        assert!(Table::from_csv("a,b\n1\n").is_none());
+        assert!(Table::from_csv("").is_none());
+    }
+
+    #[test]
+    fn markdown_rendering_escapes_pipes() {
+        let mut t = Table::new(["x", "a|b"]);
+        t.push_row(["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.contains("a\\|b"));
+        assert!(md.starts_with("| x | "));
+        assert_eq!(md.lines().count(), 3);
+    }
+
+    #[test]
+    fn results_dir_is_workspace_relative() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Summary statistics over experiment repetitions.
+
+/// Mean/std/min/max summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n ≤ 1).
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a slice of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample");
+        assert!(samples.iter().all(|x| !x.is_nan()), "samples must not contain NaN");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std = if n > 1 {
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, std, min, max }
+    }
+}
+
+impl Summary {
+    /// Half-width of the normal-approximation 95% confidence interval of
+    /// the mean (`1.96·σ/√n`; 0 for n ≤ 1).
+    pub fn ci95(&self) -> f64 {
+        if self.n > 1 {
+            1.96 * self.std / (self.n as f64).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Relative spread `std / |mean|` (infinite for a zero mean with
+    /// non-zero spread; 0 for constant samples).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.std == 0.0 {
+            0.0
+        } else if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.std / self.mean.abs()
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3} (n={})", self.mean, self.std, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarises_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn singleton_has_zero_std() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_sample_size() {
+        let small = Summary::of(&[1.0, 3.0]);
+        let big = Summary::of(&[1.0, 3.0, 1.0, 3.0, 1.0, 3.0, 1.0, 3.0]);
+        assert!(big.ci95() < small.ci95());
+        assert_eq!(Summary::of(&[5.0]).ci95(), 0.0);
+    }
+
+    #[test]
+    fn coefficient_of_variation_edge_cases() {
+        assert_eq!(Summary::of(&[2.0, 2.0]).coefficient_of_variation(), 0.0);
+        assert!(Summary::of(&[-1.0, 1.0]).coefficient_of_variation().is_infinite());
+        let s = Summary::of(&[1.0, 3.0]);
+        assert!((s.coefficient_of_variation() - s.std / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.to_string(), "2.000 ± 1.414 (n=2)");
+    }
+}

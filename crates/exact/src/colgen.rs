@@ -1,0 +1,303 @@
+//! Column generation for the compact-exponential LP — the *exact* linear
+//! relaxation of the paper's ILP (7).
+//!
+//! ILP (7) has one variable `z_il` per feasible **schedule** — up to
+//! `C(d−a, c)` per bid — which is why the paper only ever works with its
+//! dual. Its LP relaxation can nevertheless be solved exactly: keep a
+//! *restricted master problem* (RMP) over a small set of generated
+//! schedules, and price new ones with the dual variables. The pricing
+//! problem — find the schedule of bid `(i,j)` minimising
+//! `ρ_ij − Σ_{t∈l} g(t)` — is solved in polynomial time by picking the
+//! `c_ij` rounds with the **largest** `g(t)` inside the window (a uniform
+//! matroid maximisation). When no schedule prices negatively, the RMP
+//! optimum is optimal for the full exponential LP.
+//!
+//! The result equals [`relax::schedule_lp_bound`](crate::relax) (the
+//! compact `x/y` formulation): fractional `y` with `Σ_t y = c·x`,
+//! `0 ≤ y ≤ x` decomposes into schedules by the integrality of the
+//! uniform-matroid polytope — a fact the tests exercise.
+
+use fl_auction::{QualifiedBid, Round, Wdp};
+use fl_lp::{LinearProgram, LpError, Objective, Relation};
+
+/// Result of the column-generation solve.
+#[derive(Debug, Clone)]
+pub struct ColGenResult {
+    /// Optimal value of the exponential LP relaxation of ILP (7).
+    pub objective: f64,
+    /// Total schedules (columns) generated across all bids.
+    pub columns: usize,
+    /// Master LP re-solves performed.
+    pub iterations: usize,
+}
+
+/// Hard cap on master re-solves; hitting it means numerical trouble, not
+/// a modelling problem (each iteration adds ≥ 1 improving column and the
+/// column space is finite).
+const MAX_ITERATIONS: usize = 500;
+
+/// Solves the LP relaxation of the compact-exponential ILP (7) by column
+/// generation.
+///
+/// # Errors
+///
+/// * [`LpError::Infeasible`] when even fractional schedules cannot staff
+///   every round.
+/// * [`LpError::IterationLimit`] if the master loop fails to converge
+///   within the safety cap.
+pub fn solve_lp7(wdp: &Wdp) -> Result<ColGenResult, LpError> {
+    let bids = wdp.bids();
+    let horizon = wdp.horizon();
+    let k = f64::from(wdp.demand_per_round());
+
+    // Column pool: (bid index, schedule). Seed with one column per bid —
+    // the earliest schedule — so the master has something to chew on.
+    let mut pool: Vec<(usize, Vec<Round>)> = bids
+        .iter()
+        .enumerate()
+        .map(|(b, qb)| (b, earliest_schedule(qb)))
+        .collect();
+
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        if iterations > MAX_ITERATIONS {
+            return Err(LpError::IterationLimit { pivots: iterations });
+        }
+        // -- Restricted master: min Σ ρ z  s.t. coverage ≥ K, Σ_l z_il ≤ 1.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let zs: Vec<_> = pool
+            .iter()
+            .map(|(b, _)| lp.add_var(bids[*b].price, 1.0))
+            .collect();
+        let mut cover_rows = Vec::with_capacity(horizon as usize);
+        for t in (1..=horizon).map(Round) {
+            let terms: Vec<_> = pool
+                .iter()
+                .zip(&zs)
+                .filter(|((_, sched), _)| sched.contains(&t))
+                .map(|(_, &z)| (z, 1.0))
+                .collect();
+            cover_rows.push(lp.add_constraint(&terms, Relation::Ge, k));
+        }
+        let mut client_rows = Vec::new();
+        {
+            use std::collections::BTreeMap;
+            let mut per_client: BTreeMap<u32, Vec<fl_lp::VarId>> = BTreeMap::new();
+            for ((b, _), &z) in pool.iter().zip(&zs) {
+                per_client.entry(bids[*b].bid_ref.client.0).or_default().push(z);
+            }
+            for (client, vars) in per_client {
+                let terms: Vec<_> = vars.iter().map(|&z| (z, 1.0)).collect();
+                client_rows.push((client, lp.add_constraint(&terms, Relation::Le, 1.0)));
+            }
+        }
+        let sol = match lp.solve() {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => {
+                // The restricted pool may be too poor even when the full LP
+                // is feasible; enrich it with every bid's least-covered
+                // rounds and retry, unless nothing new can be added.
+                if enrich_for_feasibility(&mut pool, bids, horizon) {
+                    continue;
+                }
+                return Err(LpError::Infeasible);
+            }
+            Err(e) => return Err(e),
+        };
+
+        // -- Pricing: for each bid, the best schedule under duals g(t), q_i.
+        let g: Vec<f64> = cover_rows.iter().map(|&r| sol.dual(r)).collect();
+        let q_of = |client: u32| -> f64 {
+            client_rows
+                .iter()
+                .find(|(c, _)| *c == client)
+                .map(|(_, r)| sol.dual(*r))
+                .unwrap_or(0.0)
+        };
+        let mut added = false;
+        for (b, qb) in bids.iter().enumerate() {
+            let best = best_schedule_under_duals(qb, &g);
+            let g_sum: f64 = best.iter().map(|t| g[t.index()]).sum();
+            // Reduced cost of column (b, best): ρ − Σ g(t) − q_i (q ≤ 0 for
+            // the ≤ rows of a minimisation under our sign convention).
+            let reduced = qb.price - g_sum - q_of(qb.bid_ref.client.0);
+            if reduced < -1e-7 && !pool.iter().any(|(pb, s)| *pb == b && *s == best) {
+                pool.push((b, best));
+                added = true;
+            }
+        }
+        if !added {
+            return Ok(ColGenResult {
+                objective: sol.objective(),
+                columns: pool.len(),
+                iterations,
+            });
+        }
+    }
+}
+
+/// The `c` earliest rounds of the bid's window.
+fn earliest_schedule(qb: &QualifiedBid) -> Vec<Round> {
+    qb.window.rounds().take(qb.rounds as usize).collect()
+}
+
+/// Pricing oracle: the schedule maximising `Σ_{t∈l} g(t)` — the `c`
+/// rounds with the largest duals, ties to earlier rounds.
+fn best_schedule_under_duals(qb: &QualifiedBid, g: &[f64]) -> Vec<Round> {
+    let mut rounds: Vec<Round> = qb.window.rounds().collect();
+    rounds.sort_by(|a, b| g[b.index()].total_cmp(&g[a.index()]).then(a.0.cmp(&b.0)));
+    rounds.truncate(qb.rounds as usize);
+    rounds.sort_by_key(|t| t.0);
+    rounds
+}
+
+/// Adds, for every bid, a schedule over its window's first/last rounds to
+/// give the master a chance at feasibility. Returns whether anything new
+/// entered the pool.
+fn enrich_for_feasibility(
+    pool: &mut Vec<(usize, Vec<Round>)>,
+    bids: &[QualifiedBid],
+    _horizon: u32,
+) -> bool {
+    let mut added = false;
+    for (b, qb) in bids.iter().enumerate() {
+        let mut late: Vec<Round> = qb.window.rounds().collect();
+        let c = qb.rounds as usize;
+        let start = late.len().saturating_sub(c);
+        let late = late.split_off(start);
+        if !pool.iter().any(|(pb, s)| *pb == b && *s == late) {
+            pool.push((b, late));
+            added = true;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relax;
+    use fl_auction::{BidRef, ClientId, Window};
+
+    fn qb(client: u32, bid: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+        QualifiedBid {
+            bid_ref: BidRef::new(ClientId(client), bid),
+            price,
+            accuracy: 0.5,
+            window: Window::new(Round(a), Round(d)),
+            rounds: c,
+            round_time: 1.0,
+        }
+    }
+
+    fn paper_example() -> Wdp {
+        Wdp::new(
+            3,
+            1,
+            vec![qb(1, 0, 2.0, 1, 2, 1), qb(2, 0, 6.0, 2, 3, 2), qb(3, 0, 5.0, 1, 3, 2)],
+        )
+    }
+
+    #[test]
+    fn matches_the_compact_relaxation_on_the_paper_example() {
+        let wdp = paper_example();
+        let cg = solve_lp7(&wdp).unwrap();
+        let compact = relax::schedule_lp_bound(&wdp).unwrap();
+        assert!(
+            (cg.objective - compact).abs() < 1e-6,
+            "column generation {} vs compact y-LP {}",
+            cg.objective,
+            compact
+        );
+        assert!(cg.objective <= 7.0 + 1e-7, "relaxation below the ILP optimum");
+    }
+
+    #[test]
+    fn matches_compact_relaxation_on_random_wdps() {
+        let mut state = 0xc01d_c0feu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut compared = 0;
+        for trial in 0..25 {
+            let h = 3 + (next() % 4) as u32;
+            let k = 1 + (next() % 2) as u32;
+            let n = 5 + (next() % 7) as usize;
+            let bids: Vec<QualifiedBid> = (0..n)
+                .map(|i| {
+                    let a = 1 + (next() % u64::from(h)) as u32;
+                    let d = a + (next() % u64::from(h - a + 1)) as u32;
+                    let c = 1 + (next() % u64::from(d - a + 1)) as u32;
+                    // Half the clients carry two bids.
+                    qb((i / 2) as u32, (i % 2) as u32, 1.0 + (next() % 30) as f64, a, d, c)
+                })
+                .collect();
+            let wdp = Wdp::new(h, k, bids);
+            let cg = solve_lp7(&wdp);
+            let compact = relax::schedule_lp_bound(&wdp);
+            match (cg, compact) {
+                (Ok(a), Ok(b)) => {
+                    assert!(
+                        (a.objective - b).abs() < 1e-5 * (1.0 + b.abs()),
+                        "trial {trial}: colgen {} vs compact {b}",
+                        a.objective
+                    );
+                    compared += 1;
+                }
+                (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+                (a, b) => panic!("trial {trial}: disagreement {a:?} vs {b:?}"),
+            }
+        }
+        assert!(compared >= 10, "only {compared} feasible trials");
+    }
+
+    #[test]
+    fn lower_bounds_the_integral_optimum() {
+        use crate::ExactSolver;
+        use fl_auction::WdpSolver;
+        let wdp = Wdp::new(
+            4,
+            2,
+            vec![
+                qb(0, 0, 3.0, 1, 4, 3),
+                qb(1, 0, 4.0, 1, 4, 3),
+                qb(2, 0, 5.0, 2, 4, 2),
+                qb(3, 0, 2.0, 1, 2, 2),
+                qb(4, 0, 6.0, 1, 4, 4),
+                qb(5, 0, 3.5, 1, 3, 2),
+            ],
+        );
+        let lp = solve_lp7(&wdp).unwrap();
+        let opt = ExactSolver::new().solve_wdp(&wdp).unwrap();
+        assert!(lp.objective <= opt.cost() + 1e-7);
+        assert!(lp.objective > 0.0);
+    }
+
+    #[test]
+    fn infeasible_wdp_detected() {
+        // Round 3 uncovered by any window.
+        let wdp = Wdp::new(3, 1, vec![qb(0, 0, 1.0, 1, 2, 1), qb(1, 0, 1.0, 1, 2, 2)]);
+        assert_eq!(solve_lp7(&wdp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn generates_few_columns() {
+        // Column generation should need far fewer columns than the full
+        // C(d−a, c) enumeration.
+        let wdp = Wdp::new(
+            8,
+            2,
+            (0..10)
+                .map(|i| qb(i, 0, 5.0 + f64::from(i), 1, 8, 4))
+                .collect(),
+        );
+        let cg = solve_lp7(&wdp).unwrap();
+        // Full enumeration would be 10·C(7,4) = 350 columns.
+        assert!(cg.columns < 120, "generated {} columns", cg.columns);
+        assert!(cg.iterations < 60);
+    }
+}

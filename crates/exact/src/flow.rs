@@ -1,0 +1,230 @@
+//! Dinic's maximum-flow algorithm on integer capacities.
+//!
+//! Used by the exact solver to answer two questions: *can a fixed set of
+//! bids staff every round?* and *what is the largest coverage a set of bids
+//! can provide?* Both are bipartite transportation problems
+//! (`bid → round`), for which Dinic runs in `O(E·√V)`.
+
+/// A directed edge with residual bookkeeping.
+#[derive(Debug, Clone)]
+struct FlowEdge {
+    to: usize,
+    cap: i64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// A max-flow network with dense node ids `0..n`.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<FlowEdge>>,
+}
+
+/// Handle to an edge, for querying its flow after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeHandle {
+    from: usize,
+    idx: usize,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `nodes` vertices and no edges.
+    pub fn new(nodes: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the network has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity and returns
+    /// a handle for flow queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or the capacity is
+    /// negative.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> EdgeHandle {
+        assert!(from < self.graph.len() && to < self.graph.len(), "endpoint out of range");
+        assert!(cap >= 0, "capacity must be non-negative");
+        let rev_from = self.graph[to].len() + usize::from(from == to);
+        let idx = self.graph[from].len();
+        self.graph[from].push(FlowEdge { to, cap, rev: rev_from });
+        let rev_to = idx;
+        self.graph[to].push(FlowEdge {
+            to: from,
+            cap: 0,
+            rev: rev_to,
+        });
+        EdgeHandle { from, idx }
+    }
+
+    /// Flow currently on `edge` (only meaningful after [`FlowNetwork::max_flow`]).
+    ///
+    /// The flow equals the residual capacity of the reverse edge.
+    pub fn flow(&self, edge: EdgeHandle) -> i64 {
+        let e = &self.graph[edge.from][edge.idx];
+        self.graph[e.to][e.rev].cap
+    }
+
+    /// Computes the maximum `source → sink` flow with Dinic's algorithm,
+    /// mutating residual capacities in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either is out of range.
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> i64 {
+        assert!(source < self.graph.len() && sink < self.graph.len());
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = self.graph.len();
+        let mut total = 0i64;
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; n];
+            level[source] = 0;
+            let mut queue = std::collections::VecDeque::from([source]);
+            while let Some(u) = queue.pop_front() {
+                for e in &self.graph[u] {
+                    if e.cap > 0 && level[e.to] == usize::MAX {
+                        level[e.to] = level[u] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[sink] == usize::MAX {
+                return total;
+            }
+            // DFS blocking flow with iteration pointers.
+            let mut it = vec![0usize; n];
+            loop {
+                let pushed = self.dfs(source, sink, i64::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(&mut self, u: usize, sink: usize, limit: i64, level: &[usize], it: &mut [usize]) -> i64 {
+        if u == sink {
+            return limit;
+        }
+        while it[u] < self.graph[u].len() {
+            let (to, cap, rev) = {
+                let e = &self.graph[u][it[u]];
+                (e.to, e.cap, e.rev)
+            };
+            if cap > 0 && level[to] == level[u] + 1 {
+                let pushed = self.dfs(to, sink, limit.min(cap), level, it);
+                if pushed > 0 {
+                    self.graph[u][it[u]].cap -= pushed;
+                    self.graph[to][rev].cap += pushed;
+                    return pushed;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 5);
+        assert_eq!(g.max_flow(0, 1), 5);
+        assert_eq!(g.flow(e), 5);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // 0→1 (3), 0→2 (2), 1→3 (2), 2→3 (3), 1→2 (5): max flow 5.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(1, 2, 5);
+        assert_eq!(g.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn disconnected_sink_has_zero_flow() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 10);
+        assert_eq!(g.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn bipartite_matching_via_flow() {
+        // 3 bids × 3 rounds, each bid serves 1 round; bids 0,1 reach rounds
+        // {0,1}, bid 2 reaches {2}. Perfect matching of size 3.
+        let s = 0;
+        let bids = [1, 2, 3];
+        let rounds = [4, 5, 6];
+        let t = 7;
+        let mut g = FlowNetwork::new(8);
+        for &b in &bids {
+            g.add_edge(s, b, 1);
+        }
+        g.add_edge(bids[0], rounds[0], 1);
+        g.add_edge(bids[0], rounds[1], 1);
+        g.add_edge(bids[1], rounds[0], 1);
+        g.add_edge(bids[1], rounds[1], 1);
+        g.add_edge(bids[2], rounds[2], 1);
+        for &r in &rounds {
+            g.add_edge(r, t, 1);
+        }
+        assert_eq!(g.max_flow(s, t), 3);
+    }
+
+    #[test]
+    fn flow_conservation_on_queried_edges() {
+        let mut g = FlowNetwork::new(4);
+        let a = g.add_edge(0, 1, 4);
+        let b = g.add_edge(0, 2, 4);
+        let c = g.add_edge(1, 3, 3);
+        let d = g.add_edge(2, 3, 2);
+        let total = g.max_flow(0, 3);
+        assert_eq!(total, 5);
+        assert_eq!(g.flow(a) + g.flow(b), 5);
+        assert_eq!(g.flow(c) + g.flow(d), 5);
+        assert!(g.flow(c) <= 3 && g.flow(d) <= 2);
+    }
+
+    #[test]
+    fn self_loop_is_harmless() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(1, 1, 7);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 2, 2);
+        assert_eq!(g.max_flow(0, 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_source_sink_panics() {
+        let mut g = FlowNetwork::new(1);
+        let _ = g.max_flow(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_panics() {
+        let mut g = FlowNetwork::new(2);
+        let _ = g.add_edge(0, 1, -1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Exact optimum for the winner-determination problem.
+//!
+//! The paper reports *performance ratios* — algorithm cost over the cost of
+//! "an optimal algorithm" (Figs. 3–4). This crate supplies that optimal
+//! algorithm, built from first principles:
+//!
+//! * [`flow`] — Dinic max-flow, the transportation substrate;
+//! * [`sched`] — scheduling feasibility and construction for a fixed bid
+//!   set (`bid → round` flow with `c_b / 1 / K` capacities);
+//! * [`relax`] — LP relaxations (via the `fl-lp` simplex) used as bounds
+//!   and in tests;
+//! * [`ExactSolver`] — branch-and-bound over bids with knapsack and
+//!   round-potential pruning, seeded by `A_winner`'s greedy incumbent;
+//! * [`BruteForceSolver`] — exhaustive enumeration, the testing yardstick.
+//!
+//! Both solvers implement [`fl_auction::WdpSolver`] and plug into the
+//! `A_FL` outer loop unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bnb;
+pub mod colgen;
+mod enumerate;
+pub mod flow;
+pub mod refine;
+pub mod relax;
+pub mod sched;
+pub mod vcg;
+
+pub use bnb::ExactSolver;
+pub use colgen::{solve_lp7, ColGenResult};
+pub use enumerate::{BruteForceSolver, MAX_BIDS};
+pub use refine::RefineSolver;
+pub use vcg::{vcg, VcgOutcome};

@@ -1,0 +1,245 @@
+//! Local-search refinement: drop-and-repair on top of any WDP solution.
+//!
+//! Sits between the greedy (`A_winner`) and the exact branch-and-bound:
+//! start from a feasible solution, repeatedly *drop* one winner and
+//! *repair* the coverage hole with the cheapest available completion, and
+//! keep the move whenever the total cost falls. Converges to a
+//! 1-exchange-optimal solution in a handful of passes; never worse than
+//! its starting point and often closes most of the greedy-to-OPT gap at a
+//! tiny fraction of branch-and-bound's cost.
+
+use fl_auction::{
+    representative_schedule, AWinner, Coverage, QualifiedBid, Round, Wdp, WdpError, WdpSolution,
+    WdpSolver, WinnerEntry,
+};
+
+/// Drop-and-repair local search around an initial solution.
+#[derive(Debug, Clone, Copy)]
+pub struct RefineSolver {
+    /// Maximum full improvement passes (each pass tries dropping every
+    /// winner once).
+    pub max_passes: usize,
+}
+
+impl Default for RefineSolver {
+    fn default() -> Self {
+        RefineSolver { max_passes: 8 }
+    }
+}
+
+impl RefineSolver {
+    /// Creates the solver with the default pass budget.
+    pub fn new() -> Self {
+        RefineSolver::default()
+    }
+
+    /// Refines `start` on `wdp` until 1-exchange optimal or the pass
+    /// budget runs out. The result never costs more than `start`.
+    pub fn refine(&self, wdp: &Wdp, start: &WdpSolution) -> WdpSolution {
+        let mut current: Vec<usize> = start
+            .winners()
+            .iter()
+            .map(|w| {
+                wdp.bids()
+                    .iter()
+                    .position(|b| b.bid_ref == w.bid_ref)
+                    .expect("winner must be a qualified bid")
+            })
+            .collect();
+        let mut current_cost: f64 = current.iter().map(|&i| wdp.bids()[i].price).sum();
+        for _ in 0..self.max_passes {
+            let mut improved = false;
+            let mut victim = 0usize;
+            while victim < current.len() {
+                let mut reduced: Vec<usize> =
+                    current.iter().copied().filter(|&i| i != current[victim]).collect();
+                if let Some((repaired, cost)) = greedy_complete(wdp, &mut reduced) {
+                    if cost < current_cost - 1e-9 {
+                        current = repaired;
+                        current_cost = cost;
+                        improved = true;
+                        victim = 0;
+                        continue;
+                    }
+                }
+                victim += 1;
+            }
+            if !improved {
+                break;
+            }
+        }
+        build_solution(wdp, &current)
+    }
+}
+
+impl WdpSolver for RefineSolver {
+    fn name(&self) -> &str {
+        "A_winner+refine"
+    }
+
+    fn solve_wdp(&self, wdp: &Wdp) -> Result<WdpSolution, WdpError> {
+        let start = AWinner::new().without_certificate().solve_wdp(wdp)?;
+        Ok(self.refine(wdp, &start))
+    }
+}
+
+/// Completes `chosen` (bid indices) to full coverage with the cheapest
+/// average-cost greedy; returns the completed set and its cost, or `None`
+/// when completion is impossible.
+fn greedy_complete(wdp: &Wdp, chosen: &mut Vec<usize>) -> Option<(Vec<usize>, f64)> {
+    let bids = wdp.bids();
+    let mut cov = Coverage::new(wdp.horizon(), wdp.demand_per_round());
+    let mut clients: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for &i in chosen.iter() {
+        let schedule = representative_schedule(&cov, bids[i].window, bids[i].rounds);
+        cov.add(&schedule);
+        clients.insert(bids[i].bid_ref.client.0);
+    }
+    while !cov.is_complete() {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, qb) in bids.iter().enumerate() {
+            if chosen.contains(&i) || clients.contains(&qb.bid_ref.client.0) {
+                continue;
+            }
+            let schedule = representative_schedule(&cov, qb.window, qb.rounds);
+            let gain = cov.gain(&schedule);
+            if gain == 0 {
+                continue;
+            }
+            let avg = qb.price / f64::from(gain);
+            if best.is_none_or(|(_, b)| avg < b) {
+                best = Some((i, avg));
+            }
+        }
+        let (i, _) = best?;
+        let schedule = representative_schedule(&cov, bids[i].window, bids[i].rounds);
+        cov.add(&schedule);
+        clients.insert(bids[i].bid_ref.client.0);
+        chosen.push(i);
+    }
+    let cost = chosen.iter().map(|&i| bids[i].price).sum();
+    Some((chosen.clone(), cost))
+}
+
+/// Materialises a bid-index set into a [`WdpSolution`] with concrete
+/// schedules (least-loaded placement, pay-as-bid).
+fn build_solution(wdp: &Wdp, chosen: &[usize]) -> WdpSolution {
+    let bids = wdp.bids();
+    let mut cov = Coverage::new(wdp.horizon(), wdp.demand_per_round());
+    let mut cost = 0.0;
+    let winners: Vec<WinnerEntry> = chosen
+        .iter()
+        .map(|&i| {
+            let qb: &QualifiedBid = &bids[i];
+            let schedule: Vec<Round> = representative_schedule(&cov, qb.window, qb.rounds);
+            cov.add(&schedule);
+            cost += qb.price;
+            WinnerEntry {
+                bid_ref: qb.bid_ref,
+                price: qb.price,
+                payment: qb.price,
+                schedule,
+            }
+        })
+        .collect();
+    debug_assert!(cov.is_complete(), "refined sets must stay feasible");
+    WdpSolution::new(wdp.horizon(), winners, cost, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForceSolver, ExactSolver};
+    use fl_auction::{BidRef, ClientId, Window};
+
+    fn qb(client: u32, bid: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+        QualifiedBid {
+            bid_ref: BidRef::new(ClientId(client), bid),
+            price,
+            accuracy: 0.5,
+            window: Window::new(Round(a), Round(d)),
+            rounds: c,
+            round_time: 1.0,
+        }
+    }
+
+    #[test]
+    fn repairs_the_classic_greedy_trap() {
+        // Greedy pays 11 (see the greedy baseline's test); OPT is 8.
+        // One drop-and-repair move finds it.
+        let wdp = Wdp::new(
+            2,
+            1,
+            vec![qb(0, 0, 3.0, 1, 1, 1), qb(1, 0, 8.0, 1, 2, 2), qb(2, 0, 5.0, 2, 2, 1)],
+        );
+        let refined = RefineSolver::new().solve_wdp(&wdp).unwrap();
+        assert_eq!(refined.cost(), 8.0);
+        assert!(fl_auction::verify::wdp_violations(&wdp, &refined).is_empty());
+    }
+
+    #[test]
+    fn never_worse_than_greedy_and_never_better_than_opt() {
+        let mut state = 0xdeadbeef17u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut improved = 0usize;
+        for trial in 0..40 {
+            let h = 3 + (next() % 4) as u32;
+            let k = 1 + (next() % 2) as u32;
+            let n = 7 + (next() % 7) as usize;
+            let bids: Vec<QualifiedBid> = (0..n)
+                .map(|i| {
+                    let a = 1 + (next() % u64::from(h)) as u32;
+                    let d = a + (next() % u64::from(h - a + 1)) as u32;
+                    let c = 1 + (next() % u64::from(d - a + 1)) as u32;
+                    qb(i as u32, 0, 1.0 + (next() % 25) as f64, a, d, c)
+                })
+                .collect();
+            let wdp = Wdp::new(h, k, bids);
+            let greedy = AWinner::new().without_certificate().solve_wdp(&wdp);
+            let refined = RefineSolver::new().solve_wdp(&wdp);
+            let opt = ExactSolver::new().solve_wdp(&wdp);
+            match (greedy, refined, opt) {
+                (Ok(g), Ok(r), Ok(o)) => {
+                    assert!(r.cost() <= g.cost() + 1e-9, "trial {trial}: refine worsened");
+                    assert!(r.cost() >= o.cost() - 1e-9, "trial {trial}: refine beat OPT?!");
+                    assert!(
+                        fl_auction::verify::wdp_violations(&wdp, &r).is_empty(),
+                        "trial {trial}"
+                    );
+                    if r.cost() < g.cost() - 1e-9 {
+                        improved += 1;
+                    }
+                }
+                (Err(_), Err(_), _) => {}
+                other => {
+                    // Refine starts from greedy; if greedy fails so does it.
+                    let (g, r, _) = other;
+                    assert_eq!(g.is_err(), r.is_err(), "trial {trial}");
+                }
+            }
+        }
+        assert!(improved >= 2, "refinement never improved anything ({improved})");
+    }
+
+    #[test]
+    fn one_exchange_optimal_against_brute_force_sample() {
+        let wdp = Wdp::new(
+            3,
+            1,
+            vec![qb(1, 0, 2.0, 1, 2, 1), qb(2, 0, 6.0, 2, 3, 2), qb(3, 0, 5.0, 1, 3, 2)],
+        );
+        let refined = RefineSolver::new().solve_wdp(&wdp).unwrap();
+        let opt = BruteForceSolver::new().solve_wdp(&wdp).unwrap();
+        assert_eq!(refined.cost(), opt.cost());
+    }
+
+    #[test]
+    fn name_reflects_the_pipeline() {
+        assert_eq!(RefineSolver::new().name(), "A_winner+refine");
+    }
+}

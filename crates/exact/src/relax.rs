@@ -1,0 +1,186 @@
+//! LP relaxations of the winner-determination problem.
+//!
+//! Two relaxations with different strength/cost trade-offs:
+//!
+//! * [`schedule_lp_bound`] — the *exact* LP relaxation of the scheduling
+//!   ILP (variables `x_b` and `y_{b,t}`), the tightest polynomial bound we
+//!   compute. Used to report root optimality gaps and in tests.
+//! * [`window_capacity_bound`] — a lighter relaxation with only `x_b`
+//!   variables: a bid optimistically covers *every* round of its window,
+//!   plus one aggregate capacity row. Weaker but much faster.
+//!
+//! Both are valid lower bounds on the ILP optimum because they only ever
+//! *enlarge* the feasible region of ILP (7).
+
+use fl_auction::{Round, Wdp};
+use fl_lp::{LinearProgram, LpError, Objective, Relation};
+
+/// The optimal value of the exact LP relaxation (with per-round scheduling
+/// variables `y_{b,t}`).
+///
+/// # Errors
+///
+/// Propagates [`LpError::Infeasible`] when even the relaxation cannot staff
+/// the rounds (the ILP is then certainly infeasible).
+pub fn schedule_lp_bound(wdp: &Wdp) -> Result<f64, LpError> {
+    let mut lp = LinearProgram::new(Objective::Minimize);
+    let bids = wdp.bids();
+    // x_b ∈ [0, 1] with cost p_b.
+    let xs: Vec<_> = bids.iter().map(|b| lp.add_var(b.price, 1.0)).collect();
+    // y_{b,t} ∈ [0, 1], zero cost, only for t ∈ window_b.
+    let mut ys = Vec::with_capacity(bids.len());
+    for b in bids {
+        let row: Vec<_> = b.window.rounds().map(|t| (t, lp.add_var(0.0, 1.0))).collect();
+        ys.push(row);
+    }
+    // Σ_t y_{b,t} = c_b·x_b  and  y_{b,t} ≤ x_b.
+    for (b, (x, yrow)) in bids.iter().zip(xs.iter().zip(&ys)) {
+        let mut terms: Vec<_> = yrow.iter().map(|&(_, y)| (y, 1.0)).collect();
+        terms.push((*x, -f64::from(b.rounds)));
+        lp.add_constraint(&terms, Relation::Eq, 0.0);
+        for &(_, y) in yrow {
+            lp.add_constraint(&[(y, 1.0), (*x, -1.0)], Relation::Le, 0.0);
+        }
+    }
+    // Coverage: Σ_b y_{b,t} ≥ K.
+    for t in (1..=wdp.horizon()).map(Round) {
+        let terms: Vec<_> = ys
+            .iter()
+            .flat_map(|row| row.iter().filter(|(rt, _)| *rt == t).map(|&(_, y)| (y, 1.0)))
+            .collect();
+        lp.add_constraint(&terms, Relation::Ge, f64::from(wdp.demand_per_round()));
+    }
+    // One bid per client: Σ_{j} x_{ij} ≤ 1.
+    add_client_rows(&mut lp, wdp, &xs);
+    Ok(lp.solve()?.objective())
+}
+
+/// The window+capacity LP bound: bids cover whole windows, plus
+/// `Σ c_b x_b ≥ K·T̂_g`.
+///
+/// # Errors
+///
+/// Propagates [`LpError::Infeasible`] when the relaxation is infeasible.
+pub fn window_capacity_bound(wdp: &Wdp) -> Result<f64, LpError> {
+    let mut lp = LinearProgram::new(Objective::Minimize);
+    let bids = wdp.bids();
+    let xs: Vec<_> = bids.iter().map(|b| lp.add_var(b.price, 1.0)).collect();
+    for t in (1..=wdp.horizon()).map(Round) {
+        let terms: Vec<_> = bids
+            .iter()
+            .zip(&xs)
+            .filter(|(b, _)| b.window.contains(t))
+            .map(|(_, &x)| (x, 1.0))
+            .collect();
+        lp.add_constraint(&terms, Relation::Ge, f64::from(wdp.demand_per_round()));
+    }
+    let cap_terms: Vec<_> = bids
+        .iter()
+        .zip(&xs)
+        .map(|(b, &x)| (x, f64::from(b.rounds)))
+        .collect();
+    lp.add_constraint(
+        &cap_terms,
+        Relation::Ge,
+        f64::from(wdp.demand_per_round()) * f64::from(wdp.horizon()),
+    );
+    add_client_rows(&mut lp, wdp, &xs);
+    Ok(lp.solve()?.objective())
+}
+
+fn add_client_rows(lp: &mut LinearProgram, wdp: &Wdp, xs: &[fl_lp::VarId]) {
+    use std::collections::BTreeMap;
+    let mut per_client: BTreeMap<u32, Vec<fl_lp::VarId>> = BTreeMap::new();
+    for (b, &x) in wdp.bids().iter().zip(xs) {
+        per_client.entry(b.bid_ref.client.0).or_default().push(x);
+    }
+    for vars in per_client.values().filter(|v| v.len() > 1) {
+        let terms: Vec<_> = vars.iter().map(|&x| (x, 1.0)).collect();
+        lp.add_constraint(&terms, Relation::Le, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_auction::{BidRef, ClientId, QualifiedBid, Window};
+
+    fn qb(client: u32, bid: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+        QualifiedBid {
+            bid_ref: BidRef::new(ClientId(client), bid),
+            price,
+            accuracy: 0.5,
+            window: Window::new(Round(a), Round(d)),
+            rounds: c,
+            round_time: 1.0,
+        }
+    }
+
+    fn paper_example() -> Wdp {
+        Wdp::new(
+            3,
+            1,
+            vec![qb(1, 0, 2.0, 1, 2, 1), qb(2, 0, 6.0, 2, 3, 2), qb(3, 0, 5.0, 1, 3, 2)],
+        )
+    }
+
+    #[test]
+    fn bounds_never_exceed_integral_optimum() {
+        // Optimum of the paper example is 7 (B1 + B3).
+        let wdp = paper_example();
+        let strong = schedule_lp_bound(&wdp).unwrap();
+        let weak = window_capacity_bound(&wdp).unwrap();
+        assert!(strong <= 7.0 + 1e-7, "strong bound {strong}");
+        assert!(weak <= 7.0 + 1e-7, "weak bound {weak}");
+        assert!(weak <= strong + 1e-7, "weak must not beat the exact relaxation");
+        assert!(strong > 0.0 && weak > 0.0);
+    }
+
+    #[test]
+    fn tight_on_integral_instances() {
+        // Single client able to do everything: LP = ILP = its price.
+        let wdp = Wdp::new(2, 1, vec![qb(0, 0, 4.0, 1, 2, 2)]);
+        assert!((schedule_lp_bound(&wdp).unwrap() - 4.0).abs() < 1e-7);
+        assert!((window_capacity_bound(&wdp).unwrap() - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_relaxation_propagates() {
+        // Nobody covers round 2.
+        let wdp = Wdp::new(2, 1, vec![qb(0, 0, 4.0, 1, 1, 1)]);
+        assert_eq!(schedule_lp_bound(&wdp).unwrap_err(), LpError::Infeasible);
+        assert_eq!(window_capacity_bound(&wdp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn one_bid_per_client_constrains_the_relaxation() {
+        // Client 0 owns both cheap bids; K = 2 forces taking the expensive
+        // competitor despite fractional freedom.
+        let wdp = Wdp::new(
+            1,
+            2,
+            vec![
+                qb(0, 0, 1.0, 1, 1, 1),
+                qb(0, 1, 1.0, 1, 1, 1),
+                qb(1, 0, 10.0, 1, 1, 1),
+            ],
+        );
+        let v = schedule_lp_bound(&wdp).unwrap();
+        assert!(v >= 11.0 - 1e-7, "client row must bind, got {v}");
+    }
+
+    #[test]
+    fn capacity_row_strengthens_window_bound() {
+        // Two rounds K = 1; one client per round with c = 1 at price 1, and
+        // one "wide" client with window [1,2] but c = 1 at price 0.1.
+        // Window-only relaxation would let the wide bid cover both rounds
+        // for 0.1; the capacity row forces a second unit of coverage.
+        let wdp = Wdp::new(
+            2,
+            1,
+            vec![qb(0, 0, 0.1, 1, 2, 1), qb(1, 0, 1.0, 1, 1, 1), qb(2, 0, 1.0, 2, 2, 1)],
+        );
+        let v = window_capacity_bound(&wdp).unwrap();
+        assert!(v >= 1.1 - 1e-7, "capacity row must bind, got {v}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Client-dropout injection — the paper's future-work scenario
+//! ("clients drop out with high probability since the network connection
+//! can be unstable", §VIII).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Bernoulli per-participation dropout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropoutModel {
+    probability: f64,
+}
+
+impl DropoutModel {
+    /// Creates a dropout model; each scheduled participation independently
+    /// fails with `probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn new(probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "dropout probability must lie in [0, 1], got {probability}"
+        );
+        DropoutModel { probability }
+    }
+
+    /// The configured probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Samples whether one scheduled participation drops.
+    pub fn drops(&self, rng: &mut StdRng) -> bool {
+        self.probability > 0.0 && rng.random_range(0.0..1.0) < self.probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DropoutModel::new(0.0);
+        assert!((0..1000).all(|_| !m.drops(&mut rng)));
+    }
+
+    #[test]
+    fn one_probability_always_drops() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = DropoutModel::new(1.0);
+        assert!((0..100).all(|_| m.drops(&mut rng)));
+    }
+
+    #[test]
+    fn empirical_rate_matches_configuration() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DropoutModel::new(0.3);
+        let drops = (0..20_000).filter(|_| m.drops(&mut rng)).count();
+        let rate = drops as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_probability_panics() {
+        let _ = DropoutModel::new(1.5);
+    }
+}

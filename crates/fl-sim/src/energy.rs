@@ -1,0 +1,148 @@
+//! Device energy accounting.
+//!
+//! The paper grounds the bid field `c_ij` physically: a client "can only
+//! participate `c_ij` number of global iterations, which is limited by its
+//! battery level, and calculated based on `θ_ij`" (§IV-B). This module
+//! makes that derivation explicit: a per-round energy draw from the
+//! client's compute/communication profile and committed accuracy, and a
+//! battery that converts capacity into a participation budget.
+
+use fl_auction::{ClientProfile, LocalIterationModel};
+
+/// Converts time into energy: how much energy one unit of compute time and
+/// one unit of radio time costs the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per unit of local computation time.
+    pub compute_power: f64,
+    /// Energy per unit of communication time.
+    pub comm_power: f64,
+}
+
+impl EnergyModel {
+    /// A smartphone-flavoured default: the radio draws about twice the
+    /// power of sustained computation.
+    pub fn smartphone() -> Self {
+        EnergyModel {
+            compute_power: 1.0,
+            comm_power: 2.0,
+        }
+    }
+
+    /// Energy one global iteration costs a client that trains to local
+    /// accuracy `theta`: `T_l(θ)·t^cmp·P_cmp + t^com·P_com`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `theta` is outside `(0, 1]` (from the
+    /// local-iteration model).
+    pub fn round_energy(
+        &self,
+        model: LocalIterationModel,
+        profile: &ClientProfile,
+        theta: f64,
+    ) -> f64 {
+        model.local_iterations(theta) * profile.compute_time() * self.compute_power
+            + profile.comm_time() * self.comm_power
+    }
+}
+
+/// A finite energy budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    capacity: f64,
+    remaining: f64,
+}
+
+impl Battery {
+    /// A full battery of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is negative or not finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "battery capacity must be finite and non-negative, got {capacity}"
+        );
+        Battery {
+            capacity,
+            remaining: capacity,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Remaining energy.
+    pub fn remaining(&self) -> f64 {
+        self.remaining
+    }
+
+    /// How many rounds of `round_energy` each the battery can still fund —
+    /// the physical derivation of the bid field `c_ij`.
+    pub fn affordable_rounds(&self, round_energy: f64) -> u32 {
+        if round_energy <= 0.0 {
+            return u32::MAX;
+        }
+        (self.remaining / round_energy).floor() as u32
+    }
+
+    /// Draws `amount` energy; returns `false` (and leaves the charge
+    /// untouched) when not enough remains.
+    pub fn drain(&mut self, amount: f64) -> bool {
+        if amount <= self.remaining + 1e-12 {
+            self.remaining = (self.remaining - amount).max(0.0);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ClientProfile {
+        ClientProfile::new(5.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn round_energy_follows_the_time_model() {
+        let e = EnergyModel::smartphone();
+        let m = LocalIterationModel::paper();
+        // θ = 0.5 → T_l = 5 → 5·5·1 + 10·2 = 45.
+        assert!((e.round_energy(m, &profile(), 0.5) - 45.0).abs() < 1e-12);
+        // θ = 0.8 → T_l = 2 → 2·5 + 20 = 30: coarser accuracy is cheaper.
+        assert!(e.round_energy(m, &profile(), 0.8) < e.round_energy(m, &profile(), 0.5));
+    }
+
+    #[test]
+    fn battery_derives_participation_budget() {
+        let e = EnergyModel::smartphone().round_energy(LocalIterationModel::paper(), &profile(), 0.5);
+        let b = Battery::new(100.0);
+        // 100 / 45 → 2 rounds.
+        assert_eq!(b.affordable_rounds(e), 2);
+        assert_eq!(Battery::new(0.0).affordable_rounds(e), 0);
+        assert_eq!(b.affordable_rounds(0.0), u32::MAX);
+    }
+
+    #[test]
+    fn drain_respects_the_budget() {
+        let mut b = Battery::new(10.0);
+        assert!(b.drain(4.0));
+        assert!(b.drain(6.0));
+        assert!(!b.drain(0.1), "empty battery refuses further draws");
+        assert_eq!(b.remaining(), 0.0);
+        assert_eq!(b.capacity(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn negative_capacity_panics() {
+        let _ = Battery::new(-1.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Federated-learning simulator that executes auction outcomes.
+//!
+//! The paper's mechanism decides *who* trains, *when*, at *what local
+//! accuracy* and *for how many rounds*; this crate supplies the substrate
+//! that actually runs such a job, closing the loop between the economics
+//! and the learning:
+//!
+//! * [`Federation`] generates synthetic per-client datasets (IID or
+//!   non-IID);
+//! * [`LocalTrainer`] performs local gradient descent to the committed
+//!   relative accuracy `θ` (footnote 1 / Eq. 2 of the paper);
+//! * [`FlJob`] runs FedAvg over the winners' schedule from an
+//!   [`fl_auction::AuctionOutcome`], with optional [`DropoutModel`]
+//!   injection (the paper's future-work scenario), and reports per-round
+//!   gradient norms, losses, and simulated wall clock.
+//!
+//! # Example
+//!
+//! ```
+//! use fl_auction::{run_auction, AuctionConfig, Bid, ClientProfile, Instance, Round, Window};
+//! use fl_sim::{DatasetSpec, Federation, FlJob};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = AuctionConfig::builder()
+//!     .max_rounds(6)
+//!     .clients_per_round(2)
+//!     .round_time_limit(100.0)
+//!     .build()?;
+//! let mut inst = Instance::new(cfg);
+//! for i in 0..4 {
+//!     let c = inst.add_client(ClientProfile::new(5.0, 10.0)?);
+//!     inst.add_bid(c, Bid::new(10.0 + i as f64, 0.5, Window::new(Round(1), Round(6)), 6)?)?;
+//! }
+//! let outcome = run_auction(&inst)?;
+//! let federation = Federation::generate(&DatasetSpec::default(), inst.num_clients(), 7);
+//! let report = FlJob::new(0.3).run(&inst, &outcome, &federation, 0);
+//! assert_eq!(report.rounds.len() as u32, outcome.horizon());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+mod dropout;
+mod energy;
+mod local;
+pub mod metrics;
+pub mod model;
+pub mod objective;
+mod server;
+mod straggler;
+
+pub use data::{ClientData, DataSkew, DatasetSpec, Federation};
+pub use dropout::DropoutModel;
+pub use energy::{Battery, EnergyModel};
+pub use local::{LocalResult, LocalTrainer};
+pub use model::LinearModel;
+pub use objective::{LogisticObjective, Objective, RidgeObjective};
+pub use server::{FlJob, RoundRecord, TrainingReport};
+pub use straggler::StragglerModel;

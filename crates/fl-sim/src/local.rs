@@ -1,0 +1,213 @@
+//! Local training to a target local accuracy `θ`.
+//!
+//! The paper defines local accuracy by *relative gradient reduction*
+//! (footnote 1): a client has reached accuracy `θ` for this round when
+//! `‖∇F(w)‖ ≤ θ·‖∇F(w₀)‖`, with `w₀` the round's incoming global model.
+//! Smaller `θ` costs more local iterations — the `T_l(θ) = η·log(1/θ)`
+//! relation (Eq. 2) that the auction's time constraint (6d) is built on.
+
+use crate::data::ClientData;
+use crate::model::{norm, LinearModel};
+use crate::objective::{LogisticObjective, Objective};
+
+/// Outcome of one client's local round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalResult {
+    /// The locally improved model.
+    pub model: LinearModel,
+    /// Gradient-descent iterations actually used.
+    pub iterations: u32,
+    /// Whether the target relative accuracy was met (false only when the
+    /// iteration cap was hit first).
+    pub converged: bool,
+}
+
+/// Gradient-descent local solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalTrainer {
+    /// Step size.
+    pub learning_rate: f64,
+    /// Hard iteration cap per round (guards divergent configurations).
+    pub max_iterations: u32,
+}
+
+impl Default for LocalTrainer {
+    fn default() -> Self {
+        LocalTrainer {
+            learning_rate: 0.5,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+impl LocalTrainer {
+    /// Runs gradient descent from `start` on `data` until
+    /// `‖∇F(w)‖ ≤ θ·‖∇F(start)‖` or the iteration cap, under the default
+    /// logistic objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is outside `(0, 1]`.
+    pub fn train(&self, start: &LinearModel, data: &ClientData, theta: f64) -> LocalResult {
+        self.train_objective(&LogisticObjective, start, data, theta)
+    }
+
+    /// [`LocalTrainer::train`] under an arbitrary [`Objective`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is outside `(0, 1]`.
+    pub fn train_objective(
+        &self,
+        objective: &impl Objective,
+        start: &LinearModel,
+        data: &ClientData,
+        theta: f64,
+    ) -> LocalResult {
+        assert!(theta > 0.0 && theta <= 1.0, "θ must lie in (0, 1], got {theta}");
+        let mut model = start.clone();
+        let g0 = norm(&objective.gradient(&model, data));
+        let target = theta * g0;
+        if g0 == 0.0 {
+            return LocalResult {
+                model,
+                iterations: 0,
+                converged: true,
+            };
+        }
+        let mut iterations = 0;
+        loop {
+            let g = objective.gradient(&model, data);
+            if norm(&g) <= target {
+                return LocalResult {
+                    model,
+                    iterations,
+                    converged: true,
+                };
+            }
+            if iterations >= self.max_iterations {
+                return LocalResult {
+                    model,
+                    iterations,
+                    converged: false,
+                };
+            }
+            for (w, gk) in model.weights_mut().iter_mut().zip(&g) {
+                *w -= self.learning_rate * gk;
+            }
+            iterations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DataSkew, DatasetSpec, Federation};
+
+    fn shard() -> ClientData {
+        Federation::generate(
+            &DatasetSpec {
+                dim: 6,
+                samples_per_client: 100,
+                label_noise: 0.02,
+                skew: DataSkew::Iid,
+            },
+            1,
+            13,
+        )
+        .shards
+        .remove(0)
+    }
+
+    #[test]
+    fn reaches_the_requested_relative_accuracy() {
+        let data = shard();
+        let trainer = LocalTrainer::default();
+        let start = LinearModel::zeros(7);
+        let g0 = norm(&crate::model::gradient(&start, &data));
+        for theta in [0.8, 0.5, 0.3] {
+            let r = trainer.train(&start, &data, theta);
+            assert!(r.converged);
+            let g = norm(&crate::model::gradient(&r.model, &data));
+            assert!(
+                g <= theta * g0 + 1e-12,
+                "θ = {theta}: ‖∇‖ = {g} > target {}",
+                theta * g0
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_theta_needs_more_iterations() {
+        let data = shard();
+        let trainer = LocalTrainer::default();
+        let start = LinearModel::zeros(7);
+        let coarse = trainer.train(&start, &data, 0.8).iterations;
+        let fine = trainer.train(&start, &data, 0.3).iterations;
+        let finest = trainer.train(&start, &data, 0.1).iterations;
+        assert!(coarse <= fine && fine <= finest, "{coarse} ≤ {fine} ≤ {finest}");
+        assert!(finest > coarse, "iteration counts must actually grow");
+    }
+
+    #[test]
+    fn iteration_counts_track_log_inverse_theta() {
+        // Eq. (2): T_l(θ) ≈ η·log(1/θ) for strongly-convex losses. Check
+        // the ratio between two θ values is within a generous band.
+        let data = shard();
+        let trainer = LocalTrainer::default();
+        let start = LinearModel::zeros(7);
+        let t_half = trainer.train(&start, &data, 0.5).iterations as f64;
+        let t_quarter = trainer.train(&start, &data, 0.25).iterations as f64;
+        // log(1/0.25)/log(1/0.5) = 2; allow [1.2, 3.5].
+        let ratio = t_quarter / t_half.max(1.0);
+        assert!(
+            (1.2..=3.5).contains(&ratio),
+            "iteration ratio {ratio} strays from the log(1/θ) law"
+        );
+    }
+
+    #[test]
+    fn theta_one_is_free() {
+        let data = shard();
+        let r = LocalTrainer::default().train(&LinearModel::zeros(7), &data, 1.0);
+        assert_eq!(r.iterations, 0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn iteration_cap_reports_non_convergence() {
+        let data = shard();
+        let trainer = LocalTrainer {
+            learning_rate: 0.5,
+            max_iterations: 1,
+        };
+        let r = trainer.train(&LinearModel::zeros(7), &data, 0.01);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn ridge_objective_trains_to_relative_accuracy() {
+        use crate::objective::{Objective, RidgeObjective};
+        let data = shard();
+        let obj = RidgeObjective::default();
+        let trainer = LocalTrainer {
+            learning_rate: 0.1,
+            max_iterations: 50_000,
+        };
+        let start = LinearModel::zeros(7);
+        let g0 = crate::model::norm(&obj.gradient(&start, &data));
+        let r = trainer.train_objective(&obj, &start, &data, 0.4);
+        assert!(r.converged);
+        let g = crate::model::norm(&obj.gradient(&r.model, &data));
+        assert!(g <= 0.4 * g0 + 1e-12, "ridge relative accuracy missed: {g} vs {}", 0.4 * g0);
+    }
+
+    #[test]
+    #[should_panic(expected = "θ must lie")]
+    fn invalid_theta_panics() {
+        let data = shard();
+        let _ = LocalTrainer::default().train(&LinearModel::zeros(7), &data, 0.0);
+    }
+}

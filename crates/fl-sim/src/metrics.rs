@@ -1,0 +1,90 @@
+//! Federation-level evaluation helpers.
+
+use crate::data::ClientData;
+use crate::model::{gradient, norm, LinearModel};
+
+/// Mean loss-gradient norm of `model` over the union of the given shards
+/// (the global objective `J` is the sample-weighted mean of local
+/// objectives, so its gradient is the weighted mean of local gradients).
+pub fn global_grad_norm(model: &LinearModel, shards: &[&ClientData]) -> f64 {
+    let total: usize = shards.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let d = model.weights().len();
+    let mut g = vec![0.0; d];
+    for shard in shards {
+        let gi = gradient(model, shard);
+        let w = shard.len() as f64 / total as f64;
+        for (acc, v) in g.iter_mut().zip(&gi) {
+            *acc += w * v;
+        }
+    }
+    norm(&g)
+}
+
+/// Sample-weighted classification accuracy of `model` over the shards.
+pub fn global_accuracy(model: &LinearModel, shards: &[&ClientData]) -> f64 {
+    let total: usize = shards.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    shards
+        .iter()
+        .map(|s| model.accuracy(s) * s.len() as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+/// Sample-weighted mean loss over the shards.
+pub fn global_loss(model: &LinearModel, shards: &[&ClientData]) -> f64 {
+    let total: usize = shards.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    shards
+        .iter()
+        .map(|s| crate::model::loss(model, s) * s.len() as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DataSkew, DatasetSpec, Federation};
+
+    #[test]
+    fn weighted_aggregates_match_manual_union() {
+        let fed = Federation::generate(
+            &DatasetSpec {
+                dim: 4,
+                samples_per_client: 30,
+                label_noise: 0.0,
+                skew: DataSkew::Iid,
+            },
+            2,
+            5,
+        );
+        let model = LinearModel::from_weights(vec![0.1; 5]);
+        let shards: Vec<&ClientData> = fed.shards.iter().collect();
+        // Union shard.
+        let mut features = fed.shards[0].features.clone();
+        features.extend(fed.shards[1].features.clone());
+        let mut labels = fed.shards[0].labels.clone();
+        labels.extend(fed.shards[1].labels.clone());
+        let union = ClientData { features, labels };
+        let direct = norm(&gradient(&model, &union));
+        assert!((global_grad_norm(&model, &shards) - direct).abs() < 1e-10);
+        assert!((global_loss(&model, &shards) - crate::model::loss(&model, &union)).abs() < 1e-10);
+        assert!((global_accuracy(&model, &shards) - model.accuracy(&union)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_shard_list_is_neutral() {
+        let model = LinearModel::zeros(3);
+        assert_eq!(global_grad_norm(&model, &[]), 0.0);
+        assert_eq!(global_accuracy(&model, &[]), 1.0);
+        assert_eq!(global_loss(&model, &[]), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Logistic-regression model, loss and gradients.
+//!
+//! The simulator trains an `ℓ2`-regularised logistic regression — convex
+//! and smooth, so the paper's convergence framework (relative
+//! gradient-norm accuracies, Eq. 1–2) applies directly.
+
+use crate::data::ClientData;
+
+/// Strength of the `ℓ2` regulariser used throughout the simulator; keeps
+/// the loss strongly convex so gradient-norm accuracies behave.
+pub const L2_REG: f64 = 1e-2;
+
+/// A linear model over `dim + 1` coefficients (bias included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+}
+
+impl LinearModel {
+    /// The zero model of the given total dimension (features + bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim_with_bias` is zero.
+    pub fn zeros(dim_with_bias: usize) -> Self {
+        assert!(dim_with_bias > 0, "model needs at least one coefficient");
+        LinearModel {
+            weights: vec![0.0; dim_with_bias],
+        }
+    }
+
+    /// Wraps explicit weights.
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "model needs at least one coefficient");
+        LinearModel { weights }
+    }
+
+    /// The coefficient vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mutable access for optimisers.
+    pub fn weights_mut(&mut self) -> &mut [f64] {
+        &mut self.weights
+    }
+
+    /// The raw score `w·x`.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum()
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.score(x))
+    }
+
+    /// Fraction of samples classified correctly at threshold 0.5.
+    pub fn accuracy(&self, data: &ClientData) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let correct = data
+            .features
+            .iter()
+            .zip(&data.labels)
+            .filter(|(x, &y)| (self.predict_proba(x) > 0.5) == (y == 1.0))
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Regularised mean logistic loss of `model` on `data`.
+pub fn loss(model: &LinearModel, data: &ClientData) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let n = data.len() as f64;
+    let mut total = 0.0;
+    for (x, &y) in data.features.iter().zip(&data.labels) {
+        let z = model.score(x);
+        // log(1 + e^z) − y·z, computed stably.
+        let log1p_ez = if z > 0.0 { z + (-z).exp().ln_1p() } else { z.exp().ln_1p() };
+        total += log1p_ez - y * z;
+    }
+    let reg: f64 = model.weights().iter().map(|w| w * w).sum::<f64>() * (L2_REG / 2.0);
+    total / n + reg
+}
+
+/// Gradient of [`loss`] with respect to the weights.
+pub fn gradient(model: &LinearModel, data: &ClientData) -> Vec<f64> {
+    let d = model.weights().len();
+    let mut g = vec![0.0; d];
+    if data.is_empty() {
+        return g;
+    }
+    let n = data.len() as f64;
+    for (x, &y) in data.features.iter().zip(&data.labels) {
+        let err = sigmoid(model.score(x)) - y;
+        for (gk, xk) in g.iter_mut().zip(x) {
+            *gk += err * xk;
+        }
+    }
+    for (gk, wk) in g.iter_mut().zip(model.weights()) {
+        *gk = *gk / n + L2_REG * wk;
+    }
+    g
+}
+
+/// Euclidean norm of a vector.
+pub fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DataSkew, DatasetSpec, Federation};
+
+    fn shard() -> ClientData {
+        Federation::generate(
+            &DatasetSpec {
+                dim: 5,
+                samples_per_client: 120,
+                label_noise: 0.0,
+                skew: DataSkew::Iid,
+            },
+            1,
+            7,
+        )
+        .shards
+        .remove(0)
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!(sigmoid(800.0).is_finite());
+        assert!(sigmoid(-800.0).is_finite());
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let data = shard();
+        let model = LinearModel::from_weights(vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2]);
+        let g = gradient(&model, &data);
+        let eps = 1e-6;
+        for k in 0..model.weights().len() {
+            let mut plus = model.clone();
+            plus.weights_mut()[k] += eps;
+            let mut minus = model.clone();
+            minus.weights_mut()[k] -= eps;
+            let numeric = (loss(&plus, &data) - loss(&minus, &data)) / (2.0 * eps);
+            assert!(
+                (numeric - g[k]).abs() < 1e-5,
+                "coordinate {k}: analytic {} vs numeric {numeric}",
+                g[k]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss_and_gradient() {
+        let data = shard();
+        let mut model = LinearModel::zeros(6);
+        let l0 = loss(&model, &data);
+        let g0 = norm(&gradient(&model, &data));
+        for _ in 0..200 {
+            let g = gradient(&model, &data);
+            for (w, gk) in model.weights_mut().iter_mut().zip(&g) {
+                *w -= 0.5 * gk;
+            }
+        }
+        assert!(loss(&model, &data) < l0);
+        assert!(norm(&gradient(&model, &data)) < 0.1 * g0);
+        assert!(model.accuracy(&data) > 0.8);
+    }
+
+    #[test]
+    fn empty_data_degenerates_gracefully() {
+        let empty = ClientData {
+            features: vec![],
+            labels: vec![],
+        };
+        let model = LinearModel::zeros(3);
+        assert_eq!(loss(&model, &empty), 0.0);
+        assert_eq!(gradient(&model, &empty), vec![0.0; 3]);
+        assert_eq!(model.accuracy(&empty), 1.0);
+    }
+
+    #[test]
+    fn accuracy_of_truth_model_is_high_without_noise() {
+        let fed = Federation::generate(
+            &DatasetSpec {
+                dim: 5,
+                samples_per_client: 200,
+                label_noise: 0.0,
+                skew: DataSkew::Iid,
+            },
+            1,
+            21,
+        );
+        let model = LinearModel::from_weights(fed.truth.clone());
+        assert!(model.accuracy(&fed.shards[0]) > 0.75);
+    }
+}

@@ -1,0 +1,188 @@
+//! Pluggable training objectives.
+//!
+//! The paper's convergence framework (relative gradient-norm accuracies,
+//! Eqs. 1–2) applies to any smooth strongly-convex objective; the
+//! simulator therefore abstracts the loss behind [`Objective`]. Two
+//! instances ship: the default `ℓ2`-regularised logistic loss (matching
+//! [`crate::model`]) and ridge regression, so experiments can check that
+//! nothing downstream depends on the specific loss.
+
+use crate::data::ClientData;
+use crate::model::{sigmoid, LinearModel};
+
+/// A differentiable training objective over a linear model.
+pub trait Objective {
+    /// Mean loss of `model` on `data` (0 on empty shards).
+    fn loss(&self, model: &LinearModel, data: &ClientData) -> f64;
+
+    /// Gradient of [`Objective::loss`] with respect to the weights.
+    fn gradient(&self, model: &LinearModel, data: &ClientData) -> Vec<f64>;
+
+    /// Short name for logs and reports.
+    fn name(&self) -> &str;
+}
+
+/// `ℓ2`-regularised logistic loss — the simulator's default, delegating
+/// to [`crate::model::loss`]/[`crate::model::gradient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogisticObjective;
+
+impl Objective for LogisticObjective {
+    fn loss(&self, model: &LinearModel, data: &ClientData) -> f64 {
+        crate::model::loss(model, data)
+    }
+
+    fn gradient(&self, model: &LinearModel, data: &ClientData) -> Vec<f64> {
+        crate::model::gradient(model, data)
+    }
+
+    fn name(&self) -> &str {
+        "logistic"
+    }
+}
+
+/// Ridge regression: mean squared error `½(w·x − y)²` plus the same `ℓ2`
+/// term as the logistic objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RidgeObjective {
+    /// `ℓ2` regularisation strength.
+    pub l2: f64,
+}
+
+impl Default for RidgeObjective {
+    fn default() -> Self {
+        RidgeObjective {
+            l2: crate::model::L2_REG,
+        }
+    }
+}
+
+impl Objective for RidgeObjective {
+    fn loss(&self, model: &LinearModel, data: &ClientData) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let n = data.len() as f64;
+        let mse: f64 = data
+            .features
+            .iter()
+            .zip(&data.labels)
+            .map(|(x, &y)| {
+                let e = model.score(x) - y;
+                0.5 * e * e
+            })
+            .sum();
+        let reg: f64 = model.weights().iter().map(|w| w * w).sum::<f64>() * (self.l2 / 2.0);
+        mse / n + reg
+    }
+
+    fn gradient(&self, model: &LinearModel, data: &ClientData) -> Vec<f64> {
+        let d = model.weights().len();
+        let mut g = vec![0.0; d];
+        if data.is_empty() {
+            return g;
+        }
+        let n = data.len() as f64;
+        for (x, &y) in data.features.iter().zip(&data.labels) {
+            let err = model.score(x) - y;
+            for (gk, xk) in g.iter_mut().zip(x) {
+                *gk += err * xk;
+            }
+        }
+        for (gk, wk) in g.iter_mut().zip(model.weights()) {
+            *gk = *gk / n + self.l2 * wk;
+        }
+        g
+    }
+
+    fn name(&self) -> &str {
+        "ridge"
+    }
+}
+
+/// The probability view of the logistic objective, re-exported for
+/// calibration checks in experiments.
+pub fn logistic_probability(model: &LinearModel, x: &[f64]) -> f64 {
+    sigmoid(model.score(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DataSkew, DatasetSpec, Federation};
+
+    fn shard() -> ClientData {
+        Federation::generate(
+            &DatasetSpec {
+                dim: 4,
+                samples_per_client: 80,
+                label_noise: 0.0,
+                skew: DataSkew::Iid,
+            },
+            1,
+            19,
+        )
+        .shards
+        .remove(0)
+    }
+
+    #[test]
+    fn ridge_gradient_matches_finite_differences() {
+        let data = shard();
+        let obj = RidgeObjective::default();
+        let model = LinearModel::from_weights(vec![0.2, -0.1, 0.4, 0.0, 0.3]);
+        let g = obj.gradient(&model, &data);
+        let eps = 1e-6;
+        for k in 0..model.weights().len() {
+            let mut plus = model.clone();
+            plus.weights_mut()[k] += eps;
+            let mut minus = model.clone();
+            minus.weights_mut()[k] -= eps;
+            let numeric = (obj.loss(&plus, &data) - obj.loss(&minus, &data)) / (2.0 * eps);
+            assert!(
+                (numeric - g[k]).abs() < 1e-5,
+                "coordinate {k}: analytic {} vs numeric {numeric}",
+                g[k]
+            );
+        }
+    }
+
+    #[test]
+    fn logistic_objective_delegates_to_model() {
+        let data = shard();
+        let obj = LogisticObjective;
+        let model = LinearModel::from_weights(vec![0.1; 5]);
+        assert_eq!(obj.loss(&model, &data), crate::model::loss(&model, &data));
+        assert_eq!(obj.gradient(&model, &data), crate::model::gradient(&model, &data));
+        assert_eq!(obj.name(), "logistic");
+        assert_eq!(RidgeObjective::default().name(), "ridge");
+    }
+
+    #[test]
+    fn gradient_descent_minimises_ridge() {
+        let data = shard();
+        let obj = RidgeObjective::default();
+        let mut model = LinearModel::zeros(5);
+        let l0 = obj.loss(&model, &data);
+        for _ in 0..300 {
+            let g = obj.gradient(&model, &data);
+            for (w, gk) in model.weights_mut().iter_mut().zip(&g) {
+                *w -= 0.2 * gk;
+            }
+        }
+        let l1 = obj.loss(&model, &data);
+        assert!(l1 < l0 * 0.7, "ridge loss barely moved: {l0} → {l1}");
+    }
+
+    #[test]
+    fn empty_shards_are_neutral_for_ridge() {
+        let empty = ClientData {
+            features: vec![],
+            labels: vec![],
+        };
+        let obj = RidgeObjective::default();
+        let model = LinearModel::zeros(3);
+        assert_eq!(obj.loss(&model, &empty), 0.0);
+        assert_eq!(obj.gradient(&model, &empty), vec![0.0; 3]);
+    }
+}

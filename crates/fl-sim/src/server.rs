@@ -1,0 +1,429 @@
+//! The FedAvg cloud server, driven by an auction outcome.
+//!
+//! This closes the loop the paper's system model describes (§III–IV): the
+//! auction picks winners, their local accuracies, and a per-round roster;
+//! the server then runs global iterations in which exactly the scheduled
+//! winners train locally to their *committed* `θ_ij` and the server
+//! aggregates. The run validates the economic layer's promises — the job
+//! finishes within `T_g` rounds and per-round wall clock stays within
+//! `t_max`.
+
+use std::collections::HashMap;
+
+use fl_auction::{AuctionOutcome, ClientId, Instance, Round};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::data::Federation;
+use crate::dropout::DropoutModel;
+use crate::local::LocalTrainer;
+use crate::straggler::StragglerModel;
+use crate::metrics::{global_accuracy, global_grad_norm, global_loss};
+use crate::model::LinearModel;
+
+/// One global iteration's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// The global iteration.
+    pub round: Round,
+    /// Clients that trained and reported back.
+    pub participants: Vec<ClientId>,
+    /// Scheduled clients that dropped out (empty without a dropout model).
+    pub dropped: Vec<ClientId>,
+    /// Clients whose update missed the `t_max` deadline and was discarded
+    /// (empty without a straggler model).
+    pub late: Vec<ClientId>,
+    /// Local iterations used per participant (parallel to `participants`).
+    pub local_iterations: Vec<u32>,
+    /// Simulated synchronous round duration:
+    /// `max_i T_l(θ_i)·t_i^cmp + t_i^com` over participants.
+    pub wall_clock: f64,
+    /// Global gradient norm after aggregation.
+    pub grad_norm: f64,
+    /// Global loss after aggregation.
+    pub loss: f64,
+}
+
+/// Full training trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingReport {
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Gradient norm of the initial (zero) model on the winners' data.
+    pub initial_grad_norm: f64,
+    /// First round (1-based) at which the relative global accuracy target
+    /// was met, if ever.
+    pub reached_at: Option<u32>,
+    /// Final global model.
+    pub final_model: LinearModel,
+    /// Sum of simulated per-round wall clocks.
+    pub total_wall_clock: f64,
+    /// Weighted classification accuracy of the final model on the winners'
+    /// training shards.
+    pub final_accuracy: f64,
+}
+
+/// Configuration of a federated run over an auction outcome.
+#[derive(Debug, Clone)]
+pub struct FlJob {
+    trainer: LocalTrainer,
+    /// Relative global accuracy ε: stop once
+    /// `‖∇J(w)‖ ≤ ε·‖∇J(w₀)‖` (mirrors footnote 1 of the paper).
+    global_accuracy: f64,
+    dropout: Option<DropoutModel>,
+    stragglers: Option<StragglerModel>,
+}
+
+impl FlJob {
+    /// A job with the default local trainer, target `ε`, and no dropout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside `(0, 1]`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "global accuracy ε must lie in (0, 1], got {epsilon}"
+        );
+        FlJob {
+            trainer: LocalTrainer::default(),
+            global_accuracy: epsilon,
+            dropout: None,
+            stragglers: None,
+        }
+    }
+
+    /// Overrides the local trainer.
+    pub fn with_trainer(mut self, trainer: LocalTrainer) -> Self {
+        self.trainer = trainer;
+        self
+    }
+
+    /// Injects client dropout (the paper's future-work scenario).
+    pub fn with_dropout(mut self, dropout: DropoutModel) -> Self {
+        self.dropout = Some(dropout);
+        self
+    }
+
+    /// Injects hardware jitter: slowed participations that miss the
+    /// `t_max` deadline are discarded by the synchronous server.
+    pub fn with_stragglers(mut self, stragglers: StragglerModel) -> Self {
+        self.stragglers = Some(stragglers);
+        self
+    }
+
+    /// Runs the FL job: winners train per the outcome's schedule, the
+    /// server federated-averages, for `T_g` rounds (early rounds continue
+    /// even after the target is hit, so the trace shows the full horizon).
+    ///
+    /// `federation.shards` must have one shard per *client* of the
+    /// instance (indexed by `ClientId`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the federation has fewer shards than the instance has
+    /// clients, or the shards disagree on dimension.
+    pub fn run(&self, instance: &Instance, outcome: &AuctionOutcome, federation: &Federation, seed: u64) -> TrainingReport {
+        assert!(
+            federation.shards.len() >= instance.num_clients(),
+            "federation has {} shards for {} clients",
+            federation.shards.len(),
+            instance.num_clients()
+        );
+        let dim = federation.shards[0].features[0].len();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Roster: round → [(client, θ, winner idx)].
+        let mut roster: HashMap<u32, Vec<(ClientId, f64)>> = HashMap::new();
+        for w in outcome.solution().winners() {
+            let theta = instance.bid(w.bid_ref).accuracy();
+            for &t in &w.schedule {
+                roster.entry(t.0).or_default().push((w.bid_ref.client, theta));
+            }
+        }
+        let winner_shards: Vec<&crate::data::ClientData> = outcome
+            .solution()
+            .winners()
+            .iter()
+            .map(|w| &federation.shards[w.bid_ref.client.index()])
+            .collect();
+
+        let mut model = LinearModel::zeros(dim);
+        let initial_grad_norm = global_grad_norm(&model, &winner_shards);
+        let target = self.global_accuracy * initial_grad_norm;
+        let mut rounds = Vec::new();
+        let mut reached_at = None;
+        let mut total_wall_clock = 0.0;
+
+        for t in 1..=outcome.horizon() {
+            let scheduled = roster.get(&t).cloned().unwrap_or_default();
+            let mut participants = Vec::new();
+            let mut dropped = Vec::new();
+            let mut late = Vec::new();
+            let mut local_iterations = Vec::new();
+            let mut wall_clock: f64 = 0.0;
+            let mut aggregate = vec![0.0; dim];
+            let mut weight_total = 0.0;
+            let t_max = instance.config().round_time_limit();
+            for (client, theta) in scheduled {
+                if let Some(d) = &self.dropout {
+                    if d.drops(&mut rng) {
+                        dropped.push(client);
+                        continue;
+                    }
+                }
+                let profile = &instance.clients()[client.index()];
+                let nominal = instance.config().local_model().local_iterations(theta)
+                    * profile.compute_time()
+                    + profile.comm_time();
+                let actual = match &self.stragglers {
+                    Some(sm) => nominal * sm.sample_factor(&mut rng),
+                    None => nominal,
+                };
+                if actual > t_max + 1e-9 {
+                    // The synchronous server cuts aggregation off at the
+                    // deadline; the straggler's work is wasted.
+                    late.push(client);
+                    wall_clock = wall_clock.max(t_max);
+                    continue;
+                }
+                let shard = &federation.shards[client.index()];
+                let result = self.trainer.train(&model, shard, theta);
+                wall_clock = wall_clock.max(actual);
+                let w = shard.len() as f64;
+                for (acc, v) in aggregate.iter_mut().zip(result.model.weights()) {
+                    *acc += w * v;
+                }
+                weight_total += w;
+                participants.push(client);
+                local_iterations.push(result.iterations);
+            }
+            if weight_total > 0.0 {
+                for v in aggregate.iter_mut() {
+                    *v /= weight_total;
+                }
+                model = LinearModel::from_weights(aggregate);
+            }
+            let grad_norm = global_grad_norm(&model, &winner_shards);
+            let loss = global_loss(&model, &winner_shards);
+            if reached_at.is_none() && grad_norm <= target {
+                reached_at = Some(t);
+            }
+            total_wall_clock += wall_clock;
+            rounds.push(RoundRecord {
+                round: Round(t),
+                participants,
+                dropped,
+                late,
+                local_iterations,
+                wall_clock,
+                grad_norm,
+                loss,
+            });
+        }
+
+        let final_accuracy = global_accuracy(&model, &winner_shards);
+        TrainingReport {
+            rounds,
+            initial_grad_norm,
+            reached_at,
+            final_model: model,
+            total_wall_clock,
+            final_accuracy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DataSkew, DatasetSpec};
+    use fl_auction::{run_auction, AuctionConfig, Bid, ClientProfile, Window};
+
+    fn setup() -> (Instance, AuctionOutcome, Federation) {
+        let cfg = AuctionConfig::builder()
+            .max_rounds(8)
+            .clients_per_round(2)
+            .round_time_limit(100.0)
+            .build()
+            .unwrap();
+        let mut inst = Instance::new(cfg);
+        for i in 0..6 {
+            let c = inst.add_client(ClientProfile::new(5.0 + i as f64 * 0.5, 10.0).unwrap());
+            let theta = 0.5 + 0.05 * i as f64;
+            inst.add_bid(
+                c,
+                Bid::new(10.0 + i as f64, theta, Window::new(Round(1), Round(8)), 8).unwrap(),
+            )
+            .unwrap();
+        }
+        let outcome = run_auction(&inst).unwrap();
+        let fed = Federation::generate(
+            &DatasetSpec {
+                dim: 6,
+                samples_per_client: 60,
+                label_noise: 0.02,
+                skew: DataSkew::Iid,
+            },
+            inst.num_clients(),
+            17,
+        );
+        (inst, outcome, fed)
+    }
+
+    #[test]
+    fn every_round_has_the_scheduled_roster() {
+        let (inst, outcome, fed) = setup();
+        let report = FlJob::new(0.2).run(&inst, &outcome, &fed, 0);
+        assert_eq!(report.rounds.len() as u32, outcome.horizon());
+        for r in &report.rounds {
+            assert!(
+                r.participants.len() as u32 >= inst.config().clients_per_round(),
+                "round {} has only {} participants",
+                r.round,
+                r.participants.len()
+            );
+        }
+    }
+
+    #[test]
+    fn training_converges_on_iid_data() {
+        let (inst, outcome, fed) = setup();
+        let report = FlJob::new(0.2).run(&inst, &outcome, &fed, 0);
+        assert!(
+            report.reached_at.is_some(),
+            "global accuracy target never reached; final ‖∇J‖ = {}",
+            report.rounds.last().unwrap().grad_norm
+        );
+        assert!(report.final_accuracy > 0.7);
+        let first = report.rounds.first().unwrap().grad_norm;
+        let last = report.rounds.last().unwrap().grad_norm;
+        assert!(last < first, "gradient norm must shrink: {first} → {last}");
+    }
+
+    #[test]
+    fn wall_clock_respects_the_auction_time_limit() {
+        let (inst, outcome, fed) = setup();
+        let report = FlJob::new(0.2).run(&inst, &outcome, &fed, 0);
+        for r in &report.rounds {
+            assert!(
+                r.wall_clock <= inst.config().round_time_limit() + 1e-9,
+                "round {} took {} > t_max",
+                r.round,
+                r.wall_clock
+            );
+        }
+        let expected_total: f64 = report.rounds.iter().map(|r| r.wall_clock).sum();
+        assert!((report.total_wall_clock - expected_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropout_reduces_participation() {
+        let (inst, outcome, fed) = setup();
+        let heavy = FlJob::new(0.2).with_dropout(DropoutModel::new(0.6));
+        let report = heavy.run(&inst, &outcome, &fed, 3);
+        let dropped: usize = report.rounds.iter().map(|r| r.dropped.len()).sum();
+        assert!(dropped > 0, "a 60% dropout rate must drop someone");
+        for r in &report.rounds {
+            let scheduled = r.participants.len() + r.dropped.len();
+            assert!(scheduled as u32 >= inst.config().clients_per_round());
+        }
+    }
+
+    #[test]
+    fn stragglers_miss_deadlines_and_are_discarded() {
+        let (inst, outcome, fed) = setup();
+        // Nominal round times in `setup` sit near t_max/2; a 10× slowdown
+        // on every participation pushes everyone past the deadline.
+        let all_slow = FlJob::new(0.2).with_stragglers(StragglerModel::new(1.0, (10.0, 10.0)));
+        let report = all_slow.run(&inst, &outcome, &fed, 4);
+        let late: usize = report.rounds.iter().map(|r| r.late.len()).sum();
+        let on_time: usize = report.rounds.iter().map(|r| r.participants.len()).sum();
+        assert!(late > 0, "universal 10x slowdown must strand someone");
+        assert_eq!(on_time, 0, "nobody makes a 10x-slowed deadline here");
+        for r in &report.rounds {
+            assert!(
+                r.wall_clock <= inst.config().round_time_limit() + 1e-9,
+                "the server never waits past t_max"
+            );
+        }
+        // Mild jitter strands only some.
+        let mild = FlJob::new(0.2).with_stragglers(StragglerModel::mild());
+        let report = mild.run(&inst, &outcome, &fed, 4);
+        let on_time: usize = report.rounds.iter().map(|r| r.participants.len()).sum();
+        assert!(on_time > 0, "mild jitter must leave most updates on time");
+    }
+
+    #[test]
+    fn dropout_trace_is_deterministic_per_seed() {
+        let (inst, outcome, fed) = setup();
+        let job = FlJob::new(0.2).with_dropout(DropoutModel::new(0.3));
+        let a = job.run(&inst, &outcome, &fed, 5);
+        let b = job.run(&inst, &outcome, &fed, 5);
+        assert_eq!(a, b);
+    }
+
+    /// Empirical check of Eq. (1)'s direction: with every participant at
+    /// a coarser local accuracy (larger θ), the federation needs MORE
+    /// global rounds to reach the same relative global accuracy — the
+    /// `T_g ∝ 1/(1−θ_max)` coupling the whole auction is built on.
+    #[test]
+    fn coarser_local_accuracy_needs_more_global_rounds() {
+        let build = |theta: f64| -> (Instance, AuctionOutcome) {
+            let cfg = AuctionConfig::builder()
+                .max_rounds(40)
+                .clients_per_round(2)
+                .round_time_limit(1000.0)
+                .build()
+                .unwrap();
+            let mut inst = Instance::new(cfg);
+            for i in 0..3 {
+                let c = inst.add_client(ClientProfile::new(1.0, 1.0).unwrap());
+                inst.add_bid(
+                    c,
+                    Bid::new(10.0 + i as f64, theta, Window::new(Round(1), Round(40)), 40).unwrap(),
+                )
+                .unwrap();
+            }
+            let outcome = run_auction(&inst).unwrap();
+            (inst, outcome)
+        };
+        let fed = Federation::generate(
+            &DatasetSpec {
+                dim: 6,
+                samples_per_client: 80,
+                label_noise: 0.02,
+                skew: DataSkew::Iid,
+            },
+            3,
+            31,
+        );
+        let epsilon = 0.05;
+        let (fine_inst, fine_out) = build(0.3);
+        let (coarse_inst, coarse_out) = build(0.9);
+        let fine = FlJob::new(epsilon).run(&fine_inst, &fine_out, &fed, 0);
+        let coarse = FlJob::new(epsilon).run(&coarse_inst, &coarse_out, &fed, 0);
+        let fine_rounds = fine.reached_at.expect("θ = 0.3 must converge in 40 rounds");
+        match coarse.reached_at {
+            None => {} // even stronger: coarse never reaches the target
+            Some(coarse_rounds) => assert!(
+                coarse_rounds > fine_rounds,
+                "θ = 0.9 converged in {coarse_rounds} rounds vs {fine_rounds} for θ = 0.3"
+            ),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shards")]
+    fn missing_shards_panic() {
+        let (inst, outcome, _) = setup();
+        let small = Federation::generate(&DatasetSpec::default(), 1, 0);
+        let _ = FlJob::new(0.5).run(&inst, &outcome, &small, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must lie")]
+    fn invalid_epsilon_panics() {
+        let _ = FlJob::new(0.0);
+    }
+}

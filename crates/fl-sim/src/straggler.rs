@@ -1,0 +1,112 @@
+//! Straggler injection — the paper's other future-work concern
+//! (§VIII: "there may be some variations in the training process due to
+//! hardware specifications").
+//!
+//! The auction admits bids assuming their *nominal* per-round time
+//! `T_l(θ)·t^cmp + t^com` fits the budget `t_max` (constraint (6d)). Real
+//! devices jitter: thermal throttling, background load, flaky radios. A
+//! [`StragglerModel`] multiplies each participation's nominal time by a
+//! random slowdown factor; the synchronous server waits only until
+//! `t_max`, so a participation that finishes late is **discarded** (its
+//! update misses the aggregation) even though the client did the work.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Random multiplicative slowdown per participation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerModel {
+    probability: f64,
+    factor: (f64, f64),
+}
+
+impl StragglerModel {
+    /// With `probability`, a participation's round time is multiplied by a
+    /// factor drawn uniformly from `factor` (its bounds must be ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]` or the factor range
+    /// is not an interval with both ends ≥ 1.
+    pub fn new(probability: f64, factor: (f64, f64)) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "straggler probability must lie in [0, 1], got {probability}"
+        );
+        assert!(
+            factor.0 >= 1.0 && factor.1 >= factor.0 && factor.1.is_finite(),
+            "slowdown factors must satisfy 1 ≤ lo ≤ hi, got {factor:?}"
+        );
+        StragglerModel {
+            probability,
+            factor,
+        }
+    }
+
+    /// A mild default: 20% of participations slow down by 1.2–2×.
+    pub fn mild() -> Self {
+        StragglerModel::new(0.2, (1.2, 2.0))
+    }
+
+    /// The configured probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Samples this participation's slowdown multiplier (1.0 = on time).
+    pub fn sample_factor(&self, rng: &mut StdRng) -> f64 {
+        if self.probability > 0.0 && rng.random_range(0.0..1.0) < self.probability {
+            if self.factor.1 > self.factor.0 {
+                rng.random_range(self.factor.0..=self.factor.1)
+            } else {
+                self.factor.0
+            }
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_never_slows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = StragglerModel::new(0.0, (1.5, 2.0));
+        assert!((0..500).all(|_| m.sample_factor(&mut rng) == 1.0));
+    }
+
+    #[test]
+    fn factors_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = StragglerModel::new(1.0, (1.2, 3.0));
+        for _ in 0..500 {
+            let f = m.sample_factor(&mut rng);
+            assert!((1.2..=3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = StragglerModel::mild();
+        let slowed = (0..20_000).filter(|_| m.sample_factor(&mut rng) > 1.0).count();
+        let rate = slowed as f64 / 20_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factors")]
+    fn sub_unit_factor_panics() {
+        let _ = StragglerModel::new(0.5, (0.5, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        let _ = StragglerModel::new(-0.1, (1.0, 2.0));
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`LinearProgram::solve`](crate::LinearProgram::solve).
+///
+/// The two "unsuccessful but well-defined" outcomes of an LP — infeasibility
+/// and unboundedness — are reported as errors rather than solution variants:
+/// in this workspace every caller treats them as exceptional (a WDP
+/// relaxation is always feasible and bounded unless the instance itself is
+/// broken), so the `?` operator is the ergonomic path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// No point satisfies all constraints (phase one terminated with a
+    /// positive infeasibility residual).
+    Infeasible,
+    /// The objective can be improved without bound along a feasible ray.
+    Unbounded,
+    /// The iteration limit was exceeded; the instance is numerically
+    /// degenerate beyond what Bland's rule recovered.
+    IterationLimit {
+        /// Number of pivots performed before giving up.
+        pivots: usize,
+    },
+    /// The problem definition is malformed (e.g. a NaN coefficient or an
+    /// upper bound below zero).
+    InvalidProblem(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit { pivots } => {
+                write!(f, "simplex iteration limit exceeded after {pivots} pivots")
+            }
+            LpError::InvalidProblem(why) => write!(f, "invalid linear program: {why}"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert!(LpError::IterationLimit { pivots: 7 }
+            .to_string()
+            .contains("7 pivots"));
+        assert!(LpError::InvalidProblem("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! This crate is the bounding substrate for the exact winner-determination
+//! solver in `fl-exact`: branch-and-bound prunes nodes with the objective of
+//! the LP relaxation of the packing/covering integer program, and that
+//! relaxation is solved here with a dense, two-phase primal simplex method.
+//!
+//! The solver targets the scale of the reproduction's exact experiments
+//! (hundreds of variables and constraints), not industrial LPs. It trades
+//! sparse sophistication for auditability:
+//!
+//! * problems are stated in a natural general form ([`LinearProgram`]) with
+//!   `≤` / `≥` / `=` rows and per-variable upper bounds,
+//! * the solver converts to standard computational form (slack, surplus and
+//!   artificial columns) internally,
+//! * phase one minimises infeasibility; phase two optimises the user
+//!   objective with Dantzig pricing and an automatic switch to Bland's rule
+//!   to rule out cycling,
+//! * dual values and reduced costs are recovered from the final tableau so
+//!   callers can check weak duality and complementary slackness.
+//!
+//! # Example
+//!
+//! Minimise `x + 2y` subject to `x + y ≥ 1`, `y ≤ 0.6`, `x, y ≥ 0`:
+//!
+//! ```
+//! use fl_lp::{LinearProgram, Objective, Relation};
+//!
+//! # fn main() -> Result<(), fl_lp::LpError> {
+//! let mut lp = LinearProgram::new(Objective::Minimize);
+//! let x = lp.add_var(1.0, f64::INFINITY);
+//! let y = lp.add_var(2.0, 0.6);
+//! lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 1.0);
+//! let sol = lp.solve()?;
+//! assert!((sol.objective() - 1.0).abs() < 1e-9);
+//! assert!((sol.value(x) - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod problem;
+mod simplex;
+mod solution;
+
+pub use error::LpError;
+pub use problem::{ConstraintId, LinearProgram, Objective, Relation, VarId};
+pub use solution::LpSolution;
+
+/// Numerical tolerance used throughout the solver for feasibility and
+/// optimality tests.
+pub const EPS: f64 = 1e-9;

@@ -1,0 +1,274 @@
+use crate::simplex;
+use crate::{LpError, LpSolution};
+
+/// Optimisation direction of a [`LinearProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimise the objective function.
+    Minimize,
+    /// Maximise the objective function.
+    Maximize,
+}
+
+/// Relation between a constraint's left-hand side and its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs ≥ rhs`
+    Ge,
+    /// `lhs = rhs`
+    Eq,
+}
+
+/// Opaque handle to a decision variable of a [`LinearProgram`].
+///
+/// Handles are only meaningful for the program that created them; using a
+/// handle with a different program yields a panic or nonsense indices, so
+/// treat them as scoped tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Zero-based index of the variable in insertion order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque handle to a constraint row of a [`LinearProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstraintId(pub(crate) usize);
+
+impl ConstraintId {
+    /// Zero-based index of the constraint in insertion order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    /// `(variable index, coefficient)` pairs; duplicates are summed during
+    /// densification.
+    pub coeffs: Vec<(usize, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program in general form.
+///
+/// All variables are non-negative with an optional finite upper bound; rows
+/// may be `≤`, `≥` or `=`. This matches the LP relaxations that arise from
+/// the winner-determination ILPs in this workspace (coverage rows are `≥ K`,
+/// one-bid-per-client rows are `≤ 1`, and `x_ij ∈ [0, 1]`).
+///
+/// # Example
+///
+/// ```
+/// use fl_lp::{LinearProgram, Objective, Relation};
+///
+/// # fn main() -> Result<(), fl_lp::LpError> {
+/// // max 3x + 2y  s.t.  x + y ≤ 4,  x ≤ 2
+/// let mut lp = LinearProgram::new(Objective::Maximize);
+/// let x = lp.add_var(3.0, 2.0);
+/// let y = lp.add_var(2.0, f64::INFINITY);
+/// lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+/// let sol = lp.solve()?;
+/// assert!((sol.objective() - 10.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Objective,
+    /// Objective coefficient per variable.
+    costs: Vec<f64>,
+    /// Finite or infinite upper bound per variable (lower bound is 0).
+    uppers: Vec<f64>,
+    rows: Vec<Row>,
+}
+
+impl LinearProgram {
+    /// Creates an empty program with the given optimisation direction.
+    pub fn new(objective: Objective) -> Self {
+        LinearProgram {
+            objective,
+            costs: Vec::new(),
+            uppers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a variable with objective coefficient `cost` and domain
+    /// `[0, upper]` (`upper` may be `f64::INFINITY`).
+    ///
+    /// Returns the handle used to reference the variable in constraints and
+    /// in the solution.
+    pub fn add_var(&mut self, cost: f64, upper: f64) -> VarId {
+        let id = VarId(self.costs.len());
+        self.costs.push(cost);
+        self.uppers.push(upper);
+        id
+    }
+
+    /// Adds the constraint `Σ coeff·var  relation  rhs`.
+    ///
+    /// Mentioning the same variable twice sums the coefficients.
+    pub fn add_constraint(
+        &mut self,
+        terms: &[(VarId, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) -> ConstraintId {
+        let id = ConstraintId(self.rows.len());
+        self.rows.push(Row {
+            coeffs: terms.iter().map(|&(v, c)| (v.0, c)).collect(),
+            relation,
+            rhs,
+        });
+        id
+    }
+
+    /// Number of decision variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of constraint rows added so far (upper bounds excluded).
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Optimisation direction this program was created with.
+    pub fn objective_sense(&self) -> Objective {
+        self.objective
+    }
+
+    /// Solves the program with the two-phase primal simplex method.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] if no feasible point exists.
+    /// * [`LpError::Unbounded`] if the objective is unbounded.
+    /// * [`LpError::InvalidProblem`] if a coefficient, bound or right-hand
+    ///   side is NaN, a bound is negative, or a constraint references an
+    ///   unknown variable.
+    /// * [`LpError::IterationLimit`] on pathological cycling (not observed
+    ///   in practice thanks to the Bland's-rule fallback).
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        self.validate()?;
+        simplex::solve(self)
+    }
+
+    fn validate(&self) -> Result<(), LpError> {
+        for (i, (&c, &u)) in self.costs.iter().zip(&self.uppers).enumerate() {
+            if c.is_nan() {
+                return Err(LpError::InvalidProblem(format!(
+                    "objective coefficient of variable {i} is NaN"
+                )));
+            }
+            if u.is_nan() || u < 0.0 {
+                return Err(LpError::InvalidProblem(format!(
+                    "upper bound of variable {i} is {u}; bounds must be non-negative"
+                )));
+            }
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            if row.rhs.is_nan() || row.rhs.is_infinite() {
+                return Err(LpError::InvalidProblem(format!(
+                    "right-hand side of constraint {r} is {}",
+                    row.rhs
+                )));
+            }
+            for &(v, c) in &row.coeffs {
+                if v >= self.costs.len() {
+                    return Err(LpError::InvalidProblem(format!(
+                        "constraint {r} references unknown variable {v}"
+                    )));
+                }
+                if c.is_nan() || c.is_infinite() {
+                    return Err(LpError::InvalidProblem(format!(
+                        "coefficient of variable {v} in constraint {r} is {c}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    pub(crate) fn uppers(&self) -> &[f64] {
+        &self.uppers
+    }
+
+    pub(crate) fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_and_constraint_ids_are_sequential() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let a = lp.add_var(1.0, 1.0);
+        let b = lp.add_var(1.0, 1.0);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        let c0 = lp.add_constraint(&[(a, 1.0)], Relation::Ge, 0.5);
+        let c1 = lp.add_constraint(&[(b, 1.0)], Relation::Le, 0.5);
+        assert_eq!(c0.index(), 0);
+        assert_eq!(c1.index(), 1);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 2);
+    }
+
+    #[test]
+    fn nan_cost_is_rejected() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        lp.add_var(f64::NAN, 1.0);
+        assert!(matches!(lp.solve(), Err(LpError::InvalidProblem(_))));
+    }
+
+    #[test]
+    fn negative_upper_bound_is_rejected() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        lp.add_var(1.0, -1.0);
+        assert!(matches!(lp.solve(), Err(LpError::InvalidProblem(_))));
+    }
+
+    #[test]
+    fn unknown_variable_reference_is_rejected() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(1.0, 1.0);
+        let mut other = LinearProgram::new(Objective::Minimize);
+        // Simulate a stale handle: reference var 5 in a 1-var program.
+        other.add_var(1.0, 1.0);
+        other.rows.push(Row {
+            coeffs: vec![(5, 1.0)],
+            relation: Relation::Ge,
+            rhs: 1.0,
+        });
+        assert!(matches!(other.solve(), Err(LpError::InvalidProblem(_))));
+        // The legitimate program still works.
+        let mut ok = LinearProgram::new(Objective::Minimize);
+        let y = ok.add_var(1.0, 1.0);
+        ok.add_constraint(&[(y, 1.0)], Relation::Ge, 0.25);
+        assert!(ok.solve().is_ok());
+        let _ = x;
+    }
+
+    #[test]
+    fn infinite_rhs_is_rejected() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(1.0, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, f64::INFINITY);
+        assert!(matches!(lp.solve(), Err(LpError::InvalidProblem(_))));
+    }
+}

@@ -1,0 +1,517 @@
+//! Dense two-phase primal simplex on an explicit tableau.
+//!
+//! The implementation keeps the full tableau (constraint rows plus a reduced
+//! cost row) and updates it by Gaussian pivots. Phase one minimises the sum
+//! of artificial variables to find a basic feasible solution; phase two
+//! minimises the user objective. Entering columns are priced with Dantzig's
+//! rule and the solver falls back to Bland's rule after a fixed pivot budget,
+//! which guarantees termination on degenerate instances.
+
+use crate::problem::{LinearProgram, Objective, Relation};
+use crate::solution::LpSolution;
+use crate::{LpError, EPS};
+
+/// What a tableau row corresponds to in the user's problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowKind {
+    /// `i`-th user constraint.
+    User(usize),
+    /// Upper bound of structural variable `j` (`x_j ≤ u_j`).
+    Bound(usize),
+}
+
+/// What a tableau column corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    Structural(usize),
+    /// Slack (`+1`) of row `r`.
+    Slack(usize),
+    /// Surplus (`-1`) of row `r`.
+    Surplus(usize),
+    /// Artificial (`+1`) of row `r`; barred from entering in phase two.
+    Artificial(usize),
+}
+
+struct Tableau {
+    /// `rows × cols` coefficient matrix.
+    a: Vec<Vec<f64>>,
+    /// Right-hand side per row (kept non-negative by construction).
+    b: Vec<f64>,
+    /// Reduced-cost row for the current phase.
+    z: Vec<f64>,
+    /// Per-column costs of the current phase (for objective evaluation).
+    costs: Vec<f64>,
+    /// Basic column index per row.
+    basis: Vec<usize>,
+    cols: Vec<ColKind>,
+    row_kinds: Vec<RowKind>,
+    /// Whether the user row was negated to make its rhs non-negative.
+    flipped: Vec<bool>,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot on a (near-)zero element");
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        self.b[row] *= inv;
+        let pivot_row = self.a[row].clone();
+        let pivot_rhs = self.b[row];
+        for r in 0..self.a.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.a[r][col];
+            if factor.abs() <= EPS {
+                self.a[r][col] = 0.0;
+                continue;
+            }
+            for (v, &p) in self.a[r].iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
+            }
+            self.a[r][col] = 0.0; // exact, avoids drift
+            self.b[r] -= factor * pivot_rhs;
+            if self.b[r] < 0.0 && self.b[r] > -EPS {
+                self.b[r] = 0.0;
+            }
+        }
+        let zfactor = self.z[col];
+        if zfactor.abs() > EPS {
+            for (v, &p) in self.z.iter_mut().zip(&pivot_row) {
+                *v -= zfactor * p;
+            }
+            self.z[col] = 0.0;
+        }
+        let _ = pivot_rhs;
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex loop for the current cost row.
+    ///
+    /// `allow_artificial` controls whether artificial columns may enter the
+    /// basis (true only in phase one).
+    fn optimize(&mut self, allow_artificial: bool) -> Result<(), LpError> {
+        let ncols = self.cols.len();
+        let nrows = self.a.len();
+        let bland_after = 20 * (nrows + ncols) + 200;
+        let max_pivots = 500 * (nrows + ncols) + 20_000;
+        let mut pivots = 0usize;
+        loop {
+            let use_bland = pivots >= bland_after;
+            let mut entering: Option<usize> = None;
+            let mut best = -EPS;
+            for (j, &kind) in self.cols.iter().enumerate() {
+                if !allow_artificial && matches!(kind, ColKind::Artificial(_)) {
+                    continue;
+                }
+                let zj = self.z[j];
+                if use_bland {
+                    if zj < -EPS {
+                        entering = Some(j);
+                        break;
+                    }
+                } else if zj < best {
+                    best = zj;
+                    entering = Some(j);
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(()); // optimal for this phase
+            };
+            // Ratio test; ties broken by the smallest basis column index
+            // (the Bland tie-break, safe to use unconditionally).
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..nrows {
+                let arc = self.a[r][col];
+                if arc > EPS {
+                    let ratio = self.b[r] / arc;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(row) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+            pivots += 1;
+            if pivots > max_pivots {
+                return Err(LpError::IterationLimit { pivots });
+            }
+        }
+    }
+
+    /// Installs a new phase's per-column costs and recomputes the reduced
+    /// cost row `z_j = c_j − c_B·B⁻¹A_j`.
+    fn install_costs(&mut self, costs: Vec<f64>) {
+        self.z.copy_from_slice(&costs);
+        for (r, &bc) in self.basis.iter().enumerate() {
+            let cb = costs[bc];
+            if cb.abs() <= EPS {
+                continue;
+            }
+            for (zj, arj) in self.z.iter_mut().zip(&self.a[r]) {
+                *zj -= cb * arj;
+            }
+        }
+        self.costs = costs;
+    }
+
+    /// Objective value of the current basic solution under the current
+    /// phase's costs.
+    fn objective(&self) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.b)
+            .map(|(&bc, &rhs)| self.costs[bc] * rhs)
+            .sum()
+    }
+}
+
+pub(crate) fn solve(lp: &LinearProgram) -> Result<LpSolution, LpError> {
+    let n = lp.num_vars();
+    // -- Densify user rows and append upper-bound rows. ---------------------
+    let mut dense_rows: Vec<(Vec<f64>, Relation, f64, RowKind)> = Vec::new();
+    for (idx, row) in lp.rows().iter().enumerate() {
+        let mut coeffs = vec![0.0; n];
+        for &(v, c) in &row.coeffs {
+            coeffs[v] += c;
+        }
+        dense_rows.push((coeffs, row.relation, row.rhs, RowKind::User(idx)));
+    }
+    for (j, &u) in lp.uppers().iter().enumerate() {
+        if u.is_finite() {
+            let mut coeffs = vec![0.0; n];
+            coeffs[j] = 1.0;
+            dense_rows.push((coeffs, Relation::Le, u, RowKind::Bound(j)));
+        }
+    }
+
+    // -- Flip rows to non-negative rhs, assign slack/surplus/artificial. ----
+    let m = dense_rows.len();
+    let mut cols: Vec<ColKind> = (0..n).map(ColKind::Structural).collect();
+    let mut flipped = vec![false; m];
+    let mut relations = Vec::with_capacity(m);
+    for (r, (coeffs, rel, rhs, _)) in dense_rows.iter_mut().enumerate() {
+        if *rhs < 0.0 {
+            for c in coeffs.iter_mut() {
+                *c = -*c;
+            }
+            *rhs = -*rhs;
+            *rel = match *rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            flipped[r] = true;
+        }
+        relations.push(*rel);
+    }
+    // Column layout: structural | slack/surplus per row | artificials.
+    let mut slack_col = vec![usize::MAX; m];
+    for (r, rel) in relations.iter().enumerate() {
+        match rel {
+            Relation::Le => {
+                slack_col[r] = cols.len();
+                cols.push(ColKind::Slack(r));
+            }
+            Relation::Ge => {
+                slack_col[r] = cols.len();
+                cols.push(ColKind::Surplus(r));
+            }
+            Relation::Eq => {}
+        }
+    }
+    let mut art_col = vec![usize::MAX; m];
+    for (r, rel) in relations.iter().enumerate() {
+        if matches!(rel, Relation::Ge | Relation::Eq) {
+            art_col[r] = cols.len();
+            cols.push(ColKind::Artificial(r));
+        }
+    }
+    let ncols = cols.len();
+
+    // -- Build tableau. ------------------------------------------------------
+    let mut a = vec![vec![0.0; ncols]; m];
+    let mut b = vec![0.0; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut row_kinds = Vec::with_capacity(m);
+    for (r, (coeffs, rel, rhs, kind)) in dense_rows.into_iter().enumerate() {
+        a[r][..n].copy_from_slice(&coeffs);
+        b[r] = rhs;
+        row_kinds.push(kind);
+        match rel {
+            Relation::Le => {
+                a[r][slack_col[r]] = 1.0;
+                basis[r] = slack_col[r];
+            }
+            Relation::Ge => {
+                a[r][slack_col[r]] = -1.0;
+                a[r][art_col[r]] = 1.0;
+                basis[r] = art_col[r];
+            }
+            Relation::Eq => {
+                a[r][art_col[r]] = 1.0;
+                basis[r] = art_col[r];
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        a,
+        b,
+        z: vec![0.0; ncols],
+        costs: vec![0.0; ncols],
+        basis,
+        cols,
+        row_kinds,
+        flipped,
+    };
+
+    // -- Phase one: minimise the sum of artificials. -------------------------
+    let needs_phase_one = t.cols.iter().any(|c| matches!(c, ColKind::Artificial(_)));
+    if needs_phase_one {
+        let phase1: Vec<f64> = t
+            .cols
+            .iter()
+            .map(|c| {
+                if matches!(c, ColKind::Artificial(_)) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        t.install_costs(phase1);
+        t.optimize(true)?;
+        if t.objective() > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive artificials that linger in the basis (at value zero) out,
+        // pivoting on any non-artificial column of their row; rows that are
+        // all-zero elsewhere are redundant and keep the artificial at zero.
+        for r in 0..t.a.len() {
+            if matches!(t.cols[t.basis[r]], ColKind::Artificial(_)) {
+                if let Some(j) = (0..t.cols.len()).find(|&j| {
+                    !matches!(t.cols[j], ColKind::Artificial(_)) && t.a[r][j].abs() > 1e-7
+                }) {
+                    t.pivot(r, j);
+                }
+            }
+        }
+    }
+
+    // -- Phase two: minimise the user objective. ------------------------------
+    let sense = match lp.objective_sense() {
+        Objective::Minimize => 1.0,
+        Objective::Maximize => -1.0,
+    };
+    let phase2: Vec<f64> = t
+        .cols
+        .iter()
+        .map(|c| match c {
+            ColKind::Structural(j) => sense * lp.costs()[*j],
+            _ => 0.0,
+        })
+        .collect();
+    t.install_costs(phase2);
+    t.optimize(false)?;
+
+    // -- Extract the primal solution. -----------------------------------------
+    let mut x = vec![0.0; n];
+    for (r, &bc) in t.basis.iter().enumerate() {
+        if let ColKind::Structural(j) = t.cols[bc] {
+            x[j] = t.b[r];
+        }
+    }
+    let objective = sense * t.objective();
+
+    // -- Recover duals from the reduced-cost row. ------------------------------
+    // For the minimised problem, y_i = c_B·B⁻¹e_i; the reduced cost of a
+    // slack column (+e_i, cost 0) is −y_i and of a surplus column (−e_i) is
+    // +y_i. Equality rows read the barred artificial column (+e_i) instead.
+    let mut user_duals = vec![0.0; lp.num_constraints()];
+    let mut bound_duals = vec![0.0; n];
+    for r in 0..t.a.len() {
+        let y_flipped = if slack_col[r] != usize::MAX {
+            match t.cols[slack_col[r]] {
+                ColKind::Slack(_) => -t.z[slack_col[r]],
+                ColKind::Surplus(_) => t.z[slack_col[r]],
+                _ => unreachable!("slack_col points at a slack or surplus column"),
+            }
+        } else {
+            -t.z[art_col[r]]
+        };
+        // Undo the rhs-sign flip and the maximisation sign change.
+        let y = sense * if t.flipped[r] { -y_flipped } else { y_flipped };
+        match t.row_kinds[r] {
+            RowKind::User(i) => user_duals[i] = y,
+            RowKind::Bound(j) => bound_duals[j] = y,
+        }
+    }
+
+    Ok(LpSolution::new(objective, x, user_duals, bound_duals))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LinearProgram, LpError, Objective, Relation};
+
+    #[test]
+    fn solves_textbook_maximization() {
+        // max 3x + 5y st x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → obj 36 at (2, 6).
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_var(3.0, f64::INFINITY);
+        let y = lp.add_var(5.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() - 36.0).abs() < 1e-8);
+        assert!((sol.value(x) - 2.0).abs() < 1e-8);
+        assert!((sol.value(y) - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn solves_covering_minimization_with_ge_rows() {
+        // min 2x + 3y st x + y ≥ 4, x ≥ 1 → obj 8 at (4, 0).
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(2.0, f64::INFINITY);
+        let y = lp.add_var(3.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() - 8.0).abs() < 1e-8);
+        assert!((sol.value(x) - 4.0).abs() < 1e-8);
+        assert!(sol.value(y).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints_are_honoured() {
+        // min x + y st x + 2y = 3, x - y = 0 → x = y = 1, obj 2.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(1.0, f64::INFINITY);
+        let y = lp.add_var(1.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 3.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 0.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 1.0).abs() < 1e-8);
+        assert!((sol.value(y) - 1.0).abs() < 1e-8);
+        assert!((sol.objective() - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn upper_bounds_are_enforced() {
+        // min x + 5y st x + y ≥ 2, x ≤ 0.5 → x = 0.5, y = 1.5.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(1.0, 0.5);
+        let y = lp.add_var(5.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 0.5).abs() < 1e-8);
+        assert!((sol.value(y) - 1.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x ≤ 1 and x ≥ 2 cannot both hold.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(1.0, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // max x with no constraints at all.
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        lp.add_var(1.0, f64::INFINITY);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_flipped_correctly() {
+        // min x st -x ≤ -3  (i.e. x ≥ 3) → obj 3.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(1.0, f64::INFINITY);
+        lp.add_constraint(&[(x, -1.0)], Relation::Le, -3.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic Beale-style degeneracy; the Bland fallback must terminate.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x1 = lp.add_var(-0.75, f64::INFINITY);
+        let x2 = lp.add_var(150.0, f64::INFINITY);
+        let x3 = lp.add_var(-0.02, f64::INFINITY);
+        let x4 = lp.add_var(6.0, f64::INFINITY);
+        lp.add_constraint(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Relation::Le, 0.0);
+        lp.add_constraint(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Relation::Le, 0.0);
+        lp.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective() - (-0.05)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_covering_lp() {
+        // min 2x + 3y st x + y ≥ 4 (dual y1), x ≥ 1 (dual y2).
+        // Optimal duals: y1 = 2, y2 = 0; y·b = 8 = primal objective.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(2.0, f64::INFINITY);
+        let y = lp.add_var(3.0, f64::INFINITY);
+        let c1 = lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        let c2 = lp.add_constraint(&[(x, 1.0)], Relation::Ge, 1.0);
+        let sol = lp.solve().unwrap();
+        let dual_obj = sol.dual(c1) * 4.0 + sol.dual(c2) * 1.0;
+        assert!((dual_obj - sol.objective()).abs() < 1e-8);
+        assert!(sol.dual(c1) >= -1e-9);
+        assert!(sol.dual(c2) >= -1e-9);
+    }
+
+    #[test]
+    fn duals_include_upper_bound_multipliers() {
+        // min x + 5y st x + y ≥ 2, x ≤ 0.5.
+        // obj = 8.0; y_cover = 5, w_x (bound dual) = -4 (binding at 0.5):
+        // 5·2 + (−4)·0.5 = 8.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(1.0, 0.5);
+        let y = lp.add_var(5.0, f64::INFINITY);
+        let cover = lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0);
+        let sol = lp.solve().unwrap();
+        let dual_obj = sol.dual(cover) * 2.0 + sol.bound_dual(x) * 0.5;
+        assert!((dual_obj - sol.objective()).abs() < 1e-8, "dual obj {dual_obj}");
+    }
+
+    #[test]
+    fn zero_rhs_equality_is_fine() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(1.0, f64::INFINITY);
+        let y = lp.add_var(1.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 0.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 1.0).abs() < 1e-8);
+        assert!((sol.value(y) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn redundant_rows_do_not_break_phase_one() {
+        // Two identical equalities leave an artificial basic at zero.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(1.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Eq, 2.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-8);
+    }
+}

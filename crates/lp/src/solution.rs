@@ -1,0 +1,96 @@
+use crate::problem::{ConstraintId, VarId};
+
+/// Optimal solution of a [`LinearProgram`](crate::LinearProgram).
+///
+/// Holds the objective value, the primal point, and the dual multipliers
+/// recovered from the final simplex tableau.
+///
+/// # Dual conventions
+///
+/// For a **minimisation** problem the returned duals satisfy strong duality
+/// in the form
+///
+/// ```text
+/// objective = Σ_i dual(i)·rhs_i + Σ_j bound_dual(j)·upper_j
+/// ```
+///
+/// with `dual(i) ≥ 0` for `≥` rows, `dual(i) ≤ 0` for `≤` rows, free for
+/// `=` rows, and `bound_dual(j) ≤ 0` (only non-zero when the upper bound is
+/// binding). Maximisation problems carry the mirrored signs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    objective: f64,
+    x: Vec<f64>,
+    duals: Vec<f64>,
+    bound_duals: Vec<f64>,
+}
+
+impl LpSolution {
+    pub(crate) fn new(objective: f64, x: Vec<f64>, duals: Vec<f64>, bound_duals: Vec<f64>) -> Self {
+        LpSolution {
+            objective,
+            x,
+            duals,
+            bound_duals,
+        }
+    }
+
+    /// Optimal objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of variable `v` at the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` belongs to a different program (index out of range).
+    pub fn value(&self, v: VarId) -> f64 {
+        self.x[v.index()]
+    }
+
+    /// The full primal point in variable-insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Dual multiplier of constraint `c` (see the type-level docs for sign
+    /// conventions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` belongs to a different program.
+    pub fn dual(&self, c: ConstraintId) -> f64 {
+        self.duals[c.index()]
+    }
+
+    /// Dual multiplier of the upper bound of variable `v`; zero when the
+    /// bound is infinite or slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` belongs to a different program.
+    pub fn bound_dual(&self, v: VarId) -> f64 {
+        self.bound_duals[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LinearProgram, Objective, Relation};
+
+    #[test]
+    fn values_slice_matches_individual_lookups() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_var(1.0, 2.0);
+        let y = lp.add_var(1.0, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.values().len(), 2);
+        assert_eq!(sol.values()[0], sol.value(x));
+        assert_eq!(sol.values()[1], sol.value(y));
+        // x + y must cover 3 within bounds.
+        assert!(sol.value(x) + sol.value(y) >= 3.0 - 1e-9);
+        assert!(sol.value(x) <= 2.0 + 1e-9 && sol.value(y) <= 2.0 + 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the simplex solver: returned points are feasible,
+//! beat random feasible points, and satisfy strong duality.
+
+use fl_lp::{LinearProgram, LpError, Objective, Relation};
+use proptest::prelude::*;
+
+/// A random covering-style LP: minimise `c·x` over `A x ≥ b`, `0 ≤ x ≤ u`,
+/// constructed so that a feasible point always exists (`x = u` works by
+/// making `b ≤ A·u`).
+#[derive(Debug, Clone)]
+struct CoverLp {
+    costs: Vec<f64>,
+    uppers: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn cover_lp() -> impl Strategy<Value = CoverLp> {
+    (2usize..6, 1usize..5).prop_flat_map(|(n, m)| {
+        let costs = prop::collection::vec(1u32..20, n..=n);
+        let uppers = prop::collection::vec(1u32..5, n..=n);
+        let coeffs = prop::collection::vec(prop::collection::vec(0u32..4, n..=n), m..=m);
+        let slack = prop::collection::vec(0.0f64..1.0, m..=m);
+        (costs, uppers, coeffs, slack).prop_map(|(costs, uppers, coeffs, slack)| {
+            let costs: Vec<f64> = costs.into_iter().map(f64::from).collect();
+            let uppers: Vec<f64> = uppers.into_iter().map(f64::from).collect();
+            let rows = coeffs
+                .into_iter()
+                .zip(slack)
+                .map(|(row, s)| {
+                    let row: Vec<f64> = row.into_iter().map(f64::from).collect();
+                    // rhs at most A·u, guaranteeing feasibility of x = u.
+                    let max_rhs: f64 = row.iter().zip(&uppers).map(|(a, u)| a * u).sum();
+                    (row, s * max_rhs)
+                })
+                .collect();
+            CoverLp {
+                costs,
+                uppers,
+                rows,
+            }
+        })
+    })
+}
+
+fn build(lp_data: &CoverLp) -> (LinearProgram, Vec<fl_lp::VarId>, Vec<fl_lp::ConstraintId>) {
+    let mut lp = LinearProgram::new(Objective::Minimize);
+    let vars: Vec<_> = lp_data
+        .costs
+        .iter()
+        .zip(&lp_data.uppers)
+        .map(|(&c, &u)| lp.add_var(c, u))
+        .collect();
+    let mut rows = Vec::new();
+    for (row, rhs) in &lp_data.rows {
+        let terms: Vec<_> = vars.iter().zip(row).map(|(&v, &a)| (v, a)).collect();
+        rows.push(lp.add_constraint(&terms, Relation::Ge, *rhs));
+    }
+    (lp, vars, rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solution_is_feasible(data in cover_lp()) {
+        let (lp, vars, _) = build(&data);
+        let sol = lp.solve().expect("x = u is always feasible");
+        for (j, &v) in vars.iter().enumerate() {
+            let x = sol.value(v);
+            prop_assert!(x >= -1e-8, "x_{j} = {x} negative");
+            prop_assert!(x <= data.uppers[j] + 1e-8, "x_{j} = {x} over bound");
+        }
+        for (i, (row, rhs)) in data.rows.iter().enumerate() {
+            let lhs: f64 = vars.iter().zip(row).map(|(&v, &a)| a * sol.value(v)).sum();
+            prop_assert!(lhs >= rhs - 1e-7, "row {i}: {lhs} < {rhs}");
+        }
+    }
+
+    #[test]
+    fn objective_beats_the_all_upper_point(data in cover_lp()) {
+        let (lp, _, _) = build(&data);
+        let sol = lp.solve().expect("feasible");
+        let naive: f64 = data.costs.iter().zip(&data.uppers).map(|(c, u)| c * u).sum();
+        prop_assert!(sol.objective() <= naive + 1e-7);
+        prop_assert!(sol.objective() >= -1e-9, "covering LPs have non-negative cost");
+    }
+
+    #[test]
+    fn strong_duality_holds(data in cover_lp()) {
+        let (lp, vars, row_ids) = build(&data);
+        let sol = lp.solve().expect("feasible");
+        // Dual objective: Σ y_i b_i + Σ w_j u_j (bound duals w ≤ 0).
+        let mut dual = 0.0;
+        for (i, &rid) in row_ids.iter().enumerate() {
+            dual += sol.dual(rid) * data.rows[i].1;
+        }
+        for (j, &v) in vars.iter().enumerate() {
+            dual += sol.bound_dual(v) * data.uppers[j];
+        }
+        prop_assert!(
+            (dual - sol.objective()).abs() <= 1e-6 * (1.0 + sol.objective().abs()),
+            "strong duality gap: dual {dual} vs primal {}",
+            sol.objective()
+        );
+    }
+
+    #[test]
+    fn scaling_costs_scales_the_objective(data in cover_lp(), factor in 1u32..5) {
+        let (lp, _, _) = build(&data);
+        let base = lp.solve().expect("feasible").objective();
+        let mut scaled = data.clone();
+        for c in scaled.costs.iter_mut() {
+            *c *= f64::from(factor);
+        }
+        let (lp2, _, _) = build(&scaled);
+        let scaled_obj = lp2.solve().expect("feasible").objective();
+        prop_assert!(
+            (scaled_obj - f64::from(factor) * base).abs() <= 1e-6 * (1.0 + scaled_obj.abs()),
+            "{scaled_obj} != {factor}·{base}"
+        );
+    }
+}
+
+#[test]
+fn infeasible_row_is_detected() {
+    let mut lp = LinearProgram::new(Objective::Minimize);
+    let x = lp.add_var(1.0, 1.0);
+    lp.add_constraint(&[(x, 1.0)], Relation::Ge, 5.0);
+    assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+}

@@ -1,0 +1,199 @@
+//! Battery-grounded bid generation.
+//!
+//! §IV-B states that a bid's round count `c_ij` is "limited by its battery
+//! level, and calculated based on `θ_ij`". The plain generator
+//! ([`WorkloadSpec::generate`]) draws `c_ij` uniformly as §VII-A describes;
+//! this generator derives it physically instead: each client gets a
+//! battery, each bid's per-round energy follows from its accuracy and the
+//! client's profile, and the bid offers exactly as many rounds as the
+//! battery can fund (clipped to the window).
+
+use fl_auction::{AuctionError, Bid, ClientProfile, Instance, Round, Window};
+use fl_sim::{Battery, EnergyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::paper::{CostModel, Range, WorkloadSpec};
+use crate::sample::{distinct_sorted, uniform};
+
+/// A workload whose participation budgets come from device batteries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryWorkload {
+    /// The base parameters (client count, windows, prices, accuracies).
+    pub spec: WorkloadSpec,
+    /// Time-to-energy conversion.
+    pub energy: EnergyModel,
+    /// Per-client battery capacity range.
+    pub capacity: Range,
+}
+
+impl BatteryWorkload {
+    /// Battery-grounded variant of the paper defaults: smartphone energy
+    /// model and capacities that fund roughly 1–10 rounds.
+    pub fn paper_default() -> Self {
+        BatteryWorkload {
+            spec: WorkloadSpec::paper_default(),
+            energy: EnergyModel::smartphone(),
+            capacity: (80.0, 600.0),
+        }
+    }
+
+    /// Generates an instance; returns it together with each client's
+    /// (full) battery so simulations can drain them.
+    ///
+    /// Bids whose battery cannot fund even one round, or whose funded
+    /// rounds exceed nothing of the window, are not submitted; clients may
+    /// therefore end up with fewer than `J` bids (or none).
+    ///
+    /// # Errors
+    ///
+    /// Same validity conditions as [`WorkloadSpec::generate`], plus a
+    /// positive capacity range.
+    pub fn generate(&self, seed: u64) -> Result<(Instance, Vec<Battery>), AuctionError> {
+        self.spec.validate()?;
+        if !(self.capacity.0.is_finite()
+            && self.capacity.1.is_finite()
+            && self.capacity.1 >= self.capacity.0
+            && self.capacity.0 > 0.0)
+        {
+            return Err(AuctionError::InvalidInstance(format!(
+                "battery capacity range [{}, {}] is not a positive interval",
+                self.capacity.0, self.capacity.1
+            )));
+        }
+        let spec = &self.spec;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = spec.config.max_rounds();
+        let j = spec.bids_per_client;
+        let mut instance = Instance::new(spec.config.clone());
+        let mut batteries = Vec::with_capacity(spec.clients);
+        for _ in 0..spec.clients {
+            let profile = ClientProfile::new(
+                uniform(&mut rng, spec.compute_time.0, spec.compute_time.1),
+                uniform(&mut rng, spec.comm_time.0, spec.comm_time.1),
+            )?;
+            let client = instance.add_client(profile);
+            let battery = Battery::new(uniform(&mut rng, self.capacity.0, self.capacity.1));
+            batteries.push(battery);
+            let marks = distinct_sorted(&mut rng, 2 * j as usize, t);
+            for m in 0..j as usize {
+                let a = marks[2 * m];
+                let d = marks[2 * m + 1];
+                let accuracy = uniform(&mut rng, spec.accuracy.0, spec.accuracy.1);
+                let per_round =
+                    self.energy
+                        .round_energy(spec.config.local_model(), &profile, accuracy);
+                // The physical derivation of c_ij: what the battery funds,
+                // clipped to the window (§IV-B).
+                let affordable = battery.affordable_rounds(per_round);
+                let window_len = d - a + 1;
+                let rounds = affordable.min(window_len);
+                if rounds == 0 {
+                    continue;
+                }
+                let price = match spec.cost_model {
+                    CostModel::UniformTotal => uniform(&mut rng, spec.price.0, spec.price.1),
+                    CostModel::TimeProportional { unit } => {
+                        let t_ij = spec.config.local_model().local_iterations(accuracy)
+                            * profile.compute_time()
+                            + profile.comm_time();
+                        uniform(&mut rng, unit.0, unit.1) * t_ij
+                    }
+                };
+                let bid = Bid::new(price, accuracy, Window::new(Round(a), Round(d)), rounds)?;
+                instance.add_bid(client, bid)?;
+            }
+        }
+        Ok((instance, batteries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_auction::ClientId;
+
+    fn workload() -> BatteryWorkload {
+        let mut w = BatteryWorkload::paper_default();
+        w.spec = w.spec.with_clients(60).with_bids_per_client(3);
+        w
+    }
+
+    #[test]
+    fn rounds_are_battery_funded() {
+        let w = workload();
+        let (inst, batteries) = w.generate(5).unwrap();
+        assert_eq!(batteries.len(), inst.num_clients());
+        for (r, bid) in inst.iter_bids() {
+            let profile = &inst.clients()[r.client.index()];
+            let per_round =
+                w.energy
+                    .round_energy(inst.config().local_model(), profile, bid.accuracy());
+            let affordable = batteries[r.client.index()].affordable_rounds(per_round);
+            assert!(
+                bid.rounds() <= affordable,
+                "{r} offers {} rounds but can only afford {affordable}",
+                bid.rounds()
+            );
+            assert!(bid.rounds() <= bid.window().len());
+        }
+    }
+
+    #[test]
+    fn richer_batteries_offer_weakly_more_rounds() {
+        let mut poor = workload();
+        poor.capacity = (40.0, 60.0);
+        let mut rich = workload();
+        rich.capacity = (2_000.0, 3_000.0);
+        let (pi, _) = poor.generate(9).unwrap();
+        let (ri, _) = rich.generate(9).unwrap();
+        let mean_rounds = |inst: &Instance| -> f64 {
+            let (sum, n) = inst
+                .iter_bids()
+                .fold((0u64, 0u64), |(s, n), (_, b)| (s + u64::from(b.rounds()), n + 1));
+            sum as f64 / n.max(1) as f64
+        };
+        assert!(
+            mean_rounds(&ri) > mean_rounds(&pi),
+            "rich fleet must offer more rounds: {} vs {}",
+            mean_rounds(&ri),
+            mean_rounds(&pi)
+        );
+    }
+
+    #[test]
+    fn starved_batteries_suppress_bids() {
+        let mut w = workload();
+        w.capacity = (1.0, 2.0); // cannot fund a single round
+        let (inst, _) = w.generate(2).unwrap();
+        assert_eq!(inst.num_bids(), 0);
+        // Clients still registered.
+        assert_eq!(inst.num_clients(), 60);
+        assert!(inst.bids_of(ClientId(0)).is_empty());
+    }
+
+    #[test]
+    fn invalid_capacity_rejected() {
+        let mut w = workload();
+        w.capacity = (0.0, 10.0);
+        assert!(w.generate(0).is_err());
+        w.capacity = (10.0, 5.0);
+        assert!(w.generate(0).is_err());
+    }
+
+    #[test]
+    fn generated_instances_are_auctionable() {
+        let mut w = workload();
+        w.spec = w.spec.with_clients(200).with_config(
+            fl_auction::AuctionConfig::builder()
+                .max_rounds(16)
+                .clients_per_round(3)
+                .round_time_limit(60.0)
+                .build()
+                .unwrap(),
+        );
+        let (inst, _) = w.generate(7).unwrap();
+        let outcome = fl_auction::run_auction(&inst).expect("battery workload is feasible");
+        assert!(fl_auction::verify::outcome_violations(&inst, &outcome).is_empty());
+    }
+}

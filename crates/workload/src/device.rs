@@ -1,0 +1,245 @@
+//! Heterogeneous device-population generator.
+//!
+//! The paper grounds its parameter ranges in measurements from [4], [6] but
+//! draws them i.i.d. uniform. Real client fleets are *clustered*: flagship
+//! phones compute fast and sit on Wi-Fi; budget phones are slow on both
+//! axes; their asking prices correlate with their costs. This module
+//! provides that richer population — the "closest synthetic equivalent" of
+//! real-world device traces — while staying inside the paper's parameter
+//! envelope, so the auction sees realistically correlated bids.
+
+use fl_auction::{AuctionError, Bid, ClientProfile, Instance, Round, Window};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::paper::WorkloadSpec;
+use crate::sample::{distinct_sorted, uniform};
+
+/// A device class with its own parameter envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceClass {
+    /// Human-readable label (appears in experiment logs).
+    pub name: &'static str,
+    /// Population weight (relative; normalised over the mix).
+    pub weight: f64,
+    /// Compute-time range `t^cmp`.
+    pub compute_time: (f64, f64),
+    /// Communication-time range `t^com`.
+    pub comm_time: (f64, f64),
+    /// Local-accuracy range: capable devices afford smaller θ.
+    pub accuracy: (f64, f64),
+    /// Multiplier on the base price range — devices with higher real costs
+    /// ask for more.
+    pub price_factor: f64,
+    /// Availability: expected fraction of the window a device can actually
+    /// serve (battery-rich devices offer more rounds).
+    pub stamina: f64,
+}
+
+/// A weighted mix of device classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMix {
+    classes: Vec<DeviceClass>,
+}
+
+impl DeviceMix {
+    /// A three-tier smartphone fleet: flagship / mid-range / budget, with
+    /// parameters spanning the same envelope as the paper's uniform draws.
+    pub fn smartphone_fleet() -> Self {
+        DeviceMix {
+            classes: vec![
+                DeviceClass {
+                    name: "flagship",
+                    weight: 0.2,
+                    compute_time: (5.0, 6.5),
+                    comm_time: (10.0, 11.5),
+                    accuracy: (0.3, 0.5),
+                    price_factor: 1.4,
+                    stamina: 0.9,
+                },
+                DeviceClass {
+                    name: "midrange",
+                    weight: 0.5,
+                    compute_time: (6.5, 8.5),
+                    comm_time: (11.0, 13.5),
+                    accuracy: (0.4, 0.7),
+                    price_factor: 1.0,
+                    stamina: 0.6,
+                },
+                DeviceClass {
+                    name: "budget",
+                    weight: 0.3,
+                    compute_time: (8.5, 10.0),
+                    comm_time: (13.0, 15.0),
+                    accuracy: (0.6, 0.8),
+                    price_factor: 0.7,
+                    stamina: 0.4,
+                },
+            ],
+        }
+    }
+
+    /// Builds a mix from explicit classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::InvalidInstance`] if the mix is empty or any
+    /// weight is non-positive.
+    pub fn new(classes: Vec<DeviceClass>) -> Result<Self, AuctionError> {
+        if classes.is_empty() {
+            return Err(AuctionError::InvalidInstance("device mix must not be empty".into()));
+        }
+        if classes.iter().any(|c| !(c.weight > 0.0) || !c.weight.is_finite()) {
+            return Err(AuctionError::InvalidInstance(
+                "device class weights must be positive and finite".into(),
+            ));
+        }
+        Ok(DeviceMix { classes })
+    }
+
+    /// The classes in this mix.
+    pub fn classes(&self) -> &[DeviceClass] {
+        &self.classes
+    }
+
+    /// Generates an instance like [`WorkloadSpec::generate`], but with each
+    /// client drawn from a device class instead of the global uniform
+    /// ranges. Returns the instance and each client's class index.
+    ///
+    /// # Errors
+    ///
+    /// Same validity conditions as [`WorkloadSpec::generate`].
+    pub fn generate(
+        &self,
+        spec: &WorkloadSpec,
+        seed: u64,
+    ) -> Result<(Instance, Vec<usize>), AuctionError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = spec.config.max_rounds();
+        let j = spec.bids_per_client;
+        if 2 * j > t {
+            return Err(AuctionError::InvalidInstance(format!(
+                "2J = {} window endpoints cannot be distinct within T = {t}",
+                2 * j
+            )));
+        }
+        let total_weight: f64 = self.classes.iter().map(|c| c.weight).sum();
+        let mut instance = Instance::new(spec.config.clone());
+        let mut assignment = Vec::with_capacity(spec.clients);
+        for _ in 0..spec.clients {
+            let class_idx = self.draw_class(&mut rng, total_weight);
+            let class = &self.classes[class_idx];
+            assignment.push(class_idx);
+            let profile = ClientProfile::new(
+                uniform(&mut rng, class.compute_time.0, class.compute_time.1),
+                uniform(&mut rng, class.comm_time.0, class.comm_time.1),
+            )?;
+            let client = instance.add_client(profile);
+            let marks = distinct_sorted(&mut rng, 2 * j as usize, t);
+            for m in 0..j as usize {
+                let a = marks[2 * m];
+                let d = marks[2 * m + 1];
+                let span = d - a; // paper: c ∈ [1, d − a]
+                let expected = ((f64::from(span)) * class.stamina).round().max(1.0) as u32;
+                let rounds = expected.min(span.max(1));
+                let base_price = uniform(&mut rng, spec.price.0, spec.price.1);
+                let bid = Bid::new(
+                    base_price * class.price_factor,
+                    uniform(&mut rng, class.accuracy.0, class.accuracy.1),
+                    Window::new(Round(a), Round(d)),
+                    rounds,
+                )?;
+                instance.add_bid(client, bid)?;
+            }
+        }
+        Ok((instance, assignment))
+    }
+
+    fn draw_class(&self, rng: &mut StdRng, total_weight: f64) -> usize {
+        let mut x = rng.random_range(0.0..total_weight);
+        for (i, c) in self.classes.iter().enumerate() {
+            if x < c.weight {
+                return i;
+            }
+            x -= c.weight;
+        }
+        self.classes.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::paper_default()
+            .with_clients(60)
+            .with_bids_per_client(3)
+    }
+
+    #[test]
+    fn fleet_generation_shape_and_determinism() {
+        let mix = DeviceMix::smartphone_fleet();
+        let (a, classes_a) = mix.generate(&spec(), 4).unwrap();
+        let (b, classes_b) = mix.generate(&spec(), 4).unwrap();
+        assert_eq!(a.num_clients(), 60);
+        assert_eq!(a.num_bids(), 180);
+        assert_eq!(classes_a, classes_b);
+        assert_eq!(a.num_bids(), b.num_bids());
+    }
+
+    #[test]
+    fn class_parameters_are_respected() {
+        let mix = DeviceMix::smartphone_fleet();
+        let (inst, classes) = mix.generate(&spec(), 5).unwrap();
+        for (ci, &class_idx) in classes.iter().enumerate() {
+            let class = &mix.classes()[class_idx];
+            let p = &inst.clients()[ci];
+            assert!(p.compute_time() >= class.compute_time.0 - 1e-9);
+            assert!(p.compute_time() <= class.compute_time.1 + 1e-9);
+            for b in inst.bids_of(fl_auction::ClientId(ci as u32)) {
+                assert!(b.accuracy() >= class.accuracy.0 - 1e-9);
+                assert!(b.accuracy() <= class.accuracy.1 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn all_classes_appear_in_a_large_population() {
+        let mix = DeviceMix::smartphone_fleet();
+        let (_, classes) = mix
+            .generate(&spec().with_clients(500), 6)
+            .unwrap();
+        for idx in 0..mix.classes().len() {
+            assert!(classes.contains(&idx), "class {idx} never drawn");
+        }
+    }
+
+    #[test]
+    fn flagship_bids_cost_more_than_budget_on_average() {
+        let mix = DeviceMix::smartphone_fleet();
+        let (inst, classes) = mix.generate(&spec().with_clients(400), 7).unwrap();
+        let avg = |target: usize| -> f64 {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for (ci, &cl) in classes.iter().enumerate() {
+                if cl == target {
+                    for b in inst.bids_of(fl_auction::ClientId(ci as u32)) {
+                        sum += b.price();
+                        n += 1;
+                    }
+                }
+            }
+            sum / n as f64
+        };
+        assert!(avg(0) > avg(2), "flagships must ask more than budget phones");
+    }
+
+    #[test]
+    fn empty_mix_is_rejected() {
+        assert!(DeviceMix::new(vec![]).is_err());
+        let mut bad = DeviceMix::smartphone_fleet().classes().to_vec();
+        bad[0].weight = 0.0;
+        assert!(DeviceMix::new(bad).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Diurnal availability patterns.
+//!
+//! The paper's window construction (2J sorted uniform marks) spreads
+//! availability evenly over the horizon. Real mobile fleets are anything
+//! but uniform: phones charge (and train) at night, office machines are
+//! free in the evening. When global iterations map to wall-clock periods,
+//! availability *clusters* — thinning supply in unpopular rounds, which is
+//! precisely the regime where FCFS collapses and price-aware selection
+//! earns its keep. This generator draws each client's availability around
+//! a peak period.
+
+use fl_auction::{AuctionError, Bid, ClientProfile, Instance, Round, Window};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::paper::{CostModel, WorkloadSpec};
+use crate::sample::uniform;
+
+/// One activity peak in the population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityPeak {
+    /// Peak position as a fraction of the horizon (0 = round 1, 1 = T).
+    pub center: f64,
+    /// Population share drawn to this peak (relative weight).
+    pub weight: f64,
+    /// Window-centre jitter around the peak, as a fraction of the horizon.
+    pub spread: f64,
+}
+
+/// A workload whose availability windows cluster around activity peaks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalWorkload {
+    /// Base parameters (client count, prices, accuracies, config).
+    pub spec: WorkloadSpec,
+    /// The population's activity peaks.
+    pub peaks: Vec<ActivityPeak>,
+    /// Window length range, as fractions of the horizon.
+    pub window_len: (f64, f64),
+}
+
+impl DiurnalWorkload {
+    /// A two-peak "overnight chargers + lunch-break users" fleet.
+    pub fn two_peak(spec: WorkloadSpec) -> Self {
+        DiurnalWorkload {
+            spec,
+            peaks: vec![
+                ActivityPeak {
+                    center: 0.15,
+                    weight: 0.65,
+                    spread: 0.08,
+                },
+                ActivityPeak {
+                    center: 0.6,
+                    weight: 0.35,
+                    spread: 0.05,
+                },
+            ],
+            window_len: (0.1, 0.3),
+        }
+    }
+
+    /// Generates an instance: each client picks a peak (by weight), draws a
+    /// window centred near it, and bids once per window (the paper's `J`
+    /// is reinterpreted as windows per client, possibly overlapping the
+    /// same peak).
+    ///
+    /// # Errors
+    ///
+    /// [`AuctionError::InvalidInstance`] on an empty/invalid peak list or
+    /// degenerate window-length range.
+    pub fn generate(&self, seed: u64) -> Result<Instance, AuctionError> {
+        if self.peaks.is_empty() {
+            return Err(AuctionError::InvalidInstance("no activity peaks".into()));
+        }
+        if self.peaks.iter().any(|p| {
+            !(0.0..=1.0).contains(&p.center) || !(p.weight > 0.0) || !(p.spread >= 0.0)
+        }) {
+            return Err(AuctionError::InvalidInstance(
+                "peaks need center ∈ [0,1], weight > 0, spread ≥ 0".into(),
+            ));
+        }
+        if !(self.window_len.0 > 0.0 && self.window_len.1 >= self.window_len.0 && self.window_len.1 <= 1.0)
+        {
+            return Err(AuctionError::InvalidInstance(
+                "window length fractions must satisfy 0 < lo ≤ hi ≤ 1".into(),
+            ));
+        }
+        let spec = &self.spec;
+        let t = spec.config.max_rounds();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total_weight: f64 = self.peaks.iter().map(|p| p.weight).sum();
+        let mut instance = Instance::new(spec.config.clone());
+        for _ in 0..spec.clients {
+            let profile = ClientProfile::new(
+                uniform(&mut rng, spec.compute_time.0, spec.compute_time.1),
+                uniform(&mut rng, spec.comm_time.0, spec.comm_time.1),
+            )?;
+            let client = instance.add_client(profile);
+            let peak = self.draw_peak(&mut rng, total_weight);
+            for _ in 0..spec.bids_per_client {
+                // Window centre jittered around the peak; length from the
+                // configured fraction range; both clipped into [1, T].
+                let center_frac =
+                    (peak.center + uniform(&mut rng, -peak.spread, peak.spread)).clamp(0.0, 1.0);
+                let len_frac = uniform(&mut rng, self.window_len.0, self.window_len.1);
+                let len = ((len_frac * f64::from(t)).round() as u32).clamp(1, t);
+                let center = 1 + (center_frac * f64::from(t - 1)).round() as u32;
+                let half = len / 2;
+                let a = center.saturating_sub(half).max(1);
+                let d = (a + len - 1).min(t);
+                let a = d.saturating_sub(len - 1).max(1);
+                let window = Window::new(Round(a), Round(d));
+                let c = rng.random_range(1..=window.len());
+                let accuracy = uniform(&mut rng, spec.accuracy.0, spec.accuracy.1);
+                let price = match spec.cost_model {
+                    CostModel::UniformTotal => uniform(&mut rng, spec.price.0, spec.price.1),
+                    CostModel::TimeProportional { unit } => {
+                        let t_ij = spec.config.local_model().local_iterations(accuracy)
+                            * profile.compute_time()
+                            + profile.comm_time();
+                        uniform(&mut rng, unit.0, unit.1) * t_ij
+                    }
+                };
+                instance.add_bid(client, Bid::new(price, accuracy, window, c)?)?;
+            }
+        }
+        Ok(instance)
+    }
+
+    fn draw_peak(&self, rng: &mut StdRng, total_weight: f64) -> ActivityPeak {
+        let mut x = rng.random_range(0.0..total_weight);
+        for p in &self.peaks {
+            if x < p.weight {
+                return *p;
+            }
+            x -= p.weight;
+        }
+        *self.peaks.last().expect("peaks is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> DiurnalWorkload {
+        DiurnalWorkload::two_peak(
+            WorkloadSpec::paper_default()
+                .with_clients(300)
+                .with_bids_per_client(2),
+        )
+    }
+
+    #[test]
+    fn windows_cluster_around_peaks() {
+        let w = workload();
+        let inst = w.generate(3).unwrap();
+        let t = f64::from(inst.config().max_rounds());
+        // Count window centres near each peak vs in the dead zone between.
+        let mut near_peaks = 0usize;
+        let mut dead_zone = 0usize;
+        for (_, bid) in inst.iter_bids() {
+            let center =
+                (f64::from(bid.window().start().0) + f64::from(bid.window().end().0)) / 2.0 / t;
+            if (center - 0.15).abs() < 0.2 || (center - 0.6).abs() < 0.15 {
+                near_peaks += 1;
+            } else if (0.8..=1.0).contains(&center) {
+                dead_zone += 1;
+            }
+        }
+        assert!(
+            near_peaks > 10 * dead_zone.max(1),
+            "windows should cluster: {near_peaks} near peaks vs {dead_zone} in the dead zone"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let w = workload();
+        let a = w.generate(7).unwrap();
+        let b = w.generate(7).unwrap();
+        assert_eq!(a.num_bids(), b.num_bids());
+        for (r, bid) in a.iter_bids() {
+            assert!(bid.window().start().0 >= 1);
+            assert!(bid.window().end().0 <= a.config().max_rounds());
+            assert!(bid.rounds() <= bid.window().len());
+            let _ = r;
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let mut w = workload();
+        w.peaks.clear();
+        assert!(w.generate(0).is_err());
+        let mut w = workload();
+        w.peaks[0].center = 1.5;
+        assert!(w.generate(0).is_err());
+        let mut w = workload();
+        w.window_len = (0.0, 0.5);
+        assert!(w.generate(0).is_err());
+    }
+
+    #[test]
+    fn clustered_supply_starves_off_peak_rounds() {
+        // With demand in every round but supply clustered, the full
+        // auction is usually infeasible at large horizons — the auction
+        // must settle on a horizon the fleet can actually staff.
+        let w = workload();
+        let inst = w.generate(11).unwrap();
+        match fl_auction::run_auction(&inst) {
+            Ok(outcome) => {
+                assert!(
+                    fl_auction::verify::outcome_violations(&inst, &outcome).is_empty()
+                );
+                // Feasible horizons are the early, well-staffed ones.
+                assert!(outcome.horizon() <= inst.config().max_rounds());
+            }
+            Err(fl_auction::AuctionError::Infeasible) => {
+                // Acceptable: the dead zone cannot be staffed at any
+                // admissible horizon ≥ T_0.
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}

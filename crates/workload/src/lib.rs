@@ -1,0 +1,40 @@
+//! Seeded workload generators for the auction experiments.
+//!
+//! * [`WorkloadSpec`] reproduces the paper's §VII-A simulation setup
+//!   verbatim (uniform parameter draws, disjoint windows from `2J` sorted
+//!   distinct marks);
+//! * [`DeviceMix`] generates *clustered* heterogeneous fleets — the
+//!   synthetic stand-in for real device traces;
+//! * [`sample`] holds the underlying sampling primitives.
+//!
+//! Everything is deterministic per `(spec, seed)`, so every figure in
+//! `EXPERIMENTS.md` can be regenerated bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use fl_workload::WorkloadSpec;
+//!
+//! # fn main() -> Result<(), fl_auction::AuctionError> {
+//! let spec = WorkloadSpec::paper_default().with_clients(100);
+//! let instance = spec.generate(42)?;
+//! assert_eq!(instance.num_clients(), 100);
+//! assert_eq!(instance.num_bids(), 500); // J = 5 bids each
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod device;
+mod diurnal;
+mod paper;
+pub mod sample;
+pub mod stress;
+
+pub use battery::BatteryWorkload;
+pub use device::{DeviceClass, DeviceMix};
+pub use diurnal::{ActivityPeak, DiurnalWorkload};
+pub use paper::{CostModel, Range, WorkloadSpec};

@@ -1,0 +1,95 @@
+//! Small sampling helpers shared by the generators.
+
+use rand::{Rng, RngExt};
+
+/// Draws `n` *distinct* integers from `1..=max` and returns them sorted
+/// ascending — the paper's recipe for availability windows ("select 2J
+/// non-repeated random numbers within the range [1, T], and sort them").
+///
+/// Uses a partial Fisher–Yates shuffle, `O(max)` memory, exact uniformity
+/// over subsets.
+///
+/// # Panics
+///
+/// Panics if `n > max` (not enough distinct values exist).
+pub fn distinct_sorted(rng: &mut impl Rng, n: usize, max: u32) -> Vec<u32> {
+    assert!(n as u32 <= max, "cannot draw {n} distinct values from 1..={max}");
+    let mut pool: Vec<u32> = (1..=max).collect();
+    for i in 0..n {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    let mut out = pool[..n].to_vec();
+    out.sort_unstable();
+    out
+}
+
+/// Uniform `f64` in `[lo, hi]` (degenerate ranges return `lo`).
+///
+/// # Panics
+///
+/// Panics if `hi < lo` or either bound is not finite.
+pub fn uniform(rng: &mut impl Rng, lo: f64, hi: f64) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+    assert!(hi >= lo, "empty range [{lo}, {hi}]");
+    if hi == lo {
+        lo
+    } else {
+        rng.random_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distinct_sorted_is_distinct_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let v = distinct_sorted(&mut rng, 10, 50);
+            assert_eq!(v.len(), 10);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?}");
+            assert!(v.iter().all(|&x| (1..=50).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn distinct_sorted_full_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = distinct_sorted(&mut rng, 5, 5);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn oversampling_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = distinct_sorted(&mut rng, 6, 5);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let x = uniform(&mut rng, 10.0, 50.0);
+            assert!((10.0..=50.0).contains(&x));
+        }
+        assert_eq!(uniform(&mut rng, 4.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn seeded_draws_are_reproducible() {
+        let a: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            distinct_sorted(&mut rng, 8, 30)
+        };
+        let b: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            distinct_sorted(&mut rng, 8, 30)
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Overnight chargers: the full "realistic fleet" stack in one scenario.
+//!
+//! Availability is diurnal (most phones train while charging overnight, a
+//! smaller lunch-break cohort at midday), participation budgets come from
+//! batteries instead of uniform draws, and execution suffers hardware
+//! jitter — every future-work concern from §VIII plus the battery
+//! grounding of §IV-B, layered on the paper's mechanism.
+//!
+//! ```sh
+//! cargo run --release --example overnight_chargers
+//! ```
+
+use fl_procurement::auction::{run_auction, AuctionConfig};
+use fl_procurement::sim::{Battery, DatasetSpec, EnergyModel, Federation, FlJob, StragglerModel};
+use fl_procurement::workload::{BatteryWorkload, DiurnalWorkload, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = WorkloadSpec::paper_default()
+        .with_clients(400)
+        .with_bids_per_client(2)
+        .with_config(
+            AuctionConfig::builder()
+                .max_rounds(24)
+                .clients_per_round(4)
+                .round_time_limit(60.0)
+                .build()?,
+        );
+
+    // --- Diurnal availability ------------------------------------------
+    let diurnal = DiurnalWorkload::two_peak(base.clone());
+    let instance = diurnal.generate(2026)?;
+    println!(
+        "diurnal fleet: {} phones, {} bids over a {}-round day",
+        instance.num_clients(),
+        instance.num_bids(),
+        instance.config().max_rounds()
+    );
+    // How thin does supply get off-peak?
+    let mut per_round = vec![0u32; instance.config().max_rounds() as usize];
+    for (_, bid) in instance.iter_bids() {
+        for t in bid.window().rounds() {
+            per_round[t.index()] += 1;
+        }
+    }
+    let min_supply = per_round.iter().min().copied().unwrap_or(0);
+    let max_supply = per_round.iter().max().copied().unwrap_or(0);
+    println!("per-round bid supply ranges {min_supply}..{max_supply} (clustered, not uniform)");
+
+    match run_auction(&instance) {
+        Ok(outcome) => {
+            println!(
+                "auction: T_g = {}, cost {:.1}, {} winners",
+                outcome.horizon(),
+                outcome.social_cost(),
+                outcome.solution().winners().len()
+            );
+            // --- Execute with hardware jitter ---------------------------
+            let federation =
+                Federation::generate(&DatasetSpec::default(), instance.num_clients(), 5);
+            let report = FlJob::new(0.3)
+                .with_stragglers(StragglerModel::mild())
+                .run(&instance, &outcome, &federation, 7);
+            let late: usize = report.rounds.iter().map(|r| r.late.len()).sum();
+            let on_time: usize = report.rounds.iter().map(|r| r.participants.len()).sum();
+            println!(
+                "execution under jitter: {on_time} on-time updates, {late} missed the deadline"
+            );
+            println!(
+                "final accuracy {:.1}% (target {})",
+                100.0 * report.final_accuracy,
+                report
+                    .reached_at
+                    .map(|t| format!("hit at round {t}"))
+                    .unwrap_or_else(|| "not reached".into())
+            );
+        }
+        Err(e) => println!("auction infeasible on this fleet: {e} (off-peak rounds starve)"),
+    }
+
+    // --- Battery-grounded round counts ----------------------------------
+    let battery = BatteryWorkload {
+        spec: base,
+        energy: EnergyModel::smartphone(),
+        capacity: (100.0, 500.0),
+    };
+    let (b_inst, batteries) = battery.generate(9)?;
+    let offered: u32 = b_inst.iter_bids().map(|(_, b)| b.rounds()).sum();
+    println!(
+        "\nbattery fleet: {} bids offering {offered} rounds total (derived from charge levels)",
+        b_inst.num_bids()
+    );
+    // Show the §IV-B derivation for one client.
+    if let Some((r, bid)) = b_inst.iter_bids().next() {
+        let profile = &b_inst.clients()[r.client.index()];
+        let per_round = EnergyModel::smartphone().round_energy(
+            b_inst.config().local_model(),
+            profile,
+            bid.accuracy(),
+        );
+        let battery: &Battery = &batteries[r.client.index()];
+        println!(
+            "  e.g. {}: battery {:.0} / {:.1} energy-per-round → offers {} rounds",
+            r,
+            battery.capacity(),
+            per_round,
+            bid.rounds()
+        );
+    }
+    let outcome = run_auction(&b_inst)?;
+    println!(
+        "battery-fleet auction: T_g = {}, cost {:.1} (verified: {})",
+        outcome.horizon(),
+        outcome.social_cost(),
+        fl_procurement::auction::verify::outcome_violations(&b_inst, &outcome).is_empty()
+    );
+    Ok(())
+}

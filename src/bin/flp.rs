@@ -1,0 +1,278 @@
+//! `flp` — command-line front end for the fl-procurement reproduction.
+//!
+//! ```text
+//! flp auction   [--clients N] [--bids J] [--rounds T] [--per-round K] [--seed S]
+//!               [--cost-model uniform|timeprop] [--algo afl|greedy|online|fcfs]
+//!               [--instance FILE]
+//! flp sweep     [same flags]            # per-horizon costs (Fig. 7 style)
+//! flp simulate  [same flags] [--epsilon E] [--dropout P]
+//! flp payments  [same flags]            # winner payments + IR check
+//! flp generate  [workload flags] --out FILE   # save an instance as text
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (no clap in the
+//! offline crate set); flags may appear in any order.
+
+use std::process::ExitCode;
+
+use fl_procurement::auction::{
+    analysis, run_auction_with, sweep_horizons, verify, AWinner, AuctionConfig, AuctionOutcome,
+    Instance, WdpSolver,
+};
+use fl_procurement::baselines::{FcfsBaseline, GreedyBaseline, OnlineBaseline};
+use fl_procurement::sim::{DatasetSpec, DropoutModel, Federation, FlJob};
+use fl_procurement::workload::{CostModel, WorkloadSpec};
+
+struct Options {
+    clients: usize,
+    bids: u32,
+    rounds: u32,
+    per_round: u32,
+    seed: u64,
+    cost_model: CostModel,
+    algo: String,
+    epsilon: f64,
+    dropout: f64,
+    instance: Option<String>,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            clients: 300,
+            bids: 4,
+            rounds: 20,
+            per_round: 5,
+            seed: 1,
+            cost_model: CostModel::UniformTotal,
+            algo: "afl".into(),
+            epsilon: 0.3,
+            dropout: 0.0,
+            instance: None,
+            out: None,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: flp <auction|sweep|simulate|payments|generate> [flags]\n\
+     flags: --clients N --bids J --rounds T --per-round K --seed S\n\
+            --cost-model uniform|timeprop --algo afl|greedy|online|fcfs\n\
+            --epsilon E --dropout P --instance FILE --out FILE"
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--clients" => o.clients = value()?.parse().map_err(|e| format!("--clients: {e}"))?,
+            "--bids" => o.bids = value()?.parse().map_err(|e| format!("--bids: {e}"))?,
+            "--rounds" => o.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?,
+            "--per-round" => {
+                o.per_round = value()?.parse().map_err(|e| format!("--per-round: {e}"))?
+            }
+            "--seed" => o.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--instance" => o.instance = Some(value()?),
+            "--out" => o.out = Some(value()?),
+            "--epsilon" => o.epsilon = value()?.parse().map_err(|e| format!("--epsilon: {e}"))?,
+            "--dropout" => o.dropout = value()?.parse().map_err(|e| format!("--dropout: {e}"))?,
+            "--cost-model" => {
+                o.cost_model = match value()?.as_str() {
+                    "uniform" => CostModel::UniformTotal,
+                    "timeprop" => CostModel::TimeProportional { unit: (0.5, 2.5) },
+                    other => return Err(format!("unknown cost model '{other}'")),
+                }
+            }
+            "--algo" => {
+                let v = value()?;
+                if !["afl", "greedy", "online", "fcfs"].contains(&v.as_str()) {
+                    return Err(format!("unknown algorithm '{v}'"));
+                }
+                o.algo = v;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(o)
+}
+
+fn build_instance(o: &Options) -> Result<Instance, String> {
+    if let Some(path) = &o.instance {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        return fl_procurement::auction::io::read_instance(std::io::BufReader::new(file))
+            .map_err(|e| e.to_string());
+    }
+    let cfg = AuctionConfig::builder()
+        .max_rounds(o.rounds)
+        .clients_per_round(o.per_round)
+        .round_time_limit(60.0)
+        .build()
+        .map_err(|e| e.to_string())?;
+    WorkloadSpec::paper_default()
+        .with_clients(o.clients)
+        .with_bids_per_client(o.bids)
+        .with_config(cfg)
+        .with_cost_model(o.cost_model)
+        .generate(o.seed)
+        .map_err(|e| e.to_string())
+}
+
+fn run_algo(o: &Options, inst: &Instance) -> Result<AuctionOutcome, String> {
+    let outcome = match o.algo.as_str() {
+        "afl" => run_auction_with(inst, &AWinner::new()),
+        "greedy" => run_auction_with(inst, &GreedyBaseline::new()),
+        "online" => run_auction_with(inst, &OnlineBaseline::new()),
+        "fcfs" => run_auction_with(inst, &FcfsBaseline::new()),
+        _ => unreachable!("validated in parse"),
+    };
+    outcome.map_err(|e| e.to_string())
+}
+
+fn cmd_auction(o: &Options) -> Result<(), String> {
+    let inst = build_instance(o)?;
+    let outcome = run_algo(o, &inst)?;
+    let stats = analysis::outcome_stats(&inst, &outcome);
+    let breakdown = analysis::cost_breakdown(&inst, &outcome);
+    println!("algorithm        {}", o.algo);
+    println!("instance         I={} bids={} T={} K={}", inst.num_clients(), inst.num_bids(), o.rounds, o.per_round);
+    println!("chosen T_g       {}", outcome.horizon());
+    println!("social cost      {:.2}", stats.social_cost);
+    println!("total payment    {:.2} (overhead {:.3}x)", stats.total_payment, stats.payment_overhead);
+    println!("winners          {} (avg {:.1} rounds each)", stats.winners, stats.mean_rounds_per_winner);
+    println!("surplus rounds   {}", stats.surplus_participations);
+    println!(
+        "cost split       {:.0}% computation / {:.0}% communication",
+        100.0 * breakdown.computation_share(),
+        100.0 * (1.0 - breakdown.computation_share())
+    );
+    let violations = verify::outcome_violations(&inst, &outcome);
+    if violations.is_empty() {
+        println!("verification     OK (all ILP(6) constraints satisfied)");
+        Ok(())
+    } else {
+        Err(format!("outcome failed verification: {violations:?}"))
+    }
+}
+
+fn cmd_sweep(o: &Options) -> Result<(), String> {
+    let inst = build_instance(o)?;
+    let solver: Box<dyn WdpSolver> = match o.algo.as_str() {
+        "afl" => Box::new(AWinner::new().without_certificate()),
+        "greedy" => Box::new(GreedyBaseline::new()),
+        "online" => Box::new(OnlineBaseline::new()),
+        "fcfs" => Box::new(FcfsBaseline::new()),
+        _ => unreachable!(),
+    };
+    println!("T_g  qualified  cost");
+    for h in sweep_horizons(&inst, &solver.as_ref()).map_err(|e| e.to_string())? {
+        match h.result {
+            Ok(sol) => println!("{:>3}  {:>9}  {:.1}", h.horizon, h.qualified, sol.cost()),
+            Err(e) => println!("{:>3}  {:>9}  ({e})", h.horizon, h.qualified),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(o: &Options) -> Result<(), String> {
+    let inst = build_instance(o)?;
+    let outcome = run_algo(o, &inst)?;
+    let federation = Federation::generate(&DatasetSpec::default(), inst.num_clients(), o.seed);
+    let mut job = FlJob::new(o.epsilon);
+    if o.dropout > 0.0 {
+        job = job.with_dropout(DropoutModel::new(o.dropout));
+    }
+    let report = job.run(&inst, &outcome, &federation, o.seed);
+    println!("rounds run       {}", report.rounds.len());
+    println!("wall clock       {:.0} time units", report.total_wall_clock);
+    match report.reached_at {
+        Some(t) => println!("target ε={} hit  at round {t}", o.epsilon),
+        None => println!(
+            "target ε={} not reached (final relative grad {:.3})",
+            o.epsilon,
+            report.rounds.last().map(|r| r.grad_norm).unwrap_or(f64::NAN) / report.initial_grad_norm
+        ),
+    }
+    println!("final accuracy   {:.1}%", 100.0 * report.final_accuracy);
+    let dropped: usize = report.rounds.iter().map(|r| r.dropped.len()).sum();
+    if o.dropout > 0.0 {
+        println!("dropped          {dropped} participations");
+    }
+    Ok(())
+}
+
+fn cmd_payments(o: &Options) -> Result<(), String> {
+    let inst = build_instance(o)?;
+    let outcome = run_algo(o, &inst)?;
+    println!("{:<14} {:>10} {:>10} {:>9}", "winner", "claimed", "paid", "utility");
+    for w in outcome.solution().winners() {
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>9.2}",
+            w.bid_ref.to_string(),
+            w.price,
+            w.payment,
+            w.utility()
+        );
+    }
+    let bad = verify::ir_violations(outcome.solution());
+    if bad.is_empty() {
+        println!("individual rationality: OK");
+        Ok(())
+    } else {
+        Err(format!("IR violations: {bad:?}"))
+    }
+}
+
+fn cmd_generate(o: &Options) -> Result<(), String> {
+    let Some(path) = &o.out else {
+        return Err("generate requires --out FILE".into());
+    };
+    let inst = build_instance(o)?;
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    fl_procurement::auction::io::write_instance(&inst, std::io::BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {path}: {} clients, {} bids, T={}, K={}",
+        inst.num_clients(),
+        inst.num_bids(),
+        inst.config().max_rounds(),
+        inst.config().clients_per_round()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match parse(rest) {
+        Err(e) => Err(e),
+        Ok(o) => match cmd.as_str() {
+            "auction" => cmd_auction(&o),
+            "sweep" => cmd_sweep(&o),
+            "simulate" => cmd_simulate(&o),
+            "payments" => cmd_payments(&o),
+            "generate" => cmd_generate(&o),
+            "help" | "--help" | "-h" => {
+                println!("{}", usage());
+                Ok(())
+            }
+            other => Err(format!("unknown command '{other}'\n{}", usage())),
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

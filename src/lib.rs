@@ -1,0 +1,53 @@
+//! `fl-procurement` — umbrella crate of the reproduction of Zhou et al.,
+//! *"A Truthful Procurement Auction for Incentivizing Heterogeneous
+//! Clients in Federated Learning"* (ICDCS 2021).
+//!
+//! Re-exports the workspace crates under stable module names so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`auction`] — the mechanism itself (`A_FL`, `A_winner`, payments,
+//!   dual certificates, verification);
+//! * [`baselines`] — FCFS, Greedy and `A_online` benchmarks;
+//! * [`exact`] — exact winner determination (branch-and-bound, max-flow,
+//!   LP relaxations);
+//! * [`lp`] — the two-phase simplex LP solver substrate;
+//! * [`sim`] — the federated-learning simulator that executes auction
+//!   outcomes;
+//! * [`workload`] — seeded instance generators (paper setup and device
+//!   fleets).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fl_procurement::auction::{
+//!     run_auction, AuctionConfig, Bid, ClientProfile, Instance, Round, Window,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = AuctionConfig::builder()
+//!     .max_rounds(6)
+//!     .clients_per_round(1)
+//!     .build()?;
+//! let mut instance = Instance::new(config);
+//! for price in [8.0, 5.0, 11.0] {
+//!     let c = instance.add_client(ClientProfile::new(4.0, 8.0)?);
+//!     instance.add_bid(c, Bid::new(price, 0.6, Window::new(Round(1), Round(6)), 6)?)?;
+//! }
+//! let outcome = run_auction(&instance)?;
+//! assert_eq!(outcome.social_cost(), 5.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `README.md` for the architecture overview and `EXPERIMENTS.md` for
+//! the paper-versus-measured record of every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fl_auction as auction;
+pub use fl_baselines as baselines;
+pub use fl_exact as exact;
+pub use fl_lp as lp;
+pub use fl_sim as sim;
+pub use fl_workload as workload;

@@ -1,0 +1,129 @@
+//! Property tests for Lemma 5: the dual certificate produced by
+//! `A_winner` satisfies `D ≤ OPT ≤ P ≤ H_{T̂_g}·ω·D` on random WDPs.
+
+use fl_procurement::auction::{AWinner, QualifiedBid, Wdp, WdpSolver};
+use fl_procurement::auction::{BidRef, ClientId, Round, Window};
+use fl_procurement::exact::{colgen, BruteForceSolver, ExactSolver};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawBid {
+    price: u32,
+    a: u32,
+    span: u32,
+    c_frac: u32,
+}
+
+fn raw_bid(horizon: u32) -> impl Strategy<Value = RawBid> {
+    (1u32..=40, 1..=horizon, 0..horizon, 1u32..=100).prop_map(|(price, a, span, c_frac)| RawBid {
+        price,
+        a,
+        span,
+        c_frac,
+    })
+}
+
+fn to_wdp(raw: &[RawBid], horizon: u32, k: u32) -> Wdp {
+    let bids = raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let a = r.a.min(horizon);
+            let d = (a + r.span).min(horizon);
+            let len = d - a + 1;
+            let c = (r.c_frac * len).div_ceil(100).clamp(1, len);
+            QualifiedBid {
+                bid_ref: BidRef::new(ClientId(i as u32), 0),
+                price: f64::from(r.price),
+                accuracy: 0.5,
+                window: Window::new(Round(a), Round(d)),
+                rounds: c,
+                round_time: 1.0,
+            }
+        })
+        .collect();
+    Wdp::new(horizon, k, bids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lemma5_chain_holds(raw in prop::collection::vec(raw_bid(5), 4..12)) {
+        let wdp = to_wdp(&raw, 5, 2);
+        if let Ok(sol) = AWinner::new().solve_wdp(&wdp) {
+            let cert = sol.certificate().expect("certificate on by default");
+            let p = sol.cost();
+            let d = cert.dual_objective;
+            // Weak duality of the constructed dual point.
+            prop_assert!(d <= p + 1e-6, "D = {d} > P = {p}");
+            // Lemma 5 upper bound (vacuous when ω = ∞).
+            let bound = cert.ratio_bound() * d;
+            if bound.is_finite() {
+                prop_assert!(p <= bound + 1e-6, "P = {p} > H·ω·D = {bound}");
+            }
+            // Dual variables are sign-feasible.
+            prop_assert!(cert.g.iter().all(|&g| g >= -1e-9 && !g.is_nan()));
+            prop_assert!(cert.lambda.iter().all(|&l| l >= -1e-9));
+        }
+    }
+
+    #[test]
+    fn dual_lower_bounds_the_true_optimum(raw in prop::collection::vec(raw_bid(4), 4..9)) {
+        let wdp = to_wdp(&raw, 4, 1);
+        let greedy = AWinner::new().solve_wdp(&wdp);
+        let opt = BruteForceSolver::new().solve_wdp(&wdp);
+        if let (Ok(g), Ok(o)) = (greedy, opt) {
+            let cert = g.certificate().unwrap();
+            prop_assert!(
+                cert.dual_objective <= o.cost() + 1e-6,
+                "D = {} exceeds OPT = {}",
+                cert.dual_objective,
+                o.cost()
+            );
+            prop_assert!(g.cost() >= o.cost() - 1e-9, "greedy beat the optimum?!");
+            if cert.ratio_bound().is_finite() {
+                prop_assert!(
+                    g.cost() <= cert.ratio_bound() * o.cost() + 1e-6,
+                    "ratio {} exceeds certificate bound {}",
+                    g.cost() / o.cost(),
+                    cert.ratio_bound()
+                );
+            }
+        }
+    }
+
+    /// The full duality sandwich across three independent computations:
+    /// `D (greedy dual) ≤ LP(7) (column generation) ≤ OPT (brute force)
+    /// ≤ P (greedy primal)`.
+    #[test]
+    fn dual_chain_through_the_exponential_lp(raw in prop::collection::vec(raw_bid(4), 4..9)) {
+        let wdp = to_wdp(&raw, 4, 1);
+        let greedy = AWinner::new().solve_wdp(&wdp);
+        let lp = colgen::solve_lp7(&wdp);
+        let opt = BruteForceSolver::new().solve_wdp(&wdp);
+        if let (Ok(g), Ok(lp), Ok(o)) = (greedy, lp, opt) {
+            let d = g.certificate().unwrap().dual_objective;
+            prop_assert!(d <= lp.objective + 1e-6, "D = {d} > LP(7) = {}", lp.objective);
+            prop_assert!(lp.objective <= o.cost() + 1e-6, "LP(7) = {} > OPT = {}", lp.objective, o.cost());
+            prop_assert!(o.cost() <= g.cost() + 1e-9, "OPT above the greedy primal");
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_matches_brute_force(raw in prop::collection::vec(raw_bid(4), 4..10)) {
+        let wdp = to_wdp(&raw, 4, 1);
+        let bnb = ExactSolver::new().solve_wdp(&wdp);
+        let brute = BruteForceSolver::new().solve_wdp(&wdp);
+        match (bnb, brute) {
+            (Ok(a), Ok(b)) => prop_assert!(
+                (a.cost() - b.cost()).abs() < 1e-9,
+                "bnb {} vs brute {}",
+                a.cost(),
+                b.cost()
+            ),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+}

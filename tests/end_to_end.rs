@@ -1,0 +1,131 @@
+//! Cross-crate integration: workload generation → auction → federated
+//! training, plus the device-fleet and dropout paths.
+
+use fl_procurement::auction::{run_auction, verify, AuctionConfig};
+use fl_procurement::sim::{DataSkew, DatasetSpec, DropoutModel, Federation, FlJob};
+use fl_procurement::workload::{CostModel, DeviceMix, WorkloadSpec};
+
+fn small_spec() -> WorkloadSpec {
+    WorkloadSpec::paper_default()
+        .with_clients(150)
+        .with_bids_per_client(4)
+        .with_config(
+            AuctionConfig::builder()
+                .max_rounds(16)
+                .clients_per_round(3)
+                .round_time_limit(60.0)
+                .build()
+                .unwrap(),
+        )
+}
+
+#[test]
+fn paper_workload_to_verified_outcome() {
+    for seed in [1, 2, 3] {
+        let inst = small_spec().generate(seed).unwrap();
+        let outcome = run_auction(&inst).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(verify::outcome_violations(&inst, &outcome).is_empty());
+        assert!(verify::ir_violations(outcome.solution()).is_empty());
+        assert!(verify::certificate_violations(outcome.solution()).is_empty());
+        // Payments at least cover the social cost.
+        assert!(outcome.solution().total_payment() >= outcome.social_cost() - 1e-9);
+    }
+}
+
+#[test]
+fn auction_schedule_drives_fedavg_to_convergence() {
+    let inst = small_spec().generate(7).unwrap();
+    let outcome = run_auction(&inst).unwrap();
+    let federation = Federation::generate(
+        &DatasetSpec {
+            dim: 8,
+            samples_per_client: 50,
+            label_noise: 0.03,
+            skew: DataSkew::Iid,
+        },
+        inst.num_clients(),
+        11,
+    );
+    let report = FlJob::new(0.3).run(&inst, &outcome, &federation, 1);
+    // Coverage: every round has at least K participants.
+    for r in &report.rounds {
+        assert!(
+            r.participants.len() as u32 >= inst.config().clients_per_round(),
+            "round {} understaffed",
+            r.round
+        );
+        assert!(r.wall_clock <= inst.config().round_time_limit() + 1e-9);
+    }
+    // Learning actually happens.
+    let first = report.rounds.first().unwrap().grad_norm;
+    let last = report.rounds.last().unwrap().grad_norm;
+    assert!(last < first, "no convergence progress: {first} → {last}");
+    assert!(report.final_accuracy > 0.6, "accuracy {}", report.final_accuracy);
+}
+
+#[test]
+fn device_fleet_instances_are_auctionable() {
+    let spec = small_spec();
+    let (inst, classes) = DeviceMix::smartphone_fleet().generate(&spec, 21).unwrap();
+    assert_eq!(classes.len(), inst.num_clients());
+    let outcome = run_auction(&inst).unwrap();
+    assert!(verify::outcome_violations(&inst, &outcome).is_empty());
+}
+
+#[test]
+fn time_proportional_costs_still_verify() {
+    let spec = small_spec().with_cost_model(CostModel::TimeProportional { unit: (0.5, 2.5) });
+    let inst = spec.generate(4).unwrap();
+    let outcome = run_auction(&inst).unwrap();
+    assert!(verify::outcome_violations(&inst, &outcome).is_empty());
+}
+
+#[test]
+fn dropout_degrades_gracefully_and_deterministically() {
+    let inst = small_spec().generate(9).unwrap();
+    let outcome = run_auction(&inst).unwrap();
+    let federation = Federation::generate(&DatasetSpec::default(), inst.num_clients(), 13);
+    let no_drop = FlJob::new(0.3).run(&inst, &outcome, &federation, 2);
+    let with_drop = FlJob::new(0.3)
+        .with_dropout(DropoutModel::new(0.5))
+        .run(&inst, &outcome, &federation, 2);
+    let participants =
+        |r: &fl_procurement::sim::TrainingReport| -> usize { r.rounds.iter().map(|x| x.participants.len()).sum() };
+    assert!(participants(&with_drop) < participants(&no_drop));
+    // Determinism under the same seed.
+    let again = FlJob::new(0.3)
+        .with_dropout(DropoutModel::new(0.5))
+        .run(&inst, &outcome, &federation, 2);
+    assert_eq!(with_drop, again);
+}
+
+#[test]
+fn auction_cost_ordering_is_sane_across_algorithms() {
+    use fl_procurement::auction::run_auction_with;
+    use fl_procurement::baselines::{FcfsBaseline, GreedyBaseline, OnlineBaseline};
+    let mut afl_wins_vs_fcfs = 0;
+    let seeds = [1u64, 2, 3, 4, 5];
+    for &seed in &seeds {
+        let inst = small_spec().generate(seed).unwrap();
+        let afl = run_auction(&inst).unwrap().social_cost();
+        let greedy = run_auction_with(&inst, &GreedyBaseline::new()).map(|o| o.social_cost());
+        let online = run_auction_with(&inst, &OnlineBaseline::new()).map(|o| o.social_cost());
+        let fcfs = run_auction_with(&inst, &FcfsBaseline::new()).map(|o| o.social_cost());
+        if let Ok(g) = greedy {
+            assert!(afl <= g + 1e-9 || afl / g < 1.2, "A_FL {afl} ≫ Greedy {g}");
+        }
+        if let Ok(o) = online {
+            assert!(afl <= o + 1e-6, "A_FL {afl} worse than A_online {o}");
+        }
+        if let Ok(f) = fcfs {
+            if afl < f {
+                afl_wins_vs_fcfs += 1;
+            }
+        }
+    }
+    assert!(
+        afl_wins_vs_fcfs >= 4,
+        "A_FL should beat FCFS almost always ({afl_wins_vs_fcfs}/{})",
+        seeds.len()
+    );
+}

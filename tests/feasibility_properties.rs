@@ -1,0 +1,110 @@
+//! Property tests: every solver's outcome satisfies ILP (6) on random
+//! instances, and `A_FL`'s payments are individually rational.
+
+use fl_procurement::auction::{
+    run_auction_with, verify, AWinner, AuctionConfig, AuctionError, Bid, ClientProfile, Instance,
+    Round, Window,
+};
+use fl_procurement::baselines::{FcfsBaseline, GreedyBaseline, OnlineBaseline};
+use proptest::prelude::*;
+
+/// A compact description of one random client bid.
+#[derive(Debug, Clone)]
+struct RawBid {
+    price: f64,
+    theta_pct: u32, // θ = theta_pct / 100
+    a: u32,
+    span: u32,
+    c_frac: u32,
+}
+
+fn raw_bid() -> impl Strategy<Value = RawBid> {
+    (1u32..=50, 30u32..=80, 1u32..=8, 0u32..=7, 1u32..=100).prop_map(
+        |(price, theta_pct, a, span, c_frac)| RawBid {
+            price: f64::from(price),
+            theta_pct,
+            a,
+            span,
+            c_frac,
+        },
+    )
+}
+
+/// Builds an instance over horizon T = 8 with K = 2 from raw bids (one
+/// bid per client keeps interpretation simple).
+fn build_instance(raw: &[RawBid]) -> Result<Instance, AuctionError> {
+    let cfg = AuctionConfig::builder()
+        .max_rounds(8)
+        .clients_per_round(2)
+        .round_time_limit(1_000.0) // keep the time gate out of these tests
+        .build()?;
+    let mut inst = Instance::new(cfg);
+    for r in raw {
+        let client = inst.add_client(ClientProfile::new(2.0, 3.0)?);
+        let a = r.a.min(8);
+        let d = (a + r.span).min(8);
+        let len = d - a + 1;
+        let c = (r.c_frac * len).div_ceil(100).clamp(1, len);
+        let bid = Bid::new(
+            r.price,
+            f64::from(r.theta_pct) / 100.0,
+            Window::new(Round(a), Round(d)),
+            c,
+        )?;
+        inst.add_bid(client, bid)?;
+    }
+    Ok(inst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_solver_output_is_feasible(raw in prop::collection::vec(raw_bid(), 6..16)) {
+        let inst = build_instance(&raw).expect("raw bids are valid");
+        let solvers: [(&str, Box<dyn Fn() -> Result<_, _>>); 4] = [
+            ("A_FL", Box::new(|| run_auction_with(&inst, &AWinner::new()))),
+            ("Greedy", Box::new(|| run_auction_with(&inst, &GreedyBaseline::new()))),
+            ("A_online", Box::new(|| run_auction_with(&inst, &OnlineBaseline::new()))),
+            ("FCFS", Box::new(|| run_auction_with(&inst, &FcfsBaseline::new()))),
+        ];
+        for (name, run) in &solvers {
+            if let Ok(outcome) = run() {
+                let violations = verify::outcome_violations(&inst, &outcome);
+                prop_assert!(violations.is_empty(), "{name}: {violations:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn afl_payments_are_individually_rational(raw in prop::collection::vec(raw_bid(), 6..16)) {
+        let inst = build_instance(&raw).expect("raw bids are valid");
+        if let Ok(outcome) = run_auction_with(&inst, &AWinner::new()) {
+            let bad = verify::ir_violations(outcome.solution());
+            prop_assert!(bad.is_empty(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn afl_cost_is_the_minimum_over_its_own_horizon_sweep(
+        raw in prop::collection::vec(raw_bid(), 6..14)
+    ) {
+        let inst = build_instance(&raw).expect("raw bids are valid");
+        let solver = AWinner::new();
+        if let Ok(outcome) = run_auction_with(&inst, &solver) {
+            let sweep = fl_procurement::auction::sweep_horizons(&inst, &solver)
+                .expect("instance has bids");
+            for h in sweep {
+                if let Ok(sol) = h.result {
+                    prop_assert!(
+                        outcome.social_cost() <= sol.cost() + 1e-9,
+                        "A_FL cost {} beaten at T_g = {} with {}",
+                        outcome.social_cost(),
+                        h.horizon,
+                        sol.cost()
+                    );
+                }
+            }
+        }
+    }
+}
