@@ -46,7 +46,10 @@ pub fn cost_breakdown(instance: &Instance, outcome: &AuctionOutcome) -> CostBrea
     for w in outcome.solution().winners() {
         let bid = instance.bid(w.bid_ref);
         let profile = &instance.clients()[w.bid_ref.client.index()];
-        let compute = instance.config().local_model().local_iterations(bid.accuracy())
+        let compute = instance
+            .config()
+            .local_model()
+            .local_iterations(bid.accuracy())
             * profile.compute_time();
         let comm = profile.comm_time();
         let total_time = compute + comm;
@@ -137,10 +140,19 @@ mod tests {
             .build()
             .unwrap();
         let mut inst = Instance::new(cfg);
-        for (price, theta) in [(10.0, 0.5), (14.0, 0.6), (8.0, 0.7), (20.0, 0.5), (12.0, 0.65)] {
+        for (price, theta) in [
+            (10.0, 0.5),
+            (14.0, 0.6),
+            (8.0, 0.7),
+            (20.0, 0.5),
+            (12.0, 0.65),
+        ] {
             let c = inst.add_client(ClientProfile::new(4.0, 6.0).unwrap());
-            inst.add_bid(c, Bid::new(price, theta, Window::new(Round(1), Round(6)), 6).unwrap())
-                .unwrap();
+            inst.add_bid(
+                c,
+                Bid::new(price, theta, Window::new(Round(1), Round(6)), 6).unwrap(),
+            )
+            .unwrap();
         }
         inst
     }

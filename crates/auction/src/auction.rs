@@ -35,6 +35,13 @@ impl AuctionOutcome {
     pub fn social_cost(&self) -> f64 {
         self.solution.cost()
     }
+
+    /// The ranked standby pool backing this outcome — the fault-tolerance
+    /// companion contract priced from the losing qualified bids (see
+    /// [`crate::recover`]).
+    pub fn standby_pool(&self, instance: &Instance) -> crate::recover::StandbyPool {
+        crate::recover::standby_pool(instance, self)
+    }
 }
 
 /// The per-horizon record produced by [`sweep_horizons`] (Fig. 7's x-axis).
@@ -115,8 +122,8 @@ pub fn sweep_horizons<S: WdpSolver>(
     instance: &Instance,
     solver: &S,
 ) -> Result<Vec<HorizonOutcome>, AuctionError> {
-    let t0 = min_horizon(instance)
-        .ok_or_else(|| AuctionError::invalid("no bids were submitted"))?;
+    let t0 =
+        min_horizon(instance).ok_or_else(|| AuctionError::invalid("no bids were submitted"))?;
     let t_max = instance.config().max_rounds();
     let mut out = Vec::new();
     for horizon in t0..=t_max {
@@ -157,14 +164,23 @@ mod tests {
         let c2 = inst.add_client(ClientProfile::new(2.0, 5.0).unwrap());
         let c3 = inst.add_client(ClientProfile::new(2.0, 5.0).unwrap());
         // Accurate but pricey, available everywhere.
-        inst.add_bid(c1, Bid::new(30.0, 0.5, Window::new(Round(1), Round(6)), 6).unwrap())
-            .unwrap();
+        inst.add_bid(
+            c1,
+            Bid::new(30.0, 0.5, Window::new(Round(1), Round(6)), 6).unwrap(),
+        )
+        .unwrap();
         // Cheap, coarse accuracy (θ = 0.8 → needs T̂_g ≥ 5).
-        inst.add_bid(c2, Bid::new(6.0, 0.8, Window::new(Round(1), Round(6)), 6).unwrap())
-            .unwrap();
+        inst.add_bid(
+            c2,
+            Bid::new(6.0, 0.8, Window::new(Round(1), Round(6)), 6).unwrap(),
+        )
+        .unwrap();
         // Mid client covering early rounds only.
-        inst.add_bid(c3, Bid::new(8.0, 0.6, Window::new(Round(1), Round(3)), 3).unwrap())
-            .unwrap();
+        inst.add_bid(
+            c3,
+            Bid::new(8.0, 0.6, Window::new(Round(1), Round(3)), 3).unwrap(),
+        )
+        .unwrap();
         inst
     }
 
@@ -213,8 +229,11 @@ mod tests {
             .unwrap();
         let mut inst = Instance::new(cfg);
         let c = inst.add_client(ClientProfile::new(1.0, 1.0).unwrap());
-        inst.add_bid(c, Bid::new(1.0, 0.5, Window::new(Round(1), Round(3)), 3).unwrap())
-            .unwrap();
+        inst.add_bid(
+            c,
+            Bid::new(1.0, 0.5, Window::new(Round(1), Round(3)), 3).unwrap(),
+        )
+        .unwrap();
         assert_eq!(run_auction(&inst), Err(AuctionError::Infeasible));
     }
 
@@ -236,8 +255,11 @@ mod tests {
             .unwrap();
         let mut inst = Instance::new(cfg);
         let c = inst.add_client(ClientProfile::new(1.0, 1.0).unwrap());
-        inst.add_bid(c, Bid::new(5.0, 0.5, Window::new(Round(1), Round(4)), 4).unwrap())
-            .unwrap();
+        inst.add_bid(
+            c,
+            Bid::new(5.0, 0.5, Window::new(Round(1), Round(4)), 4).unwrap(),
+        )
+        .unwrap();
         // c_ij = 4 needs the full window: only T̂_g = 4 is feasible though.
         let outcome = run_auction(&inst).unwrap();
         assert_eq!(outcome.horizon(), 4);
@@ -251,7 +273,10 @@ mod tests {
         );
         let c2 = inst2.add_client(ClientProfile::new(1.0, 1.0).unwrap());
         inst2
-            .add_bid(c2, Bid::new(5.0, 0.5, Window::new(Round(1), Round(4)), 2).unwrap())
+            .add_bid(
+                c2,
+                Bid::new(5.0, 0.5, Window::new(Round(1), Round(4)), 2).unwrap(),
+            )
             .unwrap();
         // c = 2: feasible at T̂_g = 2 (cost 5) and infeasible at 3, 4 only
         // if rounds cannot be covered — with c = 2 < T̂_g they cannot.

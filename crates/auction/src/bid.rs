@@ -29,7 +29,12 @@ impl Bid {
     /// Returns [`AuctionError::InvalidInstance`] if the price is negative or
     /// non-finite, the accuracy is outside `(0, 1)`, `rounds` is zero, or
     /// `rounds` exceeds the window length.
-    pub fn new(price: f64, accuracy: f64, window: Window, rounds: u32) -> Result<Self, AuctionError> {
+    pub fn new(
+        price: f64,
+        accuracy: f64,
+        window: Window,
+        rounds: u32,
+    ) -> Result<Self, AuctionError> {
         if !(price.is_finite() && price >= 0.0) {
             return Err(AuctionError::invalid(format!(
                 "bid price must be finite and non-negative, got {price}"
@@ -296,7 +301,10 @@ mod tests {
         assert!(Bid::new(10.0, 0.0, window(1, 3), 2).is_err());
         assert!(Bid::new(10.0, 1.0, window(1, 3), 2).is_err());
         assert!(Bid::new(10.0, 0.5, window(1, 3), 0).is_err());
-        assert!(Bid::new(10.0, 0.5, window(1, 3), 4).is_err(), "c > window length");
+        assert!(
+            Bid::new(10.0, 0.5, window(1, 3), 4).is_err(),
+            "c > window length"
+        );
     }
 
     #[test]
@@ -315,9 +323,12 @@ mod tests {
         let mut inst = Instance::new(cfg);
         let a = inst.add_client(ClientProfile::new(5.0, 10.0).unwrap());
         let b = inst.add_client(ClientProfile::new(8.0, 12.0).unwrap());
-        inst.add_bid(a, Bid::new(10.0, 0.5, window(1, 3), 2).unwrap()).unwrap();
-        inst.add_bid(a, Bid::new(4.0, 0.7, window(4, 5), 1).unwrap()).unwrap();
-        inst.add_bid(b, Bid::new(6.0, 0.4, window(2, 5), 3).unwrap()).unwrap();
+        inst.add_bid(a, Bid::new(10.0, 0.5, window(1, 3), 2).unwrap())
+            .unwrap();
+        inst.add_bid(a, Bid::new(4.0, 0.7, window(4, 5), 1).unwrap())
+            .unwrap();
+        inst.add_bid(b, Bid::new(6.0, 0.4, window(2, 5), 3).unwrap())
+            .unwrap();
         inst
     }
 

@@ -36,7 +36,10 @@ impl LocalIterationModel {
     ///
     /// Panics in debug builds if `theta` is outside `(0, 1]`.
     pub fn local_iterations(self, theta: f64) -> f64 {
-        debug_assert!(theta > 0.0 && theta <= 1.0, "θ must lie in (0, 1], got {theta}");
+        debug_assert!(
+            theta > 0.0 && theta <= 1.0,
+            "θ must lie in (0, 1], got {theta}"
+        );
         match self {
             LocalIterationModel::LogInverse { eta } => eta * (1.0 / theta).ln(),
             LocalIterationModel::Linear { scale } => (scale * (1.0 - theta)).floor(),
@@ -208,7 +211,9 @@ impl AuctionConfigBuilder {
             return Err(AuctionError::invalid("max_rounds (T) must be at least 1"));
         }
         if self.clients_per_round == 0 {
-            return Err(AuctionError::invalid("clients_per_round (K) must be at least 1"));
+            return Err(AuctionError::invalid(
+                "clients_per_round (K) must be at least 1",
+            ));
         }
         if !(self.round_time_limit.is_finite() && self.round_time_limit > 0.0) {
             return Err(AuctionError::invalid(
@@ -244,7 +249,10 @@ mod tests {
         assert_eq!(cfg.max_rounds(), 50);
         assert_eq!(cfg.clients_per_round(), 20);
         assert_eq!(cfg.round_time_limit(), 60.0);
-        assert_eq!(cfg.local_model(), LocalIterationModel::Linear { scale: 10.0 });
+        assert_eq!(
+            cfg.local_model(),
+            LocalIterationModel::Linear { scale: 10.0 }
+        );
         assert_eq!(cfg.qualify_mode(), QualifyMode::Intent);
         assert_eq!(AuctionConfig::default(), cfg);
     }
@@ -270,9 +278,18 @@ mod tests {
     #[test]
     fn builder_rejects_bad_parameters() {
         assert!(AuctionConfig::builder().max_rounds(0).build().is_err());
-        assert!(AuctionConfig::builder().clients_per_round(0).build().is_err());
-        assert!(AuctionConfig::builder().round_time_limit(0.0).build().is_err());
-        assert!(AuctionConfig::builder().round_time_limit(f64::NAN).build().is_err());
+        assert!(AuctionConfig::builder()
+            .clients_per_round(0)
+            .build()
+            .is_err());
+        assert!(AuctionConfig::builder()
+            .round_time_limit(0.0)
+            .build()
+            .is_err());
+        assert!(AuctionConfig::builder()
+            .round_time_limit(f64::NAN)
+            .build()
+            .is_err());
         assert!(AuctionConfig::builder()
             .local_model(LocalIterationModel::LogInverse { eta: -1.0 })
             .build()
@@ -292,7 +309,10 @@ mod tests {
         assert_eq!(cfg.max_rounds(), 10);
         assert_eq!(cfg.clients_per_round(), 2);
         assert_eq!(cfg.round_time_limit(), 30.0);
-        assert_eq!(cfg.local_model(), LocalIterationModel::LogInverse { eta: 2.0 });
+        assert_eq!(
+            cfg.local_model(),
+            LocalIterationModel::LogInverse { eta: 2.0 }
+        );
         assert_eq!(cfg.qualify_mode(), QualifyMode::Literal);
     }
 }

@@ -100,7 +100,11 @@ impl Coverage {
     /// The still-available subset of `rounds` — the paper's `F_il` at the
     /// moment of selection.
     pub fn available_subset(&self, rounds: &[Round]) -> Vec<Round> {
-        rounds.iter().copied().filter(|&t| self.is_available(t)).collect()
+        rounds
+            .iter()
+            .copied()
+            .filter(|&t| self.is_available(t))
+            .collect()
     }
 
     /// Schedules one client in each round of `rounds`, updating `γ` and
@@ -115,7 +119,9 @@ impl Coverage {
         debug_assert!(
             {
                 let mut seen = vec![false; self.gamma.len()];
-                rounds.iter().all(|t| !std::mem::replace(&mut seen[t.index()], true))
+                rounds
+                    .iter()
+                    .all(|t| !std::mem::replace(&mut seen[t.index()], true))
             },
             "a schedule must not contain duplicate rounds"
         );

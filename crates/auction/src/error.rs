@@ -24,7 +24,10 @@ impl fmt::Display for AuctionError {
         match self {
             AuctionError::InvalidInstance(why) => write!(f, "invalid auction instance: {why}"),
             AuctionError::Infeasible => {
-                write!(f, "no number of global iterations admits a feasible winner set")
+                write!(
+                    f,
+                    "no number of global iterations admits a feasible winner set"
+                )
             }
         }
     }
@@ -64,10 +67,14 @@ mod tests {
 
     #[test]
     fn displays_are_meaningful() {
-        assert!(AuctionError::invalid("k is zero").to_string().contains("k is zero"));
+        assert!(AuctionError::invalid("k is zero")
+            .to_string()
+            .contains("k is zero"));
         assert!(AuctionError::Infeasible.to_string().contains("feasible"));
         assert!(WdpError::Infeasible.to_string().contains("staff"));
-        assert!(WdpError::ResourceLimit("nodes".into()).to_string().contains("nodes"));
+        assert!(WdpError::ResourceLimit("nodes".into())
+            .to_string()
+            .contains("nodes"));
     }
 
     #[test]

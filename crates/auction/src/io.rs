@@ -158,7 +158,9 @@ pub fn read_instance(r: impl BufRead) -> Result<Instance, ReadError> {
                 instance = Some(Instance::new(cfg));
             }
             "client" => {
-                let inst = instance.as_mut().ok_or_else(|| parse_err("client before config"))?;
+                let inst = instance
+                    .as_mut()
+                    .ok_or_else(|| parse_err("client before config"))?;
                 let vals: Vec<&str> = fields.collect();
                 let [cmp, com] = vals.as_slice() else {
                     return Err(parse_err("client needs 2 fields"));
@@ -169,7 +171,9 @@ pub fn read_instance(r: impl BufRead) -> Result<Instance, ReadError> {
                 )?);
             }
             "bid" => {
-                let inst = instance.as_mut().ok_or_else(|| parse_err("bid before config"))?;
+                let inst = instance
+                    .as_mut()
+                    .ok_or_else(|| parse_err("bid before config"))?;
                 let vals: Vec<&str> = fields.collect();
                 let [client, price, theta, a, d, c] = vals.as_slice() else {
                     return Err(parse_err("bid needs 6 fields"));
@@ -215,12 +219,21 @@ mod tests {
         let mut inst = Instance::new(cfg);
         let a = inst.add_client(ClientProfile::new(5.25, 10.5).unwrap());
         let b = inst.add_client(ClientProfile::new(7.0, 12.0).unwrap());
-        inst.add_bid(a, Bid::new(10.5, 0.5, Window::new(Round(1), Round(6)), 4).unwrap())
-            .unwrap();
-        inst.add_bid(a, Bid::new(8.0, 0.75, Window::new(Round(7), Round(12)), 3).unwrap())
-            .unwrap();
-        inst.add_bid(b, Bid::new(22.125, 0.4, Window::new(Round(2), Round(9)), 8).unwrap())
-            .unwrap();
+        inst.add_bid(
+            a,
+            Bid::new(10.5, 0.5, Window::new(Round(1), Round(6)), 4).unwrap(),
+        )
+        .unwrap();
+        inst.add_bid(
+            a,
+            Bid::new(8.0, 0.75, Window::new(Round(7), Round(12)), 3).unwrap(),
+        )
+        .unwrap();
+        inst.add_bid(
+            b,
+            Bid::new(22.125, 0.4, Window::new(Round(2), Round(9)), 8).unwrap(),
+        )
+        .unwrap();
         inst
     }
 
@@ -273,7 +286,10 @@ mod tests {
     fn invalid_bid_data_is_rejected_via_invariants() {
         // θ = 1.5 violates Bid::new's contract.
         let text = "config 4 1 60 linear 10 intent\nclient 5 10\nbid 0 3 1.5 1 4 2\n";
-        assert!(matches!(read_instance(text.as_bytes()), Err(ReadError::Invalid(_))));
+        assert!(matches!(
+            read_instance(text.as_bytes()),
+            Err(ReadError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -79,9 +79,10 @@ pub mod io;
 mod payment;
 pub mod preprocess;
 mod qualify;
+pub mod recover;
 mod schedule;
-mod types;
 pub mod truthful;
+mod types;
 pub mod verify;
 mod wdp;
 mod winner;
@@ -93,6 +94,7 @@ pub use coverage::Coverage;
 pub use error::{AuctionError, WdpError};
 pub use payment::{payment, PaymentRule};
 pub use qualify::{min_horizon, qualify, QualifiedBid};
+pub use recover::{standby_pool, StandbyEntry, StandbyPool};
 pub use schedule::{pick_schedule, representative_schedule, SchedulePolicy};
 pub use types::{BidRef, ClientId, Round, Window};
 pub use wdp::{DualCertificate, Wdp, WdpSolution, WdpSolver, WinnerEntry};

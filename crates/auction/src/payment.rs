@@ -62,7 +62,12 @@ mod tests {
         let gain = 3;
         let own_avg = price / f64::from(gain);
         for delta in [0.0, 0.1, 5.0] {
-            let p = payment(PaymentRule::CriticalValue, price, gain, Some(own_avg + delta));
+            let p = payment(
+                PaymentRule::CriticalValue,
+                price,
+                gain,
+                Some(own_avg + delta),
+            );
             assert!(p >= price - 1e-12);
         }
     }

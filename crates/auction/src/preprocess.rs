@@ -40,10 +40,13 @@ pub fn remove_dominated(wdp: &Wdp) -> (Wdp, usize) {
         .iter()
         .zip(&keep)
         .filter(|(_, &k)| k)
-        .map(|(b, _)| b.clone())
+        .map(|(b, _)| *b)
         .collect();
     let removed = bids.len() - kept.len();
-    (Wdp::new(wdp.horizon(), wdp.demand_per_round(), kept), removed)
+    (
+        Wdp::new(wdp.horizon(), wdp.demand_per_round(), kept),
+        removed,
+    )
 }
 
 /// Whether `a` (weakly) dominates `b` for the same client.
@@ -58,8 +61,8 @@ fn dominates(a: &QualifiedBid, b: &QualifiedBid) -> bool {
 mod tests {
     use super::*;
     use crate::types::{BidRef, ClientId, Round, Window};
-    use crate::winner::AWinner;
     use crate::wdp::WdpSolver;
+    use crate::winner::AWinner;
 
     fn qb(client: u32, bid: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
         QualifiedBid {
@@ -78,11 +81,18 @@ mod tests {
         let wdp = Wdp::new(
             5,
             1,
-            vec![qb(0, 0, 3.0, 1, 5, 3), qb(0, 1, 7.0, 2, 4, 2), qb(1, 0, 4.0, 1, 5, 5)],
+            vec![
+                qb(0, 0, 3.0, 1, 5, 3),
+                qb(0, 1, 7.0, 2, 4, 2),
+                qb(1, 0, 4.0, 1, 5, 5),
+            ],
         );
         let (pruned, removed) = remove_dominated(&wdp);
         assert_eq!(removed, 1);
-        assert!(pruned.bids().iter().all(|b| b.bid_ref != BidRef::new(ClientId(0), 1)));
+        assert!(pruned
+            .bids()
+            .iter()
+            .all(|b| b.bid_ref != BidRef::new(ClientId(0), 1)));
     }
 
     #[test]
@@ -126,7 +136,14 @@ mod tests {
                     let a = 1 + (next() % u64::from(h)) as u32;
                     let d = a + (next() % u64::from(h - a + 1)) as u32;
                     let c = 1 + (next() % u64::from(d - a + 1)) as u32;
-                    qb((i / 3) as u32, (i % 3) as u32, 1.0 + (next() % 20) as f64, a, d, c)
+                    qb(
+                        (i / 3) as u32,
+                        (i % 3) as u32,
+                        1.0 + (next() % 20) as f64,
+                        a,
+                        d,
+                        c,
+                    )
                 })
                 .collect();
             let wdp = Wdp::new(h, 1, bids);
@@ -143,7 +160,10 @@ mod tests {
                 (Err(_), Err(_)) => {}
                 (Err(_), Ok(_)) => {} // pruning can only help the greedy
                 (Ok(b), Err(e)) => {
-                    panic!("trial {trial}: pruning broke feasibility ({}, {e})", b.cost())
+                    panic!(
+                        "trial {trial}: pruning broke feasibility ({}, {e})",
+                        b.cost()
+                    )
                 }
             }
         }

@@ -129,14 +129,23 @@ mod tests {
         let mut inst = Instance::new(cfg);
         let c = inst.add_client(ClientProfile::new(5.0, 10.0).unwrap());
         // θ = 0.5 → T_l = 5 → t = 35 ≤ 40. Window [1,4], c = 3.
-        inst.add_bid(c, Bid::new(10.0, 0.5, Window::new(Round(1), Round(4)), 3).unwrap())
-            .unwrap();
+        inst.add_bid(
+            c,
+            Bid::new(10.0, 0.5, Window::new(Round(1), Round(4)), 3).unwrap(),
+        )
+        .unwrap();
         // θ = 0.3 → T_l = 7 → t = 45 > 40: time-disqualified everywhere.
-        inst.add_bid(c, Bid::new(10.0, 0.3, Window::new(Round(1), Round(4)), 2).unwrap())
-            .unwrap();
+        inst.add_bid(
+            c,
+            Bid::new(10.0, 0.3, Window::new(Round(1), Round(4)), 2).unwrap(),
+        )
+        .unwrap();
         // θ = 0.8 → T_l = 2 → t = 20; needs T̂_g ≥ 5 for θ ≤ 1 − 1/T̂_g.
-        inst.add_bid(c, Bid::new(10.0, 0.8, Window::new(Round(2), Round(9)), 4).unwrap())
-            .unwrap();
+        inst.add_bid(
+            c,
+            Bid::new(10.0, 0.8, Window::new(Round(2), Round(9)), 4).unwrap(),
+        )
+        .unwrap();
         inst
     }
 
@@ -182,7 +191,10 @@ mod tests {
             let ql = qualify(&literal, t_g);
             let intent_refs: Vec<_> = qi.bids().iter().map(|b| b.bid_ref).collect();
             for b in ql.bids() {
-                assert!(intent_refs.contains(&b.bid_ref), "literal ⊆ intent at T̂_g={t_g}");
+                assert!(
+                    intent_refs.contains(&b.bid_ref),
+                    "literal ⊆ intent at T̂_g={t_g}"
+                );
             }
         }
         // θ = 0.5 bid: window starts at 1, c = 3 → literal needs T̂_g ≥ 4,
@@ -202,12 +214,19 @@ mod tests {
 
     #[test]
     fn min_horizon_exact_integer_boundary() {
-        let cfg = AuctionConfig::builder().max_rounds(10).clients_per_round(1).build().unwrap();
+        let cfg = AuctionConfig::builder()
+            .max_rounds(10)
+            .clients_per_round(1)
+            .build()
+            .unwrap();
         let mut inst = Instance::new(cfg);
         let c = inst.add_client(ClientProfile::new(1.0, 1.0).unwrap());
         // θ = 0.5 → 1/(1−θ) = 2 exactly.
-        inst.add_bid(c, Bid::new(1.0, 0.5, Window::new(Round(1), Round(2)), 1).unwrap())
-            .unwrap();
+        inst.add_bid(
+            c,
+            Bid::new(1.0, 0.5, Window::new(Round(1), Round(2)), 1).unwrap(),
+        )
+        .unwrap();
         assert_eq!(min_horizon(&inst), Some(2));
     }
 

@@ -86,7 +86,11 @@ mod tests {
         let mut cov = Coverage::new(6, 1);
         cov.add(&[Round(3)]);
         let s = representative_schedule(&cov, w(3, 5), 2);
-        assert_eq!(s, vec![Round(4), Round(5)], "round 3 is loaded, 4 and 5 are not");
+        assert_eq!(
+            s,
+            vec![Round(4), Round(5)],
+            "round 3 is loaded, 4 and 5 are not"
+        );
         assert!(s.iter().all(|&t| w(3, 5).contains(t)));
     }
 
@@ -104,7 +108,10 @@ mod tests {
         for i in 0..rounds.len() {
             for j in (i + 1)..rounds.len() {
                 let alt = [rounds[i], rounds[j]];
-                assert!(cov.gain(&alt) <= rep_gain, "{alt:?} beats representative {rep:?}");
+                assert!(
+                    cov.gain(&alt) <= rep_gain,
+                    "{alt:?} beats representative {rep:?}"
+                );
             }
         }
     }

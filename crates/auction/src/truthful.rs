@@ -75,7 +75,10 @@ fn wins_at(wdp: &Wdp, bid: BidRef, price: f64) -> bool {
 ///
 /// Panics if `cap` is not positive/finite or `tol` is not positive.
 pub fn myerson_payment(wdp: &Wdp, bid: BidRef, cap: f64, tol: f64) -> Option<f64> {
-    assert!(cap.is_finite() && cap > 0.0, "cap must be positive and finite");
+    assert!(
+        cap.is_finite() && cap > 0.0,
+        "cap must be positive and finite"
+    );
     assert!(tol > 0.0, "tolerance must be positive");
     let current = wdp.bids().iter().find(|b| b.bid_ref == bid)?.price;
     if !wins_at(wdp, bid, current) {
@@ -137,7 +140,11 @@ mod tests {
         Wdp::new(
             3,
             1,
-            vec![qb(1, 2.0, 1, 2, 1), qb(2, 6.0, 2, 3, 2), qb(3, 5.0, 1, 3, 2)],
+            vec![
+                qb(1, 2.0, 1, 2, 1),
+                qb(2, 6.0, 2, 3, 2),
+                qb(3, 5.0, 1, 3, 2),
+            ],
         )
     }
 
@@ -145,7 +152,10 @@ mod tests {
     fn loser_has_no_threshold() {
         // B_2 loses the paper example.
         let wdp = paper_example();
-        assert_eq!(myerson_payment(&wdp, BidRef::new(ClientId(2), 0), 100.0, 1e-6), None);
+        assert_eq!(
+            myerson_payment(&wdp, BidRef::new(ClientId(2), 0), 100.0, 1e-6),
+            None
+        );
     }
 
     #[test]
@@ -196,8 +206,16 @@ mod tests {
         );
         let sol = AWinner::new().solve_wdp(&wdp).unwrap();
         for (bid_ref, _, exact) in myerson_payments(&wdp, &sol, 200.0, 1e-6) {
-            let price = wdp.bids().iter().find(|b| b.bid_ref == bid_ref).unwrap().price;
-            assert!(exact >= price - 1e-6, "{bid_ref} paid {exact} below price {price}");
+            let price = wdp
+                .bids()
+                .iter()
+                .find(|b| b.bid_ref == bid_ref)
+                .unwrap()
+                .price;
+            assert!(
+                exact >= price - 1e-6,
+                "{bid_ref} paid {exact} below price {price}"
+            );
         }
     }
 

@@ -164,7 +164,10 @@ mod tests {
         assert!(w.contains(Round(5)));
         assert!(!w.contains(Round(1)));
         assert!(!w.contains(Round(6)));
-        assert_eq!(w.rounds().collect::<Vec<_>>(), vec![Round(2), Round(3), Round(4), Round(5)]);
+        assert_eq!(
+            w.rounds().collect::<Vec<_>>(),
+            vec![Round(2), Round(3), Round(4), Round(5)]
+        );
     }
 
     #[test]

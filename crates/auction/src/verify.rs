@@ -52,7 +52,10 @@ pub fn wdp_violations(wdp: &Wdp, solution: &WdpSolution) -> Vec<String> {
         }
         for &t in &w.schedule {
             if !qb.window.contains(t) {
-                bad.push(format!("{} schedules {t} outside window {}", w.bid_ref, qb.window));
+                bad.push(format!(
+                    "{} schedules {t} outside window {}",
+                    w.bid_ref, qb.window
+                ));
             } else {
                 load[t.index()] += 1;
             }
@@ -228,7 +231,15 @@ mod tests {
             rounds: c,
             round_time: 1.0,
         };
-        Wdp::new(3, 1, vec![qb(1, 2.0, 1, 2, 1), qb(2, 6.0, 2, 3, 2), qb(3, 5.0, 1, 3, 2)])
+        Wdp::new(
+            3,
+            1,
+            vec![
+                qb(1, 2.0, 1, 2, 1),
+                qb(2, 6.0, 2, 3, 2),
+                qb(3, 5.0, 1, 3, 2),
+            ],
+        )
     }
 
     #[test]
@@ -340,7 +351,10 @@ mod tests {
         ];
         let sol = WdpSolution::new(2, winners, 2.0, None);
         let bad = wdp_violations(&w, &sol);
-        assert!(bad.iter().any(|m| m.contains("more than one bid")), "{bad:?}");
+        assert!(
+            bad.iter().any(|m| m.contains("more than one bid")),
+            "{bad:?}"
+        );
     }
 
     #[test]
@@ -366,8 +380,11 @@ mod tests {
         let mut inst = Instance::new(cfg);
         for (price, theta) in [(4.0, 0.5), (6.0, 0.6), (3.0, 0.7), (9.0, 0.5), (5.0, 0.55)] {
             let c = inst.add_client(ClientProfile::new(2.0, 3.0).unwrap());
-            inst.add_bid(c, Bid::new(price, theta, Window::new(Round(1), Round(5)), 5).unwrap())
-                .unwrap();
+            inst.add_bid(
+                c,
+                Bid::new(price, theta, Window::new(Round(1), Round(5)), 5).unwrap(),
+            )
+            .unwrap();
         }
         let outcome = run_auction(&inst).unwrap();
         assert!(outcome_violations(&inst, &outcome).is_empty());

@@ -5,9 +5,9 @@
 //! such that every round `1..=T̂_g` has at least `K` scheduled clients
 //! (ILP (7) in the paper, after the compact-exponential reformulation).
 
+use crate::error::WdpError;
 use crate::qualify::QualifiedBid;
 use crate::types::{BidRef, Round};
-use crate::error::WdpError;
 
 /// One WDP instance: a horizon, the per-round demand, and the qualified
 /// bids admitted for this horizon.

@@ -570,13 +570,19 @@ mod tests {
     fn infeasible_wdp_is_reported() {
         // Only one client but K = 2.
         let wdp = Wdp::new(2, 2, vec![qb(0, 0, 1.0, 1, 2, 2)]);
-        assert_eq!(AWinner::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+        assert_eq!(
+            AWinner::new().solve_wdp(&wdp).unwrap_err(),
+            WdpError::Infeasible
+        );
     }
 
     #[test]
     fn round_not_covered_by_any_window_is_infeasible() {
         let wdp = Wdp::new(3, 1, vec![qb(0, 0, 1.0, 1, 2, 2), qb(1, 0, 1.0, 1, 2, 2)]);
-        assert_eq!(AWinner::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+        assert_eq!(
+            AWinner::new().solve_wdp(&wdp).unwrap_err(),
+            WdpError::Infeasible
+        );
     }
 
     #[test]
@@ -632,7 +638,10 @@ mod tests {
         for w in sol.winners() {
             let qb = wdp.bids().iter().find(|b| b.bid_ref == w.bid_ref).unwrap();
             assert_eq!(w.schedule.len() as u32, qb.rounds, "exactly c_ij rounds");
-            assert!(w.schedule.windows(2).all(|p| p[0] < p[1]), "strictly increasing");
+            assert!(
+                w.schedule.windows(2).all(|p| p[0] < p[1]),
+                "strictly increasing"
+            );
             assert!(w.schedule.iter().all(|&t| qb.window.contains(t)));
         }
     }
@@ -651,7 +660,10 @@ mod tests {
         );
         assert_eq!(cert.lambda.len(), sol.winners().len());
         assert_eq!(cert.g.len(), 3);
-        assert!(cert.lambda.iter().all(|&l| l >= -1e-12), "λ must be non-negative");
+        assert!(
+            cert.lambda.iter().all(|&l| l >= -1e-12),
+            "λ must be non-negative"
+        );
         assert!(cert.g.iter().all(|&g| g >= 0.0));
     }
 
@@ -669,7 +681,11 @@ mod tests {
         let wdp = Wdp::new(
             3,
             1,
-            vec![qb(0, 0, 1.0, 1, 3, 1), qb(1, 0, 1.0, 1, 3, 1), qb(2, 0, 1.0, 1, 3, 1)],
+            vec![
+                qb(0, 0, 1.0, 1, 3, 1),
+                qb(1, 0, 1.0, 1, 3, 1),
+                qb(2, 0, 1.0, 1, 3, 1),
+            ],
         );
         let sol = AWinner::new()
             .with_policy(SchedulePolicy::Earliest)
@@ -698,11 +714,7 @@ mod tests {
 
     #[test]
     fn zero_price_bids_do_not_break_the_certificate() {
-        let wdp = Wdp::new(
-            2,
-            1,
-            vec![qb(0, 0, 0.0, 1, 2, 2), qb(1, 0, 3.0, 1, 2, 2)],
-        );
+        let wdp = Wdp::new(2, 1, vec![qb(0, 0, 0.0, 1, 2, 2), qb(1, 0, 3.0, 1, 2, 2)]);
         let sol = AWinner::new().solve_wdp(&wdp).unwrap();
         assert_eq!(sol.cost(), 0.0);
         let cert = sol.certificate().unwrap();
@@ -732,7 +744,14 @@ mod tests {
                     let c = 1 + (next() % u64::from(d - a + 1)) as u32;
                     // Deliberately generate duplicate prices to stress
                     // tie-breaking.
-                    qb((i / 2) as u32, (i % 2) as u32, (1 + next() % 12) as f64, a, d, c)
+                    qb(
+                        (i / 2) as u32,
+                        (i % 2) as u32,
+                        (1 + next() % 12) as f64,
+                        a,
+                        d,
+                        c,
+                    )
                 })
                 .collect();
             let wdp = Wdp::new(h, k, bids);

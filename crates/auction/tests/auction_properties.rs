@@ -20,8 +20,16 @@ struct RawBid {
 }
 
 fn raw_bid() -> impl Strategy<Value = RawBid> {
-    (1u32..60, 20u32..90, 1u32..10, 0u32..9, 1u32..=100, 1u32..10, 1u32..15).prop_map(
-        |(price, theta_pct, a, span, c_frac, cmp_t, com_t)| RawBid {
+    (
+        1u32..60,
+        20u32..90,
+        1u32..10,
+        0u32..9,
+        1u32..=100,
+        1u32..10,
+        1u32..15,
+    )
+        .prop_map(|(price, theta_pct, a, span, c_frac, cmp_t, com_t)| RawBid {
             price,
             theta_pct,
             a,
@@ -29,8 +37,7 @@ fn raw_bid() -> impl Strategy<Value = RawBid> {
             c_frac,
             cmp_t,
             com_t,
-        },
-    )
+        })
 }
 
 fn build(raw: &[RawBid], t_max_time: f64, mode: QualifyMode) -> Instance {

@@ -79,7 +79,11 @@ impl WdpSolver for FcfsBaseline {
 /// earliest saturated ones; the result is re-sorted by time.
 fn earliest_available(cov: &Coverage, rounds: impl Iterator<Item = Round>, c: u32) -> Vec<Round> {
     let all: Vec<Round> = rounds.collect();
-    let mut picked: Vec<Round> = all.iter().copied().filter(|&t| cov.is_available(t)).collect();
+    let mut picked: Vec<Round> = all
+        .iter()
+        .copied()
+        .filter(|&t| cov.is_available(t))
+        .collect();
     picked.truncate(c as usize);
     if (picked.len() as u32) < c {
         for &t in &all {
@@ -125,11 +129,19 @@ mod tests {
         let wdp = Wdp::new(
             3,
             1,
-            vec![qb(0, 1.0, 1, 3, 1), qb(1, 1.0, 1, 3, 1), qb(2, 1.0, 1, 3, 1)],
+            vec![
+                qb(0, 1.0, 1, 3, 1),
+                qb(1, 1.0, 1, 3, 1),
+                qb(2, 1.0, 1, 3, 1),
+            ],
         );
         let sol = FcfsBaseline::new().solve_wdp(&wdp).unwrap();
         // Each client grabs the earliest available round: 1, then 2, then 3.
-        let scheduled: Vec<Round> = sol.winners().iter().flat_map(|w| w.schedule.clone()).collect();
+        let scheduled: Vec<Round> = sol
+            .winners()
+            .iter()
+            .flat_map(|w| w.schedule.clone())
+            .collect();
         assert_eq!(scheduled, vec![Round(1), Round(2), Round(3)]);
     }
 
@@ -148,7 +160,10 @@ mod tests {
     #[test]
     fn infeasible_when_rounds_uncoverable() {
         let wdp = Wdp::new(3, 1, vec![qb(0, 1.0, 1, 2, 1)]);
-        assert_eq!(FcfsBaseline::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+        assert_eq!(
+            FcfsBaseline::new().solve_wdp(&wdp).unwrap_err(),
+            WdpError::Infeasible
+        );
     }
 
     #[test]
@@ -158,7 +173,11 @@ mod tests {
         let wdp = Wdp::new(
             2,
             1,
-            vec![qb(0, 1.0, 1, 1, 1), qb(1, 7.0, 1, 1, 1), qb(2, 1.0, 2, 2, 1)],
+            vec![
+                qb(0, 1.0, 1, 1, 1),
+                qb(1, 7.0, 1, 1, 1),
+                qb(2, 1.0, 2, 2, 1),
+            ],
         );
         let sol = FcfsBaseline::new().solve_wdp(&wdp).unwrap();
         assert_eq!(sol.winners().len(), 2);
@@ -170,7 +189,11 @@ mod tests {
         let wdp = Wdp::new(
             1,
             1,
-            vec![qb(0, 1.0, 1, 1, 1), qb(1, 1.0, 1, 1, 1), qb(2, 1.0, 1, 1, 1)],
+            vec![
+                qb(0, 1.0, 1, 1, 1),
+                qb(1, 1.0, 1, 1, 1),
+                qb(2, 1.0, 1, 1, 1),
+            ],
         );
         let sol = FcfsBaseline::new().solve_wdp(&wdp).unwrap();
         assert_eq!(sol.winners().len(), 1, "coverage completed after the first");

@@ -114,7 +114,11 @@ mod tests {
         let wdp = Wdp::new(
             2,
             1,
-            vec![qb(0, 0, 3.0, 1, 1, 1), qb(1, 0, 8.0, 1, 2, 2), qb(2, 0, 5.0, 2, 2, 1)],
+            vec![
+                qb(0, 0, 3.0, 1, 1, 1),
+                qb(1, 0, 8.0, 1, 2, 2),
+                qb(2, 0, 5.0, 2, 2, 1),
+            ],
         );
         let sol = GreedyBaseline::new().solve_wdp(&wdp).unwrap();
         assert_eq!(sol.cost(), 11.0, "greedy's static rank overpays here");
@@ -125,10 +129,18 @@ mod tests {
         let wdp = Wdp::new(
             2,
             1,
-            vec![qb(0, 0, 1.0, 1, 1, 1), qb(0, 1, 1.0, 2, 2, 1), qb(1, 0, 10.0, 1, 2, 2)],
+            vec![
+                qb(0, 0, 1.0, 1, 1, 1),
+                qb(0, 1, 1.0, 2, 2, 1),
+                qb(1, 0, 10.0, 1, 2, 2),
+            ],
         );
         let sol = GreedyBaseline::new().solve_wdp(&wdp).unwrap();
-        let c0_wins = sol.winners().iter().filter(|w| w.bid_ref.client == ClientId(0)).count();
+        let c0_wins = sol
+            .winners()
+            .iter()
+            .filter(|w| w.bid_ref.client == ClientId(0))
+            .count();
         assert_eq!(c0_wins, 1);
         assert!(fl_auction::verify::wdp_violations(&wdp, &sol).is_empty());
     }
@@ -136,7 +148,10 @@ mod tests {
     #[test]
     fn infeasible_reported() {
         let wdp = Wdp::new(2, 2, vec![qb(0, 0, 1.0, 1, 2, 2)]);
-        assert_eq!(GreedyBaseline::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+        assert_eq!(
+            GreedyBaseline::new().solve_wdp(&wdp).unwrap_err(),
+            WdpError::Infeasible
+        );
     }
 
     #[test]

@@ -251,7 +251,11 @@ mod tests {
         let p3 = unit_payment(1.0, 16.0, 3, k);
         assert_eq!(p0, 16.0);
         assert!(p1 < p0 && p3 < p1);
-        assert_eq!(unit_payment(1.0, 16.0, 4, k), 0.0, "saturated rounds pay nothing");
+        assert_eq!(
+            unit_payment(1.0, 16.0, 4, k),
+            0.0,
+            "saturated rounds pay nothing"
+        );
         // Exact decay: 16·(1/16)^(γ/4) = 16·2^(−γ).
         assert!((p1 - 8.0).abs() < 1e-9);
         assert!((p3 - 2.0).abs() < 1e-9);
@@ -283,7 +287,11 @@ mod tests {
         b1.bid_ref = BidRef::new(ClientId(0), 1);
         let wdp = Wdp::new(2, 1, vec![b0, b1, qb(1, 5.0, 1, 2, 2)]);
         let sol = OnlineBaseline::new().solve_wdp(&wdp).unwrap();
-        let w0 = sol.winners().iter().find(|w| w.bid_ref.client == ClientId(0)).unwrap();
+        let w0 = sol
+            .winners()
+            .iter()
+            .find(|w| w.bid_ref.client == ClientId(0))
+            .unwrap();
         assert_eq!(w0.bid_ref.bid, 1, "the wider cheap bid has higher utility");
     }
 
@@ -296,13 +304,19 @@ mod tests {
         // only round 1 → offer 0 < price → walks; backfill must then fail
         // (no capacity) for round 2 → infeasible.
         let wdp = Wdp::new(2, 1, vec![qb(0, 1.0, 1, 1, 1), qb(1, 5.0, 1, 1, 1)]);
-        assert_eq!(OnlineBaseline::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+        assert_eq!(
+            OnlineBaseline::new().solve_wdp(&wdp).unwrap_err(),
+            WdpError::Infeasible
+        );
     }
 
     #[test]
     fn infeasible_reported() {
         let wdp = Wdp::new(2, 2, vec![qb(0, 1.0, 1, 2, 2)]);
-        assert_eq!(OnlineBaseline::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+        assert_eq!(
+            OnlineBaseline::new().solve_wdp(&wdp).unwrap_err(),
+            WdpError::Infeasible
+        );
     }
 
     #[test]
@@ -340,7 +354,11 @@ mod tests {
             // Recompute independently: replay phase 1 + naive phase 2.
             let k = wdp.demand_per_round();
             let bids = wdp.bids();
-            let u_max = bids.iter().map(|b| b.price).max_by(f64::total_cmp).unwrap_or(0.0);
+            let u_max = bids
+                .iter()
+                .map(|b| b.price)
+                .max_by(f64::total_cmp)
+                .unwrap_or(0.0);
             let u_min = bids
                 .iter()
                 .map(|b| b.price / f64::from(b.rounds))

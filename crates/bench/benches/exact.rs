@@ -15,7 +15,13 @@ fn bench_exact(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("I{clients}_J{j}_T{horizon}")),
             &wdp,
-            |b, wdp| b.iter(|| ExactSolver::new().solve_wdp(black_box(wdp)).map(|s| s.cost())),
+            |b, wdp| {
+                b.iter(|| {
+                    ExactSolver::new()
+                        .solve_wdp(black_box(wdp))
+                        .map(|s| s.cost())
+                })
+            },
         );
     }
     group.finish();
@@ -38,7 +44,11 @@ fn bench_exact(c: &mut Criterion) {
     group.sample_size(10);
     let wdp = gen_prequalified_wdp(11, 40, 3, 10, 3);
     group.bench_function("drop_and_repair_I40", |b| {
-        b.iter(|| RefineSolver::new().solve_wdp(black_box(&wdp)).map(|s| s.cost()))
+        b.iter(|| {
+            RefineSolver::new()
+                .solve_wdp(black_box(&wdp))
+                .map(|s| s.cost())
+        })
     });
     group.finish();
 }

@@ -8,7 +8,11 @@ use std::hint::black_box;
 fn bench_winner(c: &mut Criterion) {
     let mut group = c.benchmark_group("a_winner");
     group.sample_size(20);
-    for &(clients, j, horizon, k) in &[(100u32, 3u32, 10u32, 3u32), (500, 5, 20, 10), (1000, 5, 30, 20)] {
+    for &(clients, j, horizon, k) in &[
+        (100u32, 3u32, 10u32, 3u32),
+        (500, 5, 20, 10),
+        (1000, 5, 30, 20),
+    ] {
         let wdp = gen_prequalified_wdp(7, clients, j, horizon, k);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("I{clients}_J{j}_T{horizon}_K{k}")),

@@ -49,7 +49,10 @@ fn main() {
             },
         ]);
     }
-    println!("Ablation A2: horizon enumeration vs fixed horizon ({} seeds)", seeds.len());
+    println!(
+        "Ablation A2: horizon enumeration vs fixed horizon ({} seeds)",
+        seeds.len()
+    );
     print!("{}", table.render());
     match table.write_csv(results_dir(), "ablation_enumeration") {
         Ok(p) => println!("wrote {}", p.display()),

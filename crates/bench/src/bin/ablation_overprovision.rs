@@ -45,10 +45,15 @@ fn main() {
                         .build()
                         .expect("valid config"),
                 );
-            let Ok(inst) = spec.generate(seed) else { continue };
-            let Ok(outcome) = Algo::Afl.run(&inst) else { continue };
+            let Ok(inst) = spec.generate(seed) else {
+                continue;
+            };
+            let Ok(outcome) = Algo::Afl.run(&inst) else {
+                continue;
+            };
             costs.push(outcome.social_cost());
-            let federation = Federation::generate(&DatasetSpec::default(), inst.num_clients(), seed);
+            let federation =
+                Federation::generate(&DatasetSpec::default(), inst.num_clients(), seed);
             let report = FlJob::new(0.3)
                 .with_dropout(DropoutModel::new(dropout))
                 .run(&inst, &outcome, &federation, seed);
@@ -62,15 +67,22 @@ fn main() {
                 convergence.push(f64::from(t));
             }
         }
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        // An empty sample set has no mean; "n/a" beats a misleading 0.0.
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}", v.iter().sum::<f64>() / v.len() as f64)
+            }
+        };
         table.push_row([
             k_buy.to_string(),
-            format!("{:.1}", mean(&costs)),
+            mean(&costs),
             format!("{:.1}", 100.0 * met as f64 / total_rounds.max(1) as f64),
             if convergence.is_empty() {
                 "never".into()
             } else {
-                format!("{:.1}", mean(&convergence))
+                mean(&convergence)
             },
         ]);
     }

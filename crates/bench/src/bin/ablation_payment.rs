@@ -64,7 +64,9 @@ fn utility(wdp: &Wdp, client: fl_auction::ClientId, true_prices: &[f64], rule: R
         _ => AWinner::new(),
     }
     .without_certificate();
-    let Ok(sol) = solver.solve_wdp(wdp) else { return 0.0 };
+    let Ok(sol) = solver.solve_wdp(wdp) else {
+        return 0.0;
+    };
     let Some(w) = sol.winners().iter().find(|w| w.bid_ref.client == client) else {
         return 0.0;
     };
@@ -95,7 +97,12 @@ fn main() {
     // multi-parameter (a client can steer which of its own bids wins),
     // where per-bid threshold payments lose their guarantee.
     for (label, clients, j, file) in [
-        ("single-bid clients (J=1)", 16u32, 1u32, "ablation_payment_j1"),
+        (
+            "single-bid clients (J=1)",
+            16u32,
+            1u32,
+            "ablation_payment_j1",
+        ),
         ("multi-bid clients (J=2)", 10, 2, "ablation_payment"),
     ] {
         let mut table = Table::new([

@@ -14,8 +14,14 @@ fn main() {
     let seeds: Vec<u64> = (1..=5).collect();
     let mut table = Table::new(["mode", "qualified@T=10", "qualified@T=50", "mean cost"]);
     println!("Ablation A3: qualification reading ({} seeds)", seeds.len());
-    for (name, mode) in [("intent (default)", QualifyMode::Intent), ("literal", QualifyMode::Literal)] {
-        let cfg = AuctionConfig::builder().qualify_mode(mode).build().expect("valid");
+    for (name, mode) in [
+        ("intent (default)", QualifyMode::Intent),
+        ("literal", QualifyMode::Literal),
+    ] {
+        let cfg = AuctionConfig::builder()
+            .qualify_mode(mode)
+            .build()
+            .expect("valid");
         let spec = WorkloadSpec::paper_default().with_config(cfg);
         let mut q10 = Vec::new();
         let mut q50 = Vec::new();

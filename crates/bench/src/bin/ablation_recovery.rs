@@ -1,0 +1,211 @@
+//! Ablation A7 — runtime coverage repair vs static over-provisioning.
+//!
+//! Two ways to survive dropout: buy spare capacity up front (A5's
+//! `K_buy > K_need`), or buy exactly `K_need` and repair rounds at runtime
+//! with the recovery layer (retries and the critically-priced standby
+//! pool). This experiment runs both families under the same fault process
+//! and seeds and compares total spend (procurement + repair), the fraction
+//! of rounds meeting `K_need`, and the convergence round.
+
+use fl_auction::AuctionConfig;
+use fl_bench::{results_dir, Algo, Table};
+use fl_sim::{DatasetSpec, FaultModel, Federation, FlJob, RecoveryPolicy};
+use fl_workload::WorkloadSpec;
+
+/// One experiment arm: how much to buy and how to repair.
+struct Arm {
+    label: &'static str,
+    k_buy: u32,
+    recovery: RecoveryPolicy,
+}
+
+/// Per-arm aggregate over all seeds.
+struct ArmResult {
+    label: &'static str,
+    k_buy: u32,
+    mean_cost: f64,
+    mean_repair: f64,
+    sla_pct: f64,
+    convergence: Vec<f64>,
+    samples: usize,
+}
+
+fn main() {
+    let k_need = 5u32;
+    let dropout = 0.3;
+    let seeds: [u64; 3] = [1, 2, 3];
+    let arms = [
+        Arm {
+            label: "none (K_buy = K_need)",
+            k_buy: k_need,
+            recovery: RecoveryPolicy::None,
+        },
+        Arm {
+            label: "retry x2",
+            k_buy: k_need,
+            recovery: RecoveryPolicy::Retry {
+                max_attempts: 2,
+                backoff: 5.0,
+            },
+        },
+        Arm {
+            label: "standby",
+            k_buy: k_need,
+            recovery: RecoveryPolicy::Standby,
+        },
+        Arm {
+            label: "hybrid",
+            k_buy: k_need,
+            recovery: RecoveryPolicy::Hybrid {
+                max_attempts: 2,
+                backoff: 5.0,
+            },
+        },
+        Arm {
+            label: "static K_buy = 7",
+            k_buy: 7,
+            recovery: RecoveryPolicy::None,
+        },
+        Arm {
+            label: "static K_buy = 10",
+            k_buy: 10,
+            recovery: RecoveryPolicy::None,
+        },
+    ];
+
+    println!(
+        "Ablation A7: coverage repair vs over-provisioning ({:.0}% dropout, K_need = {k_need}, {} seeds)",
+        dropout * 100.0,
+        seeds.len()
+    );
+    let mut results: Vec<ArmResult> = Vec::new();
+    for arm in &arms {
+        let mut costs = Vec::new();
+        let mut repairs = Vec::new();
+        let mut met = 0usize;
+        let mut total_rounds = 0usize;
+        let mut convergence = Vec::new();
+        for &seed in &seeds {
+            let spec = WorkloadSpec::paper_default()
+                .with_clients(400)
+                .with_bids_per_client(4)
+                .with_config(
+                    AuctionConfig::builder()
+                        .max_rounds(16)
+                        .clients_per_round(arm.k_buy)
+                        .round_time_limit(60.0)
+                        .build()
+                        .expect("valid config"),
+                );
+            let Ok(inst) = spec.generate(seed) else {
+                continue;
+            };
+            let Ok(outcome) = Algo::Afl.run(&inst) else {
+                continue;
+            };
+            let federation =
+                Federation::generate(&DatasetSpec::default(), inst.num_clients(), seed);
+            let report = FlJob::new(0.3)
+                .with_faults(FaultModel::bernoulli(dropout))
+                .with_recovery(arm.recovery)
+                .with_coverage_floor(k_need)
+                .run(&inst, &outcome, &federation, seed);
+            costs.push(outcome.social_cost());
+            repairs.push(report.repair_spend);
+            for r in &report.rounds {
+                total_rounds += 1;
+                if r.coverage_gap == 0 {
+                    met += 1;
+                }
+            }
+            if let Some(t) = report.reached_at {
+                convergence.push(f64::from(t));
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        results.push(ArmResult {
+            label: arm.label,
+            k_buy: arm.k_buy,
+            mean_cost: mean(&costs),
+            mean_repair: mean(&repairs),
+            sla_pct: 100.0 * met as f64 / total_rounds.max(1) as f64,
+            convergence,
+            samples: costs.len(),
+        });
+    }
+
+    let mut table = Table::new([
+        "policy",
+        "K_buy",
+        "mean cost",
+        "mean repair spend",
+        "mean total spend",
+        "rounds meeting K_need (%)",
+        "mean convergence round",
+    ]);
+    for r in &results {
+        let mean_conv = if r.convergence.is_empty() {
+            "never".to_string()
+        } else {
+            format!(
+                "{:.1}",
+                r.convergence.iter().sum::<f64>() / r.convergence.len() as f64
+            )
+        };
+        let fmt = |x: f64| {
+            if r.samples == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{x:.1}")
+            }
+        };
+        table.push_row([
+            r.label.to_string(),
+            r.k_buy.to_string(),
+            fmt(r.mean_cost),
+            fmt(r.mean_repair),
+            fmt(r.mean_cost + r.mean_repair),
+            format!("{:.1}", r.sla_pct),
+            mean_conv,
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Head-to-head: the hybrid arm's repair spend vs the *extra* up-front
+    // spend of the cheapest static arm with at least its coverage.
+    let baseline = results
+        .iter()
+        .find(|r| r.k_buy == k_need && matches!(r.samples, 1..))
+        .map(|r| r.mean_cost);
+    let hybrid = results.iter().find(|r| r.label == "hybrid");
+    let static_match = hybrid.and_then(|h| {
+        results
+            .iter()
+            .filter(|r| r.k_buy > k_need && r.sla_pct >= h.sla_pct - 1e-9)
+            .min_by(|a, b| a.mean_cost.total_cmp(&b.mean_cost))
+    });
+    if let (Some(base), Some(h), Some(s)) = (baseline, hybrid, static_match) {
+        let extra = s.mean_cost - base;
+        println!(
+            "hybrid repair spend {:.1} vs extra spend {:.1} of equivalent-coverage {} ({})",
+            h.mean_repair,
+            extra,
+            s.label,
+            if h.mean_repair <= extra {
+                "repair is cheaper"
+            } else {
+                "over-provisioning is cheaper"
+            }
+        );
+    } else if let Some(h) = hybrid {
+        println!(
+            "no static arm matched hybrid's {:.1}% coverage; hybrid repair spend {:.1}",
+            h.sla_pct, h.mean_repair
+        );
+    }
+
+    match table.write_csv(results_dir(), "ablation_recovery") {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

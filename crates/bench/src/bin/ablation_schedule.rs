@@ -15,7 +15,10 @@ fn main() {
     let spec = WorkloadSpec::paper_default().with_clients(500);
 
     let mut table = Table::new(["policy", "mean cost", "feasible runs"]);
-    println!("Ablation A1: schedule policy inside A_winner (I=500, {} seeds)", seeds.len());
+    println!(
+        "Ablation A1: schedule policy inside A_winner (I=500, {} seeds)",
+        seeds.len()
+    );
     for (name, policy) in [
         ("least-loaded (paper)", SchedulePolicy::LeastLoaded),
         ("earliest", SchedulePolicy::Earliest),

@@ -21,7 +21,10 @@ fn main() {
         "on-time participations (%)",
         "rounds meeting K (%)",
     ]);
-    println!("Ablation A6: stragglers vs admission headroom (deadline 60, {} seeds)", seeds.len());
+    println!(
+        "Ablation A6: stragglers vs admission headroom (deadline 60, {} seeds)",
+        seeds.len()
+    );
     // The real deadline stays 60; admission either uses the full 60 or
     // a conservative 45 (25% headroom for jitter).
     for admission in [60.0f64, 45.0] {
@@ -42,8 +45,12 @@ fn main() {
                             .build()
                             .expect("valid config"),
                     );
-                let Ok(inst) = spec.generate(seed) else { continue };
-                let Ok(outcome) = Algo::Afl.run(&inst) else { continue };
+                let Ok(inst) = spec.generate(seed) else {
+                    continue;
+                };
+                let Ok(outcome) = Algo::Afl.run(&inst) else {
+                    continue;
+                };
                 // Execution still enforces the REAL deadline of 60: rebuild
                 // the same clients and bids under the true-deadline config.
                 let exec = if (admission - 60.0).abs() < 1e-9 {

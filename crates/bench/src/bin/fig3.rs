@@ -21,13 +21,20 @@ fn main() {
         vec![4, 6, 8, 10, 12]
     };
     let js: Vec<u32> = vec![2, 3, 4];
-    let seeds: Vec<u64> = if full { (0..20).collect() } else { (0..10).collect() };
+    let seeds: Vec<u64> = if full {
+        (0..20).collect()
+    } else {
+        (0..10).collect()
+    };
     let (clients, k) = (30u32, 3u32);
 
     let mut table = Table::new(
         std::iter::once("T_g".to_string()).chain(js.iter().map(|j| format!("ratio(J={j})"))),
     );
-    println!("Fig. 3: A_winner performance ratio (I={clients}, K={k}, {} seeds)", seeds.len());
+    println!(
+        "Fig. 3: A_winner performance ratio (I={clients}, K={k}, {} seeds)",
+        seeds.len()
+    );
     for &h in &horizons {
         let mut row = vec![h.to_string()];
         for &j in &js {
@@ -38,9 +45,17 @@ fn main() {
             let mut ratios = Vec::new();
             let mut skipped = 0usize;
             for &seed in &seeds {
-                let wdp = gen_prequalified_wdp(seed * 1000 + u64::from(h) * 10 + u64::from(j), clients, j, h, k);
+                let wdp = gen_prequalified_wdp(
+                    seed * 1000 + u64::from(h) * 10 + u64::from(j),
+                    clients,
+                    j,
+                    h,
+                    k,
+                );
                 let greedy = AWinner::new().solve_wdp(&wdp);
-                let opt = ExactSolver::new().with_node_budget(2_000_000).solve_wdp(&wdp);
+                let opt = ExactSolver::new()
+                    .with_node_budget(2_000_000)
+                    .solve_wdp(&wdp);
                 match (greedy, opt) {
                     (Ok(g), Ok(o)) if o.cost() > 0.0 => ratios.push(g.cost() / o.cost()),
                     _ => skipped += 1,

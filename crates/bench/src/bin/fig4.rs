@@ -31,7 +31,9 @@ fn ratios_for(spec: &WorkloadSpec, seeds: &[u64]) -> Vec<(Algo, Option<Summary>)
     let opt_solver = ExactSolver::new().with_node_budget(2_000_000);
     let mut per_algo: Vec<(Algo, Vec<f64>)> = Algo::ALL.iter().map(|&a| (a, Vec::new())).collect();
     for &seed in seeds {
-        let Ok(inst) = spec.generate(seed) else { continue };
+        let Ok(inst) = spec.generate(seed) else {
+            continue;
+        };
         let Ok(opt) = run_auction_with(&inst, &opt_solver) else {
             continue;
         };
@@ -46,7 +48,16 @@ fn ratios_for(spec: &WorkloadSpec, seeds: &[u64]) -> Vec<(Algo, Option<Summary>)
     }
     per_algo
         .into_iter()
-        .map(|(a, r)| (a, if r.is_empty() { None } else { Some(Summary::of(&r)) }))
+        .map(|(a, r)| {
+            (
+                a,
+                if r.is_empty() {
+                    None
+                } else {
+                    Some(Summary::of(&r))
+                },
+            )
+        })
         .collect()
 }
 
@@ -69,10 +80,18 @@ fn sweep(label: &str, specs: Vec<(String, WorkloadSpec)>, seeds: &[u64]) -> Tabl
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let seeds: Vec<u64> = if full { (0..10).collect() } else { (0..5).collect() };
+    let seeds: Vec<u64> = if full {
+        (0..10).collect()
+    } else {
+        (0..5).collect()
+    };
 
     println!("Fig. 4a: performance ratio vs number of clients I (J=3, T=10, K=2)");
-    let i_values: Vec<usize> = if full { vec![10, 20, 30, 40, 50] } else { vec![10, 20, 30] };
+    let i_values: Vec<usize> = if full {
+        vec![10, 20, 30, 40, 50]
+    } else {
+        vec![10, 20, 30]
+    };
     let t1 = sweep(
         "I",
         i_values
@@ -82,10 +101,16 @@ fn main() {
         &seeds,
     );
     print!("{}", t1.render());
-    t1.write_csv(results_dir(), "fig4_clients").map(|p| println!("wrote {}", p.display())).ok();
+    t1.write_csv(results_dir(), "fig4_clients")
+        .map(|p| println!("wrote {}", p.display()))
+        .ok();
 
     println!("\nFig. 4b: performance ratio vs bids per client J (I=20, T=10, K=2)");
-    let j_values: Vec<u32> = if full { vec![1, 2, 3, 4, 5] } else { vec![1, 2, 3, 4] };
+    let j_values: Vec<u32> = if full {
+        vec![1, 2, 3, 4, 5]
+    } else {
+        vec![1, 2, 3, 4]
+    };
     let t2 = sweep(
         "J",
         j_values
@@ -95,5 +120,7 @@ fn main() {
         &seeds,
     );
     print!("{}", t2.render());
-    t2.write_csv(results_dir(), "fig4_bids").map(|p| println!("wrote {}", p.display())).ok();
+    t2.write_csv(results_dir(), "fig4_bids")
+        .map(|p| println!("wrote {}", p.display()))
+        .ok();
 }

@@ -19,7 +19,10 @@ fn main() {
     let mut table = Table::new(
         std::iter::once("I".to_string()).chain(Algo::ALL.iter().map(|a| a.name().to_string())),
     );
-    println!("Fig. 5: social cost vs number of clients ({} seeds each)", seeds.len());
+    println!(
+        "Fig. 5: social cost vs number of clients ({} seeds each)",
+        seeds.len()
+    );
     let rows = par_map(i_values.clone(), |i| {
         let spec = WorkloadSpec::paper_default().with_clients(i);
         let mut row = vec![i.to_string()];

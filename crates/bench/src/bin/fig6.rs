@@ -20,7 +20,10 @@ fn main() {
     let mut table = Table::new(
         std::iter::once("J".to_string()).chain(Algo::ALL.iter().map(|a| a.name().to_string())),
     );
-    println!("Fig. 6: social cost vs bids per client ({} seeds each)", seeds.len());
+    println!(
+        "Fig. 6: social cost vs bids per client ({} seeds each)",
+        seeds.len()
+    );
     let rows = par_map(j_values.clone(), |j| {
         let spec = WorkloadSpec::paper_default().with_bids_per_client(j);
         let mut row = vec![j.to_string()];

@@ -50,7 +50,10 @@ fn run_model(name: &str, spec: &WorkloadSpec, seeds: &[u64], step: u32) -> Table
         }
         table.push_row(row);
     }
-    println!("[{name}] A_FL minimum at T_g = {} (cost {:.1})", best.0, best.1);
+    println!(
+        "[{name}] A_FL minimum at T_g = {} (cost {:.1})",
+        best.0, best.1
+    );
     table
 }
 

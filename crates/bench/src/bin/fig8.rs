@@ -21,7 +21,9 @@ fn main() {
     let mut table = Table::new(["I", "A_FL (s)", "A_online (s)"]);
     println!("Fig. 8: running time vs number of clients (J=10, mean of {reps} runs)");
     for &i in &i_values {
-        let spec = WorkloadSpec::paper_default().with_clients(i).with_bids_per_client(10);
+        let spec = WorkloadSpec::paper_default()
+            .with_clients(i)
+            .with_bids_per_client(10);
         let mut row = vec![i.to_string()];
         for algo in [Algo::Afl, Algo::Online] {
             let mut secs = Vec::new();

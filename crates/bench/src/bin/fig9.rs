@@ -9,7 +9,9 @@ use fl_bench::{results_dir, Algo, Table};
 use fl_workload::WorkloadSpec;
 
 fn main() {
-    let inst = WorkloadSpec::paper_default().generate(1).expect("paper spec is valid");
+    let inst = WorkloadSpec::paper_default()
+        .generate(1)
+        .expect("paper spec is valid");
     let outcome = Algo::Afl.run(&inst).expect("default instance is feasible");
 
     let mut table = Table::new(["winner", "claimed_cost", "payment", "utility"]);

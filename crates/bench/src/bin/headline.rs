@@ -11,7 +11,11 @@ use fl_workload::WorkloadSpec;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let seeds: Vec<u64> = if full { (1..=10).collect() } else { (1..=5).collect() };
+    let seeds: Vec<u64> = if full {
+        (1..=10).collect()
+    } else {
+        (1..=5).collect()
+    };
     let spec = WorkloadSpec::paper_default();
 
     let mut costs: Vec<(Algo, Vec<f64>)> = Algo::ALL.iter().map(|&a| (a, Vec::new())).collect();

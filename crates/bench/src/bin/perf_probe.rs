@@ -7,7 +7,12 @@ use fl_workload::WorkloadSpec;
 fn main() {
     let wdp = gen_prequalified_wdp(7, 1000, 5, 30, 20);
     let (a, ta) = timed(|| AWinner::new().without_certificate().solve_wdp(&wdp));
-    let (b, tb) = timed(|| AWinner::new().with_full_scan().without_certificate().solve_wdp(&wdp));
+    let (b, tb) = timed(|| {
+        AWinner::new()
+            .with_full_scan()
+            .without_certificate()
+            .solve_wdp(&wdp)
+    });
     println!(
         "A_winner I=1000 J=5 T=30 K=20: lazy {:.3}s vs full {:.3}s ({} vs {})",
         ta.as_secs_f64(),
@@ -16,8 +21,15 @@ fn main() {
         b.map(|s| s.cost()).unwrap_or(f64::NAN),
     );
     for clients in [1000usize, 3000] {
-        let inst = WorkloadSpec::paper_default().with_clients(clients).generate(1).unwrap();
+        let inst = WorkloadSpec::paper_default()
+            .with_clients(clients)
+            .generate(1)
+            .unwrap();
         let (r, d) = timed(|| Algo::Afl.run(&inst));
-        println!("A_FL I={clients}: cost {:.1} in {:.2}s", r.map(|o| o.social_cost()).unwrap_or(f64::NAN), d.as_secs_f64());
+        println!(
+            "A_FL I={clients}: cost {:.1} in {:.2}s",
+            r.map(|o| o.social_cost()).unwrap_or(f64::NAN),
+            d.as_secs_f64()
+        );
     }
 }

@@ -92,7 +92,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -144,7 +151,14 @@ impl Table {
         let esc = |s: &str| s.replace('|', "\\|");
         let mut out = String::new();
         out.push_str("| ");
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | "));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
         out.push_str(" |\n|");
         out.push_str(&"---|".repeat(self.header.len()));
         out.push('\n');

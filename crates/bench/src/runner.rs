@@ -96,7 +96,9 @@ where
             *slot = Some(h.join().expect("harness worker panicked"));
         }
     });
-    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 /// Builds the qualified WDP of `instance` at a fixed horizon (Fig. 7's
@@ -132,11 +134,16 @@ pub fn gen_prequalified_wdp(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut bids = Vec::new();
     for i in 0..clients {
-        let marks = fl_workload::sample::distinct_sorted(&mut rng, 2 * bids_per_client as usize, horizon);
+        let marks =
+            fl_workload::sample::distinct_sorted(&mut rng, 2 * bids_per_client as usize, horizon);
         for j in 0..bids_per_client {
             let a = marks[2 * j as usize];
             let d = marks[2 * j as usize + 1];
-            let c = if d > a { rng.random_range(1..=(d - a)) } else { 1 };
+            let c = if d > a {
+                rng.random_range(1..=(d - a))
+            } else {
+                1
+            };
             bids.push(QualifiedBid {
                 bid_ref: BidRef::new(ClientId(i), j),
                 price: rng.random_range(10.0..=50.0),
@@ -177,7 +184,9 @@ mod tests {
         let inst = spec.generate(11).unwrap();
         let mut costs = Vec::new();
         for algo in Algo::ALL {
-            let outcome = algo.run(&inst).unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+            let outcome = algo
+                .run(&inst)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
             assert!(
                 fl_auction::verify::outcome_violations(&inst, &outcome).is_empty(),
                 "{} produced an infeasible outcome",

@@ -23,7 +23,10 @@ impl Summary {
     /// Panics if `samples` is empty or contains NaN.
     pub fn of(samples: &[f64]) -> Summary {
         assert!(!samples.is_empty(), "cannot summarise an empty sample");
-        assert!(samples.iter().all(|x| !x.is_nan()), "samples must not contain NaN");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "samples must not contain NaN"
+        );
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let std = if n > 1 {
@@ -33,7 +36,13 @@ impl Summary {
         };
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { n, mean, std, min, max }
+        Summary {
+            n,
+            mean,
+            std,
+            min,
+            max,
+        }
     }
 }
 
@@ -105,7 +114,9 @@ mod tests {
     #[test]
     fn coefficient_of_variation_edge_cases() {
         assert_eq!(Summary::of(&[2.0, 2.0]).coefficient_of_variation(), 0.0);
-        assert!(Summary::of(&[-1.0, 1.0]).coefficient_of_variation().is_infinite());
+        assert!(Summary::of(&[-1.0, 1.0])
+            .coefficient_of_variation()
+            .is_infinite());
         let s = Summary::of(&[1.0, 3.0]);
         assert!((s.coefficient_of_variation() - s.std / 2.0).abs() < 1e-12);
     }

@@ -339,7 +339,11 @@ mod tests {
         let wdp = Wdp::new(
             3,
             1,
-            vec![qb(1, 0, 2.0, 1, 2, 1), qb(2, 0, 6.0, 2, 3, 2), qb(3, 0, 5.0, 1, 3, 2)],
+            vec![
+                qb(1, 0, 2.0, 1, 2, 1),
+                qb(2, 0, 6.0, 2, 3, 2),
+                qb(3, 0, 5.0, 1, 3, 2),
+            ],
         );
         let sol = ExactSolver::new().solve_wdp(&wdp).unwrap();
         assert_eq!(sol.cost(), 7.0);
@@ -353,7 +357,11 @@ mod tests {
         let wdp = Wdp::new(
             2,
             1,
-            vec![qb(0, 0, 3.0, 1, 1, 1), qb(1, 0, 8.0, 1, 2, 2), qb(2, 0, 5.0, 2, 2, 1)],
+            vec![
+                qb(0, 0, 3.0, 1, 1, 1),
+                qb(1, 0, 8.0, 1, 2, 2),
+                qb(2, 0, 5.0, 2, 2, 1),
+            ],
         );
         let sol = ExactSolver::new().solve_wdp(&wdp).unwrap();
         assert_eq!(sol.cost(), 8.0);
@@ -362,7 +370,10 @@ mod tests {
     #[test]
     fn infeasible_instance_reported() {
         let wdp = Wdp::new(3, 2, vec![qb(0, 0, 1.0, 1, 3, 3)]);
-        assert_eq!(ExactSolver::new().solve_wdp(&wdp).unwrap_err(), WdpError::Infeasible);
+        assert_eq!(
+            ExactSolver::new().solve_wdp(&wdp).unwrap_err(),
+            WdpError::Infeasible
+        );
     }
 
     #[test]
@@ -372,9 +383,16 @@ mod tests {
         let wdp = Wdp::new(
             2,
             1,
-            vec![qb(0, 0, 3.0, 1, 1, 1), qb(1, 0, 8.0, 1, 2, 2), qb(2, 0, 5.0, 2, 2, 1)],
+            vec![
+                qb(0, 0, 3.0, 1, 1, 1),
+                qb(1, 0, 8.0, 1, 2, 2),
+                qb(2, 0, 5.0, 2, 2, 1),
+            ],
         );
-        let err = ExactSolver::new().with_node_budget(1).solve_wdp(&wdp).unwrap_err();
+        let err = ExactSolver::new()
+            .with_node_budget(1)
+            .solve_wdp(&wdp)
+            .unwrap_err();
         assert!(matches!(err, WdpError::ResourceLimit(_)));
     }
 
@@ -437,7 +455,10 @@ mod tests {
                     assert!(fl_auction::verify::wdp_violations(&wdp, &o).is_empty());
                 }
                 (Ok(g), Err(e)) => {
-                    panic!("trial {trial}: greedy found {} but exact failed: {e}", g.cost())
+                    panic!(
+                        "trial {trial}: greedy found {} but exact failed: {e}",
+                        g.cost()
+                    )
                 }
                 (Err(_), Err(_)) => {}
             }

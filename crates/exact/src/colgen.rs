@@ -85,7 +85,10 @@ pub fn solve_lp7(wdp: &Wdp) -> Result<ColGenResult, LpError> {
             use std::collections::BTreeMap;
             let mut per_client: BTreeMap<u32, Vec<fl_lp::VarId>> = BTreeMap::new();
             for ((b, _), &z) in pool.iter().zip(&zs) {
-                per_client.entry(bids[*b].bid_ref.client.0).or_default().push(z);
+                per_client
+                    .entry(bids[*b].bid_ref.client.0)
+                    .or_default()
+                    .push(z);
             }
             for (client, vars) in per_client {
                 let terms: Vec<_> = vars.iter().map(|&z| (z, 1.0)).collect();
@@ -195,7 +198,11 @@ mod tests {
         Wdp::new(
             3,
             1,
-            vec![qb(1, 0, 2.0, 1, 2, 1), qb(2, 0, 6.0, 2, 3, 2), qb(3, 0, 5.0, 1, 3, 2)],
+            vec![
+                qb(1, 0, 2.0, 1, 2, 1),
+                qb(2, 0, 6.0, 2, 3, 2),
+                qb(3, 0, 5.0, 1, 3, 2),
+            ],
         )
     }
 
@@ -210,7 +217,10 @@ mod tests {
             cg.objective,
             compact
         );
-        assert!(cg.objective <= 7.0 + 1e-7, "relaxation below the ILP optimum");
+        assert!(
+            cg.objective <= 7.0 + 1e-7,
+            "relaxation below the ILP optimum"
+        );
     }
 
     #[test]
@@ -233,7 +243,14 @@ mod tests {
                     let d = a + (next() % u64::from(h - a + 1)) as u32;
                     let c = 1 + (next() % u64::from(d - a + 1)) as u32;
                     // Half the clients carry two bids.
-                    qb((i / 2) as u32, (i % 2) as u32, 1.0 + (next() % 30) as f64, a, d, c)
+                    qb(
+                        (i / 2) as u32,
+                        (i % 2) as u32,
+                        1.0 + (next() % 30) as f64,
+                        a,
+                        d,
+                        c,
+                    )
                 })
                 .collect();
             let wdp = Wdp::new(h, k, bids);

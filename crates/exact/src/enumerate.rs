@@ -72,8 +72,8 @@ impl WdpSolver for BruteForceSolver {
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, b)| b)
             .collect();
-        let schedules =
-            sched::build_schedules(&chosen, horizon, k).expect("winning mask was feasibility-checked");
+        let schedules = sched::build_schedules(&chosen, horizon, k)
+            .expect("winning mask was feasibility-checked");
         let mut cost = 0.0;
         let winners: Vec<WinnerEntry> = chosen
             .iter()
@@ -114,7 +114,11 @@ mod tests {
         let wdp = Wdp::new(
             3,
             1,
-            vec![qb(1, 0, 2.0, 1, 2, 1), qb(2, 0, 6.0, 2, 3, 2), qb(3, 0, 5.0, 1, 3, 2)],
+            vec![
+                qb(1, 0, 2.0, 1, 2, 1),
+                qb(2, 0, 6.0, 2, 3, 2),
+                qb(3, 0, 5.0, 1, 3, 2),
+            ],
         );
         let sol = BruteForceSolver::new().solve_wdp(&wdp).unwrap();
         assert_eq!(sol.cost(), 7.0);
@@ -150,7 +154,14 @@ mod tests {
                     let d = a + (next() % u64::from(h - a + 1)) as u32;
                     let c = 1 + (next() % u64::from(d - a + 1)) as u32;
                     // Few price levels + few clients → dominations occur.
-                    qb((i / 3) as u32, (i % 3) as u32, 1.0 + (next() % 4) as f64, a, d, c)
+                    qb(
+                        (i / 3) as u32,
+                        (i % 3) as u32,
+                        1.0 + (next() % 4) as f64,
+                        a,
+                        d,
+                        c,
+                    )
                 })
                 .collect();
             let wdp = Wdp::new(h, 1, bids);
@@ -192,7 +203,11 @@ mod tests {
                 let c = 1 + (next() % u64::from(d - a + 1)) as u32;
                 let price = 1.0 + (next() % 40) as f64;
                 // Every other trial gives clients two bids.
-                let client = if trial % 2 == 0 { i as u32 } else { (i / 2) as u32 };
+                let client = if trial % 2 == 0 {
+                    i as u32
+                } else {
+                    (i / 2) as u32
+                };
                 let bid_idx = if trial % 2 == 0 { 0 } else { (i % 2) as u32 };
                 bids.push(qb(client, bid_idx, price, a, d, c));
             }

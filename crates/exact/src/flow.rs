@@ -53,11 +53,18 @@ impl FlowNetwork {
     /// Panics if either endpoint is out of range or the capacity is
     /// negative.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> EdgeHandle {
-        assert!(from < self.graph.len() && to < self.graph.len(), "endpoint out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "endpoint out of range"
+        );
         assert!(cap >= 0, "capacity must be non-negative");
         let rev_from = self.graph[to].len() + usize::from(from == to);
         let idx = self.graph[from].len();
-        self.graph[from].push(FlowEdge { to, cap, rev: rev_from });
+        self.graph[from].push(FlowEdge {
+            to,
+            cap,
+            rev: rev_from,
+        });
         let rev_to = idx;
         self.graph[to].push(FlowEdge {
             to: from,

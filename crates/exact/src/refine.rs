@@ -51,8 +51,11 @@ impl RefineSolver {
             let mut improved = false;
             let mut victim = 0usize;
             while victim < current.len() {
-                let mut reduced: Vec<usize> =
-                    current.iter().copied().filter(|&i| i != current[victim]).collect();
+                let mut reduced: Vec<usize> = current
+                    .iter()
+                    .copied()
+                    .filter(|&i| i != current[victim])
+                    .collect();
                 if let Some((repaired, cost)) = greedy_complete(wdp, &mut reduced) {
                     if cost < current_cost - 1e-9 {
                         current = repaired;
@@ -170,7 +173,11 @@ mod tests {
         let wdp = Wdp::new(
             2,
             1,
-            vec![qb(0, 0, 3.0, 1, 1, 1), qb(1, 0, 8.0, 1, 2, 2), qb(2, 0, 5.0, 2, 2, 1)],
+            vec![
+                qb(0, 0, 3.0, 1, 1, 1),
+                qb(1, 0, 8.0, 1, 2, 2),
+                qb(2, 0, 5.0, 2, 2, 1),
+            ],
         );
         let refined = RefineSolver::new().solve_wdp(&wdp).unwrap();
         assert_eq!(refined.cost(), 8.0);
@@ -205,8 +212,14 @@ mod tests {
             let opt = ExactSolver::new().solve_wdp(&wdp);
             match (greedy, refined, opt) {
                 (Ok(g), Ok(r), Ok(o)) => {
-                    assert!(r.cost() <= g.cost() + 1e-9, "trial {trial}: refine worsened");
-                    assert!(r.cost() >= o.cost() - 1e-9, "trial {trial}: refine beat OPT?!");
+                    assert!(
+                        r.cost() <= g.cost() + 1e-9,
+                        "trial {trial}: refine worsened"
+                    );
+                    assert!(
+                        r.cost() >= o.cost() - 1e-9,
+                        "trial {trial}: refine beat OPT?!"
+                    );
                     assert!(
                         fl_auction::verify::wdp_violations(&wdp, &r).is_empty(),
                         "trial {trial}"
@@ -223,7 +236,10 @@ mod tests {
                 }
             }
         }
-        assert!(improved >= 2, "refinement never improved anything ({improved})");
+        assert!(
+            improved >= 2,
+            "refinement never improved anything ({improved})"
+        );
     }
 
     #[test]
@@ -231,7 +247,11 @@ mod tests {
         let wdp = Wdp::new(
             3,
             1,
-            vec![qb(1, 0, 2.0, 1, 2, 1), qb(2, 0, 6.0, 2, 3, 2), qb(3, 0, 5.0, 1, 3, 2)],
+            vec![
+                qb(1, 0, 2.0, 1, 2, 1),
+                qb(2, 0, 6.0, 2, 3, 2),
+                qb(3, 0, 5.0, 1, 3, 2),
+            ],
         );
         let refined = RefineSolver::new().solve_wdp(&wdp).unwrap();
         let opt = BruteForceSolver::new().solve_wdp(&wdp).unwrap();

@@ -30,7 +30,11 @@ pub fn schedule_lp_bound(wdp: &Wdp) -> Result<f64, LpError> {
     // y_{b,t} ∈ [0, 1], zero cost, only for t ∈ window_b.
     let mut ys = Vec::with_capacity(bids.len());
     for b in bids {
-        let row: Vec<_> = b.window.rounds().map(|t| (t, lp.add_var(0.0, 1.0))).collect();
+        let row: Vec<_> = b
+            .window
+            .rounds()
+            .map(|t| (t, lp.add_var(0.0, 1.0)))
+            .collect();
         ys.push(row);
     }
     // Σ_t y_{b,t} = c_b·x_b  and  y_{b,t} ≤ x_b.
@@ -46,7 +50,11 @@ pub fn schedule_lp_bound(wdp: &Wdp) -> Result<f64, LpError> {
     for t in (1..=wdp.horizon()).map(Round) {
         let terms: Vec<_> = ys
             .iter()
-            .flat_map(|row| row.iter().filter(|(rt, _)| *rt == t).map(|&(_, y)| (y, 1.0)))
+            .flat_map(|row| {
+                row.iter()
+                    .filter(|(rt, _)| *rt == t)
+                    .map(|&(_, y)| (y, 1.0))
+            })
             .collect();
         lp.add_constraint(&terms, Relation::Ge, f64::from(wdp.demand_per_round()));
     }
@@ -120,7 +128,11 @@ mod tests {
         Wdp::new(
             3,
             1,
-            vec![qb(1, 0, 2.0, 1, 2, 1), qb(2, 0, 6.0, 2, 3, 2), qb(3, 0, 5.0, 1, 3, 2)],
+            vec![
+                qb(1, 0, 2.0, 1, 2, 1),
+                qb(2, 0, 6.0, 2, 3, 2),
+                qb(3, 0, 5.0, 1, 3, 2),
+            ],
         )
     }
 
@@ -132,7 +144,10 @@ mod tests {
         let weak = window_capacity_bound(&wdp).unwrap();
         assert!(strong <= 7.0 + 1e-7, "strong bound {strong}");
         assert!(weak <= 7.0 + 1e-7, "weak bound {weak}");
-        assert!(weak <= strong + 1e-7, "weak must not beat the exact relaxation");
+        assert!(
+            weak <= strong + 1e-7,
+            "weak must not beat the exact relaxation"
+        );
         assert!(strong > 0.0 && weak > 0.0);
     }
 
@@ -149,7 +164,10 @@ mod tests {
         // Nobody covers round 2.
         let wdp = Wdp::new(2, 1, vec![qb(0, 0, 4.0, 1, 1, 1)]);
         assert_eq!(schedule_lp_bound(&wdp).unwrap_err(), LpError::Infeasible);
-        assert_eq!(window_capacity_bound(&wdp).unwrap_err(), LpError::Infeasible);
+        assert_eq!(
+            window_capacity_bound(&wdp).unwrap_err(),
+            LpError::Infeasible
+        );
     }
 
     #[test]
@@ -178,7 +196,11 @@ mod tests {
         let wdp = Wdp::new(
             2,
             1,
-            vec![qb(0, 0, 0.1, 1, 2, 1), qb(1, 0, 1.0, 1, 1, 1), qb(2, 0, 1.0, 2, 2, 1)],
+            vec![
+                qb(0, 0, 0.1, 1, 2, 1),
+                qb(1, 0, 1.0, 1, 1, 1),
+                qb(2, 0, 1.0, 2, 2, 1),
+            ],
         );
         let v = window_capacity_bound(&wdp).unwrap();
         assert!(v >= 1.1 - 1e-7, "capacity row must bind, got {v}");

@@ -51,7 +51,11 @@ pub fn build_schedules(bids: &[&QualifiedBid], horizon: u32, k: u32) -> Option<V
                 }
             }
         }
-        debug_assert_eq!(rounds.len() as u32, bid.rounds, "window ≥ c_b by qualification");
+        debug_assert_eq!(
+            rounds.len() as u32,
+            bid.rounds,
+            "window ≥ c_b by qualification"
+        );
         rounds.sort_by_key(|t| t.0);
         schedules.push(rounds);
     }
@@ -62,7 +66,11 @@ type BidRoundEdges = Vec<Vec<(Round, EdgeHandle)>>;
 
 /// Builds the transportation network, runs Dinic, and returns
 /// `(flow value, bid→round edge handles, the residual network)`.
-fn build_and_run(bids: &[&QualifiedBid], horizon: u32, k: u32) -> (u64, BidRoundEdges, FlowNetwork) {
+fn build_and_run(
+    bids: &[&QualifiedBid],
+    horizon: u32,
+    k: u32,
+) -> (u64, BidRoundEdges, FlowNetwork) {
     let n_bids = bids.len();
     let n_rounds = horizon as usize;
     // Node ids: 0 = source, 1..=n_bids = bids, then rounds, then sink.

@@ -92,7 +92,11 @@ mod tests {
         Wdp::new(
             3,
             1,
-            vec![qb(1, 2.0, 1, 2, 1), qb(2, 6.0, 2, 3, 2), qb(3, 5.0, 1, 3, 2)],
+            vec![
+                qb(1, 2.0, 1, 2, 1),
+                qb(2, 6.0, 2, 3, 2),
+                qb(3, 5.0, 1, 3, 2),
+            ],
         )
     }
 
@@ -134,7 +138,11 @@ mod tests {
             .iter()
             .find(|w| w.bid_ref.client == ClientId(0))
             .unwrap();
-        assert!(w0.payment >= 50.0, "monopoly cap applies, got {}", w0.payment);
+        assert!(
+            w0.payment >= 50.0,
+            "monopoly cap applies, got {}",
+            w0.payment
+        );
     }
 
     #[test]
@@ -159,7 +167,7 @@ mod tests {
                     .bids()
                     .iter()
                     .map(|b| {
-                        let mut b = b.clone();
+                        let mut b = *b;
                         if b.bid_ref.client == ClientId(ci) {
                             b.price = truth * factor;
                         }
@@ -180,6 +188,9 @@ mod tests {
     #[test]
     fn infeasible_wdp_propagates() {
         let wdp = Wdp::new(3, 2, vec![qb(0, 1.0, 1, 3, 3)]);
-        assert_eq!(vcg(&wdp, &ExactSolver::new(), 10.0).unwrap_err(), WdpError::Infeasible);
+        assert_eq!(
+            vcg(&wdp, &ExactSolver::new(), 10.0).unwrap_err(),
+            WdpError::Infeasible
+        );
     }
 }

@@ -85,7 +85,10 @@ impl Federation {
     /// Panics if `spec.dim == 0` or `spec.samples_per_client == 0`.
     pub fn generate(spec: &DatasetSpec, clients: usize, seed: u64) -> Federation {
         assert!(spec.dim > 0, "feature dimension must be positive");
-        assert!(spec.samples_per_client > 0, "clients need at least one sample");
+        assert!(
+            spec.samples_per_client > 0,
+            "clients need at least one sample"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let d = spec.dim + 1; // with bias
         let truth: Vec<f64> = (0..d).map(|_| gaussian(&mut rng)).collect();

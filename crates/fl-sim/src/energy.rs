@@ -122,7 +122,8 @@ mod tests {
 
     #[test]
     fn battery_derives_participation_budget() {
-        let e = EnergyModel::smartphone().round_energy(LocalIterationModel::paper(), &profile(), 0.5);
+        let e =
+            EnergyModel::smartphone().round_energy(LocalIterationModel::paper(), &profile(), 0.5);
         let b = Battery::new(100.0);
         // 100 / 45 → 2 rounds.
         assert_eq!(b.affordable_rounds(e), 2);

@@ -1,0 +1,270 @@
+//! Client-fault processes — who is unreachable, and when.
+//!
+//! The seed simulator modelled unavailability as independent Bernoulli
+//! dropout per participation. Real mobile-client churn is neither
+//! homogeneous nor memoryless: connectivity outages come in bursts (a
+//! client behind a bad link stays bad for a while) and failure rates differ
+//! wildly across devices. This module puts all three behaviours behind one
+//! seam:
+//!
+//! * [`FaultModel::Bernoulli`] — the original i.i.d. process;
+//! * [`FaultModel::Markov`] — Gilbert–Elliott two-state churn: each client
+//!   carries a good/bad channel state, flipping good→bad with `p_gb` and
+//!   bad→good with `p_bg` per contact, so dropouts are *correlated* in
+//!   time (mean outage length `1/p_bg` contacts);
+//! * [`FaultModel::PerClient`] — heterogeneous per-client Bernoulli rates
+//!   with a default for unlisted clients.
+//!
+//! A [`FaultModel`] is pure configuration; the mutable per-run chain state
+//! lives in a [`FaultRun`], so one job configuration can drive many
+//! deterministic replays.
+
+use std::collections::HashMap;
+
+use fl_auction::ClientId;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::dropout::DropoutModel;
+
+/// The stochastic process governing client unavailability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultModel {
+    /// Independent per-participation dropout with one shared probability.
+    Bernoulli(DropoutModel),
+    /// Gilbert–Elliott two-state Markov churn. Every client starts in the
+    /// good state; each contact attempt advances its chain one step.
+    Markov {
+        /// Per-contact probability of a good client turning bad.
+        p_gb: f64,
+        /// Per-contact probability of a bad client recovering.
+        p_bg: f64,
+    },
+    /// Heterogeneous per-client Bernoulli rates.
+    PerClient {
+        /// Dropout probability per listed client.
+        rates: HashMap<ClientId, f64>,
+        /// Probability applied to clients absent from `rates`.
+        default: f64,
+    },
+}
+
+impl FaultModel {
+    /// Homogeneous Bernoulli dropout (the seed behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `[0, 1]`.
+    pub fn bernoulli(probability: f64) -> Self {
+        FaultModel::Bernoulli(DropoutModel::new(probability))
+    }
+
+    /// Gilbert–Elliott churn with the given transition probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn markov(p_gb: f64, p_bg: f64) -> Self {
+        for (name, p) in [("p_gb", p_gb), ("p_bg", p_bg)] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must lie in [0, 1], got {p}"
+            );
+        }
+        FaultModel::Markov { p_gb, p_bg }
+    }
+
+    /// Per-client rates with a default for unlisted clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate (or the default) is outside `[0, 1]`.
+    pub fn per_client(rates: HashMap<ClientId, f64>, default: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&default),
+            "default dropout probability must lie in [0, 1], got {default}"
+        );
+        for (c, &p) in &rates {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "dropout probability of {c:?} must lie in [0, 1], got {p}"
+            );
+        }
+        FaultModel::PerClient { rates, default }
+    }
+
+    /// The long-run per-contact unavailability the process converges to:
+    /// the Bernoulli rate, the Markov chain's stationary bad-state mass
+    /// `p_gb / (p_gb + p_bg)`, or the per-client default.
+    pub fn steady_state_unavailability(&self) -> f64 {
+        match self {
+            FaultModel::Bernoulli(m) => m.probability(),
+            FaultModel::Markov { p_gb, p_bg } => {
+                if p_gb + p_bg == 0.0 {
+                    0.0 // absorbing good state
+                } else {
+                    p_gb / (p_gb + p_bg)
+                }
+            }
+            FaultModel::PerClient { default, .. } => *default,
+        }
+    }
+}
+
+/// Mutable fault state for one training run.
+///
+/// Memoryless models keep no state; the Markov model tracks each client's
+/// channel. Every call to [`FaultRun::drops`] models one contact attempt
+/// and advances the contacted client's chain one step, so retries within a
+/// round see the burst structure too (a client mid-outage stays dropped
+/// with probability `1 − p_bg` per attempt).
+#[derive(Debug, Clone)]
+pub struct FaultRun<'a> {
+    model: &'a FaultModel,
+    /// Markov channel state per client; `true` = bad. Absent = good.
+    bad: HashMap<ClientId, bool>,
+}
+
+impl<'a> FaultRun<'a> {
+    /// Fresh state: every client starts reachable.
+    pub fn new(model: &'a FaultModel) -> Self {
+        FaultRun {
+            model,
+            bad: HashMap::new(),
+        }
+    }
+
+    /// Whether one contact attempt with `client` fails.
+    pub fn drops(&mut self, client: ClientId, rng: &mut StdRng) -> bool {
+        match self.model {
+            FaultModel::Bernoulli(m) => m.drops(rng),
+            FaultModel::Markov { p_gb, p_bg } => {
+                let state = self.bad.entry(client).or_insert(false);
+                let flip = if *state { *p_bg } else { *p_gb };
+                if flip > 0.0 && rng.random_range(0.0..1.0) < flip {
+                    *state = !*state;
+                }
+                *state
+            }
+            FaultModel::PerClient { rates, default } => {
+                let p = rates.get(&client).copied().unwrap_or(*default);
+                p > 0.0 && rng.random_range(0.0..1.0) < p
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cid(i: u32) -> ClientId {
+        ClientId(i)
+    }
+
+    #[test]
+    fn bernoulli_matches_the_dropout_model_rate() {
+        let model = FaultModel::bernoulli(0.3);
+        let mut run = FaultRun::new(&model);
+        let mut rng = StdRng::seed_from_u64(3);
+        let drops = (0..20_000).filter(|_| run.drops(cid(0), &mut rng)).count();
+        let rate = drops as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "empirical rate {rate}");
+        assert_eq!(model.steady_state_unavailability(), 0.3);
+    }
+
+    #[test]
+    fn markov_converges_to_the_stationary_rate() {
+        let model = FaultModel::markov(0.1, 0.4);
+        let mut run = FaultRun::new(&model);
+        let mut rng = StdRng::seed_from_u64(5);
+        let drops = (0..40_000).filter(|_| run.drops(cid(0), &mut rng)).count();
+        let rate = drops as f64 / 40_000.0;
+        let stationary = model.steady_state_unavailability();
+        assert!((stationary - 0.2).abs() < 1e-12);
+        assert!((rate - stationary).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn markov_outages_are_bursty() {
+        // P(drop | dropped last contact) = 1 − p_bg, which far exceeds the
+        // stationary rate — the signature of correlated churn that i.i.d.
+        // Bernoulli cannot produce.
+        let model = FaultModel::markov(0.05, 0.2);
+        let mut run = FaultRun::new(&model);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace: Vec<bool> = (0..60_000).map(|_| run.drops(cid(0), &mut rng)).collect();
+        let mut after_drop = 0usize;
+        let mut drop_after_drop = 0usize;
+        for pair in trace.windows(2) {
+            if pair[0] {
+                after_drop += 1;
+                if pair[1] {
+                    drop_after_drop += 1;
+                }
+            }
+        }
+        let conditional = drop_after_drop as f64 / after_drop as f64;
+        assert!(
+            (conditional - 0.8).abs() < 0.03,
+            "P(drop|drop) = {conditional}, expected ≈ 1 − p_bg = 0.8"
+        );
+        let stationary = model.steady_state_unavailability();
+        assert!(conditional > stationary + 0.4, "burstiness must be visible");
+    }
+
+    #[test]
+    fn markov_chains_are_independent_across_clients() {
+        let model = FaultModel::markov(0.0, 1.0); // good state is absorbing
+        let mut run = FaultRun::new(&model);
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..50 {
+            assert!(!run.drops(cid(i), &mut rng));
+        }
+    }
+
+    #[test]
+    fn per_client_rates_apply_with_default_fallback() {
+        let mut rates = HashMap::new();
+        rates.insert(cid(1), 0.0);
+        rates.insert(cid(2), 1.0);
+        let model = FaultModel::per_client(rates, 0.5);
+        let mut run = FaultRun::new(&model);
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!((0..500).all(|_| !run.drops(cid(1), &mut rng)));
+        assert!((0..500).all(|_| run.drops(cid(2), &mut rng)));
+        let drops = (0..20_000).filter(|_| run.drops(cid(3), &mut rng)).count();
+        let rate = drops as f64 / 20_000.0;
+        assert!((rate - 0.5).abs() < 0.02, "default rate applies: {rate}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        for model in [
+            FaultModel::bernoulli(0.4),
+            FaultModel::markov(0.2, 0.3),
+            FaultModel::per_client(HashMap::new(), 0.4),
+        ] {
+            let sample = |seed: u64| -> Vec<bool> {
+                let mut run = FaultRun::new(&model);
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..200).map(|i| run.drops(cid(i % 7), &mut rng)).collect()
+            };
+            assert_eq!(sample(13), sample(13));
+            assert_ne!(sample(13), sample(14), "different seeds must diverge");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p_gb")]
+    fn invalid_markov_probability_panics() {
+        let _ = FaultModel::markov(1.5, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "default")]
+    fn invalid_default_rate_panics() {
+        let _ = FaultModel::per_client(HashMap::new(), -0.1);
+    }
+}

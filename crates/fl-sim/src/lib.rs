@@ -45,6 +45,7 @@
 pub mod data;
 mod dropout;
 mod energy;
+pub mod fault;
 mod local;
 pub mod metrics;
 pub mod model;
@@ -55,8 +56,9 @@ mod straggler;
 pub use data::{ClientData, DataSkew, DatasetSpec, Federation};
 pub use dropout::DropoutModel;
 pub use energy::{Battery, EnergyModel};
+pub use fault::{FaultModel, FaultRun};
 pub use local::{LocalResult, LocalTrainer};
 pub use model::LinearModel;
 pub use objective::{LogisticObjective, Objective, RidgeObjective};
-pub use server::{FlJob, RoundRecord, TrainingReport};
+pub use server::{FlJob, RecoveryPolicy, RoundRecord, TrainingReport};
 pub use straggler::StragglerModel;

@@ -64,7 +64,10 @@ impl LocalTrainer {
         data: &ClientData,
         theta: f64,
     ) -> LocalResult {
-        assert!(theta > 0.0 && theta <= 1.0, "θ must lie in (0, 1], got {theta}");
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "θ must lie in (0, 1], got {theta}"
+        );
         let mut model = start.clone();
         let g0 = norm(&objective.gradient(&model, data));
         let target = theta * g0;
@@ -146,7 +149,10 @@ mod tests {
         let coarse = trainer.train(&start, &data, 0.8).iterations;
         let fine = trainer.train(&start, &data, 0.3).iterations;
         let finest = trainer.train(&start, &data, 0.1).iterations;
-        assert!(coarse <= fine && fine <= finest, "{coarse} ≤ {fine} ≤ {finest}");
+        assert!(
+            coarse <= fine && fine <= finest,
+            "{coarse} ≤ {fine} ≤ {finest}"
+        );
         assert!(finest > coarse, "iteration counts must actually grow");
     }
 
@@ -201,7 +207,11 @@ mod tests {
         let r = trainer.train_objective(&obj, &start, &data, 0.4);
         assert!(r.converged);
         let g = crate::model::norm(&obj.gradient(&r.model, &data));
-        assert!(g <= 0.4 * g0 + 1e-12, "ridge relative accuracy missed: {g} vs {}", 0.4 * g0);
+        assert!(
+            g <= 0.4 * g0 + 1e-12,
+            "ridge relative accuracy missed: {g} vs {}",
+            0.4 * g0
+        );
     }
 
     #[test]

@@ -90,7 +90,11 @@ pub fn loss(model: &LinearModel, data: &ClientData) -> f64 {
     for (x, &y) in data.features.iter().zip(&data.labels) {
         let z = model.score(x);
         // log(1 + e^z) − y·z, computed stably.
-        let log1p_ez = if z > 0.0 { z + (-z).exp().ln_1p() } else { z.exp().ln_1p() };
+        let log1p_ez = if z > 0.0 {
+            z + (-z).exp().ln_1p()
+        } else {
+            z.exp().ln_1p()
+        };
         total += log1p_ez - y * z;
     }
     let reg: f64 = model.weights().iter().map(|w| w * w).sum::<f64>() * (L2_REG / 2.0);
@@ -136,7 +140,7 @@ mod tests {
                 skew: DataSkew::Iid,
             },
             1,
-            7,
+            19,
         )
         .shards
         .remove(0)
@@ -157,16 +161,15 @@ mod tests {
         let model = LinearModel::from_weights(vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2]);
         let g = gradient(&model, &data);
         let eps = 1e-6;
-        for k in 0..model.weights().len() {
+        for (k, &gk) in g.iter().enumerate() {
             let mut plus = model.clone();
             plus.weights_mut()[k] += eps;
             let mut minus = model.clone();
             minus.weights_mut()[k] -= eps;
             let numeric = (loss(&plus, &data) - loss(&minus, &data)) / (2.0 * eps);
             assert!(
-                (numeric - g[k]).abs() < 1e-5,
-                "coordinate {k}: analytic {} vs numeric {numeric}",
-                g[k]
+                (numeric - gk).abs() < 1e-5,
+                "coordinate {k}: analytic {gk} vs numeric {numeric}"
             );
         }
     }
@@ -210,7 +213,7 @@ mod tests {
                 skew: DataSkew::Iid,
             },
             1,
-            21,
+            19,
         );
         let model = LinearModel::from_weights(fed.truth.clone());
         assert!(model.accuracy(&fed.shards[0]) > 0.75);

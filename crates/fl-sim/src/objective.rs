@@ -133,16 +133,15 @@ mod tests {
         let model = LinearModel::from_weights(vec![0.2, -0.1, 0.4, 0.0, 0.3]);
         let g = obj.gradient(&model, &data);
         let eps = 1e-6;
-        for k in 0..model.weights().len() {
+        for (k, &gk) in g.iter().enumerate() {
             let mut plus = model.clone();
             plus.weights_mut()[k] += eps;
             let mut minus = model.clone();
             minus.weights_mut()[k] -= eps;
             let numeric = (obj.loss(&plus, &data) - obj.loss(&minus, &data)) / (2.0 * eps);
             assert!(
-                (numeric - g[k]).abs() < 1e-5,
-                "coordinate {k}: analytic {} vs numeric {numeric}",
-                g[k]
+                (numeric - gk).abs() < 1e-5,
+                "coordinate {k}: analytic {gk} vs numeric {numeric}"
             );
         }
     }
@@ -153,7 +152,10 @@ mod tests {
         let obj = LogisticObjective;
         let model = LinearModel::from_weights(vec![0.1; 5]);
         assert_eq!(obj.loss(&model, &data), crate::model::loss(&model, &data));
-        assert_eq!(obj.gradient(&model, &data), crate::model::gradient(&model, &data));
+        assert_eq!(
+            obj.gradient(&model, &data),
+            crate::model::gradient(&model, &data)
+        );
         assert_eq!(obj.name(), "logistic");
         assert_eq!(RidgeObjective::default().name(), "ridge");
     }

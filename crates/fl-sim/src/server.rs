@@ -7,19 +7,89 @@
 //! aggregates. The run validates the economic layer's promises — the job
 //! finishes within `T_g` rounds and per-round wall clock stays within
 //! `t_max`.
+//!
+//! # Fault tolerance
+//!
+//! Faults are injected through a [`FaultModel`] (i.i.d., bursty Markov, or
+//! per-client — see [`crate::fault`]). When a round's confirmed
+//! participation falls below the coverage floor `K_need`, the configured
+//! [`RecoveryPolicy`] repairs the round in place:
+//!
+//! * **Retry** re-contacts dropped winners with a backoff delay charged to
+//!   the round's wall clock (no extra payment — winners are already under
+//!   contract);
+//! * **Standby** activates the auction's pre-priced standby pool
+//!   ([`fl_auction::StandbyPool`]) in rank order, paying each delivered
+//!   activation its committed critical value and debiting its battery
+//!   budget;
+//! * **Hybrid** retries first (free), then substitutes.
+//!
+//! Repair happens in a deadline-extension window: the backoff delay and
+//! substitute round times extend the recorded wall clock, but each repair
+//! participation must still individually train within `t_max`.
 
 use std::collections::HashMap;
 
-use fl_auction::{AuctionOutcome, ClientId, Instance, Round};
+use fl_auction::{AuctionOutcome, ClientId, Instance, Round, StandbyPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::data::Federation;
 use crate::dropout::DropoutModel;
+use crate::fault::{FaultModel, FaultRun};
 use crate::local::LocalTrainer;
-use crate::straggler::StragglerModel;
 use crate::metrics::{global_accuracy, global_grad_norm, global_loss};
 use crate::model::LinearModel;
+use crate::straggler::StragglerModel;
+
+/// How the server reacts when a round's confirmed participation falls
+/// below the coverage floor `K_need`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryPolicy {
+    /// Accept the gap: record it and aggregate whatever arrived.
+    None,
+    /// Re-contact each dropped winner up to `max_attempts` times, waiting
+    /// `backoff · attempt` time units before attempt number `attempt`.
+    Retry {
+        /// Re-contact attempts per dropped winner.
+        max_attempts: u32,
+        /// Wall-clock delay multiplier per attempt.
+        backoff: f64,
+    },
+    /// Substitute from the auction's ranked standby pool, cheapest first.
+    Standby,
+    /// Retry dropped winners first (free), then fill the remaining gap
+    /// from the standby pool.
+    Hybrid {
+        /// Re-contact attempts per dropped winner.
+        max_attempts: u32,
+        /// Wall-clock delay multiplier per attempt.
+        backoff: f64,
+    },
+}
+
+impl RecoveryPolicy {
+    fn retry_params(&self) -> Option<(u32, f64)> {
+        match *self {
+            RecoveryPolicy::Retry {
+                max_attempts,
+                backoff,
+            }
+            | RecoveryPolicy::Hybrid {
+                max_attempts,
+                backoff,
+            } => Some((max_attempts, backoff)),
+            _ => None,
+        }
+    }
+
+    fn uses_standbys(&self) -> bool {
+        matches!(
+            self,
+            RecoveryPolicy::Standby | RecoveryPolicy::Hybrid { .. }
+        )
+    }
+}
 
 /// One global iteration's record.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +105,14 @@ pub struct RoundRecord {
     pub late: Vec<ClientId>,
     /// Local iterations used per participant (parallel to `participants`).
     pub local_iterations: Vec<u32>,
+    /// Standby clients activated this round (subset of `participants`).
+    pub substitutes: Vec<ClientId>,
+    /// Dropped winners recovered by re-contact (subset of `participants`).
+    pub retried: Vec<ClientId>,
+    /// Standby remuneration spent repairing this round.
+    pub repair_spend: f64,
+    /// Confirmed participants still missing below `K_need` after repair.
+    pub coverage_gap: u32,
     /// Simulated synchronous round duration:
     /// `max_i T_l(θ_i)·t_i^cmp + t_i^com` over participants.
     pub wall_clock: f64,
@@ -61,6 +139,13 @@ pub struct TrainingReport {
     /// Weighted classification accuracy of the final model on the winners'
     /// training shards.
     pub final_accuracy: f64,
+    /// Total standby remuneration spent across all rounds.
+    pub repair_spend: f64,
+    /// Mean over rounds of `min(confirmed, K_need) / K_need` — 1.0 when
+    /// every round met its floor.
+    pub coverage_ratio: f64,
+    /// Fraction of rounds whose confirmed participation reached `K_need`.
+    pub sla_met_fraction: f64,
 }
 
 /// Configuration of a federated run over an auction outcome.
@@ -70,12 +155,15 @@ pub struct FlJob {
     /// Relative global accuracy ε: stop once
     /// `‖∇J(w)‖ ≤ ε·‖∇J(w₀)‖` (mirrors footnote 1 of the paper).
     global_accuracy: f64,
-    dropout: Option<DropoutModel>,
+    faults: Option<FaultModel>,
     stragglers: Option<StragglerModel>,
+    recovery: RecoveryPolicy,
+    coverage_floor: Option<u32>,
 }
 
 impl FlJob {
-    /// A job with the default local trainer, target `ε`, and no dropout.
+    /// A job with the default local trainer, target `ε`, no faults, and no
+    /// recovery.
     ///
     /// # Panics
     ///
@@ -88,8 +176,10 @@ impl FlJob {
         FlJob {
             trainer: LocalTrainer::default(),
             global_accuracy: epsilon,
-            dropout: None,
+            faults: None,
             stragglers: None,
+            recovery: RecoveryPolicy::None,
+            coverage_floor: None,
         }
     }
 
@@ -99,9 +189,17 @@ impl FlJob {
         self
     }
 
-    /// Injects client dropout (the paper's future-work scenario).
+    /// Injects i.i.d. client dropout (the paper's future-work scenario).
+    /// Shorthand for [`FlJob::with_faults`] with a Bernoulli model.
     pub fn with_dropout(mut self, dropout: DropoutModel) -> Self {
-        self.dropout = Some(dropout);
+        self.faults = Some(FaultModel::Bernoulli(dropout));
+        self
+    }
+
+    /// Injects client unavailability through an arbitrary [`FaultModel`]
+    /// (Bernoulli, bursty Gilbert–Elliott churn, or per-client rates).
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -109,6 +207,25 @@ impl FlJob {
     /// `t_max` deadline are discarded by the synchronous server.
     pub fn with_stragglers(mut self, stragglers: StragglerModel) -> Self {
         self.stragglers = Some(stragglers);
+        self
+    }
+
+    /// Sets how the server repairs rounds whose confirmed participation
+    /// falls below the coverage floor.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Overrides the coverage floor `K_need` (defaults to the auction's
+    /// per-round demand `K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_need` is zero.
+    pub fn with_coverage_floor(mut self, k_need: u32) -> Self {
+        assert!(k_need >= 1, "coverage floor must be at least 1");
+        self.coverage_floor = Some(k_need);
         self
     }
 
@@ -123,7 +240,13 @@ impl FlJob {
     ///
     /// Panics if the federation has fewer shards than the instance has
     /// clients, or the shards disagree on dimension.
-    pub fn run(&self, instance: &Instance, outcome: &AuctionOutcome, federation: &Federation, seed: u64) -> TrainingReport {
+    pub fn run(
+        &self,
+        instance: &Instance,
+        outcome: &AuctionOutcome,
+        federation: &Federation,
+        seed: u64,
+    ) -> TrainingReport {
         assert!(
             federation.shards.len() >= instance.num_clients(),
             "federation has {} shards for {} clients",
@@ -138,7 +261,10 @@ impl FlJob {
         for w in outcome.solution().winners() {
             let theta = instance.bid(w.bid_ref).accuracy();
             for &t in &w.schedule {
-                roster.entry(t.0).or_default().push((w.bid_ref.client, theta));
+                roster
+                    .entry(t.0)
+                    .or_default()
+                    .push((w.bid_ref.client, theta));
             }
         }
         let winner_shards: Vec<&crate::data::ClientData> = outcome
@@ -148,81 +274,158 @@ impl FlJob {
             .map(|w| &federation.shards[w.bid_ref.client.index()])
             .collect();
 
+        let k_need = self
+            .coverage_floor
+            .unwrap_or_else(|| instance.config().clients_per_round());
+        let standbys: Option<StandbyPool> = self
+            .recovery
+            .uses_standbys()
+            .then(|| outcome.standby_pool(instance));
+        // Remaining activation budget per standby client (battery c_ij).
+        let mut standby_budget: HashMap<ClientId, u32> = HashMap::new();
+        let mut faults = self.faults.as_ref().map(FaultRun::new);
+
         let mut model = LinearModel::zeros(dim);
         let initial_grad_norm = global_grad_norm(&model, &winner_shards);
         let target = self.global_accuracy * initial_grad_norm;
-        let mut rounds = Vec::new();
+        let mut rounds: Vec<RoundRecord> = Vec::new();
         let mut reached_at = None;
         let mut total_wall_clock = 0.0;
 
         for t in 1..=outcome.horizon() {
             let scheduled = roster.get(&t).cloned().unwrap_or_default();
-            let mut participants = Vec::new();
+            let mut st = RoundState::new(dim);
             let mut dropped = Vec::new();
-            let mut late = Vec::new();
-            let mut local_iterations = Vec::new();
-            let mut wall_clock: f64 = 0.0;
-            let mut aggregate = vec![0.0; dim];
-            let mut weight_total = 0.0;
-            let t_max = instance.config().round_time_limit();
+            let mut retried = Vec::new();
+            let mut substitutes = Vec::new();
+            let mut repair_spend = 0.0;
+
             for (client, theta) in scheduled {
-                if let Some(d) = &self.dropout {
-                    if d.drops(&mut rng) {
+                if let Some(f) = &mut faults {
+                    if f.drops(client, &mut rng) {
                         dropped.push(client);
                         continue;
                     }
                 }
-                let profile = &instance.clients()[client.index()];
-                let nominal = instance.config().local_model().local_iterations(theta)
-                    * profile.compute_time()
-                    + profile.comm_time();
-                let actual = match &self.stragglers {
-                    Some(sm) => nominal * sm.sample_factor(&mut rng),
-                    None => nominal,
-                };
-                if actual > t_max + 1e-9 {
-                    // The synchronous server cuts aggregation off at the
-                    // deadline; the straggler's work is wasted.
-                    late.push(client);
-                    wall_clock = wall_clock.max(t_max);
-                    continue;
-                }
-                let shard = &federation.shards[client.index()];
-                let result = self.trainer.train(&model, shard, theta);
-                wall_clock = wall_clock.max(actual);
-                let w = shard.len() as f64;
-                for (acc, v) in aggregate.iter_mut().zip(result.model.weights()) {
-                    *acc += w * v;
-                }
-                weight_total += w;
-                participants.push(client);
-                local_iterations.push(result.iterations);
+                self.try_train(
+                    &mut st, instance, federation, &model, client, theta, 0.0, &mut rng,
+                );
             }
-            if weight_total > 0.0 {
-                for v in aggregate.iter_mut() {
-                    *v /= weight_total;
+
+            // Repair pass: the confirmed headcount is below the floor.
+            if (st.participants.len() as u32) < k_need {
+                if let Some((max_attempts, backoff)) = self.recovery.retry_params() {
+                    let mut still_down = Vec::new();
+                    for client in dropped.drain(..) {
+                        if st.participants.len() as u32 >= k_need {
+                            still_down.push(client);
+                            continue;
+                        }
+                        let mut recovered = false;
+                        for attempt in 1..=max_attempts {
+                            let down = match &mut faults {
+                                Some(f) => f.drops(client, &mut rng),
+                                None => false,
+                            };
+                            if down {
+                                continue;
+                            }
+                            let theta = theta_of(instance, outcome, client);
+                            let delay = backoff * f64::from(attempt);
+                            if self.try_train(
+                                &mut st, instance, federation, &model, client, theta, delay,
+                                &mut rng,
+                            ) {
+                                retried.push(client);
+                            }
+                            recovered = true;
+                            break;
+                        }
+                        if !recovered {
+                            still_down.push(client);
+                        }
+                    }
+                    dropped = still_down;
                 }
-                model = LinearModel::from_weights(aggregate);
+                if let Some(pool) = &standbys {
+                    for entry in pool.for_round(Round(t)) {
+                        if st.participants.len() as u32 >= k_need {
+                            break;
+                        }
+                        let client = entry.bid_ref.client;
+                        let budget = standby_budget.entry(client).or_insert(entry.budget);
+                        if *budget == 0 {
+                            continue;
+                        }
+                        if let Some(f) = &mut faults {
+                            if f.drops(client, &mut rng) {
+                                continue; // unreachable standby: no service, no pay
+                            }
+                        }
+                        *budget -= 1; // the standby trains either way
+                        if self.try_train(
+                            &mut st,
+                            instance,
+                            federation,
+                            &model,
+                            client,
+                            entry.accuracy,
+                            0.0,
+                            &mut rng,
+                        ) {
+                            substitutes.push(client);
+                            repair_spend += entry.payment_per_round;
+                        }
+                    }
+                }
+            }
+            let coverage_gap = k_need.saturating_sub(st.participants.len() as u32);
+
+            if st.weight_total > 0.0 {
+                for v in st.aggregate.iter_mut() {
+                    *v /= st.weight_total;
+                }
+                model = LinearModel::from_weights(std::mem::take(&mut st.aggregate));
             }
             let grad_norm = global_grad_norm(&model, &winner_shards);
             let loss = global_loss(&model, &winner_shards);
             if reached_at.is_none() && grad_norm <= target {
                 reached_at = Some(t);
             }
-            total_wall_clock += wall_clock;
+            total_wall_clock += st.wall_clock;
             rounds.push(RoundRecord {
                 round: Round(t),
-                participants,
+                participants: st.participants,
                 dropped,
-                late,
-                local_iterations,
-                wall_clock,
+                late: st.late,
+                local_iterations: st.local_iterations,
+                substitutes,
+                retried,
+                repair_spend,
+                coverage_gap,
+                wall_clock: st.wall_clock,
                 grad_norm,
                 loss,
             });
         }
 
         let final_accuracy = global_accuracy(&model, &winner_shards);
+        let repair_spend: f64 = rounds.iter().map(|r| r.repair_spend).sum();
+        let n = rounds.len() as f64;
+        let coverage_ratio = if rounds.is_empty() {
+            1.0
+        } else {
+            rounds
+                .iter()
+                .map(|r| f64::from((r.participants.len() as u32).min(k_need)) / f64::from(k_need))
+                .sum::<f64>()
+                / n
+        };
+        let sla_met_fraction = if rounds.is_empty() {
+            1.0
+        } else {
+            rounds.iter().filter(|r| r.coverage_gap == 0).count() as f64 / n
+        };
         TrainingReport {
             rounds,
             initial_grad_norm,
@@ -230,8 +433,93 @@ impl FlJob {
             final_model: model,
             total_wall_clock,
             final_accuracy,
+            repair_spend,
+            coverage_ratio,
+            sla_met_fraction,
         }
     }
+
+    /// Simulates one confirmed participation: samples the straggler jitter,
+    /// enforces the `t_max` training deadline, trains, and folds the local
+    /// model into the round's aggregate. Returns whether the update arrived
+    /// on time (`false` records the client as late). `extra_delay` is
+    /// server-side waiting (retry backoff) that extends the wall clock but
+    /// does not count against the client's own deadline.
+    #[allow(clippy::too_many_arguments)]
+    fn try_train(
+        &self,
+        st: &mut RoundState,
+        instance: &Instance,
+        federation: &Federation,
+        model: &LinearModel,
+        client: ClientId,
+        theta: f64,
+        extra_delay: f64,
+        rng: &mut StdRng,
+    ) -> bool {
+        let t_max = instance.config().round_time_limit();
+        let profile = &instance.clients()[client.index()];
+        let nominal = instance.config().local_model().local_iterations(theta)
+            * profile.compute_time()
+            + profile.comm_time();
+        let actual = match &self.stragglers {
+            Some(sm) => nominal * sm.sample_factor(rng),
+            None => nominal,
+        };
+        if actual > t_max + 1e-9 {
+            // The synchronous server cuts aggregation off at the deadline;
+            // the straggler's work is wasted.
+            st.late.push(client);
+            st.wall_clock = st.wall_clock.max(t_max + extra_delay);
+            return false;
+        }
+        let shard = &federation.shards[client.index()];
+        let result = self.trainer.train(model, shard, theta);
+        st.wall_clock = st.wall_clock.max(actual + extra_delay);
+        let w = shard.len() as f64;
+        for (acc, v) in st.aggregate.iter_mut().zip(result.model.weights()) {
+            *acc += w * v;
+        }
+        st.weight_total += w;
+        st.participants.push(client);
+        st.local_iterations.push(result.iterations);
+        true
+    }
+}
+
+/// Mutable accumulator for one global iteration.
+struct RoundState {
+    participants: Vec<ClientId>,
+    late: Vec<ClientId>,
+    local_iterations: Vec<u32>,
+    aggregate: Vec<f64>,
+    weight_total: f64,
+    wall_clock: f64,
+}
+
+impl RoundState {
+    fn new(dim: usize) -> Self {
+        RoundState {
+            participants: Vec::new(),
+            late: Vec::new(),
+            local_iterations: Vec::new(),
+            aggregate: vec![0.0; dim],
+            weight_total: 0.0,
+            wall_clock: 0.0,
+        }
+    }
+}
+
+/// The committed local accuracy of a winning client (retries only ever
+/// re-contact winners, so the lookup cannot miss).
+fn theta_of(instance: &Instance, outcome: &AuctionOutcome, client: ClientId) -> f64 {
+    let w = outcome
+        .solution()
+        .winners()
+        .iter()
+        .find(|w| w.bid_ref.client == client)
+        .expect("retried client must be a winner");
+    instance.bid(w.bid_ref).accuracy()
 }
 
 #[cfg(test)]

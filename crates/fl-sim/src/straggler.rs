@@ -93,7 +93,9 @@ mod tests {
     fn empirical_rate_matches() {
         let mut rng = StdRng::seed_from_u64(3);
         let m = StragglerModel::mild();
-        let slowed = (0..20_000).filter(|_| m.sample_factor(&mut rng) > 1.0).count();
+        let slowed = (0..20_000)
+            .filter(|_| m.sample_factor(&mut rng) > 1.0)
+            .count();
         let rate = slowed as f64 / 20_000.0;
         assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
     }

@@ -1,0 +1,230 @@
+//! End-to-end invariants of the fault-tolerant execution layer: coverage
+//! repair, standby economics, and determinism.
+
+use std::collections::HashMap;
+
+use fl_auction::{
+    run_auction, AuctionConfig, AuctionOutcome, Bid, ClientProfile, Instance, Window,
+};
+use fl_auction::{ClientId, Round};
+use fl_sim::{DataSkew, DatasetSpec, FaultModel, Federation, FlJob, RecoveryPolicy};
+
+/// K = 2, T = 8, twelve full-window clients: two win, ten back every round
+/// in the standby pool.
+fn setup() -> (Instance, AuctionOutcome, Federation) {
+    let cfg = AuctionConfig::builder()
+        .max_rounds(8)
+        .clients_per_round(2)
+        .round_time_limit(100.0)
+        .build()
+        .unwrap();
+    let mut inst = Instance::new(cfg);
+    for i in 0..12 {
+        let c = inst.add_client(ClientProfile::new(5.0 + 0.3 * i as f64, 10.0).unwrap());
+        inst.add_bid(
+            c,
+            Bid::new(
+                10.0 + 2.0 * i as f64,
+                0.5,
+                Window::new(Round(1), Round(8)),
+                8,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    let outcome = run_auction(&inst).unwrap();
+    let fed = Federation::generate(
+        &DatasetSpec {
+            dim: 6,
+            samples_per_client: 60,
+            label_noise: 0.02,
+            skew: DataSkew::Iid,
+        },
+        inst.num_clients(),
+        17,
+    );
+    (inst, outcome, fed)
+}
+
+#[test]
+fn hybrid_recovery_strictly_improves_sla_over_no_recovery() {
+    let (inst, outcome, fed) = setup();
+    let faults = [FaultModel::bernoulli(0.3), FaultModel::markov(0.25, 0.35)];
+    for fault in faults {
+        let mut base_sla = 0.0;
+        let mut hybrid_sla = 0.0;
+        let mut gaps_seen = false;
+        for seed in [1, 2, 3, 4, 5] {
+            let base = FlJob::new(0.2)
+                .with_faults(fault.clone())
+                .run(&inst, &outcome, &fed, seed);
+            let hybrid = FlJob::new(0.2)
+                .with_faults(fault.clone())
+                .with_recovery(RecoveryPolicy::Hybrid {
+                    max_attempts: 2,
+                    backoff: 5.0,
+                })
+                .run(&inst, &outcome, &fed, seed);
+            gaps_seen |= base.rounds.iter().any(|r| r.coverage_gap > 0);
+            base_sla += base.sla_met_fraction;
+            hybrid_sla += hybrid.sla_met_fraction;
+            assert!(hybrid.coverage_ratio >= base.coverage_ratio - 1e-12);
+        }
+        assert!(gaps_seen, "the baseline must actually suffer gaps");
+        assert!(
+            hybrid_sla > base_sla,
+            "hybrid recovery must strictly improve SLA: {hybrid_sla} vs {base_sla} under {fault:?}"
+        );
+    }
+}
+
+#[test]
+fn deep_standby_pool_closes_every_gap() {
+    // Ten standbys back each round while at most two winners can drop, so
+    // substitution (plus retries) closes every gap at these seeds.
+    let (inst, outcome, fed) = setup();
+    for seed in [1, 2, 3, 4, 5, 6, 7, 8] {
+        let report = FlJob::new(0.2)
+            .with_faults(FaultModel::bernoulli(0.3))
+            .with_recovery(RecoveryPolicy::Hybrid {
+                max_attempts: 2,
+                backoff: 5.0,
+            })
+            .run(&inst, &outcome, &fed, seed);
+        for r in &report.rounds {
+            assert_eq!(
+                r.coverage_gap, 0,
+                "seed {seed} round {} left a gap with a 10-deep pool",
+                r.round
+            );
+        }
+        assert_eq!(report.sla_met_fraction, 1.0);
+        assert_eq!(report.coverage_ratio, 1.0);
+    }
+}
+
+#[test]
+fn standby_activations_pay_committed_critical_values() {
+    let (inst, outcome, fed) = setup();
+    let pool = outcome.standby_pool(&inst);
+    let report = FlJob::new(0.2)
+        .with_faults(FaultModel::bernoulli(0.4))
+        .with_recovery(RecoveryPolicy::Standby)
+        .run(&inst, &outcome, &fed, 2);
+    let activated: usize = report.rounds.iter().map(|r| r.substitutes.len()).sum();
+    assert!(activated > 0, "40% dropout must trigger substitutions");
+    let mut activations_per_client: HashMap<ClientId, u32> = HashMap::new();
+    for r in &report.rounds {
+        let entries = pool.for_round(r.round);
+        let mut expected_spend = 0.0;
+        for s in &r.substitutes {
+            let e = entries
+                .iter()
+                .find(|e| e.bid_ref.client == *s)
+                .expect("substitute must come from the round's pool");
+            // Individual rationality: the activation payment covers the
+            // standby's claimed per-round cost.
+            assert!(e.payment_per_round >= e.price_per_round - 1e-12);
+            expected_spend += e.payment_per_round;
+            *activations_per_client.entry(*s).or_insert(0) += 1;
+            assert!(
+                r.participants.contains(s),
+                "substitutes participate in the round they repair"
+            );
+        }
+        assert!(
+            (r.repair_spend - expected_spend).abs() < 1e-9,
+            "round {} spend {} != committed payments {}",
+            r.round,
+            r.repair_spend,
+            expected_spend
+        );
+    }
+    // Battery budgets bound activations across the whole run.
+    for (client, count) in activations_per_client {
+        let budget = pool
+            .iter()
+            .flat_map(|(_, es)| es.iter())
+            .find(|e| e.bid_ref.client == client)
+            .unwrap()
+            .budget;
+        assert!(count <= budget, "{client:?} exceeded its battery budget");
+    }
+    let total: f64 = report.rounds.iter().map(|r| r.repair_spend).sum();
+    assert!((report.repair_spend - total).abs() < 1e-9);
+}
+
+#[test]
+fn repaired_traces_are_deterministic_per_seed() {
+    let (inst, outcome, fed) = setup();
+    for policy in [
+        RecoveryPolicy::None,
+        RecoveryPolicy::Retry {
+            max_attempts: 3,
+            backoff: 2.0,
+        },
+        RecoveryPolicy::Standby,
+        RecoveryPolicy::Hybrid {
+            max_attempts: 2,
+            backoff: 2.0,
+        },
+    ] {
+        let job = FlJob::new(0.2)
+            .with_faults(FaultModel::markov(0.2, 0.4))
+            .with_recovery(policy);
+        let a = job.run(&inst, &outcome, &fed, 9);
+        let b = job.run(&inst, &outcome, &fed, 9);
+        assert_eq!(a, b, "same seed must replay identically under {policy:?}");
+        let c = job.run(&inst, &outcome, &fed, 10);
+        assert_ne!(a.rounds, c.rounds, "different seeds must diverge");
+    }
+}
+
+#[test]
+fn retry_recovers_winners_without_spending() {
+    let (inst, outcome, fed) = setup();
+    let mut recovered = 0usize;
+    for seed in 0..10 {
+        let report = FlJob::new(0.2)
+            .with_faults(FaultModel::bernoulli(0.4))
+            .with_recovery(RecoveryPolicy::Retry {
+                max_attempts: 3,
+                backoff: 5.0,
+            })
+            .run(&inst, &outcome, &fed, seed);
+        for r in &report.rounds {
+            recovered += r.retried.len();
+            for c in &r.retried {
+                assert!(r.participants.contains(c));
+                assert!(
+                    !r.dropped.contains(c),
+                    "recovered winners left the drop list"
+                );
+            }
+            assert_eq!(r.repair_spend, 0.0, "retries must be free");
+            assert!(r.substitutes.is_empty(), "retry policy never substitutes");
+        }
+        assert_eq!(report.repair_spend, 0.0);
+    }
+    assert!(
+        recovered > 0,
+        "3 attempts at 40% dropout must recover someone"
+    );
+}
+
+#[test]
+fn per_client_fault_map_targets_the_right_clients() {
+    let (inst, outcome, fed) = setup();
+    // The first winner always drops; everyone else is perfectly reliable.
+    let fragile = outcome.solution().winners()[0].bid_ref.client;
+    let mut rates = HashMap::new();
+    rates.insert(fragile, 1.0);
+    let report = FlJob::new(0.2)
+        .with_faults(FaultModel::per_client(rates, 0.0))
+        .run(&inst, &outcome, &fed, 0);
+    for r in &report.rounds {
+        assert_eq!(r.dropped, vec![fragile]);
+        assert!(!r.participants.contains(&fragile));
+    }
+}

@@ -48,12 +48,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
-        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
+        assert_eq!(
+            LpError::Unbounded.to_string(),
+            "linear program is unbounded"
+        );
         assert!(LpError::IterationLimit { pivots: 7 }
             .to_string()
             .contains("7 pivots"));
-        assert!(LpError::InvalidProblem("bad".into()).to_string().contains("bad"));
+        assert!(LpError::InvalidProblem("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]

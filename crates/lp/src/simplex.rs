@@ -455,8 +455,16 @@ mod tests {
         let x2 = lp.add_var(150.0, f64::INFINITY);
         let x3 = lp.add_var(-0.02, f64::INFINITY);
         let x4 = lp.add_var(6.0, f64::INFINITY);
-        lp.add_constraint(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Relation::Le, 0.0);
-        lp.add_constraint(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Relation::Le, 0.0);
+        lp.add_constraint(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        );
         lp.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0);
         let sol = lp.solve().unwrap();
         assert!((sol.objective() - (-0.05)).abs() < 1e-6);
@@ -489,7 +497,10 @@ mod tests {
         let cover = lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 2.0);
         let sol = lp.solve().unwrap();
         let dual_obj = sol.dual(cover) * 2.0 + sol.bound_dual(x) * 0.5;
-        assert!((dual_obj - sol.objective()).abs() < 1e-8, "dual obj {dual_obj}");
+        assert!(
+            (dual_obj - sol.objective()).abs() < 1e-8,
+            "dual obj {dual_obj}"
+        );
     }
 
     #[test]

@@ -1,0 +1,601 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate keeps the workspace's property tests
+//! running by implementing the subset of the API they use as a
+//! *deterministic generate-and-check* harness:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! * numeric range strategies, tuples, [`prop::collection::vec`],
+//!   [`any`], and a tiny `".{a,b}"` string-pattern strategy,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] returning structured failures.
+//!
+//! Differences from the real crate, on purpose and documented:
+//!
+//! * **No shrinking.** A failing case reports its exact inputs instead; the
+//!   seed stream is deterministic (derived from the test's module path and
+//!   name), so failures reproduce on every run.
+//! * **No `proptest-regressions` replay.** Regression files remain checked
+//!   in as documentation of past counterexamples; pinned cases are kept
+//!   alive as ordinary `#[test]`s in this workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngExt as _, SeedableRng as _};
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Mirrors the `proptest::prop` module tree (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::collection::{vec, SizeRange, VecStrategy};
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property check (produced by [`prop_assert!`] and friends).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The harness's deterministic random source.
+///
+/// Seeded from a stable hash of the test's fully qualified name, so every
+/// run of a given test sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator keyed to `name` (use `module_path!()::test_name`).
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A value generator. The stand-in collapses proptest's value trees to
+/// plain generation (no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.whence
+        )
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident $v:ident),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A a);
+impl_tuple_strategy!(A a, B b);
+impl_tuple_strategy!(A a, B b, C c);
+impl_tuple_strategy!(A a, B b, C c, D d);
+impl_tuple_strategy!(A a, B b, C c, D d, E e);
+impl_tuple_strategy!(A a, B b, C c, D d, E e, F f);
+impl_tuple_strategy!(A a, B b, C c, D d, E e, F f, G g);
+impl_tuple_strategy!(A a, B b, C c, D d, E e, F f, G g, H h);
+
+/// Pattern-string strategy: `".{a,b}"` draws `a..=b` arbitrary characters.
+///
+/// Anything else falls back to 0–64 arbitrary characters. This covers the
+/// workspace's "feed the parser garbage" tests without a regex engine; the
+/// alphabet deliberately includes newlines, quotes and multi-byte
+/// characters.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const ALPHABET: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '\n', '.', ',', ';', ':', '-', '_',
+            '#', '"', '\'', '/', '\\', '(', ')', '{', '}', '[', ']', '+', '*', '%', '=', '<', '>',
+            '|', '~', '!', '?', '@', 'é', 'λ', '∞', '🦀',
+        ];
+        let (lo, hi) = parse_char_count(self).unwrap_or((0, 64));
+        let len = rng.0.random_range(lo..=hi);
+        (0..len)
+            .map(|_| ALPHABET[(rng.next_u64() % ALPHABET.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Extracts `(a, b)` from a `".{a,b}"` pattern.
+fn parse_char_count(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-balanced, spanning several orders of magnitude.
+        let mantissa = rng.0.random_range(-1.0..=1.0);
+        let exp = rng.0.random_range(-8i32..=8);
+        mantissa * f64::powi(10.0, exp)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt as _;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `element`-generated values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Declares property tests.
+///
+/// Supports the forms this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn holds(x in 0u32..10, v in prop::collection::vec(0f64..1.0, 1..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    __inputs.push_str(stringify!($arg));
+                    __inputs.push_str(" = ");
+                    __inputs.push_str(&::std::format!("{:?}", &$arg));
+                    __inputs.push_str("; ");
+                )+
+                let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__e) = __result {
+                    ::core::panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        __case + 1,
+                        __config.cases,
+                        __e,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                __l,
+                __r,
+                ::std::format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Skips the rest of the current case when `cond` is false (the stand-in
+/// treats a violated assumption as a vacuously passing case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{collection, TestRng};
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("shim::ranges");
+        for _ in 0..200 {
+            let x = Strategy::generate(&(3u32..7), &mut rng);
+            assert!((3..7).contains(&x));
+            let y = Strategy::generate(&(0.5f64..=2.0), &mut rng);
+            assert!((0.5..=2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::deterministic("shim::vec");
+        for _ in 0..100 {
+            let v = Strategy::generate(&collection::vec(0u32..5, 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn string_pattern_counts_chars() {
+        let mut rng = TestRng::deterministic("shim::string");
+        for _ in 0..100 {
+            let s = Strategy::generate(&".{2,10}", &mut rng);
+            let n = s.chars().count();
+            assert!((2..=10).contains(&n), "{n} chars");
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        let a = Strategy::generate(&(0u64..u64::MAX), &mut TestRng::deterministic("same"));
+        let b = Strategy::generate(&(0u64..u64::MAX), &mut TestRng::deterministic("same"));
+        let c = Strategy::generate(&(0u64..u64::MAX), &mut TestRng::deterministic("other"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(
+            x in 1u32..100,
+            v in prop::collection::vec(0f64..1.0, 1..4),
+            flip in any::<bool>(),
+        ) {
+            prop_assert!(x >= 1);
+            prop_assert!(v.iter().all(|p| (0.0..1.0).contains(p)));
+            prop_assert_eq!(flip, flip);
+        }
+
+        #[test]
+        fn flat_map_composes(pair in (2usize..5, 1usize..3).prop_flat_map(|(n, m)| {
+            (collection::vec(0u32..10, n..=n), collection::vec(0u32..10, m..=m))
+        })) {
+            let (a, b) = pair;
+            prop_assert!(a.len() >= 2 && a.len() < 5);
+            prop_assert!(!b.is_empty() && b.len() < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs: x = ")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(false, "forced failure");
+            }
+        }
+        always_fails();
+    }
+}

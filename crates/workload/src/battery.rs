@@ -148,9 +148,9 @@ mod tests {
         let (pi, _) = poor.generate(9).unwrap();
         let (ri, _) = rich.generate(9).unwrap();
         let mean_rounds = |inst: &Instance| -> f64 {
-            let (sum, n) = inst
-                .iter_bids()
-                .fold((0u64, 0u64), |(s, n), (_, b)| (s + u64::from(b.rounds()), n + 1));
+            let (sum, n) = inst.iter_bids().fold((0u64, 0u64), |(s, n), (_, b)| {
+                (s + u64::from(b.rounds()), n + 1)
+            });
             sum as f64 / n.max(1) as f64
         };
         assert!(

@@ -87,9 +87,14 @@ impl DeviceMix {
     /// weight is non-positive.
     pub fn new(classes: Vec<DeviceClass>) -> Result<Self, AuctionError> {
         if classes.is_empty() {
-            return Err(AuctionError::InvalidInstance("device mix must not be empty".into()));
+            return Err(AuctionError::InvalidInstance(
+                "device mix must not be empty".into(),
+            ));
         }
-        if classes.iter().any(|c| !(c.weight > 0.0) || !c.weight.is_finite()) {
+        if classes
+            .iter()
+            .any(|c| c.weight.is_nan() || c.weight <= 0.0 || !c.weight.is_finite())
+        {
             return Err(AuctionError::InvalidInstance(
                 "device class weights must be positive and finite".into(),
             ));
@@ -207,9 +212,7 @@ mod tests {
     #[test]
     fn all_classes_appear_in_a_large_population() {
         let mix = DeviceMix::smartphone_fleet();
-        let (_, classes) = mix
-            .generate(&spec().with_clients(500), 6)
-            .unwrap();
+        let (_, classes) = mix.generate(&spec().with_clients(500), 6).unwrap();
         for idx in 0..mix.classes().len() {
             assert!(classes.contains(&idx), "class {idx} never drawn");
         }
@@ -232,7 +235,10 @@ mod tests {
             }
             sum / n as f64
         };
-        assert!(avg(0) > avg(2), "flagships must ask more than budget phones");
+        assert!(
+            avg(0) > avg(2),
+            "flagships must ask more than budget phones"
+        );
     }
 
     #[test]

@@ -73,13 +73,19 @@ impl DiurnalWorkload {
             return Err(AuctionError::InvalidInstance("no activity peaks".into()));
         }
         if self.peaks.iter().any(|p| {
-            !(0.0..=1.0).contains(&p.center) || !(p.weight > 0.0) || !(p.spread >= 0.0)
+            !(0.0..=1.0).contains(&p.center)
+                || p.weight.is_nan()
+                || p.weight <= 0.0
+                || p.spread.is_nan()
+                || p.spread < 0.0
         }) {
             return Err(AuctionError::InvalidInstance(
                 "peaks need center ∈ [0,1], weight > 0, spread ≥ 0".into(),
             ));
         }
-        if !(self.window_len.0 > 0.0 && self.window_len.1 >= self.window_len.0 && self.window_len.1 <= 1.0)
+        if !(self.window_len.0 > 0.0
+            && self.window_len.1 >= self.window_len.0
+            && self.window_len.1 <= 1.0)
         {
             return Err(AuctionError::InvalidInstance(
                 "window length fractions must satisfy 0 < lo ≤ hi ≤ 1".into(),
@@ -210,9 +216,7 @@ mod tests {
         let inst = w.generate(11).unwrap();
         match fl_auction::run_auction(&inst) {
             Ok(outcome) => {
-                assert!(
-                    fl_auction::verify::outcome_violations(&inst, &outcome).is_empty()
-                );
+                assert!(fl_auction::verify::outcome_violations(&inst, &outcome).is_empty());
                 // Feasible horizons are the early, well-staffed ones.
                 assert!(outcome.horizon() <= inst.config().max_rounds());
             }

@@ -135,8 +135,8 @@ impl WorkloadSpec {
                 let price = match self.cost_model {
                     CostModel::UniformTotal => uniform(&mut rng, self.price.0, self.price.1),
                     CostModel::TimeProportional { unit } => {
-                        let t_ij = self.config.local_model().local_iterations(accuracy) * t_cmp
-                            + t_com;
+                        let t_ij =
+                            self.config.local_model().local_iterations(accuracy) * t_cmp + t_com;
                         uniform(&mut rng, unit.0, unit.1) * t_ij
                     }
                 };
@@ -149,10 +149,14 @@ impl WorkloadSpec {
 
     pub(crate) fn validate(&self) -> Result<(), AuctionError> {
         if self.clients == 0 {
-            return Err(AuctionError::InvalidInstance("spec needs at least one client".into()));
+            return Err(AuctionError::InvalidInstance(
+                "spec needs at least one client".into(),
+            ));
         }
         if self.bids_per_client == 0 {
-            return Err(AuctionError::InvalidInstance("spec needs at least one bid per client".into()));
+            return Err(AuctionError::InvalidInstance(
+                "spec needs at least one bid per client".into(),
+            ));
         }
         if 2 * self.bids_per_client > self.config.max_rounds() {
             return Err(AuctionError::InvalidInstance(format!(
@@ -293,7 +297,9 @@ mod tests {
 
     #[test]
     fn builder_style_overrides() {
-        let s = WorkloadSpec::paper_default().with_clients(7).with_bids_per_client(2);
+        let s = WorkloadSpec::paper_default()
+            .with_clients(7)
+            .with_bids_per_client(2);
         assert_eq!(s.clients, 7);
         assert_eq!(s.bids_per_client, 2);
     }

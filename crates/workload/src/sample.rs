@@ -13,7 +13,10 @@ use rand::{Rng, RngExt};
 ///
 /// Panics if `n > max` (not enough distinct values exist).
 pub fn distinct_sorted(rng: &mut impl Rng, n: usize, max: u32) -> Vec<u32> {
-    assert!(n as u32 <= max, "cannot draw {n} distinct values from 1..={max}");
+    assert!(
+        n as u32 <= max,
+        "cannot draw {n} distinct values from 1..={max}"
+    );
     let mut pool: Vec<u32> = (1..=max).collect();
     for i in 0..n {
         let j = rng.random_range(i..pool.len());

@@ -30,7 +30,12 @@ pub fn monopolist_round(fringe: u32, t: u32) -> Result<Instance, AuctionError> {
         let c = inst.add_client(ClientProfile::new(1.0, 1.0)?);
         inst.add_bid(
             c,
-            Bid::new(1.0 + f64::from(i % 3), 0.5, Window::new(Round(1), Round(t - 1)), t - 1)?,
+            Bid::new(
+                1.0 + f64::from(i % 3),
+                0.5,
+                Window::new(Round(1), Round(t - 1)),
+                t - 1,
+            )?,
         )?;
     }
     let monopolist = inst.add_client(ClientProfile::new(1.0, 1.0)?);
@@ -49,7 +54,13 @@ pub fn monopolist_round(fringe: u32, t: u32) -> Result<Instance, AuctionError> {
 /// # Errors
 ///
 /// Propagates construction errors.
-pub fn price_cliff(per_side: u32, t: u32, k: u32, lo: f64, hi: f64) -> Result<Instance, AuctionError> {
+pub fn price_cliff(
+    per_side: u32,
+    t: u32,
+    k: u32,
+    lo: f64,
+    hi: f64,
+) -> Result<Instance, AuctionError> {
     let mut inst = Instance::new(base_config(t, k));
     for i in 0..2 * per_side {
         let price = if i < per_side { lo } else { hi };
@@ -113,7 +124,10 @@ mod tests {
         // The full auction dodges the monopolist by shrinking the horizon…
         let outcome = run_auction(&inst).unwrap();
         assert!(verify::outcome_violations(&inst, &outcome).is_empty());
-        assert!(outcome.horizon() < 5, "A_FL avoids the monopolist's round entirely");
+        assert!(
+            outcome.horizon() < 5,
+            "A_FL avoids the monopolist's round entirely"
+        );
         // …but at the full horizon, round 5 forces it in, at whatever price.
         let wdp = qualify(&inst, 5);
         let sol = AWinner::new().solve_wdp(&wdp).unwrap();
@@ -152,7 +166,11 @@ mod tests {
         let inst = staircase(5, 2).unwrap();
         let outcome = run_auction(&inst).unwrap();
         assert!(verify::outcome_violations(&inst, &outcome).is_empty());
-        assert_eq!(outcome.horizon(), 2, "A_FL shrinks the horizon to the cheapest feasible");
+        assert_eq!(
+            outcome.horizon(),
+            2,
+            "A_FL shrinks the horizon to the cheapest feasible"
+        );
         // At the chosen horizon every per-round specialist pair is needed.
         assert_eq!(outcome.solution().winners().len() as u32, 2 * 2);
     }

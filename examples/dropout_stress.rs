@@ -12,7 +12,9 @@
 //! ```
 
 use fl_procurement::auction::run_auction;
-use fl_procurement::sim::{DatasetSpec, DropoutModel, Federation, FlJob};
+use fl_procurement::sim::{
+    DatasetSpec, DropoutModel, FaultModel, Federation, FlJob, RecoveryPolicy,
+};
 use fl_procurement::workload::WorkloadSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
     );
 
-    println!("\n{:>8} {:>10} {:>12} {:>12} {:>10}", "dropout", "dropped", "min roster", "reached at", "final acc");
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>12} {:>10}",
+        "dropout", "dropped", "min roster", "reached at", "final acc"
+    );
     for rate in [0.0, 0.1, 0.3, 0.5, 0.7] {
         let mut job = FlJob::new(0.3);
         if rate > 0.0 {
@@ -76,6 +81,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          as dropout grows, effective rosters shrink and convergence slows —\n\
          the robustness margin the paper's future work asks for.",
         instance.config().clients_per_round()
+    );
+
+    // Second act: the same stress, but the server repairs each gap from
+    // the auction's critically-priced standby pool (hybrid: free retries
+    // first, then paid substitution).
+    let pool = outcome.standby_pool(&instance);
+    println!(
+        "\nstandby pool: {} ranked backups in the thinnest round",
+        pool.min_depth()
+    );
+    println!(
+        "\n{:>8} {:>10} {:>14} {:>14} {:>13} {:>12}",
+        "dropout", "policy", "coverage", "SLA rounds", "repair spend", "reached at"
+    );
+    for rate in [0.3, 0.5, 0.7] {
+        for (name, policy) in [
+            ("none", RecoveryPolicy::None),
+            (
+                "hybrid",
+                RecoveryPolicy::Hybrid {
+                    max_attempts: 2,
+                    backoff: 5.0,
+                },
+            ),
+        ] {
+            let report = FlJob::new(0.3)
+                .with_faults(FaultModel::bernoulli(rate))
+                .with_recovery(policy)
+                .run(&instance, &outcome, &federation, 42);
+            println!(
+                "{:>7.0}% {:>10} {:>13.1}% {:>13.1}% {:>13.1} {:>12}",
+                rate * 100.0,
+                name,
+                100.0 * report.coverage_ratio,
+                100.0 * report.sla_met_fraction,
+                report.repair_spend,
+                report
+                    .reached_at
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "never".into()),
+            );
+        }
+    }
+    println!(
+        "\nreading: hybrid recovery holds per-round coverage at the floor the\n\
+         model needs, paying only the standby pool's committed critical values\n\
+         for the rounds that actually broke — runtime repair instead of\n\
+         up-front over-provisioning."
     );
     Ok(())
 }

@@ -78,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(t) => println!("  global accuracy target reached at round {t} (within T_g ✓)"),
         None => println!(
             "  target not reached within T_g; final relative ‖∇J‖ = {:.3}",
-            report.rounds.last().map(|r| r.grad_norm).unwrap_or(f64::NAN)
+            report
+                .rounds
+                .last()
+                .map(|r| r.grad_norm)
+                .unwrap_or(f64::NAN)
                 / report.initial_grad_norm
         ),
     }

@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .round_time_limit(80.0)
         .build()?;
     let mut instance = Instance::new(config);
-    let hospitals: [(&str, f64, f64, f64, f64, (u32, u32), u32); 8] = [
+    // name, t_cmp, t_com, claimed cost, θ, window, rounds
+    type Hospital = (&'static str, f64, f64, f64, f64, (u32, u32), u32);
+    let hospitals: [Hospital; 8] = [
         // name, t_cmp, t_com, claimed cost, θ, window, rounds
         ("St. Mary (GPU cluster)", 3.0, 8.0, 40.0, 0.40, (1, 8), 8),
         ("County General", 6.0, 10.0, 22.0, 0.60, (1, 8), 6),
@@ -38,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for (name, t_cmp, t_com, cost, theta, (a, d), rounds) in hospitals {
         let c = instance.add_client(ClientProfile::new(t_cmp, t_com)?);
-        instance.add_bid(c, Bid::new(cost, theta, Window::new(Round(a), Round(d)), rounds)?)?;
+        instance.add_bid(
+            c,
+            Bid::new(cost, theta, Window::new(Round(a), Round(d)), rounds)?,
+        )?;
         println!("registered {name}: cost {cost}, θ = {theta}, window [{a},{d}] × {rounds}");
     }
 
@@ -46,9 +51,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opt = run_auction_with(&instance, &ExactSolver::new())?;
     let results = [
         ("A_FL   ", run_auction_with(&instance, &AWinner::new())?),
-        ("Greedy ", run_auction_with(&instance, &GreedyBaseline::new())?),
-        ("A_online", run_auction_with(&instance, &OnlineBaseline::new())?),
-        ("FCFS   ", run_auction_with(&instance, &FcfsBaseline::new())?),
+        (
+            "Greedy ",
+            run_auction_with(&instance, &GreedyBaseline::new())?,
+        ),
+        (
+            "A_online",
+            run_auction_with(&instance, &OnlineBaseline::new())?,
+        ),
+        (
+            "FCFS   ",
+            run_auction_with(&instance, &FcfsBaseline::new())?,
+        ),
         ("OPT    ", opt),
     ];
     let opt_cost = results.last().unwrap().1.social_cost();
@@ -59,8 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             outcome.social_cost(),
             outcome.social_cost() / opt_cost
         );
-        let violations =
-            fl_procurement::auction::verify::outcome_violations(&instance, outcome);
+        let violations = fl_procurement::auction::verify::outcome_violations(&instance, outcome);
         assert!(violations.is_empty(), "{name} infeasible: {violations:?}");
     }
 

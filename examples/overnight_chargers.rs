@@ -57,9 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // --- Execute with hardware jitter ---------------------------
             let federation =
                 Federation::generate(&DatasetSpec::default(), instance.num_clients(), 5);
-            let report = FlJob::new(0.3)
-                .with_stragglers(StragglerModel::mild())
-                .run(&instance, &outcome, &federation, 7);
+            let report = FlJob::new(0.3).with_stragglers(StragglerModel::mild()).run(
+                &instance,
+                &outcome,
+                &federation,
+                7,
+            );
             let late: usize = report.rounds.iter().map(|r| r.late.len()).sum();
             let on_time: usize = report.rounds.iter().map(|r| r.participants.len()).sum();
             println!(

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run A_FL: it enumerates the admissible horizons, greedily solves
     // each winner-determination problem, and pays critical values.
     let outcome = run_auction(&instance)?;
-    println!("chosen number of global iterations T_g = {}", outcome.horizon());
+    println!(
+        "chosen number of global iterations T_g = {}",
+        outcome.horizon()
+    );
     println!("social cost = {:.2}", outcome.social_cost());
     println!("total payout = {:.2}", outcome.solution().total_payment());
     for w in outcome.solution().winners() {
@@ -61,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Independently re-verify every ILP (6) constraint.
     let violations = fl_procurement::auction::verify::outcome_violations(&instance, &outcome);
-    assert!(violations.is_empty(), "outcome must be feasible: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "outcome must be feasible: {violations:?}"
+    );
     println!("outcome verified feasible; all winners individually rational");
     Ok(())
 }

@@ -141,11 +141,23 @@ fn cmd_auction(o: &Options) -> Result<(), String> {
     let stats = analysis::outcome_stats(&inst, &outcome);
     let breakdown = analysis::cost_breakdown(&inst, &outcome);
     println!("algorithm        {}", o.algo);
-    println!("instance         I={} bids={} T={} K={}", inst.num_clients(), inst.num_bids(), o.rounds, o.per_round);
+    println!(
+        "instance         I={} bids={} T={} K={}",
+        inst.num_clients(),
+        inst.num_bids(),
+        o.rounds,
+        o.per_round
+    );
     println!("chosen T_g       {}", outcome.horizon());
     println!("social cost      {:.2}", stats.social_cost);
-    println!("total payment    {:.2} (overhead {:.3}x)", stats.total_payment, stats.payment_overhead);
-    println!("winners          {} (avg {:.1} rounds each)", stats.winners, stats.mean_rounds_per_winner);
+    println!(
+        "total payment    {:.2} (overhead {:.3}x)",
+        stats.total_payment, stats.payment_overhead
+    );
+    println!(
+        "winners          {} (avg {:.1} rounds each)",
+        stats.winners, stats.mean_rounds_per_winner
+    );
     println!("surplus rounds   {}", stats.surplus_participations);
     println!(
         "cost split       {:.0}% computation / {:.0}% communication",
@@ -196,7 +208,12 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
         None => println!(
             "target ε={} not reached (final relative grad {:.3})",
             o.epsilon,
-            report.rounds.last().map(|r| r.grad_norm).unwrap_or(f64::NAN) / report.initial_grad_norm
+            report
+                .rounds
+                .last()
+                .map(|r| r.grad_norm)
+                .unwrap_or(f64::NAN)
+                / report.initial_grad_norm
         ),
     }
     println!("final accuracy   {:.1}%", 100.0 * report.final_accuracy);
@@ -210,7 +227,10 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
 fn cmd_payments(o: &Options) -> Result<(), String> {
     let inst = build_instance(o)?;
     let outcome = run_algo(o, &inst)?;
-    println!("{:<14} {:>10} {:>10} {:>9}", "winner", "claimed", "paid", "utility");
+    println!(
+        "{:<14} {:>10} {:>10} {:>9}",
+        "winner", "claimed", "paid", "utility"
+    );
     for w in outcome.solution().winners() {
         println!(
             "{:<14} {:>10.2} {:>10.2} {:>9.2}",

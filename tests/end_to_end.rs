@@ -60,7 +60,11 @@ fn auction_schedule_drives_fedavg_to_convergence() {
     let first = report.rounds.first().unwrap().grad_norm;
     let last = report.rounds.last().unwrap().grad_norm;
     assert!(last < first, "no convergence progress: {first} → {last}");
-    assert!(report.final_accuracy > 0.6, "accuracy {}", report.final_accuracy);
+    assert!(
+        report.final_accuracy > 0.6,
+        "accuracy {}",
+        report.final_accuracy
+    );
 }
 
 #[test]
@@ -86,16 +90,19 @@ fn dropout_degrades_gracefully_and_deterministically() {
     let outcome = run_auction(&inst).unwrap();
     let federation = Federation::generate(&DatasetSpec::default(), inst.num_clients(), 13);
     let no_drop = FlJob::new(0.3).run(&inst, &outcome, &federation, 2);
-    let with_drop = FlJob::new(0.3)
-        .with_dropout(DropoutModel::new(0.5))
-        .run(&inst, &outcome, &federation, 2);
-    let participants =
-        |r: &fl_procurement::sim::TrainingReport| -> usize { r.rounds.iter().map(|x| x.participants.len()).sum() };
+    let with_drop =
+        FlJob::new(0.3)
+            .with_dropout(DropoutModel::new(0.5))
+            .run(&inst, &outcome, &federation, 2);
+    let participants = |r: &fl_procurement::sim::TrainingReport| -> usize {
+        r.rounds.iter().map(|x| x.participants.len()).sum()
+    };
     assert!(participants(&with_drop) < participants(&no_drop));
     // Determinism under the same seed.
-    let again = FlJob::new(0.3)
-        .with_dropout(DropoutModel::new(0.5))
-        .run(&inst, &outcome, &federation, 2);
+    let again =
+        FlJob::new(0.3)
+            .with_dropout(DropoutModel::new(0.5))
+            .run(&inst, &outcome, &federation, 2);
     assert_eq!(with_drop, again);
 }
 

@@ -62,6 +62,7 @@ proptest! {
     #[test]
     fn every_solver_output_is_feasible(raw in prop::collection::vec(raw_bid(), 6..16)) {
         let inst = build_instance(&raw).expect("raw bids are valid");
+        #[allow(clippy::type_complexity)]
         let solvers: [(&str, Box<dyn Fn() -> Result<_, _>>); 4] = [
             ("A_FL", Box::new(|| run_auction_with(&inst, &AWinner::new()))),
             ("Greedy", Box::new(|| run_auction_with(&inst, &GreedyBaseline::new()))),

@@ -67,7 +67,9 @@ proptest! {
 
 #[test]
 fn device_fleet_instances_round_trip_too() {
-    let spec = WorkloadSpec::paper_default().with_clients(30).with_bids_per_client(2);
+    let spec = WorkloadSpec::paper_default()
+        .with_clients(30)
+        .with_bids_per_client(2);
     let (inst, _) = DeviceMix::smartphone_fleet().generate(&spec, 4).unwrap();
     let mut buf = Vec::new();
     io::write_instance(&inst, &mut buf).unwrap();

@@ -7,9 +7,7 @@
 //! checks the universal contracts: outputs verify against ILP (6), costs
 //! order sanely (`OPT ≤ refined ≤ greedy`), and determinism holds.
 
-use fl_procurement::auction::{
-    qualify, run_auction_with, verify, AWinner, Instance, WdpSolver,
-};
+use fl_procurement::auction::{qualify, run_auction_with, verify, AWinner, Instance, WdpSolver};
 use fl_procurement::baselines::{FcfsBaseline, GreedyBaseline, OnlineBaseline};
 use fl_procurement::exact::{ExactSolver, RefineSolver};
 use fl_procurement::workload::stress;
@@ -17,7 +15,10 @@ use fl_procurement::workload::stress;
 fn corpus() -> Vec<(&'static str, Instance)> {
     vec![
         ("monopolist", stress::monopolist_round(6, 5).unwrap()),
-        ("price_cliff", stress::price_cliff(5, 4, 3, 2.0, 200.0).unwrap()),
+        (
+            "price_cliff",
+            stress::price_cliff(5, 4, 3, 2.0, 200.0).unwrap(),
+        ),
         ("clones", stress::clones(8, 3, 2).unwrap()),
         ("staircase", stress::staircase(5, 2).unwrap()),
     ]
@@ -104,7 +105,9 @@ fn monopolist_payments_across_rules() {
 
     let inst = stress::monopolist_round(6, 5).unwrap();
     let wdp = qualify(&inst, 5);
-    let sol = AWinner::new().solve_wdp(&wdp).expect("feasible at full horizon");
+    let sol = AWinner::new()
+        .solve_wdp(&wdp)
+        .expect("feasible at full horizon");
     let monopolist = sol
         .winners()
         .iter()
@@ -125,5 +128,8 @@ fn monopolist_payments_across_rules() {
         .find(|w| w.bid_ref == monopolist.bid_ref)
         .unwrap()
         .payment;
-    assert!(vcg_pay >= cap, "VCG must price the monopoly externality at the cap");
+    assert!(
+        vcg_pay >= cap,
+        "VCG must price the monopoly externality at the cap"
+    );
 }
