@@ -12,6 +12,7 @@ use crate::error::{AuctionError, WdpError};
 use crate::qualify::{min_horizon, qualify};
 use crate::wdp::{WdpSolution, WdpSolver};
 use crate::winner::AWinner;
+use fl_telemetry::{counter, debug, gauge, span};
 
 /// The auction result the server announces (Alg. 1 lines 12–15).
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +95,11 @@ pub fn run_auction_with<S: WdpSolver>(
     instance: &Instance,
     solver: &S,
 ) -> Result<AuctionOutcome, AuctionError> {
+    let _run = span!(
+        "afl_run",
+        solver = solver.name(),
+        bids = instance.iter_bids().count() as u64
+    );
     let mut best: Option<AuctionOutcome> = None;
     for h in sweep_horizons(instance, solver)? {
         if let Ok(sol) = h.result {
@@ -107,6 +113,15 @@ pub fn run_auction_with<S: WdpSolver>(
                 });
             }
         }
+    }
+    if let Some(b) = &best {
+        gauge!("afl.social_cost", b.social_cost());
+        gauge!("afl.horizon", b.horizon());
+        debug!(
+            "A_FL chose T_g = {} at social cost {}",
+            b.horizon(),
+            b.social_cost()
+        );
     }
     best.ok_or(AuctionError::Infeasible)
 }
@@ -127,19 +142,25 @@ pub fn sweep_horizons<S: WdpSolver>(
     let t_max = instance.config().max_rounds();
     let mut out = Vec::new();
     for horizon in t0..=t_max {
+        let _candidate = span!("tg_candidate", tg = horizon);
         let wdp = qualify(instance, horizon);
         let qualified = wdp.bids().len();
         let result = if wdp.obviously_infeasible() {
+            counter!("afl.horizons_obviously_infeasible");
             Err(WdpError::Infeasible)
         } else {
             solver.solve_wdp(&wdp)
         };
+        if result.is_ok() {
+            counter!("afl.horizons_feasible");
+        }
         out.push(HorizonOutcome {
             horizon,
             qualified,
             result,
         });
     }
+    counter!("afl.horizons_swept", out.len());
     Ok(out)
 }
 

@@ -68,6 +68,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code reports through `fl-telemetry` events, never raw stdio.
+#![warn(clippy::print_stdout)]
+#![warn(clippy::print_stderr)]
 
 pub mod analysis;
 mod auction;

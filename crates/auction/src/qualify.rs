@@ -10,6 +10,7 @@ use crate::bid::Instance;
 use crate::config::QualifyMode;
 use crate::types::{BidRef, Round, Window};
 use crate::wdp::Wdp;
+use fl_telemetry::{counter, span};
 
 /// Numerical slack for the `θ ≤ θ_max` and `t_ij ≤ t_max` comparisons, so
 /// that boundary bids generated from exact arithmetic are not rejected by
@@ -64,21 +65,27 @@ pub struct QualifiedBid {
 /// Panics if `horizon` is zero (horizons are counted from 1).
 pub fn qualify(instance: &Instance, horizon: u32) -> Wdp {
     assert!(horizon >= 1, "horizon must be at least 1");
+    let _span = span!("qualify", tg = horizon);
     let theta_max = 1.0 - 1.0 / f64::from(horizon);
     let t_max = instance.config().round_time_limit();
     let mode = instance.config().qualify_mode();
     let last = Round(horizon);
 
+    let (mut examined, mut by_accuracy, mut by_time, mut by_window) = (0u64, 0u64, 0u64, 0u64);
     let mut bids = Vec::new();
     for (bid_ref, bid) in instance.iter_bids() {
+        examined += 1;
         if bid.accuracy() > theta_max + QUALIFY_EPS {
+            by_accuracy += 1;
             continue;
         }
         let round_time = instance.round_time(bid_ref);
         if round_time > t_max + QUALIFY_EPS {
+            by_time += 1;
             continue;
         }
         let Some(window) = bid.window().truncate(last) else {
+            by_window += 1;
             continue;
         };
         let admissible = match mode {
@@ -89,6 +96,7 @@ pub fn qualify(instance: &Instance, horizon: u32) -> Wdp {
             QualifyMode::Literal => bid.window().start().0 + bid.rounds() <= horizon,
         };
         if !admissible {
+            by_window += 1;
             continue;
         }
         bids.push(QualifiedBid {
@@ -100,6 +108,11 @@ pub fn qualify(instance: &Instance, horizon: u32) -> Wdp {
             round_time,
         });
     }
+    counter!("qualify.examined", examined);
+    counter!("qualify.rejected_accuracy", by_accuracy);
+    counter!("qualify.rejected_time", by_time);
+    counter!("qualify.rejected_window", by_window);
+    counter!("qualify.accepted", bids.len());
     Wdp::new(horizon, instance.config().clients_per_round(), bids)
 }
 

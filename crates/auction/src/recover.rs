@@ -25,6 +25,7 @@ use crate::auction::AuctionOutcome;
 use crate::bid::Instance;
 use crate::qualify::qualify;
 use crate::types::{BidRef, Round};
+use fl_telemetry::{counter, sample, span};
 
 /// One ranked standby candidate for a specific round.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +133,7 @@ impl StandbyPool {
 /// ```
 pub fn standby_pool(instance: &Instance, outcome: &AuctionOutcome) -> StandbyPool {
     let horizon = outcome.horizon();
+    let _span = span!("standby_pool", tg = horizon);
     let wdp = qualify(instance, horizon);
     let winning_clients: std::collections::HashSet<u32> = outcome
         .solution()
@@ -180,6 +182,8 @@ pub fn standby_pool(instance: &Instance, outcome: &AuctionOutcome) -> StandbyPoo
                 None => list[r].price_per_round,
             };
         }
+        counter!("standby.entries", list.len());
+        sample!("standby.round_depth", list.len());
         *ranked = list;
     }
     StandbyPool { horizon, rounds }

@@ -24,9 +24,11 @@
 use crate::types::BidRef;
 use crate::wdp::{Wdp, WdpSolution, WdpSolver};
 use crate::winner::AWinner;
+use fl_telemetry::{counter, span};
 
 /// Does `bid` win the WDP when its price is replaced by `price`?
 fn wins_at(wdp: &Wdp, bid: BidRef, price: f64) -> bool {
+    counter!("truthful.bisection_probes");
     let mut bids = wdp.bids().to_vec();
     for b in bids.iter_mut() {
         if b.bid_ref == bid {
@@ -80,6 +82,7 @@ pub fn myerson_payment(wdp: &Wdp, bid: BidRef, cap: f64, tol: f64) -> Option<f64
         "cap must be positive and finite"
     );
     assert!(tol > 0.0, "tolerance must be positive");
+    let _span = span!("myerson_payment");
     let current = wdp.bids().iter().find(|b| b.bid_ref == bid)?.price;
     if !wins_at(wdp, bid, current) {
         return None;

@@ -10,6 +10,16 @@ use std::collections::HashSet;
 use crate::auction::AuctionOutcome;
 use crate::bid::Instance;
 use crate::wdp::{Wdp, WdpSolution};
+use fl_telemetry::{counter, span, warn};
+
+/// Reports `bad` to telemetry under `what` and passes it through.
+fn report(what: &'static str, bad: Vec<String>) -> Vec<String> {
+    if !bad.is_empty() {
+        counter!(what, bad.len());
+        warn!("{what}: {} violation(s), first: {}", bad.len(), bad[0]);
+    }
+    bad
+}
 
 /// All constraint violations of `solution` with respect to `wdp`; an empty
 /// vector means the solution is feasible for ILP (7).
@@ -77,20 +87,21 @@ pub fn wdp_violations(wdp: &Wdp, solution: &WdpSolution) -> Vec<String> {
             solution.cost()
         ));
     }
-    bad
+    report("verify.wdp_violations", bad)
 }
 
 /// All violations of ILP (6) by a full auction outcome, including the
 /// horizon-coupling constraints the WDP itself does not see.
 pub fn outcome_violations(instance: &Instance, outcome: &AuctionOutcome) -> Vec<String> {
     let horizon = outcome.horizon();
+    let _span = span!("verify_outcome", tg = horizon);
     let mut bad = Vec::new();
     if horizon == 0 || horizon > instance.config().max_rounds() {
         bad.push(format!(
             "T_g = {horizon} escapes the announced range [1, {}]",
             instance.config().max_rounds()
         ));
-        return bad;
+        return report("verify.outcome_violations", bad);
     }
     // Feasibility with respect to the qualified WDP at the chosen horizon.
     let wdp = crate::qualify::qualify(instance, horizon);
@@ -116,13 +127,13 @@ pub fn outcome_violations(instance: &Instance, outcome: &AuctionOutcome) -> Vec<
             ));
         }
     }
-    bad
+    report("verify.outcome_violations", bad)
 }
 
 /// Individual-rationality violations: winners paid strictly less than
 /// their claimed cost. Empty for any critical-value run (Theorem 2).
 pub fn ir_violations(solution: &WdpSolution) -> Vec<String> {
-    solution
+    let bad = solution
         .winners()
         .iter()
         .filter(|w| w.payment < w.price - 1e-9)
@@ -132,7 +143,8 @@ pub fn ir_violations(solution: &WdpSolution) -> Vec<String> {
                 w.bid_ref, w.payment, w.price
             )
         })
-        .collect()
+        .collect();
+    report("verify.ir_violations", bad)
 }
 
 /// Verifies the paper's Lemma 5 inequality chain `D ≤ P ≤ H·ω·D` for a
@@ -159,7 +171,7 @@ pub fn certificate_violations(solution: &WdpSolution) -> Vec<String> {
     if cert.g.iter().any(|&g| g < -1e-9 || g.is_nan()) {
         bad.push("invalid g(t) dual variable".into());
     }
-    bad
+    report("verify.certificate_violations", bad)
 }
 
 /// Checks dual feasibility (constraint (8a)) of a certificate against a
@@ -209,7 +221,7 @@ pub fn dual_feasibility_violations(wdp: &Wdp, solution: &WdpSolution) -> Vec<Str
             }
         }
     }
-    bad
+    report("verify.dual_feasibility_violations", bad)
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use crate::payment::{payment, PaymentRule};
 use crate::schedule::{pick_schedule, SchedulePolicy};
 use crate::types::Round;
 use crate::wdp::{DualCertificate, Wdp, WdpSolution, WdpSolver, WinnerEntry};
+use fl_telemetry::{counter, span};
 
 /// The paper's greedy WDP solver.
 ///
@@ -107,14 +108,18 @@ struct Candidate {
     avg: f64,
 }
 
-/// Per-winner data retained for the dual replay.
+/// Per-winner data retained for the payment pass and the dual replay.
 struct RawWinner {
     bid_idx: usize,
     schedule: Vec<Round>,
     /// `F_{i*l*}`: the rounds of the schedule still available at selection.
     available: Vec<Round>,
     avg: f64,
-    pay: f64,
+    /// Marginal utility `R_{i*l*}(S)` at selection.
+    gain: u32,
+    /// The runner-up's average cost at the selection step (Alg. 3's
+    /// critical value), `None` when the candidate set held no other bid.
+    critical_avg: Option<f64>,
 }
 
 impl WdpSolver for AWinner {
@@ -134,56 +139,80 @@ impl WdpSolver for AWinner {
         let mut phi: Vec<Vec<f64>> = vec![Vec::new(); horizon as usize];
         // φ plus the per-iteration runner-up φ′ values (ψ_min's domain).
         let mut phi_all: Vec<Vec<f64>> = vec![Vec::new(); horizon as usize];
-        let mut lazy = if self.full_scan {
-            None
-        } else {
-            Some(LazyQueue::new(bids, &cov, self.policy))
-        };
+        {
+            let _greedy = span!("wdp_greedy", bids = bids.len() as u64);
+            let mut lazy = if self.full_scan {
+                None
+            } else {
+                Some(LazyQueue::new(bids, &cov, self.policy))
+            };
 
-        while !cov.is_complete() {
-            let pick = match &mut lazy {
-                Some(q) => q.pick(&cov, bids, &pair_selected, &client_selected, self.policy),
-                None => full_scan_pick(&cov, bids, &pair_selected, &client_selected, self.policy),
-            };
-            let Some(winner) = pick.best_c else {
-                return Err(WdpError::Infeasible);
-            };
-            let qb = &bids[winner.bid_idx];
-            let pay = payment(
-                self.payment_rule,
-                qb.price,
-                winner.gain,
-                pick.second_c.as_ref().map(|c| c.avg),
-            );
-            let available = cov.available_subset(&winner.schedule);
-            debug_assert_eq!(available.len() as u32, winner.gain);
-            for &t in &available {
-                phi[t.index()].push(winner.avg);
-                phi_all[t.index()].push(winner.avg);
-            }
-            // Alg. 2 line 11–12: the runner-up over G (which at this point
-            // still contains the winner) contributes φ′ to ψ_min.
-            if let Some(ru) = &pick.best_g {
-                for t in cov.available_subset(&ru.schedule) {
-                    phi_all[t.index()].push(ru.avg);
+            while !cov.is_complete() {
+                let pick = match &mut lazy {
+                    Some(q) => q.pick(&cov, bids, &pair_selected, &client_selected, self.policy),
+                    None => {
+                        full_scan_pick(&cov, bids, &pair_selected, &client_selected, self.policy)
+                    }
+                };
+                let Some(winner) = pick.best_c else {
+                    counter!("winner.greedy_iterations", raw.len());
+                    return Err(WdpError::Infeasible);
+                };
+                let qb = &bids[winner.bid_idx];
+                let critical_avg = pick.second_c.as_ref().map(|c| c.avg);
+                let available = cov.available_subset(&winner.schedule);
+                debug_assert_eq!(available.len() as u32, winner.gain);
+                for &t in &available {
+                    phi[t.index()].push(winner.avg);
+                    phi_all[t.index()].push(winner.avg);
                 }
+                // Alg. 2 line 11–12: the runner-up over G (which at this point
+                // still contains the winner) contributes φ′ to ψ_min.
+                if let Some(ru) = &pick.best_g {
+                    for t in cov.available_subset(&ru.schedule) {
+                        phi_all[t.index()].push(ru.avg);
+                    }
+                }
+                cov.add(&winner.schedule);
+                pair_selected[winner.bid_idx] = true;
+                client_selected.insert(qb.bid_ref.client.0);
+                if let Some(q) = &mut lazy {
+                    q.end_iteration();
+                }
+                raw.push(RawWinner {
+                    bid_idx: winner.bid_idx,
+                    schedule: winner.schedule,
+                    available,
+                    avg: winner.avg,
+                    gain: winner.gain,
+                    critical_avg,
+                });
             }
-            cov.add(&winner.schedule);
-            pair_selected[winner.bid_idx] = true;
-            client_selected.insert(qb.bid_ref.client.0);
-            if let Some(q) = &mut lazy {
-                q.end_iteration();
+            counter!("winner.greedy_iterations", raw.len());
+            if let Some(q) = &lazy {
+                counter!("winner.lazy_refreshes", q.refreshes);
             }
-            raw.push(RawWinner {
-                bid_idx: winner.bid_idx,
-                schedule: winner.schedule,
-                available,
-                avg: winner.avg,
-                pay,
-            });
         }
 
+        let payments: Vec<f64> = {
+            let _pay = span!("payment");
+            raw.iter()
+                .map(|w| {
+                    if w.critical_avg.is_none() {
+                        counter!("payment.no_runner_up");
+                    }
+                    payment(
+                        self.payment_rule,
+                        bids[w.bid_idx].price,
+                        w.gain,
+                        w.critical_avg,
+                    )
+                })
+                .collect()
+        };
+
         let certificate = if self.with_certificate {
+            let _cert = span!("dual_certificate");
             Some(build_certificate(wdp, &raw, &phi, &phi_all))
         } else {
             None
@@ -192,13 +221,14 @@ impl WdpSolver for AWinner {
         let mut cost = 0.0;
         let winners: Vec<WinnerEntry> = raw
             .into_iter()
-            .map(|w| {
+            .zip(payments)
+            .map(|(w, pay)| {
                 let qb = &bids[w.bid_idx];
                 cost += qb.price;
                 WinnerEntry {
                     bid_ref: qb.bid_ref,
                     price: qb.price,
-                    payment: w.pay,
+                    payment: pay,
                     schedule: w.schedule,
                 }
             })
@@ -276,6 +306,9 @@ fn full_scan_pick(
 struct LazyQueue {
     heap: std::collections::BinaryHeap<HeapEntry>,
     iteration: u64,
+    /// How many stale entries were re-evaluated (telemetry: the lazy
+    /// queue's whole advantage is keeping this far below bids × iterations).
+    refreshes: u64,
 }
 
 /// Heap entry ordered as a **min-heap** on `(avg, price, bid_ref)`.
@@ -331,7 +364,11 @@ impl LazyQueue {
                 stamp: 0,
             });
         }
-        LazyQueue { heap, iteration: 0 }
+        LazyQueue {
+            heap,
+            iteration: 0,
+            refreshes: 0,
+        }
     }
 
     fn end_iteration(&mut self) {
@@ -363,6 +400,7 @@ impl LazyQueue {
                 }
                 fresh.push(top);
             } else {
+                self.refreshes += 1;
                 let qb = &bids[top.bid_idx];
                 let schedule = pick_schedule(cov, qb.window, qb.rounds, policy);
                 let gain = cov.gain(&schedule);

@@ -1,0 +1,138 @@
+//! Integration tests for the `fl-telemetry` instrumentation of `A_FL`:
+//! a full auction run must emit the documented phase-span tree
+//! (`afl_run` > `tg_candidate` > qualify / wdp_greedy / payment /
+//! dual_certificate) with deterministic counters under a fixed instance.
+
+use std::sync::Arc;
+
+use fl_auction::{run_auction, AuctionConfig, Bid, ClientProfile, Instance, Round, Window};
+use fl_telemetry::{install_local, Recorder, Snapshot};
+
+/// K = 1, T = 4, three full-window clients with θ = 0.5 (T_0 = 2), so the
+/// sweep visits horizons 2, 3 and 4 and every horizon is feasible.
+fn instance() -> Instance {
+    let cfg = AuctionConfig::builder()
+        .max_rounds(4)
+        .clients_per_round(1)
+        .round_time_limit(100.0)
+        .build()
+        .unwrap();
+    let mut inst = Instance::new(cfg);
+    for price in [3.0, 5.0, 8.0] {
+        let c = inst.add_client(ClientProfile::new(2.0, 5.0).unwrap());
+        inst.add_bid(
+            c,
+            Bid::new(price, 0.5, Window::new(Round(1), Round(4)), 2).unwrap(),
+        )
+        .unwrap();
+    }
+    inst
+}
+
+fn recorded_run(inst: &Instance) -> Snapshot {
+    let recorder = Arc::new(Recorder::default());
+    let guard = install_local(recorder.clone());
+    let outcome = run_auction(inst).unwrap();
+    assert_eq!(outcome.social_cost(), 3.0, "the $3 client covers T_g = 2");
+    drop(guard);
+    recorder.snapshot()
+}
+
+#[test]
+fn afl_run_emits_the_documented_phase_span_tree() {
+    let snap = recorded_run(&instance());
+    let per_candidate = |tg: u32| {
+        format!(
+            "  tg_candidate tg={tg}\n    qualify tg={tg}\n    wdp_greedy bids=3\n    \
+             payment\n    dual_certificate\n"
+        )
+    };
+    let expected = format!(
+        "afl_run solver=A_winner bids=3\n{}{}{}",
+        per_candidate(2),
+        per_candidate(3),
+        per_candidate(4)
+    );
+    assert_eq!(snap.tree_string(), expected);
+}
+
+#[test]
+fn phase_counts_match_the_horizon_sweep() {
+    let snap = recorded_run(&instance());
+    assert_eq!(snap.span_count("afl_run"), 1);
+    assert_eq!(snap.span_count("tg_candidate"), 3, "horizons 2, 3, 4");
+    assert_eq!(snap.span_count("qualify"), 3);
+    assert_eq!(snap.span_count("wdp_greedy"), 3);
+    assert_eq!(snap.span_count("payment"), 3);
+    assert_eq!(snap.span_count("dual_certificate"), 3);
+    // All 3 bids qualify at each of the 3 horizons.
+    assert_eq!(snap.counters["qualify.examined"], 9);
+    assert_eq!(snap.counters["qualify.accepted"], 9);
+    assert_eq!(snap.counters["afl.horizons_swept"], 3);
+    assert_eq!(snap.counters["afl.horizons_feasible"], 3);
+    // Winners: 1 at T̂_g = 2, 2 at T̂_g = 3, 2 at T̂_g = 4.
+    assert_eq!(snap.counters["winner.greedy_iterations"], 5);
+    assert_eq!(snap.gauges["afl.social_cost"], 3.0);
+    assert_eq!(snap.gauges["afl.horizon"], 2.0);
+}
+
+#[test]
+fn recorder_output_is_deterministic_across_identical_runs() {
+    let inst = instance();
+    let a = recorded_run(&inst);
+    let b = recorded_run(&inst);
+    // Everything except wall-clock timing must reproduce exactly.
+    assert_eq!(a.tree_string(), b.tree_string());
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.gauges, b.gauges);
+    assert_eq!(a.histograms, b.histograms);
+    assert_eq!(a.messages, b.messages);
+}
+
+#[test]
+fn span_timing_is_monotone_down_the_tree() {
+    let snap = recorded_run(&instance());
+    fn check(node: &fl_telemetry::SpanNode) {
+        let child_sum: std::time::Duration = node.children.iter().map(|c| c.elapsed).sum();
+        assert!(
+            node.elapsed >= child_sum,
+            "span {} ({:?}) shorter than its children ({child_sum:?})",
+            node.name,
+            node.elapsed
+        );
+        for c in &node.children {
+            check(c);
+        }
+    }
+    for root in &snap.roots {
+        check(root);
+    }
+}
+
+#[test]
+fn standby_pool_construction_traces_its_own_phase() {
+    let inst = instance();
+    let recorder = Arc::new(Recorder::default());
+    let guard = install_local(recorder.clone());
+    let outcome = run_auction(&inst).unwrap();
+    let pool = outcome.standby_pool(&inst);
+    drop(guard);
+    assert!(!pool.is_empty());
+    let snap = recorder.snapshot();
+    let standby = snap.find("standby_pool").expect("standby_pool span");
+    assert_eq!(standby.fields, vec![("tg".into(), "2".into())]);
+    assert_eq!(standby.children[0].name, "qualify");
+    // Two losing clients back each of the 2 rounds of the chosen horizon.
+    assert_eq!(snap.counters["standby.entries"], 4);
+    assert_eq!(snap.histograms["standby.round_depth"].max, 2.0);
+}
+
+#[test]
+fn instrumentation_is_inert_without_a_sink() {
+    // No sink installed: the run must behave identically and telemetry
+    // must stay disabled throughout.
+    assert!(!fl_telemetry::enabled());
+    let outcome = run_auction(&instance()).unwrap();
+    assert_eq!(outcome.social_cost(), 3.0);
+    assert!(!fl_telemetry::enabled());
+}

@@ -10,6 +10,7 @@ use fl_bench::{results_dir, Algo, Summary, Table};
 use fl_workload::{CostModel, WorkloadSpec};
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("ablation_enumeration");
     let seeds: Vec<u64> = (1..=5).collect();
     // The time-proportional cost model makes the horizon choice
     // interesting (the optimum sits strictly inside [T_0, T]).

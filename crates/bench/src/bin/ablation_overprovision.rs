@@ -14,6 +14,7 @@ use fl_sim::{DatasetSpec, DropoutModel, Federation, FlJob};
 use fl_workload::WorkloadSpec;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("ablation_overprovision");
     let k_need = 5u32;
     let dropout = 0.3;
     let seeds: [u64; 3] = [1, 2, 3];

@@ -90,6 +90,7 @@ fn reprice(wdp: &Wdp, bid: BidRef, price: f64) -> Wdp {
 }
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("ablation_payment");
     let seeds: Vec<u64> = (0..8).collect();
     let factors = [0.5, 0.8, 1.2, 1.5, 2.5];
     // Two client populations: single-bid clients are single-parameter

@@ -11,6 +11,7 @@ use fl_bench::{results_dir, Algo, Summary, Table};
 use fl_workload::WorkloadSpec;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("ablation_qualify");
     let seeds: Vec<u64> = (1..=5).collect();
     let mut table = Table::new(["mode", "qualified@T=10", "qualified@T=50", "mean cost"]);
     println!("Ablation A3: qualification reading ({} seeds)", seeds.len());

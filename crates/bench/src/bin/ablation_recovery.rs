@@ -31,6 +31,7 @@ struct ArmResult {
 }
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("ablation_recovery");
     let k_need = 5u32;
     let dropout = 0.3;
     let seeds: [u64; 3] = [1, 2, 3];

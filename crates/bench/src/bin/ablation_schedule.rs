@@ -11,6 +11,7 @@ use fl_bench::{results_dir, Summary, Table};
 use fl_workload::WorkloadSpec;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("ablation_schedule");
     let seeds: Vec<u64> = (1..=5).collect();
     let spec = WorkloadSpec::paper_default().with_clients(500);
 

@@ -13,6 +13,7 @@ use fl_sim::{DatasetSpec, Federation, FlJob, StragglerModel};
 use fl_workload::WorkloadSpec;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("ablation_straggler");
     let seeds: [u64; 3] = [1, 2, 3];
     let k_need = 4u32;
     let mut table = Table::new([

@@ -1,0 +1,188 @@
+//! `bench_afl` — instrumented end-to-end profile of the full pipeline.
+//!
+//! Runs a fixed-seed workload through the whole stack — `A_FL`
+//! (qualification, greedy winner determination, critical-value payments,
+//! dual certificate), Myerson threshold re-pricing, standby-pool
+//! construction, and the FedAvg simulator under Bernoulli dropout with
+//! standby recovery — **twice**, each pass under its own fresh
+//! [`Recorder`]. The two traces must agree on everything except
+//! wall-clock timing (span tree, counters, gauges, histogram summaries,
+//! messages); any divergence is a determinism bug and fails the run.
+//!
+//! Artifacts:
+//!
+//! * `results/BENCH_afl.json` — the first pass's perf snapshot
+//!   (per-phase timing quantiles, counters, gauges, histograms);
+//! * `results/telemetry/bench_afl.jsonl` — the raw event trace from the
+//!   process-wide sinks installed by [`fl_bench::telemetry::init`].
+//!
+//! Flags: `--smoke` (CI scale), `--quiet` (no stderr logger), and the
+//! `FL_LOG` environment variable for stderr verbosity.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use fl_auction::truthful::myerson_payments;
+use fl_auction::{run_auction, AuctionConfig};
+use fl_bench::{results_dir, wdp_at, Table};
+use fl_sim::{DatasetSpec, FaultModel, Federation, FlJob, RecoveryPolicy};
+use fl_telemetry::{install_local, Recorder, Snapshot};
+use fl_workload::WorkloadSpec;
+
+const SEED: u64 = 42;
+/// Payment-bisection cap — safely above the workload's price range.
+const CAP: f64 = 500.0;
+
+/// Workload scale: the default mirrors the recovery-ablation setting;
+/// `--smoke` shrinks it for CI.
+struct Scale {
+    clients: usize,
+    bids_per_client: u32,
+    rounds: u32,
+    k: u32,
+}
+
+impl Scale {
+    fn new(smoke: bool) -> Scale {
+        if smoke {
+            Scale {
+                clients: 60,
+                bids_per_client: 3,
+                rounds: 10,
+                k: 3,
+            }
+        } else {
+            Scale {
+                clients: 200,
+                bids_per_client: 4,
+                rounds: 16,
+                k: 5,
+            }
+        }
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec::paper_default()
+            .with_clients(self.clients)
+            .with_bids_per_client(self.bids_per_client)
+            .with_config(
+                AuctionConfig::builder()
+                    .max_rounds(self.rounds)
+                    .clients_per_round(self.k)
+                    .round_time_limit(60.0)
+                    .build()
+                    .expect("valid config"),
+            )
+    }
+}
+
+/// One full pipeline pass under a fresh thread-local recorder.
+fn profiled_pass(scale: &Scale) -> Snapshot {
+    let recorder = Arc::new(Recorder::default());
+    let guard = install_local(recorder.clone());
+
+    let inst = scale.spec().generate(SEED).expect("workload generates");
+    let outcome = run_auction(&inst).expect("the paper workload is feasible");
+
+    // Exact threshold re-pricing of every winner (Myerson bisection).
+    let wdp = wdp_at(&inst, outcome.horizon());
+    let repriced = myerson_payments(&wdp, outcome.solution(), CAP, 1e-7);
+
+    // Standby pool + simulated execution under dropout with repair.
+    let pool = outcome.standby_pool(&inst);
+    let federation = Federation::generate(&DatasetSpec::default(), inst.num_clients(), SEED);
+    let report = FlJob::new(0.3)
+        .with_faults(FaultModel::bernoulli(0.2))
+        .with_recovery(RecoveryPolicy::Standby)
+        .with_coverage_floor(scale.k)
+        .run(&inst, &outcome, &federation, SEED);
+
+    assert_eq!(report.rounds.len() as u32, outcome.horizon());
+    assert_eq!(repriced.len(), outcome.solution().winners().len());
+    assert!(!pool.is_empty(), "losers must back the chosen horizon");
+
+    drop(guard);
+    recorder.snapshot()
+}
+
+/// Fields of a snapshot that must reproduce bit-for-bit under the same
+/// seed. Wall-clock timing (phases, span `elapsed`) is deliberately
+/// excluded.
+fn deterministic_view(s: &Snapshot) -> String {
+    // tree_string() is timing-free; counters/gauges/histograms are data.
+    format!(
+        "{}\ncounters: {:?}\ngauges: {:?}\nhistograms: {:?}\nmessages: {:?}",
+        s.tree_string(),
+        s.counters,
+        s.gauges,
+        s.histograms,
+        s.messages
+    )
+}
+
+fn main() -> ExitCode {
+    let telemetry = fl_bench::telemetry::init("bench_afl");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = Scale::new(smoke);
+    println!(
+        "BENCH_afl: instrumented A_FL → simulator profile (I={}, J={}, T={}, K={}, seed={SEED}{})",
+        scale.clients,
+        scale.bids_per_client,
+        scale.rounds,
+        scale.k,
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let first = profiled_pass(&scale);
+    let second = profiled_pass(&scale);
+
+    let a = deterministic_view(&first);
+    let b = deterministic_view(&second);
+    if a != b {
+        eprintln!("BENCH_afl: two same-seed passes disagree on timing-free telemetry:");
+        eprintln!("--- first ---\n{a}\n--- second ---\n{b}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "reproducibility: OK — {} spans, {} counters, {} histograms identical across both passes",
+        first.phases.values().map(|p| p.timing_ms.n).sum::<usize>(),
+        first.counters.len(),
+        first.histograms.len()
+    );
+
+    let mut table = Table::new(["phase", "spans", "total_ms", "p50_ms", "p99_ms"]);
+    for (name, stat) in &first.phases {
+        let t = &stat.timing_ms;
+        table.push_row(vec![
+            name.clone(),
+            t.n.to_string(),
+            format!("{:.3}", t.sum),
+            format!("{:.3}", t.p50),
+            format!("{:.3}", t.p99),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let mut counters = Table::new(["counter", "total"]);
+    for (name, value) in &first.counters {
+        counters.push_row(vec![name.clone(), value.to_string()]);
+    }
+    print!("{}", counters.render());
+
+    match fl_bench::telemetry::write_results_json("BENCH_afl", &first.to_json()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("BENCH_afl: could not write perf snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    telemetry.flush();
+    println!(
+        "trace: {}",
+        results_dir()
+            .join("telemetry")
+            .join("bench_afl.jsonl")
+            .display()
+    );
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,7 @@ use fl_bench::{gen_prequalified_wdp, results_dir, Summary, Table};
 use fl_exact::ExactSolver;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("fig3");
     let full = std::env::args().any(|a| a == "--full");
     let horizons: Vec<u32> = if full {
         vec![4, 6, 8, 10, 12, 14]

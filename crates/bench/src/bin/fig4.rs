@@ -79,6 +79,7 @@ fn sweep(label: &str, specs: Vec<(String, WorkloadSpec)>, seeds: &[u64]) -> Tabl
 }
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("fig4");
     let full = std::env::args().any(|a| a == "--full");
     let seeds: Vec<u64> = if full {
         (0..10).collect()

@@ -8,6 +8,7 @@ use fl_bench::{par_map, results_dir, Algo, Summary, Table};
 use fl_workload::WorkloadSpec;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("fig5");
     let full = std::env::args().any(|a| a == "--full");
     let i_values: Vec<usize> = if full {
         vec![1000, 3000, 5000, 7000, 9000]

@@ -9,6 +9,7 @@ use fl_bench::{par_map, results_dir, Algo, Summary, Table};
 use fl_workload::WorkloadSpec;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("fig6");
     let full = std::env::args().any(|a| a == "--full");
     let j_values: Vec<u32> = if full {
         vec![1, 2, 4, 6, 8, 10]

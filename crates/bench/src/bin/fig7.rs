@@ -58,6 +58,7 @@ fn run_model(name: &str, spec: &WorkloadSpec, seeds: &[u64], step: u32) -> Table
 }
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("fig7");
     let full = std::env::args().any(|a| a == "--full");
     let seeds: Vec<u64> = if full { vec![1, 2, 3] } else { vec![1] };
     let step = if full { 1 } else { 3 };

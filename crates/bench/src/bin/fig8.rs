@@ -10,6 +10,7 @@ use fl_bench::{results_dir, timed, Algo, Summary, Table};
 use fl_workload::WorkloadSpec;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("fig8");
     let full = std::env::args().any(|a| a == "--full");
     let i_values: Vec<usize> = if full {
         vec![1000, 3000, 5000, 7000, 9000]

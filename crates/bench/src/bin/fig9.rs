@@ -9,6 +9,7 @@ use fl_bench::{results_dir, Algo, Table};
 use fl_workload::WorkloadSpec;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("fig9");
     let inst = WorkloadSpec::paper_default()
         .generate(1)
         .expect("paper spec is valid");

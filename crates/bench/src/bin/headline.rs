@@ -10,6 +10,7 @@ use fl_bench::{results_dir, Algo, Summary, Table};
 use fl_workload::WorkloadSpec;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("headline");
     let full = std::env::args().any(|a| a == "--full");
     let seeds: Vec<u64> = if full {
         (1..=10).collect()

@@ -5,6 +5,7 @@ use fl_bench::{gen_prequalified_wdp, timed, Algo};
 use fl_workload::WorkloadSpec;
 
 fn main() {
+    let _telemetry = fl_bench::telemetry::init("perf_probe");
     let wdp = gen_prequalified_wdp(7, 1000, 5, 30, 20);
     let (a, ta) = timed(|| AWinner::new().without_certificate().solve_wdp(&wdp));
     let (b, tb) = timed(|| {

@@ -23,6 +23,7 @@
 pub mod output;
 pub mod runner;
 pub mod stats;
+pub mod telemetry;
 
 pub use output::{results_dir, Table};
 pub use runner::{gen_prequalified_wdp, par_map, timed, wdp_at, Algo};

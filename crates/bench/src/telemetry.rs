@@ -1,0 +1,145 @@
+//! Telemetry bootstrap shared by every bench binary.
+//!
+//! Each binary's `main` starts with
+//! `let _telemetry = fl_bench::telemetry::init("<name>");`, which installs
+//! the global sinks for the whole process:
+//!
+//! * a [`JsonlSink`] mirroring every event into
+//!   `results/telemetry/<name>.jsonl` (machine-readable trace);
+//! * an [`EnvLogger`] on stderr, verbosity from the `FL_LOG` environment
+//!   variable (`error|warn|info|debug|trace`), suppressed entirely by a
+//!   `--quiet` argument — printed stdout output is never affected;
+//! * a [`Recorder`] aggregating counters/histograms/phase timings, which
+//!   [`Telemetry::write_snapshot`] can export as a JSON perf snapshot.
+//!
+//! The guards uninstall on drop, so telemetry ends with `main`.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use fl_telemetry::{install_global, EnvLogger, GlobalSinkGuard, JsonlSink, Recorder};
+
+use crate::output::results_dir;
+
+/// Live telemetry session for one bench binary (RAII: sinks uninstall and
+/// the JSON-lines trace flushes when this drops).
+pub struct Telemetry {
+    run: String,
+    recorder: Arc<Recorder>,
+    jsonl: Option<Arc<JsonlSink>>,
+    _guards: Vec<GlobalSinkGuard>,
+}
+
+/// Installs the standard bench sinks; `run` names the trace file
+/// `results/telemetry/<run>.jsonl`.
+///
+/// Honours `--quiet` (drops the stderr logger regardless of `FL_LOG`) from
+/// the process arguments. A trace-file creation failure degrades to a
+/// warning on stderr rather than an abort — experiments still run on a
+/// read-only results directory.
+pub fn init(run: &str) -> Telemetry {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let mut guards = Vec::new();
+
+    let recorder = Arc::new(Recorder::default());
+    guards.push(install_global(recorder.clone()));
+
+    let jsonl =
+        match JsonlSink::create(results_dir().join("telemetry").join(format!("{run}.jsonl"))) {
+            Ok(sink) => {
+                let sink = Arc::new(sink);
+                guards.push(install_global(sink.clone()));
+                Some(sink)
+            }
+            Err(e) => {
+                eprintln!("telemetry: cannot create trace file for {run}: {e}");
+                None
+            }
+        };
+
+    if !quiet {
+        if let Some(logger) = EnvLogger::from_env() {
+            guards.push(install_global(Arc::new(logger)));
+        }
+    }
+
+    Telemetry {
+        run: run.to_string(),
+        recorder,
+        jsonl,
+        _guards: guards,
+    }
+}
+
+impl Telemetry {
+    /// The run name passed to [`init`].
+    pub fn run(&self) -> &str {
+        &self.run
+    }
+
+    /// The process-wide aggregating recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Writes the recorder's current snapshot to `results/<name>.json` and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_snapshot(&self, name: &str) -> io::Result<PathBuf> {
+        write_results_json(name, &self.recorder.snapshot().to_json())
+    }
+
+    /// Flushes the JSON-lines trace to disk (also happens on drop).
+    pub fn flush(&self) {
+        if let Some(sink) = &self.jsonl {
+            if let Err(e) = sink.flush() {
+                eprintln!("telemetry: flush failed for {}: {e}", self.run);
+            }
+        }
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Validates `json` and writes it to `results/<name>.json`, returning the
+/// path.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] when `json` does not parse, and
+/// propagates filesystem errors.
+pub fn write_results_json(name: &str, json: &str) -> io::Result<PathBuf> {
+    fl_telemetry::json::validate(json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}")))?;
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_results_json_rejects_malformed_documents() {
+        let err = write_results_json("unit-telemetry-bad", "{nope").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn write_results_json_round_trips() {
+        let path = write_results_json("unit-telemetry-ok", "{\"a\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}");
+        std::fs::remove_file(path).ok();
+    }
+}

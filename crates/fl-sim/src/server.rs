@@ -31,6 +31,7 @@
 use std::collections::HashMap;
 
 use fl_auction::{AuctionOutcome, ClientId, Instance, Round, StandbyPool};
+use fl_telemetry::{counter, debug, sample, span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -253,6 +254,7 @@ impl FlJob {
             federation.shards.len(),
             instance.num_clients()
         );
+        let _job = span!("fl_job", tg = outcome.horizon(), seed = seed);
         let dim = federation.shards[0].features[0].len();
         let mut rng = StdRng::seed_from_u64(seed);
 
@@ -293,6 +295,7 @@ impl FlJob {
         let mut total_wall_clock = 0.0;
 
         for t in 1..=outcome.horizon() {
+            let _round = span!("fl_round", t = t);
             let scheduled = roster.get(&t).cloned().unwrap_or_default();
             let mut st = RoundState::new(dim);
             let mut dropped = Vec::new();
@@ -393,6 +396,21 @@ impl FlJob {
                 reached_at = Some(t);
             }
             total_wall_clock += st.wall_clock;
+            counter!("sim.dropped", dropped.len());
+            counter!("sim.retried", retried.len());
+            counter!("sim.substituted", substitutes.len());
+            counter!("sim.late", st.late.len());
+            sample!("sim.round_wall_clock", st.wall_clock);
+            if repair_spend > 0.0 {
+                sample!("sim.repair_spend", repair_spend);
+                debug!(
+                    "round {t}: {} substitute(s) activated for {repair_spend:.3} repair spend",
+                    substitutes.len()
+                );
+            }
+            if coverage_gap > 0 {
+                counter!("sim.coverage_gaps", coverage_gap);
+            }
             rounds.push(RoundRecord {
                 round: Round(t),
                 participants: st.participants,

@@ -1,0 +1,357 @@
+//! Sink registry, the thread-local span stack, and every emission entry
+//! point. The design constraint is the disabled fast path: with no sink
+//! installed, each entry point costs one relaxed atomic load plus one
+//! thread-local cell read and returns immediately.
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+use crate::event::{Event, Field, Level, Sink};
+
+/// Registered global sinks, keyed by installation id for removal.
+type SinkSlot = (u64, Arc<dyn Sink>);
+
+static GLOBAL_SINKS: OnceLock<RwLock<Vec<SinkSlot>>> = OnceLock::new();
+/// Mirror of `GLOBAL_SINKS.len()` readable without taking the lock.
+static GLOBAL_COUNT: AtomicUsize = AtomicUsize::new(0);
+/// Source of installation and span ids (never reused within a process).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static LOCAL_SINKS: RefCell<Vec<SinkSlot>> = const { RefCell::new(Vec::new()) };
+    static LOCAL_COUNT: Cell<usize> = const { Cell::new(0) };
+    /// Ids of the currently open spans on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn global_sinks() -> &'static RwLock<Vec<SinkSlot>> {
+    GLOBAL_SINKS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Whether at least one sink (global or thread-local) is installed. The
+/// macros use this to skip field construction and message formatting.
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL_COUNT.load(Ordering::Relaxed) != 0 || LOCAL_COUNT.with(Cell::get) != 0
+}
+
+/// Uninstalls a global sink when dropped.
+#[must_use = "dropping the guard immediately uninstalls the sink"]
+pub struct GlobalSinkGuard {
+    id: u64,
+}
+
+impl Drop for GlobalSinkGuard {
+    fn drop(&mut self) {
+        let mut sinks = global_sinks().write().expect("sink registry poisoned");
+        sinks.retain(|(id, _)| *id != self.id);
+        GLOBAL_COUNT.store(sinks.len(), Ordering::Relaxed);
+    }
+}
+
+/// Installs a sink that observes events from **every** thread. Returns a
+/// guard that uninstalls it on drop.
+pub fn install_global(sink: Arc<dyn Sink>) -> GlobalSinkGuard {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let mut sinks = global_sinks().write().expect("sink registry poisoned");
+    sinks.push((id, sink));
+    GLOBAL_COUNT.store(sinks.len(), Ordering::Relaxed);
+    GlobalSinkGuard { id }
+}
+
+/// Uninstalls a thread-local sink when dropped. `!Send` on purpose: the
+/// guard must drop on the installing thread.
+#[must_use = "dropping the guard immediately uninstalls the sink"]
+pub struct LocalSinkGuard {
+    id: u64,
+    _not_send: PhantomData<Rc<()>>,
+}
+
+impl Drop for LocalSinkGuard {
+    fn drop(&mut self) {
+        LOCAL_SINKS.with(|sinks| {
+            let mut sinks = sinks.borrow_mut();
+            sinks.retain(|(id, _)| *id != self.id);
+            LOCAL_COUNT.with(|c| c.set(sinks.len()));
+        });
+    }
+}
+
+/// Installs a sink that observes events from the **current thread only** —
+/// the parallel-test-safe alternative to [`install_global`]. Returns a
+/// guard that uninstalls it on drop.
+pub fn install_local(sink: Arc<dyn Sink>) -> LocalSinkGuard {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    LOCAL_SINKS.with(|sinks| {
+        let mut sinks = sinks.borrow_mut();
+        sinks.push((id, sink));
+        LOCAL_COUNT.with(|c| c.set(sinks.len()));
+    });
+    LocalSinkGuard {
+        id,
+        _not_send: PhantomData,
+    }
+}
+
+/// Fans one event out to every local, then every global sink.
+fn dispatch(event: &Event<'_>) {
+    if LOCAL_COUNT.with(Cell::get) != 0 {
+        LOCAL_SINKS.with(|sinks| {
+            for (_, sink) in sinks.borrow().iter() {
+                sink.on_event(event);
+            }
+        });
+    }
+    if GLOBAL_COUNT.load(Ordering::Relaxed) != 0 {
+        let sinks = global_sinks().read().expect("sink registry poisoned");
+        for (_, sink) in sinks.iter() {
+            sink.on_event(event);
+        }
+    }
+}
+
+/// RAII handle for an open span; closing (dropping) it reports the span's
+/// wall-clock duration to every sink. Obtained from [`span!`](crate::span!),
+/// [`span`] or [`span_with`].
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at open time.
+    live: Option<LiveSpan>,
+    _not_send: PhantomData<Rc<()>>,
+}
+
+struct LiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    fields: Vec<Field>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// An inert guard: nothing is emitted on open or close. Used by the
+    /// [`span!`](crate::span!) macro when no sink is installed.
+    pub fn disabled() -> SpanGuard {
+        SpanGuard {
+            live: None,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The span's process-unique id, or `None` for an inert guard.
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let elapsed = live.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards normally drop innermost-first; search from the end so
+            // an out-of-order drop cannot corrupt unrelated entries.
+            if let Some(pos) = stack.iter().rposition(|&id| id == live.id) {
+                stack.remove(pos);
+            }
+        });
+        dispatch(&Event::SpanEnd {
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            fields: &live.fields,
+            elapsed,
+        });
+    }
+}
+
+/// Opens a timed span with no fields. Prefer the [`span!`](crate::span!)
+/// macro, which also skips field construction when disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, Vec::new())
+}
+
+/// Opens a timed span carrying context fields.
+pub fn span_with(name: &'static str, fields: Vec<Field>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    dispatch(&Event::SpanStart {
+        id,
+        parent,
+        name,
+        fields: &fields,
+    });
+    SpanGuard {
+        live: Some(LiveSpan {
+            id,
+            parent,
+            name,
+            fields,
+            start: Instant::now(),
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+/// Adds `delta` to the named monotone counter.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if enabled() {
+        dispatch(&Event::Counter { name, delta });
+    }
+}
+
+/// Sets the named gauge to `value` (last write wins).
+#[inline]
+pub fn gauge(name: &'static str, value: f64) {
+    if enabled() {
+        dispatch(&Event::Gauge { name, value });
+    }
+}
+
+/// Records one observation of the named histogram.
+#[inline]
+pub fn sample(name: &'static str, value: f64) {
+    if enabled() {
+        dispatch(&Event::Sample { name, value });
+    }
+}
+
+/// Emits a levelled message. Prefer the [`event!`](crate::event!) family of
+/// macros, which skip formatting when disabled.
+pub fn message(level: Level, text: &str) {
+    if enabled() {
+        dispatch(&Event::Message { level, text });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Collects raw events for dispatch-level assertions.
+    #[derive(Default)]
+    struct Probe {
+        log: Mutex<Vec<String>>,
+    }
+
+    impl Probe {
+        fn lines(&self) -> Vec<String> {
+            self.log.lock().unwrap().clone()
+        }
+    }
+
+    impl Sink for Probe {
+        fn on_event(&self, event: &Event<'_>) {
+            let line = match event {
+                Event::SpanStart { name, parent, .. } => {
+                    format!("start {name} parent={}", parent.is_some())
+                }
+                Event::SpanEnd { name, .. } => format!("end {name}"),
+                Event::Counter { name, delta } => format!("counter {name} +{delta}"),
+                Event::Gauge { name, value } => format!("gauge {name} {value}"),
+                Event::Sample { name, value } => format!("sample {name} {value}"),
+                Event::Message { level, text } => format!("{level} {text}"),
+            };
+            self.log.lock().unwrap().push(line);
+        }
+    }
+
+    #[test]
+    fn disabled_span_guard_is_inert() {
+        // No sink on this thread (globals may exist in other tests, so use
+        // an explicitly disabled guard).
+        let g = SpanGuard::disabled();
+        assert_eq!(g.id(), None);
+        drop(g);
+    }
+
+    #[test]
+    fn local_sink_sees_nesting_and_metrics() {
+        let probe = Arc::new(Probe::default());
+        let guard = install_local(probe.clone());
+        {
+            let outer = span("outer");
+            let inner = span("inner");
+            assert!(outer.id().unwrap() < inner.id().unwrap());
+            counter("hits", 2);
+            gauge("ratio", 0.5);
+            sample("depth", 3.0);
+            message(Level::Info, "hello");
+        }
+        drop(guard);
+        let lines = probe.lines();
+        assert_eq!(
+            lines,
+            vec![
+                "start outer parent=false",
+                "start inner parent=true",
+                "counter hits +2",
+                "gauge ratio 0.5",
+                "sample depth 3",
+                "info hello",
+                "end inner",
+                "end outer",
+            ]
+        );
+    }
+
+    #[test]
+    fn uninstall_stops_delivery() {
+        let probe = Arc::new(Probe::default());
+        let guard = install_local(probe.clone());
+        counter("a", 1);
+        drop(guard);
+        counter("a", 1);
+        assert_eq!(probe.lines().len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_keeps_the_stack_sane() {
+        let probe = Arc::new(Probe::default());
+        let guard = install_local(probe.clone());
+        let outer = span("outer");
+        let inner = span("inner");
+        drop(outer); // wrong order on purpose
+        let sibling = span("sibling"); // parent should be `inner`
+        drop(sibling);
+        drop(inner);
+        drop(guard);
+        let lines = probe.lines();
+        assert!(lines.contains(&"start sibling parent=true".to_string()));
+    }
+
+    #[test]
+    fn local_sinks_do_not_leak_across_threads() {
+        let probe = Arc::new(Probe::default());
+        let guard = install_local(probe.clone());
+        let p2 = probe.clone();
+        std::thread::spawn(move || {
+            // This thread has no local sink; only globals would see this.
+            counter("other-thread", 1);
+            drop(p2);
+        })
+        .join()
+        .unwrap();
+        counter("this-thread", 1);
+        drop(guard);
+        let lines = probe.lines();
+        assert_eq!(lines, vec!["counter this-thread +1"]);
+    }
+}

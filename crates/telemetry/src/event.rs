@@ -1,0 +1,218 @@
+//! The event vocabulary shared by instrumentation points and sinks.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A typed field value attached to spans and messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A boolean flag.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (round counts, client counts, …).
+    UInt(u64),
+    /// A float (costs, ratios, durations).
+    Float(f64),
+    /// A string.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($variant:ident: $($ty:ty),+) => {
+        $(impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::$variant(v.into())
+            }
+        })+
+    };
+}
+value_from!(Bool: bool);
+value_from!(Int: i8, i16, i32, i64);
+value_from!(UInt: u8, u16, u32, u64);
+value_from!(Float: f32, f64);
+value_from!(Str: &str, String);
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::UInt(v as u64)
+    }
+}
+
+/// A named [`Value`], the unit of span/message context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name (static so instrumentation never allocates for names).
+    pub name: &'static str,
+    /// Field value.
+    pub value: Value,
+}
+
+impl Field {
+    /// Builds a field from anything convertible to a [`Value`].
+    pub fn new(name: &'static str, value: impl Into<Value>) -> Field {
+        Field {
+            name,
+            value: value.into(),
+        }
+    }
+}
+
+/// Message severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The pipeline produced a wrong or unusable result.
+    Error,
+    /// Something unexpected that the pipeline worked around.
+    Warn,
+    /// High-level progress (one line per run/phase).
+    Info,
+    /// Per-decision detail (one line per horizon/round).
+    Debug,
+    /// Everything, including metric updates.
+    Trace,
+}
+
+impl Level {
+    /// Parses `FL_LOG`-style level names. `None` for `off`/`none`/unknown.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Reads the level from the `FL_LOG` environment variable.
+    pub fn from_env() -> Option<Level> {
+        std::env::var("FL_LOG").ok().and_then(|v| Level::parse(&v))
+    }
+
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One telemetry event, borrowed from the emitting call site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// A span was opened.
+    SpanStart {
+        /// Process-unique span id (creation-ordered).
+        id: u64,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name.
+        name: &'static str,
+        /// Span context fields.
+        fields: &'a [Field],
+    },
+    /// A span closed; `elapsed` is its wall-clock duration.
+    SpanEnd {
+        /// Process-unique span id (matches the start event).
+        id: u64,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name.
+        name: &'static str,
+        /// Span context fields.
+        fields: &'a [Field],
+        /// Wall-clock time between open and close.
+        elapsed: Duration,
+    },
+    /// A counter increment.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Amount added.
+        delta: u64,
+    },
+    /// A gauge update (last write wins).
+    Gauge {
+        /// Gauge name.
+        name: &'static str,
+        /// New value.
+        value: f64,
+    },
+    /// One histogram observation.
+    Sample {
+        /// Histogram name.
+        name: &'static str,
+        /// Observed value.
+        value: f64,
+    },
+    /// A levelled log message.
+    Message {
+        /// Severity.
+        level: Level,
+        /// Rendered message text.
+        text: &'a str,
+    },
+}
+
+/// A telemetry consumer. Implementations must be cheap and non-blocking
+/// relative to the instrumented code, and must tolerate concurrent calls
+/// (global sinks receive events from every thread).
+pub trait Sink: Send + Sync {
+    /// Handles one event.
+    fn on_event(&self, event: &Event<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions_cover_common_types() {
+        assert_eq!(Value::from(3u32), Value::UInt(3));
+        assert_eq!(Value::from(7usize), Value::UInt(7));
+        assert_eq!(Value::from(-2i32), Value::Int(-2));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn level_parse_and_ordering() {
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse(""), None);
+        assert!(Level::Error < Level::Trace);
+        assert!(Level::Info <= Level::Debug);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Level::Warn.to_string(), "warn");
+        assert_eq!(Value::from(4u64).to_string(), "4");
+    }
+}

@@ -1,0 +1,290 @@
+//! Minimal JSON encoding (and a validating parser for tests/CI checks).
+//!
+//! The workspace has no registry access, so instead of `serde_json` the
+//! exporters build JSON through these helpers. The encoder is
+//! intentionally small: strings, finite numbers (non-finite floats encode
+//! as `null`), booleans, and the object/array glue the sinks need.
+
+use std::fmt::Write as _;
+
+/// Encodes a string as a JSON string literal (quoted, escaped).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Encodes a float: finite values in shortest round-trip form, non-finite
+/// as `null` (JSON has no Inf/NaN).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = format!("{x}");
+        // `{}` on an integral f64 prints no decimal point; keep it — JSON
+        // numbers do not distinguish. But `1e300` style stays as-is.
+        if s == "-0" {
+            s = "0".into();
+        }
+        s
+    } else {
+        "null".into()
+    }
+}
+
+/// Encodes a [`crate::Value`] as a JSON value.
+pub fn value(v: &crate::Value) -> String {
+    match v {
+        crate::Value::Bool(b) => b.to_string(),
+        crate::Value::Int(i) => i.to_string(),
+        crate::Value::UInt(u) => u.to_string(),
+        crate::Value::Float(x) => number(*x),
+        crate::Value::Str(s) => string(s),
+    }
+}
+
+/// Joins pre-encoded `"key": value` members into an object literal.
+pub fn object(members: &[(String, String)]) -> String {
+    let body: Vec<String> = members
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", string(k)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Joins pre-encoded values into an array literal.
+pub fn array(values: &[String]) -> String {
+    format!("[{}]", values.join(","))
+}
+
+/// Validates that `text` is one well-formed JSON value (with optional
+/// surrounding whitespace). Used by tests and the CI smoke check to assert
+/// exporter output parses without shipping a JSON library.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = skip_ws(bytes, 0);
+    pos = parse_value(bytes, pos)?;
+    pos = skip_ws(bytes, pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn parse_value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos + 1),
+        Some(b'[') => parse_array(b, pos + 1),
+        Some(b'"') => parse_string(b, pos + 1),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: usize, lit: &str) -> Result<usize, String> {
+    if b[pos..].starts_with(lit.as_bytes()) {
+        Ok(pos + lit.len())
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => {
+                match b.get(pos + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                    Some(b'u') => {
+                        let hex = b.get(pos + 2..pos + 6).ok_or("truncated \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                };
+            }
+            0x00..=0x1f => return Err(format!("raw control byte {c:#x} in string at {pos}")),
+            _ => pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut p: usize| -> usize {
+        while p < b.len() && b[p].is_ascii_digit() {
+            p += 1;
+        }
+        p
+    };
+    let after_int = digits(b, pos);
+    if after_int == pos {
+        return Err(format!("number without digits at byte {start}"));
+    }
+    pos = after_int;
+    if b.get(pos) == Some(&b'.') {
+        let after_frac = digits(b, pos + 1);
+        if after_frac == pos + 1 {
+            return Err(format!("decimal point without digits at byte {pos}"));
+        }
+        pos = after_frac;
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        let mut p = pos + 1;
+        if matches!(b.get(p), Some(b'+' | b'-')) {
+            p += 1;
+        }
+        let after_exp = digits(b, p);
+        if after_exp == p {
+            return Err(format!("exponent without digits at byte {pos}"));
+        }
+        pos = after_exp;
+    }
+    Ok(pos)
+}
+
+fn parse_object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        pos = parse_string(b, pos + 1)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = parse_value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = skip_ws(b, pos);
+        pos = parse_value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(string("a\"b"), r#""a\"b""#);
+        assert_eq!(string("line\nbreak"), r#""line\nbreak""#);
+        assert_eq!(string("back\\slash"), r#""back\\slash""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_handle_non_finite() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(-0.0), "0");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn object_and_array_compose() {
+        let obj = object(&[
+            ("a".into(), "1".into()),
+            ("b".into(), array(&["true".into(), string("x")])),
+        ]);
+        assert_eq!(obj, r#"{"a":1,"b":[true,"x"]}"#);
+        validate(&obj).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#"{"k":[1,2,{"n":null}],"s":"é\n"}"#,
+            "  [1, 2]  ",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01a",
+            "\"unterminated",
+            "{} trailing",
+            "1.",
+            "1e",
+            "nul",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn value_encoding_matches_variant() {
+        assert_eq!(value(&crate::Value::Bool(true)), "true");
+        assert_eq!(value(&crate::Value::Int(-3)), "-3");
+        assert_eq!(value(&crate::Value::UInt(9)), "9");
+        assert_eq!(value(&crate::Value::Float(0.25)), "0.25");
+        assert_eq!(value(&crate::Value::Str("s".into())), "\"s\"");
+    }
+}

@@ -1,0 +1,209 @@
+//! JSON-lines export: one event per line, machine-readable.
+
+use std::fs;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::{Event, Field, Sink};
+use crate::json;
+
+/// A [`Sink`] serialising every event as one JSON object per line.
+///
+/// Bench binaries mirror their instrumentation into
+/// `results/telemetry/<run>.jsonl` through this sink. Each line carries a
+/// `type` tag (`span_start`, `span_end`, `counter`, `gauge`, `sample`,
+/// `message`), the event payload, and `ts_us` — microseconds since the
+/// sink was created. Output is buffered; it flushes on [`JsonlSink::flush`]
+/// and on drop.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    start: Instant,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        Ok(JsonlSink::to_writer(fs::File::create(path)?))
+    }
+
+    /// Wraps an arbitrary writer (tests use a shared `Vec<u8>`).
+    pub fn to_writer(w: impl Write + Send + 'static) -> JsonlSink {
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(Box::new(w))),
+            start: Instant::now(),
+        }
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().expect("jsonl writer poisoned").flush()
+    }
+
+    fn write_line(&self, members: Vec<(String, String)>) {
+        let ts = self.start.elapsed().as_micros() as u64;
+        let mut all = vec![("ts_us".to_string(), ts.to_string())];
+        all.extend(members);
+        let line = json::object(&all);
+        let mut out = self.out.lock().expect("jsonl writer poisoned");
+        // Telemetry must never panic the instrumented program; a full disk
+        // degrades to dropped lines.
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+fn fields_json(fields: &[Field]) -> String {
+    json::object(
+        &fields
+            .iter()
+            .map(|f| (f.name.to_string(), json::value(&f.value)))
+            .collect::<Vec<_>>(),
+    )
+}
+
+impl Sink for JsonlSink {
+    fn on_event(&self, event: &Event<'_>) {
+        match event {
+            Event::SpanStart {
+                id,
+                parent,
+                name,
+                fields,
+            } => self.write_line(vec![
+                ("type".into(), json::string("span_start")),
+                ("name".into(), json::string(name)),
+                ("id".into(), id.to_string()),
+                (
+                    "parent".into(),
+                    parent.map_or("null".into(), |p| p.to_string()),
+                ),
+                ("fields".into(), fields_json(fields)),
+            ]),
+            Event::SpanEnd {
+                id,
+                parent,
+                name,
+                fields,
+                elapsed,
+            } => self.write_line(vec![
+                ("type".into(), json::string("span_end")),
+                ("name".into(), json::string(name)),
+                ("id".into(), id.to_string()),
+                (
+                    "parent".into(),
+                    parent.map_or("null".into(), |p| p.to_string()),
+                ),
+                ("elapsed_us".into(), elapsed.as_micros().to_string()),
+                ("fields".into(), fields_json(fields)),
+            ]),
+            Event::Counter { name, delta } => self.write_line(vec![
+                ("type".into(), json::string("counter")),
+                ("name".into(), json::string(name)),
+                ("delta".into(), delta.to_string()),
+            ]),
+            Event::Gauge { name, value } => self.write_line(vec![
+                ("type".into(), json::string("gauge")),
+                ("name".into(), json::string(name)),
+                ("value".into(), json::number(*value)),
+            ]),
+            Event::Sample { name, value } => self.write_line(vec![
+                ("type".into(), json::string("sample")),
+                ("name".into(), json::string(name)),
+                ("value".into(), json::number(*value)),
+            ]),
+            Event::Message { level, text } => self.write_line(vec![
+                ("type".into(), json::string("message")),
+                ("level".into(), json::string(level.name())),
+                ("text".into(), json::string(text)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::install_local;
+    use crate::{counter, sample, span, Level};
+    use std::sync::Arc;
+
+    /// A `Write` handle into shared memory so the test can read back what
+    /// the sink wrote.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn every_line_is_valid_json_with_a_type_tag() {
+        let buf = SharedBuf::default();
+        let sink = Arc::new(JsonlSink::to_writer(buf.clone()));
+        let guard = install_local(sink.clone());
+        {
+            let _s = span!("run", case = "jsonl", n = 2u32);
+            counter!("hits", 3);
+            sample!("depth", 1.5);
+            crate::message(Level::Warn, "look \"out\"\n");
+        }
+        drop(guard);
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "start, counter, sample, message, end");
+        for line in &lines {
+            json::validate(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert!(line.contains("\"type\":"));
+            assert!(line.contains("\"ts_us\":"));
+        }
+        assert!(lines[0].contains("\"span_start\""));
+        assert!(lines[0].contains("\"case\":\"jsonl\""));
+        assert!(lines[0].contains("\"n\":2"));
+        assert!(lines[3].contains("look \\\"out\\\"\\n"));
+        assert!(lines[4].contains("\"elapsed_us\":"));
+    }
+
+    #[test]
+    fn create_writes_through_to_disk() {
+        let dir = std::env::temp_dir().join("fl-telemetry-jsonl-test");
+        let path = dir.join("run.jsonl");
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        let guard = install_local(sink.clone());
+        counter!("disk", 1);
+        drop(guard);
+        sink.flush().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"counter\""));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,146 @@
+//! Human-readable, env-filtered stderr logging.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::event::{Event, Level, Sink};
+
+/// A [`Sink`] that renders events as indented, levelled lines on stderr.
+///
+/// The verbosity threshold usually comes from the `FL_LOG` environment
+/// variable ([`EnvLogger::from_env`]); bench binaries additionally honour
+/// `--quiet` by simply not installing the logger. Event levels:
+///
+/// * messages log at their own level;
+/// * span open/close log at `debug`;
+/// * counter/gauge/histogram updates log at `trace`.
+///
+/// Lines are indented by the emitting thread's open-span depth, so nested
+/// phases read as a tree.
+pub struct EnvLogger {
+    max_level: Level,
+    start: Instant,
+    depth: Mutex<HashMap<ThreadId, usize>>,
+}
+
+impl EnvLogger {
+    /// A logger showing everything up to (and including) `max_level`.
+    pub fn new(max_level: Level) -> EnvLogger {
+        EnvLogger {
+            max_level,
+            start: Instant::now(),
+            depth: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Builds a logger from `FL_LOG`; `None` when the variable is unset,
+    /// `off`, or unparseable (telemetry stays silent by default).
+    pub fn from_env() -> Option<EnvLogger> {
+        Level::from_env().map(EnvLogger::new)
+    }
+
+    fn emit(&self, level: Level, indent: usize, text: &str) {
+        if level > self.max_level {
+            return;
+        }
+        let t = self.start.elapsed().as_secs_f64();
+        let pad = "  ".repeat(indent);
+        // A single write_all keeps concurrent lines from interleaving.
+        let line = format!("[fl {t:9.4}s {lvl:>5}] {pad}{text}\n", lvl = level.name());
+        let mut err = std::io::stderr().lock();
+        let _ = err.write_all(line.as_bytes());
+    }
+
+    fn depth_of(&self, delta: isize) -> usize {
+        let id = std::thread::current().id();
+        let mut depths = self.depth.lock().expect("logger depth map poisoned");
+        let entry = depths.entry(id).or_insert(0);
+        if delta >= 0 {
+            let current = *entry;
+            *entry += delta as usize;
+            current
+        } else {
+            *entry = entry.saturating_sub((-delta) as usize);
+            *entry
+        }
+    }
+}
+
+impl Sink for EnvLogger {
+    fn on_event(&self, event: &Event<'_>) {
+        match event {
+            Event::SpanStart { name, fields, .. } => {
+                let indent = self.depth_of(1);
+                let ctx: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{}={}", f.name, f.value))
+                    .collect();
+                let suffix = if ctx.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", ctx.join(" "))
+                };
+                self.emit(Level::Debug, indent, &format!("▶ {name}{suffix}"));
+            }
+            Event::SpanEnd { name, elapsed, .. } => {
+                let indent = self.depth_of(-1);
+                self.emit(
+                    Level::Debug,
+                    indent,
+                    &format!("◀ {name} ({:.3} ms)", elapsed.as_secs_f64() * 1e3),
+                );
+            }
+            Event::Counter { name, delta } => {
+                let indent = self.depth_of(0);
+                self.emit(Level::Trace, indent, &format!("{name} += {delta}"));
+            }
+            Event::Gauge { name, value } => {
+                let indent = self.depth_of(0);
+                self.emit(Level::Trace, indent, &format!("{name} = {value}"));
+            }
+            Event::Sample { name, value } => {
+                let indent = self.depth_of(0);
+                self.emit(Level::Trace, indent, &format!("{name} ~ {value}"));
+            }
+            Event::Message { level, text } => {
+                let indent = self.depth_of(0);
+                self.emit(*level, indent, text);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_env_requires_a_parseable_level() {
+        // The test process may or may not carry FL_LOG; exercise the parse
+        // path directly instead of mutating the environment (other tests
+        // run in parallel in this process).
+        assert!(Level::parse("debug").is_some());
+        assert!(Level::parse("off").is_none());
+        let logger = EnvLogger::new(Level::Error);
+        // A below-threshold event writes nothing and must not panic.
+        logger.on_event(&Event::Counter {
+            name: "quiet",
+            delta: 1,
+        });
+    }
+
+    #[test]
+    fn depth_tracks_span_nesting_per_thread() {
+        let logger = EnvLogger::new(Level::Error); // silent: nothing emitted
+        assert_eq!(logger.depth_of(1), 0);
+        assert_eq!(logger.depth_of(1), 1);
+        assert_eq!(logger.depth_of(0), 2);
+        assert_eq!(logger.depth_of(-1), 1);
+        assert_eq!(logger.depth_of(-1), 0);
+        // Underflow clamps instead of wrapping.
+        assert_eq!(logger.depth_of(-1), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Histogram summarisation: nearest-rank quantiles over recorded samples.
+//!
+//! The recorder keeps raw samples (runs in this workspace are bounded, so
+//! memory is not a concern) and summarises on snapshot; nearest-rank keeps
+//! quantiles exact and deterministic, which the perf-snapshot tests rely
+//! on.
+
+/// Count/min/max/mean plus p50/p90/p99 of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub n: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 90th percentile (nearest rank).
+    pub p90: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+}
+
+impl HistSummary {
+    /// Summarises a sample set. Returns `None` for an empty or NaN-bearing
+    /// sample (telemetry must never panic inside instrumented code).
+    pub fn of(samples: &[f64]) -> Option<HistSummary> {
+        if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let sum: f64 = sorted.iter().sum();
+        Some(HistSummary {
+            n: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: sum / sorted.len() as f64,
+            sum,
+            p50: nearest_rank(&sorted, 0.50),
+            p90: nearest_rank(&sorted, 0.90),
+            p99: nearest_rank(&sorted, 0.99),
+        })
+    }
+}
+
+/// The nearest-rank quantile of an ascending-sorted non-empty sample:
+/// element `⌈q·n⌉` (1-based), clamped to the sample.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_1_to_100_are_exact() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = HistSummary::of(&samples).unwrap();
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.sum - 5050.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_order_invariant() {
+        let a = HistSummary::of(&[3.0, 1.0, 2.0]).unwrap();
+        let b = HistSummary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 2.0);
+        assert_eq!(a.p90, 3.0);
+    }
+
+    #[test]
+    fn singleton_collapses_every_statistic() {
+        let s = HistSummary::of(&[7.5]).unwrap();
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.p50, 7.5);
+        assert_eq!(s.p99, 7.5);
+    }
+
+    #[test]
+    fn skewed_distribution_separates_p50_from_p99() {
+        // 99 fast observations and one slow outlier.
+        let mut samples = vec![1.0; 99];
+        samples.push(1000.0);
+        let s = HistSummary::of(&samples).unwrap();
+        assert_eq!(s.p50, 1.0);
+        assert_eq!(s.p90, 1.0);
+        assert_eq!(s.p99, 1.0);
+        assert_eq!(s.max, 1000.0);
+        // p100 does not exist; the outlier shows up in max and mean.
+        assert!(s.mean > 10.0);
+    }
+
+    #[test]
+    fn empty_and_nan_samples_are_rejected() {
+        assert!(HistSummary::of(&[]).is_none());
+        assert!(HistSummary::of(&[1.0, f64::NAN]).is_none());
+    }
+}

@@ -1,0 +1,442 @@
+//! Deterministic in-memory aggregation: the sink behind tests and the
+//! `BENCH_afl.json` perf snapshot.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::event::{Event, Field, Level, Sink};
+use crate::quantile::HistSummary;
+
+/// A closed span as the recorder stores it.
+#[derive(Debug, Clone)]
+struct ClosedSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    fields: Vec<Field>,
+    elapsed: Duration,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    samples: BTreeMap<&'static str, Vec<f64>>,
+    spans: Vec<ClosedSpan>,
+    messages: Vec<(Level, String)>,
+}
+
+/// An in-memory [`Sink`] aggregating counters, gauges, histogram samples,
+/// messages, and the closed-span tree.
+///
+/// Everything except wall-clock timings is **deterministic**: the same
+/// instrumented computation produces the same counters, the same histogram
+/// contents, and the same span tree ([`Snapshot::tree_string`] excludes
+/// timings precisely so tests can compare runs).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    /// Aggregates everything recorded so far into an immutable snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("recorder poisoned");
+        let counters: BTreeMap<String, u64> = inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        let gauges: BTreeMap<String, f64> = inner
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        let histograms: BTreeMap<String, HistSummary> = inner
+            .samples
+            .iter()
+            .filter_map(|(k, v)| HistSummary::of(v).map(|s| (k.to_string(), s)))
+            .collect();
+
+        // Per-phase (span-name) timing aggregates.
+        let mut by_name: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for s in &inner.spans {
+            by_name
+                .entry(s.name.to_string())
+                .or_default()
+                .push(s.elapsed.as_secs_f64() * 1e3);
+        }
+        let phases: BTreeMap<String, PhaseStat> = by_name
+            .into_iter()
+            .filter_map(|(name, ms)| {
+                HistSummary::of(&ms).map(|timing_ms| (name, PhaseStat { timing_ms }))
+            })
+            .collect();
+
+        // Reassemble the tree. Children attach in close order; sorting by
+        // id restores creation order, which is what a reader expects.
+        let mut nodes: HashMap<u64, SpanNode> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        for s in &inner.spans {
+            nodes.insert(
+                s.id,
+                SpanNode {
+                    name: s.name.to_string(),
+                    fields: s
+                        .fields
+                        .iter()
+                        .map(|f| (f.name.to_string(), f.value.to_string()))
+                        .collect(),
+                    elapsed: s.elapsed,
+                    children: Vec::new(),
+                },
+            );
+            order.push(s.id);
+        }
+        // Spans close leaf-first, so a span's parent always closes later:
+        // walking close order and re-parenting is safe.
+        let parent_of: HashMap<u64, Option<u64>> =
+            inner.spans.iter().map(|s| (s.id, s.parent)).collect();
+        let mut roots: Vec<(u64, SpanNode)> = Vec::new();
+        for id in order {
+            let node = nodes.remove(&id).expect("node inserted above");
+            match parent_of[&id].and_then(|p| nodes.get_mut(&p)) {
+                Some(p) => p.children.push(node),
+                None => roots.push((id, node)),
+            }
+        }
+        roots.sort_by_key(|(id, _)| *id);
+        let roots: Vec<SpanNode> = roots.into_iter().map(|(_, n)| n).collect();
+
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            phases,
+            roots,
+            messages: inner.messages.clone(),
+        }
+    }
+
+    /// Discards everything recorded so far (for reuse between runs).
+    pub fn clear(&self) {
+        *self.inner.lock().expect("recorder poisoned") = Inner::default();
+    }
+}
+
+impl Sink for Recorder {
+    fn on_event(&self, event: &Event<'_>) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        match event {
+            Event::SpanStart { .. } => {} // closed spans carry everything
+            Event::SpanEnd {
+                id,
+                parent,
+                name,
+                fields,
+                elapsed,
+            } => inner.spans.push(ClosedSpan {
+                id: *id,
+                parent: *parent,
+                name,
+                fields: fields.to_vec(),
+                elapsed: *elapsed,
+            }),
+            Event::Counter { name, delta } => {
+                *inner.counters.entry(name).or_insert(0) += delta;
+            }
+            Event::Gauge { name, value } => {
+                inner.gauges.insert(name, *value);
+            }
+            Event::Sample { name, value } => {
+                inner.samples.entry(name).or_default().push(*value);
+            }
+            Event::Message { level, text } => {
+                inner.messages.push((*level, text.to_string()));
+            }
+        }
+    }
+}
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Context fields, rendered to strings.
+    pub fields: Vec<(String, String)>,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Child spans, in creation order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn tree_into(&self, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.name);
+        for (k, v) in &self.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.tree_into(depth + 1, out);
+        }
+    }
+
+    /// Depth-first search for the first descendant (or self) named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// Aggregate timing of one span name (one auction/simulator phase).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseStat {
+    /// Duration distribution in milliseconds (count, total, quantiles).
+    pub timing_ms: HistSummary,
+}
+
+/// An immutable aggregation of everything a [`Recorder`] observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Final counter totals, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values, by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries, by name.
+    pub histograms: BTreeMap<String, HistSummary>,
+    /// Wall-clock aggregates per span name.
+    pub phases: BTreeMap<String, PhaseStat>,
+    /// Root spans (spans whose parent was not recorded), creation-ordered.
+    pub roots: Vec<SpanNode>,
+    /// Recorded messages with their levels, in order.
+    pub messages: Vec<(Level, String)>,
+}
+
+impl Snapshot {
+    /// The span tree as an indented string of `name key=value…` lines —
+    /// timing-free, so identical computations compare equal.
+    pub fn tree_string(&self) -> String {
+        let mut out = String::new();
+        for r in &self.roots {
+            r.tree_into(0, &mut out);
+        }
+        out
+    }
+
+    /// Depth-first search across all roots for a span named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        self.roots.iter().find_map(|r| r.find(name))
+    }
+
+    /// How many spans named `name` closed (0 when the phase never ran).
+    pub fn span_count(&self, name: &str) -> usize {
+        self.phases.get(name).map_or(0, |p| p.timing_ms.n)
+    }
+
+    /// Renders the snapshot as a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "phases": {"qualify": {"calls": 5, "total_ms": …, "p50_ms": …, …}},
+    ///   "counters": {…}, "gauges": {…},
+    ///   "histograms": {"sim.round_wall_clock": {"n": …, "p50": …, …}}
+    /// }
+    /// ```
+    ///
+    /// Counters and histograms are reproducible for a fixed seed; the
+    /// `*_ms` timing fields are wall-clock and vary run to run.
+    pub fn to_json(&self) -> String {
+        use crate::json;
+        let hist_json = |h: &HistSummary| -> String {
+            json::object(&[
+                ("n".into(), h.n.to_string()),
+                ("min".into(), json::number(h.min)),
+                ("max".into(), json::number(h.max)),
+                ("mean".into(), json::number(h.mean)),
+                ("sum".into(), json::number(h.sum)),
+                ("p50".into(), json::number(h.p50)),
+                ("p90".into(), json::number(h.p90)),
+                ("p99".into(), json::number(h.p99)),
+            ])
+        };
+        let phases = json::object(
+            &self
+                .phases
+                .iter()
+                .map(|(name, p)| {
+                    let t = &p.timing_ms;
+                    (
+                        name.clone(),
+                        json::object(&[
+                            ("calls".into(), t.n.to_string()),
+                            ("total_ms".into(), json::number(t.sum)),
+                            ("mean_ms".into(), json::number(t.mean)),
+                            ("p50_ms".into(), json::number(t.p50)),
+                            ("p90_ms".into(), json::number(t.p90)),
+                            ("p99_ms".into(), json::number(t.p99)),
+                            ("max_ms".into(), json::number(t.max)),
+                        ]),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let counters = json::object(
+            &self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_string()))
+                .collect::<Vec<_>>(),
+        );
+        let gauges = json::object(
+            &self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), json::number(*v)))
+                .collect::<Vec<_>>(),
+        );
+        let histograms = json::object(
+            &self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), hist_json(h)))
+                .collect::<Vec<_>>(),
+        );
+        json::object(&[
+            ("phases".into(), phases),
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{install_local, span, span_with};
+    use crate::{counter, gauge, sample, Field};
+    use std::sync::Arc;
+
+    fn workload() {
+        let _run = span_with("run", vec![Field::new("case", "unit")]);
+        for i in 0..3u64 {
+            let _phase = span("phase");
+            counter!("iterations");
+            sample!("load", i as f64);
+        }
+        gauge!("final", 0.75);
+    }
+
+    #[test]
+    fn aggregates_counters_and_histograms() {
+        let rec = Arc::new(Recorder::default());
+        let g = install_local(rec.clone());
+        workload();
+        drop(g);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["iterations"], 3);
+        assert_eq!(snap.gauges["final"], 0.75);
+        let h = &snap.histograms["load"];
+        assert_eq!(h.n, 3);
+        assert_eq!(h.p50, 1.0);
+        assert_eq!(snap.span_count("phase"), 3);
+        assert_eq!(snap.span_count("run"), 1);
+        assert_eq!(snap.span_count("absent"), 0);
+    }
+
+    #[test]
+    fn tree_matches_nesting_and_is_deterministic() {
+        let run = || {
+            let rec = Arc::new(Recorder::default());
+            let g = install_local(rec.clone());
+            workload();
+            drop(g);
+            rec.snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.tree_string(),
+            "run case=unit\n  phase\n  phase\n  phase\n"
+        );
+        assert_eq!(a.tree_string(), b.tree_string());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.histograms, b.histograms);
+    }
+
+    #[test]
+    fn parent_elapsed_bounds_child_elapsed() {
+        let rec = Arc::new(Recorder::default());
+        let g = install_local(rec.clone());
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        drop(g);
+        let snap = rec.snapshot();
+        let outer = snap.find("outer").unwrap();
+        let inner = outer.find("inner").unwrap();
+        assert!(inner.elapsed >= std::time::Duration::from_millis(2));
+        assert!(
+            outer.elapsed >= inner.elapsed,
+            "outer {:?} must cover inner {:?}",
+            outer.elapsed,
+            inner.elapsed
+        );
+    }
+
+    #[test]
+    fn find_walks_the_whole_tree() {
+        let rec = Arc::new(Recorder::default());
+        let g = install_local(rec.clone());
+        {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                let _c = span("c");
+            }
+            let _d = span("d");
+        }
+        drop(g);
+        let snap = rec.snapshot();
+        assert!(snap.find("c").is_some());
+        assert!(snap.find("missing").is_none());
+        let a = snap.find("a").unwrap();
+        assert_eq!(a.children.len(), 2);
+        assert_eq!(a.children[0].name, "b");
+        assert_eq!(a.children[1].name, "d");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let rec = Arc::new(Recorder::default());
+        let g = install_local(rec.clone());
+        workload();
+        rec.clear();
+        counter!("after", 5);
+        drop(g);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters["after"], 5);
+        assert!(snap.roots.is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let rec = Arc::new(Recorder::default());
+        let g = install_local(rec.clone());
+        workload();
+        drop(g);
+        let json = rec.snapshot().to_json();
+        crate::json::validate(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"iterations\":3"));
+        assert!(json.contains("\"phases\""));
+    }
+}

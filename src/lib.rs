@@ -13,6 +13,8 @@
 //! * [`lp`] — the two-phase simplex LP solver substrate;
 //! * [`sim`] — the federated-learning simulator that executes auction
 //!   outcomes;
+//! * [`telemetry`] — structured spans, metrics and pluggable sinks behind
+//!   every crate's instrumentation (inert until a sink is installed);
 //! * [`workload`] — seeded instance generators (paper setup and device
 //!   fleets).
 //!
@@ -50,4 +52,5 @@ pub use fl_baselines as baselines;
 pub use fl_exact as exact;
 pub use fl_lp as lp;
 pub use fl_sim as sim;
+pub use fl_telemetry as telemetry;
 pub use fl_workload as workload;
