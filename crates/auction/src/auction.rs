@@ -6,10 +6,36 @@
 //! and announces the cheapest feasible result. The WDP solver is pluggable
 //! ([`WdpSolver`]) so the same outer loop drives the paper's `A_winner`,
 //! the three baselines, and the exact optimum.
+//!
+//! # Execution model
+//!
+//! The per-horizon WDPs are independent, so the enumeration fans out over
+//! a scoped worker pool according to the instance's
+//! [`SweepStrategy`](crate::SweepStrategy) (default: `FL_THREADS` or the
+//! machine's available parallelism). Per-horizon qualification uses the
+//! thresholds precomputed once by
+//! [`SweepPrecomp`](crate::preprocess::SweepPrecomp), and
+//! [`run_auction_with`] additionally skips horizons whose
+//! [cost lower bound](crate::preprocess::SweepPrecomp::cost_lower_bound)
+//! proves they cannot beat the best outcome found so far. None of this is
+//! observable in the results:
+//!
+//! * **Tie-break.** The winning horizon is the *smallest* `T̂_g` attaining
+//!   the minimum social cost, under exact (`<`, no epsilon) comparison.
+//! * **Determinism.** Results are merged in ascending horizon order on the
+//!   calling thread, the shared best-cost cell pruning reads is only
+//!   advanced between waves of `threads` horizons, and worker telemetry is
+//!   captured and replayed in horizon order — so outcomes (and, for a
+//!   fixed strategy, traces) are bit-identical run to run, and outcomes
+//!   are bit-identical across strategies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::bid::Instance;
 use crate::error::{AuctionError, WdpError};
-use crate::qualify::{min_horizon, qualify};
+use crate::parallel::ordered_map;
+use crate::preprocess::SweepPrecomp;
+use crate::qualify::min_horizon;
 use crate::wdp::{WdpSolution, WdpSolver};
 use crate::winner::AWinner;
 use fl_telemetry::{counter, debug, gauge, span};
@@ -87,11 +113,44 @@ pub fn run_auction(instance: &Instance) -> Result<AuctionOutcome, AuctionError> 
 
 /// Runs `A_FL`'s outer enumeration around an arbitrary WDP solver.
 ///
+/// Horizons are processed in waves of `threads` (per the instance's
+/// [`SweepStrategy`](crate::SweepStrategy)); a horizon whose
+/// [cost lower bound](SweepPrecomp::cost_lower_bound) strictly exceeds the
+/// best cost found in *earlier waves* is pruned without solving its WDP.
+/// On cost ties the smallest `T̂_g` wins (exact comparison, no epsilon),
+/// and because pruning requires a *strictly* larger lower bound, a pruned
+/// horizon can never be the tie-break winner — the outcome is identical to
+/// the unpruned sequential fold over [`sweep_horizons`].
+///
 /// # Errors
 ///
 /// Same as [`run_auction`]. A [`WdpError::ResourceLimit`] at some horizon
 /// skips that horizon rather than aborting the auction.
-pub fn run_auction_with<S: WdpSolver>(
+///
+/// # Example
+///
+/// ```
+/// use fl_auction::{
+///     run_auction_with, AWinner, AuctionConfig, Bid, ClientProfile, Instance, Round,
+///     SweepStrategy, Window,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = AuctionConfig::builder()
+///     .max_rounds(4)
+///     .clients_per_round(1)
+///     .sweep_strategy(SweepStrategy::Parallel { threads: 2 })
+///     .build()?;
+/// let mut inst = Instance::new(cfg);
+/// let c = inst.add_client(ClientProfile::new(2.0, 5.0)?);
+/// inst.add_bid(c, Bid::new(3.0, 0.5, Window::new(Round(1), Round(4)), 2)?)?;
+/// let outcome = run_auction_with(&inst, &AWinner::new())?;
+/// // Identical to the sequential result: cheapest horizon, smallest on ties.
+/// assert_eq!((outcome.horizon(), outcome.social_cost()), (2, 3.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_auction_with<S: WdpSolver + Sync>(
     instance: &Instance,
     solver: &S,
 ) -> Result<AuctionOutcome, AuctionError> {
@@ -100,20 +159,50 @@ pub fn run_auction_with<S: WdpSolver>(
         solver = solver.name(),
         bids = instance.iter_bids().count() as u64
     );
+    let (precomp, horizons) = prepare_sweep(instance)?;
+    let threads = instance.config().sweep_strategy().threads().max(1);
+    // Best social cost so far, shared with workers as raw f64 bits. It is
+    // written only here on the calling thread, between waves, so every
+    // worker in a wave reads the same bound and the set of pruned horizons
+    // is deterministic for a fixed strategy.
+    let best_cost = AtomicU64::new(f64::INFINITY.to_bits());
     let mut best: Option<AuctionOutcome> = None;
-    for h in sweep_horizons(instance, solver)? {
-        if let Ok(sol) = h.result {
-            let cheaper = best
-                .as_ref()
-                .is_none_or(|b| sol.cost() < b.social_cost() - 1e-12);
-            if cheaper {
-                best = Some(AuctionOutcome {
-                    horizon: h.horizon,
-                    solution: sol,
-                });
+    for wave in horizons.chunks(threads) {
+        let outcomes = ordered_map(wave, threads, |horizon| {
+            let bound = f64::from_bits(best_cost.load(Ordering::Relaxed));
+            // Strict `>`: a lower bound merely *equal* to the incumbent is
+            // still solved, so the smallest-`T̂_g` tie-break never turns on
+            // a pruned horizon and pruning stays outcome-preserving.
+            if precomp.cost_lower_bound(horizon) > bound {
+                let _candidate = span!("tg_candidate", tg = horizon);
+                counter!("afl.horizons_pruned");
+                debug!(
+                    "T_g = {} pruned: lower bound exceeds incumbent {}",
+                    horizon, bound
+                );
+                None
+            } else {
+                Some(evaluate_horizon(&precomp, solver, horizon))
+            }
+        });
+        for h in outcomes.into_iter().flatten() {
+            if let Ok(sol) = h.result {
+                // Exact `<`: on a cost tie the incumbent (earlier, smaller
+                // horizon) is kept.
+                let cheaper = best.as_ref().is_none_or(|b| sol.cost() < b.social_cost());
+                if cheaper {
+                    best = Some(AuctionOutcome {
+                        horizon: h.horizon,
+                        solution: sol,
+                    });
+                }
             }
         }
+        if let Some(b) = &best {
+            best_cost.store(b.social_cost().to_bits(), Ordering::Relaxed);
+        }
     }
+    counter!("afl.horizons_swept", horizons.len());
     if let Some(b) = &best {
         gauge!("afl.social_cost", b.social_cost());
         gauge!("afl.horizon", b.horizon());
@@ -129,39 +218,80 @@ pub fn run_auction_with<S: WdpSolver>(
 /// Solves the WDP at **every** admissible horizon and returns all results
 /// (Fig. 7 plots these directly; `A_FL` takes their minimum).
 ///
+/// Unlike [`run_auction_with`] this never prunes — every horizon's record
+/// is returned, in ascending order, regardless of the instance's
+/// [`SweepStrategy`](crate::SweepStrategy) (which only changes how the
+/// per-horizon WDPs are scheduled, never what they return).
+///
 /// # Errors
 ///
 /// [`AuctionError::InvalidInstance`] if no bids were submitted (there is no
 /// `θ_min` to derive `T_0` from).
-pub fn sweep_horizons<S: WdpSolver>(
+///
+/// # Example
+///
+/// ```
+/// use fl_auction::{
+///     sweep_horizons, AWinner, AuctionConfig, Bid, ClientProfile, Instance, Round, Window,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = AuctionConfig::builder().max_rounds(4).clients_per_round(1).build()?;
+/// let mut inst = Instance::new(cfg);
+/// let c = inst.add_client(ClientProfile::new(2.0, 5.0)?);
+/// // θ = 0.5 admits every horizon from T_0 = 2 up to T = 4.
+/// inst.add_bid(c, Bid::new(3.0, 0.5, Window::new(Round(1), Round(4)), 2)?)?;
+/// let sweep = sweep_horizons(&inst, &AWinner::new())?;
+/// let horizons: Vec<u32> = sweep.iter().map(|h| h.horizon).collect();
+/// assert_eq!(horizons, vec![2, 3, 4]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep_horizons<S: WdpSolver + Sync>(
     instance: &Instance,
     solver: &S,
 ) -> Result<Vec<HorizonOutcome>, AuctionError> {
-    let t0 =
-        min_horizon(instance).ok_or_else(|| AuctionError::invalid("no bids were submitted"))?;
-    let t_max = instance.config().max_rounds();
-    let mut out = Vec::new();
-    for horizon in t0..=t_max {
-        let _candidate = span!("tg_candidate", tg = horizon);
-        let wdp = qualify(instance, horizon);
-        let qualified = wdp.bids().len();
-        let result = if wdp.obviously_infeasible() {
-            counter!("afl.horizons_obviously_infeasible");
-            Err(WdpError::Infeasible)
-        } else {
-            solver.solve_wdp(&wdp)
-        };
-        if result.is_ok() {
-            counter!("afl.horizons_feasible");
-        }
-        out.push(HorizonOutcome {
-            horizon,
-            qualified,
-            result,
-        });
-    }
+    let (precomp, horizons) = prepare_sweep(instance)?;
+    let threads = instance.config().sweep_strategy().threads();
+    let out = ordered_map(&horizons, threads, |horizon| {
+        evaluate_horizon(&precomp, solver, horizon)
+    });
     counter!("afl.horizons_swept", out.len());
     Ok(out)
+}
+
+/// Everything the sweeps share: the incremental qualifier plus the list of
+/// admissible horizons `T_0 ..= T` in ascending order.
+fn prepare_sweep(instance: &Instance) -> Result<(SweepPrecomp, Vec<u32>), AuctionError> {
+    let t0 =
+        min_horizon(instance).ok_or_else(|| AuctionError::invalid("no bids were submitted"))?;
+    let horizons: Vec<u32> = (t0..=instance.config().max_rounds()).collect();
+    Ok((SweepPrecomp::new(instance), horizons))
+}
+
+/// Qualifies and solves one candidate horizon (Alg. 1 lines 4–10).
+fn evaluate_horizon<S: WdpSolver>(
+    precomp: &SweepPrecomp,
+    solver: &S,
+    horizon: u32,
+) -> HorizonOutcome {
+    let _candidate = span!("tg_candidate", tg = horizon);
+    let wdp = precomp.qualify_at(horizon);
+    let qualified = wdp.bids().len();
+    let result = if wdp.obviously_infeasible() {
+        counter!("afl.horizons_obviously_infeasible");
+        Err(WdpError::Infeasible)
+    } else {
+        solver.solve_wdp(&wdp)
+    };
+    if result.is_ok() {
+        counter!("afl.horizons_feasible");
+    }
+    HorizonOutcome {
+        horizon,
+        qualified,
+        result,
+    }
 }
 
 #[cfg(test)]

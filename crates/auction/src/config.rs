@@ -1,6 +1,7 @@
 //! Server-side auction parameters and the local-iteration model.
 
 use crate::error::AuctionError;
+use crate::parallel::SweepStrategy;
 
 /// How the number of local iterations `T_l(θ)` needed to reach local
 /// accuracy `θ` is computed.
@@ -85,13 +86,30 @@ pub enum QualifyMode {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct AuctionConfig {
     max_rounds: u32,
     clients_per_round: u32,
     round_time_limit: f64,
     local_model: LocalIterationModel,
     qualify_mode: QualifyMode,
+    sweep_strategy: SweepStrategy,
+}
+
+/// Equality compares the **announced** auction parameters only. The
+/// execution-side [`SweepStrategy`] is deliberately excluded: it cannot
+/// change any outcome (sweeps are bit-identical across strategies), it is
+/// not part of the paper's mechanism, and it is not serialised by
+/// [`crate::io`] — so a config round-tripped through the text format
+/// compares equal to the original.
+impl PartialEq for AuctionConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_rounds == other.max_rounds
+            && self.clients_per_round == other.clients_per_round
+            && self.round_time_limit == other.round_time_limit
+            && self.local_model == other.local_model
+            && self.qualify_mode == other.qualify_mode
+    }
 }
 
 impl AuctionConfig {
@@ -110,6 +128,7 @@ impl AuctionConfig {
             round_time_limit: 60.0,
             local_model: LocalIterationModel::paper(),
             qualify_mode: QualifyMode::Intent,
+            sweep_strategy: SweepStrategy::from_env(),
         }
     }
 
@@ -137,6 +156,12 @@ impl AuctionConfig {
     pub fn qualify_mode(&self) -> QualifyMode {
         self.qualify_mode
     }
+
+    /// How the horizon sweep is scheduled (default: `FL_THREADS` or the
+    /// machine's available parallelism — see [`SweepStrategy::from_env`]).
+    pub fn sweep_strategy(&self) -> SweepStrategy {
+        self.sweep_strategy
+    }
 }
 
 impl Default for AuctionConfig {
@@ -153,6 +178,7 @@ pub struct AuctionConfigBuilder {
     round_time_limit: f64,
     local_model: LocalIterationModel,
     qualify_mode: QualifyMode,
+    sweep_strategy: SweepStrategy,
 }
 
 impl Default for AuctionConfigBuilder {
@@ -164,6 +190,7 @@ impl Default for AuctionConfigBuilder {
             round_time_limit: d.round_time_limit,
             local_model: d.local_model,
             qualify_mode: d.qualify_mode,
+            sweep_strategy: d.sweep_strategy,
         }
     }
 }
@@ -196,6 +223,14 @@ impl AuctionConfigBuilder {
     /// Sets the qualification reading (default: [`QualifyMode::Intent`]).
     pub fn qualify_mode(mut self, mode: QualifyMode) -> Self {
         self.qualify_mode = mode;
+        self
+    }
+
+    /// Sets the horizon-sweep scheduling strategy (default:
+    /// [`SweepStrategy::from_env`]). Purely an execution knob — outcomes
+    /// and sweep results are bit-identical across strategies.
+    pub fn sweep_strategy(mut self, strategy: SweepStrategy) -> Self {
+        self.sweep_strategy = strategy;
         self
     }
 
@@ -235,6 +270,8 @@ impl AuctionConfigBuilder {
             round_time_limit: self.round_time_limit,
             local_model: self.local_model,
             qualify_mode: self.qualify_mode,
+            // Normalise hand-built degenerate strategies (0/1 threads).
+            sweep_strategy: SweepStrategy::with_threads(self.sweep_strategy.threads()),
         })
     }
 }
@@ -294,6 +331,28 @@ mod tests {
             .local_model(LocalIterationModel::LogInverse { eta: -1.0 })
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn sweep_strategy_is_configurable_and_excluded_from_equality() {
+        let seq = AuctionConfig::builder()
+            .sweep_strategy(SweepStrategy::Sequential)
+            .build()
+            .unwrap();
+        assert_eq!(seq.sweep_strategy(), SweepStrategy::Sequential);
+        let par = AuctionConfig::builder()
+            .sweep_strategy(SweepStrategy::Parallel { threads: 4 })
+            .build()
+            .unwrap();
+        assert_eq!(par.sweep_strategy(), SweepStrategy::Parallel { threads: 4 });
+        // Degenerate hand-built strategies normalise to sequential.
+        let one = AuctionConfig::builder()
+            .sweep_strategy(SweepStrategy::Parallel { threads: 1 })
+            .build()
+            .unwrap();
+        assert_eq!(one.sweep_strategy(), SweepStrategy::Sequential);
+        // An execution knob, not an announced auction parameter.
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   branch-and-bound in `fl-exact`) plug into the same outer loop through
 //!   the [`WdpSolver`] trait; [`verify`] re-checks any solver's output
 //!   against ILP (6) independently.
+//! * The horizon enumeration itself runs on a zero-dependency scoped
+//!   worker pool selected by [`SweepStrategy`] (default: `FL_THREADS` or
+//!   the machine's available parallelism), with per-horizon qualification
+//!   served incrementally from [`SweepPrecomp`]. Outcomes are
+//!   bit-identical across strategies; see `ARCHITECTURE.md`.
 //!
 //! # Quickstart
 //!
@@ -67,7 +72,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Library code reports through `fl-telemetry` events, never raw stdio.
 #![warn(clippy::print_stdout)]
 #![warn(clippy::print_stderr)]
@@ -79,6 +84,7 @@ mod config;
 pub mod coverage;
 mod error;
 pub mod io;
+mod parallel;
 mod payment;
 pub mod preprocess;
 mod qualify;
@@ -95,7 +101,9 @@ pub use bid::{Bid, ClientProfile, Instance};
 pub use config::{AuctionConfig, AuctionConfigBuilder, LocalIterationModel, QualifyMode};
 pub use coverage::Coverage;
 pub use error::{AuctionError, WdpError};
+pub use parallel::SweepStrategy;
 pub use payment::{payment, PaymentRule};
+pub use preprocess::SweepPrecomp;
 pub use qualify::{min_horizon, qualify, QualifiedBid};
 pub use recover::{standby_pool, StandbyEntry, StandbyPool};
 pub use schedule::{pick_schedule, representative_schedule, SchedulePolicy};

@@ -1,4 +1,5 @@
-//! Qualified-bid preprocessing: within-client dominated-bid elimination.
+//! Qualified-bid preprocessing: within-client dominated-bid elimination
+//! and the per-sweep admissibility precomputation ([`SweepPrecomp`]).
 //!
 //! For one client, bid `B'` **dominates** bid `B` when it is no more
 //! expensive (`p' ≤ p`), at least as available (`a' ≤ a`, `d' ≥ d`) and
@@ -9,12 +10,23 @@
 //! removing dominated bids preserves the optimal social cost exactly —
 //! property-tested against the brute-force solver.
 //!
-//! Scope note: preprocessing is a *cost-side* tool (exact solving,
+//! Scope note: [`remove_dominated`] is a *cost-side* tool (exact solving,
 //! relaxations, what-if analyses). Running the payment rule on a pruned
-//! bid set changes critical values, so the mechanism itself never prunes.
+//! bid set changes critical values, so the mechanism itself never prunes
+//! **bids**. [`SweepPrecomp`] is different: it never drops a bid — it only
+//! precomputes, per bid, the smallest horizon at which the unchanged
+//! qualification rules of [`crate::qualify`] admit it, so the sweep can
+//! rebuild each horizon's exact qualified set by threshold comparison
+//! instead of re-deriving every gate, and can lower-bound a horizon's cost
+//! to skip horizons that provably cannot win (see
+//! [`SweepPrecomp::cost_lower_bound`]).
 
-use crate::qualify::QualifiedBid;
+use crate::bid::Instance;
+use crate::config::QualifyMode;
+use crate::qualify::{QualifiedBid, QUALIFY_EPS};
+use crate::types::{BidRef, Round, Window};
 use crate::wdp::Wdp;
+use fl_telemetry::{counter, span};
 
 /// Returns a WDP without within-client dominated bids, plus how many bids
 /// were removed. Exact ties (identical price, window and rounds) keep the
@@ -55,6 +67,250 @@ fn dominates(a: &QualifiedBid, b: &QualifiedBid) -> bool {
         && a.window.start() <= b.window.start()
         && a.window.end() >= b.window.end()
         && a.rounds >= b.rounds
+}
+
+/// Sentinel threshold for "no horizon in the sweep admits this bid".
+const NEVER: u32 = u32::MAX;
+
+/// Per-bid admissibility data precomputed once per sweep.
+#[derive(Debug, Clone)]
+struct PrecompEntry {
+    bid_ref: BidRef,
+    price: f64,
+    accuracy: f64,
+    /// The bid's full (untruncated) window.
+    window: Window,
+    rounds: u32,
+    round_time: f64,
+    /// Whether `t_ij ≤ t_max + ε` (horizon-independent).
+    time_ok: bool,
+    /// Smallest horizon passing the accuracy gate `θ ≤ 1 − 1/T̂_g + ε`
+    /// ([`NEVER`] if none within the sweep).
+    h_accuracy: u32,
+    /// Smallest horizon passing the window gate under the instance's
+    /// [`QualifyMode`].
+    h_window: u32,
+    /// Smallest horizon at which the bid qualifies outright, or [`NEVER`].
+    min_admissible: u32,
+    /// Average per-scheduled-round cost `b_ij / c_ij`.
+    avg: f64,
+}
+
+/// Incremental qualification for the `A_FL` horizon sweep.
+///
+/// Every gate in [`crate::qualify::qualify`] is monotone in the horizon:
+/// the accuracy bound `θ_max = 1 − 1/T̂_g` relaxes as `T̂_g` grows, the
+/// `t_max` check does not depend on `T̂_g` at all, and the truncated window
+/// only gains rounds. A bid's qualification status therefore flips from
+/// rejected to accepted at exactly one threshold horizon, which this type
+/// computes once per bid (binary-searching the accuracy gate along the
+/// *identical* floating-point comparison `qualify` uses). After that,
+/// [`SweepPrecomp::qualify_at`] rebuilds any horizon's qualified set —
+/// same bids, same order, same truncated windows, same telemetry counters
+/// — by threshold comparison, in `O(bids)` with no float re-derivation.
+///
+/// The thresholds also yield [`SweepPrecomp::cost_lower_bound`], the
+/// admissible-average-cost bound `A_FL` uses to skip horizons that provably
+/// cannot beat an already-found outcome.
+#[derive(Debug, Clone)]
+pub struct SweepPrecomp {
+    k: u32,
+    horizon_cap: u32,
+    entries: Vec<PrecompEntry>,
+    /// Indices of `time_ok` entries sorted by ascending average cost
+    /// (ties: instance order), for the lower bound's cheapest-slot scan.
+    by_avg: Vec<usize>,
+}
+
+impl SweepPrecomp {
+    /// Precomputes per-bid admissibility thresholds for sweeping
+    /// `instance`'s horizons `1..=T`.
+    pub fn new(instance: &Instance) -> SweepPrecomp {
+        let _span = span!(
+            "sweep_precompute",
+            bids = instance.iter_bids().count() as u64
+        );
+        let horizon_cap = instance.config().max_rounds();
+        let t_max = instance.config().round_time_limit();
+        let mode = instance.config().qualify_mode();
+        let entries: Vec<PrecompEntry> = instance
+            .iter_bids()
+            .map(|(bid_ref, bid)| {
+                let round_time = instance.round_time(bid_ref);
+                let time_ok = round_time <= t_max + QUALIFY_EPS;
+                let h_accuracy = accuracy_threshold(bid.accuracy(), horizon_cap);
+                let a = u64::from(bid.window().start().0);
+                let c = u64::from(bid.rounds());
+                let h_window = match mode {
+                    // Truncated window `[a, min(d, T̂_g)]` holds `c` rounds
+                    // iff `T̂_g ≥ a + c − 1` (bids guarantee `c ≤ d − a + 1`).
+                    QualifyMode::Intent => clamp_u32(a + c - 1),
+                    // Literal Alg. 1 line 6: `a + c ≤ T̂_g`.
+                    QualifyMode::Literal => clamp_u32(a + c),
+                };
+                let min_admissible = if !time_ok || h_accuracy == NEVER {
+                    NEVER
+                } else {
+                    h_accuracy.max(h_window)
+                };
+                PrecompEntry {
+                    bid_ref,
+                    price: bid.price(),
+                    accuracy: bid.accuracy(),
+                    window: bid.window(),
+                    rounds: bid.rounds(),
+                    round_time,
+                    time_ok,
+                    h_accuracy,
+                    h_window,
+                    min_admissible,
+                    avg: bid.price() / f64::from(bid.rounds()),
+                }
+            })
+            .collect();
+        let mut by_avg: Vec<usize> = (0..entries.len())
+            .filter(|&i| entries[i].min_admissible != NEVER)
+            .collect();
+        // Stable sort: equal averages keep instance order, so the lower
+        // bound sums in a deterministic order.
+        by_avg.sort_by(|&i, &j| entries[i].avg.total_cmp(&entries[j].avg));
+        SweepPrecomp {
+            k: instance.config().clients_per_round(),
+            horizon_cap,
+            entries,
+            by_avg,
+        }
+    }
+
+    /// The largest horizon (`T`) the thresholds were computed for.
+    pub fn horizon_cap(&self) -> u32 {
+        self.horizon_cap
+    }
+
+    /// Builds the qualified bid set for `horizon` from the precomputed
+    /// thresholds — bit-identical to
+    /// [`qualify(instance, horizon)`](crate::qualify::qualify), including
+    /// bid order, truncated windows, and the `qualify.*` telemetry
+    /// counters' rejection-reason attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero or exceeds
+    /// [`horizon_cap`](SweepPrecomp::horizon_cap).
+    pub fn qualify_at(&self, horizon: u32) -> Wdp {
+        assert!(horizon >= 1, "horizon must be at least 1");
+        assert!(
+            horizon <= self.horizon_cap,
+            "horizon {horizon} exceeds the precomputed cap {}",
+            self.horizon_cap
+        );
+        let _span = span!("qualify", tg = horizon);
+        let last = Round(horizon);
+        let (mut examined, mut by_accuracy, mut by_time, mut by_window) = (0u64, 0u64, 0u64, 0u64);
+        let mut bids = Vec::new();
+        for entry in &self.entries {
+            examined += 1;
+            // Same gate order as `qualify`, so rejection counters agree.
+            if horizon < entry.h_accuracy {
+                by_accuracy += 1;
+                continue;
+            }
+            if !entry.time_ok {
+                by_time += 1;
+                continue;
+            }
+            if horizon < entry.h_window {
+                by_window += 1;
+                continue;
+            }
+            let window = entry
+                .window
+                .truncate(last)
+                .expect("h ≥ h_window implies h ≥ window start");
+            bids.push(QualifiedBid {
+                bid_ref: entry.bid_ref,
+                price: entry.price,
+                accuracy: entry.accuracy,
+                window,
+                rounds: entry.rounds,
+                round_time: entry.round_time,
+            });
+        }
+        counter!("qualify.examined", examined);
+        counter!("qualify.rejected_accuracy", by_accuracy);
+        counter!("qualify.rejected_time", by_time);
+        counter!("qualify.rejected_window", by_window);
+        counter!("qualify.accepted", bids.len());
+        Wdp::new(horizon, self.k, bids)
+    }
+
+    /// A cheap lower bound on the social cost of **any** feasible solution
+    /// at `horizon`: the sum of the `K·T̂_g` cheapest admissible
+    /// average-cost round slots.
+    ///
+    /// Every feasible solution schedules at least `K` distinct clients in
+    /// each of the `T̂_g` rounds, so its winners contribute at least
+    /// `K·T̂_g` scheduled rounds in total; charging each winner's rounds at
+    /// its average per-round cost `b_ij/c_ij` and taking the cheapest
+    /// `K·T̂_g` such slots can only undercount. Returns `f64::INFINITY`
+    /// when the admissible bids cannot even fill the slots (the horizon is
+    /// infeasible outright). The summation order is deterministic, so
+    /// prune decisions based on this bound reproduce across runs.
+    pub fn cost_lower_bound(&self, horizon: u32) -> f64 {
+        let mut remaining = u64::from(self.k) * u64::from(horizon);
+        let mut bound = 0.0;
+        for &idx in &self.by_avg {
+            let entry = &self.entries[idx];
+            if entry.min_admissible > horizon {
+                continue;
+            }
+            let take = remaining.min(u64::from(entry.rounds));
+            bound += entry.avg * take as f64;
+            remaining -= take;
+            if remaining == 0 {
+                return bound;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// The smallest horizon at which `bid_ref` qualifies, or `None` if no
+    /// horizon in `1..=T` admits it (exposed for tests and analyses).
+    pub fn admission_horizon(&self, bid_ref: BidRef) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|e| e.bid_ref == bid_ref)
+            .and_then(|e| (e.min_admissible != NEVER).then_some(e.min_admissible))
+    }
+}
+
+/// The smallest `h ∈ [1, cap]` with `θ ≤ (1 − 1/h) + ε`, or [`NEVER`].
+///
+/// Binary search over the **exact** comparison `qualify` evaluates per
+/// horizon; `1 − 1/h` is monotone non-decreasing in `h` even in floating
+/// point (division by a larger positive integer never rounds upward past
+/// the previous quotient), so the predicate flips at most once.
+fn accuracy_threshold(accuracy: f64, cap: u32) -> u32 {
+    let admitted = |h: u32| accuracy <= (1.0 - 1.0 / f64::from(h)) + QUALIFY_EPS;
+    if !admitted(cap) {
+        return NEVER;
+    }
+    let (mut lo, mut hi) = (1u32, cap); // invariant: admitted(hi)
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if admitted(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Saturating `u64 → u32` for window thresholds (a saturated threshold can
+/// never be reached by a real horizon, which is the correct reading).
+fn clamp_u32(x: u64) -> u32 {
+    u32::try_from(x).unwrap_or(u32::MAX)
 }
 
 #[cfg(test)]
@@ -165,6 +421,157 @@ mod tests {
                         b.cost()
                     )
                 }
+            }
+        }
+    }
+
+    // ---- SweepPrecomp: the incremental qualifier ------------------------
+
+    use crate::bid::{Bid, ClientProfile};
+    use crate::config::AuctionConfig;
+    use crate::qualify::qualify;
+    use fl_telemetry::{install_local, Recorder, Snapshot};
+    use std::sync::Arc;
+
+    /// The qualify-gate exercise instance (mirrors `qualify.rs`): one bid
+    /// per gate — accepted, time-rejected, accuracy-rejected (until h = 5).
+    fn gates_instance(mode: QualifyMode) -> Instance {
+        let cfg = AuctionConfig::builder()
+            .max_rounds(10)
+            .clients_per_round(1)
+            .round_time_limit(40.0)
+            .qualify_mode(mode)
+            .build()
+            .unwrap();
+        let mut inst = Instance::new(cfg);
+        let c = inst.add_client(ClientProfile::new(5.0, 10.0).unwrap());
+        inst.add_bid(
+            c,
+            Bid::new(10.0, 0.5, Window::new(Round(1), Round(4)), 3).unwrap(),
+        )
+        .unwrap();
+        // θ = 0.3 → t = 45 > 40: time-disqualified at every horizon.
+        inst.add_bid(
+            c,
+            Bid::new(10.0, 0.3, Window::new(Round(1), Round(4)), 2).unwrap(),
+        )
+        .unwrap();
+        // θ = 0.8 needs T̂_g ≥ 5.
+        inst.add_bid(
+            c,
+            Bid::new(10.0, 0.8, Window::new(Round(2), Round(9)), 4).unwrap(),
+        )
+        .unwrap();
+        inst
+    }
+
+    fn counters_of(f: impl FnOnce()) -> Snapshot {
+        let recorder = Arc::new(Recorder::default());
+        let guard = install_local(recorder.clone());
+        f();
+        drop(guard);
+        recorder.snapshot()
+    }
+
+    #[test]
+    fn qualify_at_matches_qualify_at_every_horizon_and_mode() {
+        for mode in [QualifyMode::Intent, QualifyMode::Literal] {
+            let inst = gates_instance(mode);
+            let precomp = SweepPrecomp::new(&inst);
+            for h in 1..=inst.config().max_rounds() {
+                let (reference, incremental) = (qualify(&inst, h), precomp.qualify_at(h));
+                assert_eq!(
+                    reference.bids(),
+                    incremental.bids(),
+                    "bid sets diverge at T̂_g = {h} ({mode:?})"
+                );
+                assert_eq!(reference.horizon(), incremental.horizon());
+                assert_eq!(reference.demand_per_round(), incremental.demand_per_round());
+                // Rejection-reason attribution must agree too.
+                let a = counters_of(|| drop(qualify(&inst, h)));
+                let b = counters_of(|| drop(precomp.qualify_at(h)));
+                assert_eq!(a.counters, b.counters, "counters diverge at T̂_g = {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_bid_set_yields_empty_horizons_and_infinite_bounds() {
+        let inst = Instance::new(AuctionConfig::paper_default());
+        let precomp = SweepPrecomp::new(&inst);
+        for h in [1, 2, precomp.horizon_cap()] {
+            assert!(precomp.qualify_at(h).bids().is_empty());
+            assert_eq!(precomp.cost_lower_bound(h), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn all_infeasible_horizon_is_empty_with_infinite_lower_bound() {
+        let inst = gates_instance(QualifyMode::Intent);
+        let precomp = SweepPrecomp::new(&inst);
+        // At T̂_g = 1 nothing passes the accuracy gate (θ_max = 0).
+        assert!(precomp.qualify_at(1).bids().is_empty());
+        assert_eq!(precomp.cost_lower_bound(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn t0_equal_to_t_still_sweeps_the_single_horizon() {
+        // θ = 0.8 → T_0 = 5 = T: the sweep degenerates to one horizon.
+        let cfg = AuctionConfig::builder()
+            .max_rounds(5)
+            .clients_per_round(1)
+            .round_time_limit(100.0)
+            .build()
+            .unwrap();
+        let mut inst = Instance::new(cfg);
+        let c = inst.add_client(ClientProfile::new(1.0, 1.0).unwrap());
+        inst.add_bid(
+            c,
+            Bid::new(4.0, 0.8, Window::new(Round(1), Round(5)), 5).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(crate::qualify::min_horizon(&inst), Some(5));
+        let precomp = SweepPrecomp::new(&inst);
+        assert_eq!(precomp.horizon_cap(), 5);
+        assert_eq!(precomp.qualify_at(4).bids().len(), 0);
+        assert_eq!(precomp.qualify_at(5).bids().len(), 1);
+        let bid_ref = BidRef::new(ClientId(0), 0);
+        assert_eq!(precomp.admission_horizon(bid_ref), Some(5));
+    }
+
+    #[test]
+    fn admission_horizon_is_the_first_qualifying_horizon() {
+        let inst = gates_instance(QualifyMode::Intent);
+        let precomp = SweepPrecomp::new(&inst);
+        for (bid_ref, _) in inst.iter_bids() {
+            let first = (1..=inst.config().max_rounds()).find(|&h| {
+                qualify(&inst, h)
+                    .bids()
+                    .iter()
+                    .any(|b| b.bid_ref == bid_ref)
+            });
+            assert_eq!(
+                precomp.admission_horizon(bid_ref),
+                first,
+                "admission horizon diverges for {bid_ref}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_lower_bound_never_exceeds_any_feasible_solution() {
+        let inst = gates_instance(QualifyMode::Intent);
+        let precomp = SweepPrecomp::new(&inst);
+        let solver = AWinner::new().without_certificate();
+        for h in 1..=inst.config().max_rounds() {
+            let wdp = precomp.qualify_at(h);
+            if let Ok(sol) = solver.solve_wdp(&wdp) {
+                let lb = precomp.cost_lower_bound(h);
+                assert!(
+                    lb <= sol.cost() + 1e-12,
+                    "T̂_g = {h}: lower bound {lb} exceeds greedy cost {}",
+                    sol.cost()
+                );
             }
         }
     }

@@ -14,8 +14,10 @@ use fl_telemetry::{counter, span};
 
 /// Numerical slack for the `θ ≤ θ_max` and `t_ij ≤ t_max` comparisons, so
 /// that boundary bids generated from exact arithmetic are not rejected by
-/// floating-point jitter.
-const QUALIFY_EPS: f64 = 1e-9;
+/// floating-point jitter. Shared with the incremental qualifier
+/// ([`crate::preprocess::SweepPrecomp`]), which must reproduce these
+/// comparisons bit-for-bit.
+pub(crate) const QUALIFY_EPS: f64 = 1e-9;
 
 /// One bid together with the per-horizon data the solvers need.
 ///

@@ -1,0 +1,252 @@
+//! Determinism contract of the parallel horizon sweep: for any instance,
+//! every [`SweepStrategy`] must produce bit-identical results — same
+//! per-horizon records from `sweep_horizons`, same `AuctionOutcome`
+//! (horizon, winners, payments, schedules, cost bits) from `run_auction` —
+//! and the pruned `run_auction` must equal the documented fold over the
+//! unpruned sweep (smallest `T̂_g` wins cost ties, exact comparison).
+//!
+//! CI runs this suite under `--release` as well, where worker scheduling
+//! is fastest and most adversarial.
+
+use fl_auction::{
+    run_auction, sweep_horizons, AWinner, AuctionConfig, AuctionError, Bid, ClientProfile,
+    Instance, QualifyMode, Round, SweepStrategy, WdpSolution, Window,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawBid {
+    price: u32,
+    theta_pct: u32,
+    a: u32,
+    span: u32,
+    c_frac: u32,
+    cmp_t: u32,
+    com_t: u32,
+}
+
+fn raw_bid() -> impl Strategy<Value = RawBid> {
+    (
+        1u32..60,
+        20u32..90,
+        1u32..10,
+        0u32..9,
+        1u32..=100,
+        1u32..10,
+        1u32..15,
+    )
+        .prop_map(|(price, theta_pct, a, span, c_frac, cmp_t, com_t)| RawBid {
+            price,
+            theta_pct,
+            a,
+            span,
+            c_frac,
+            cmp_t,
+            com_t,
+        })
+}
+
+/// Builds the same logical instance under a chosen execution strategy (the
+/// strategy is an execution knob: it must never change any result).
+fn build(raw: &[RawBid], k: u32, strategy: SweepStrategy) -> Instance {
+    let cfg = AuctionConfig::builder()
+        .max_rounds(10)
+        .clients_per_round(k)
+        .round_time_limit(60.0)
+        .qualify_mode(QualifyMode::Intent)
+        .sweep_strategy(strategy)
+        .build()
+        .expect("valid config");
+    let mut inst = Instance::new(cfg);
+    for r in raw {
+        let client = inst.add_client(
+            ClientProfile::new(f64::from(r.cmp_t), f64::from(r.com_t)).expect("valid profile"),
+        );
+        let a = r.a.min(10);
+        let d = (a + r.span).min(10);
+        let len = d - a + 1;
+        let c = (r.c_frac * len).div_ceil(100).clamp(1, len);
+        inst.add_bid(
+            client,
+            Bid::new(
+                f64::from(r.price),
+                f64::from(r.theta_pct) / 100.0,
+                Window::new(Round(a), Round(d)),
+                c,
+            )
+            .expect("valid bid"),
+        )
+        .expect("known client");
+    }
+    inst
+}
+
+fn assert_solutions_identical(a: &WdpSolution, b: &WdpSolution, ctx: &str) {
+    assert_eq!(
+        a.cost().to_bits(),
+        b.cost().to_bits(),
+        "{ctx}: costs differ in bits"
+    );
+    assert_eq!(a.horizon(), b.horizon(), "{ctx}: horizons differ");
+    assert_eq!(a.winners(), b.winners(), "{ctx}: winner sets differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `sweep_horizons` returns the same per-horizon records under every
+    /// strategy: same order, same qualified counts, same solutions to the
+    /// bit, same errors.
+    #[test]
+    fn sweep_is_bit_identical_across_strategies(
+        raw in prop::collection::vec(raw_bid(), 4..14),
+        k in 1u32..3,
+    ) {
+        let sequential = build(&raw, k, SweepStrategy::Sequential);
+        let reference = sweep_horizons(&sequential, &AWinner::new()).unwrap();
+        for threads in [2usize, 4] {
+            let parallel = build(&raw, k, SweepStrategy::Parallel { threads });
+            let candidate = sweep_horizons(&parallel, &AWinner::new()).unwrap();
+            prop_assert_eq!(reference.len(), candidate.len());
+            for (r, c) in reference.iter().zip(&candidate) {
+                prop_assert_eq!(r.horizon, c.horizon);
+                prop_assert_eq!(r.qualified, c.qualified);
+                match (&r.result, &c.result) {
+                    (Ok(a), Ok(b)) => assert_solutions_identical(
+                        a, b, &format!("T̂_g = {} × {threads} threads", r.horizon),
+                    ),
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    (a, b) => prop_assert!(
+                        false,
+                        "feasibility diverges at T̂_g = {}: {a:?} vs {b:?}",
+                        r.horizon
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The full auction — including lower-bound pruning — announces the
+    /// same outcome under every strategy.
+    #[test]
+    fn auction_outcome_is_bit_identical_across_strategies(
+        raw in prop::collection::vec(raw_bid(), 4..14),
+        k in 1u32..3,
+    ) {
+        let reference = run_auction(&build(&raw, k, SweepStrategy::Sequential));
+        for threads in [2usize, 4] {
+            let candidate = run_auction(&build(&raw, k, SweepStrategy::Parallel { threads }));
+            match (&reference, &candidate) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.horizon(), b.horizon());
+                    prop_assert_eq!(
+                        a.social_cost().to_bits(),
+                        b.social_cost().to_bits()
+                    );
+                    assert_solutions_identical(
+                        a.solution(), b.solution(), &format!("{threads} threads"),
+                    );
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "feasibility diverges: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// Pruning is invisible: `run_auction` equals the documented fold over
+    /// the unpruned sweep — cheapest horizon, smallest `T̂_g` on exact cost
+    /// ties.
+    #[test]
+    fn pruned_auction_equals_the_unpruned_fold(
+        raw in prop::collection::vec(raw_bid(), 4..14),
+        k in 1u32..3,
+        threads in 1usize..5,
+    ) {
+        let inst = build(&raw, k, SweepStrategy::with_threads(threads));
+        let mut fold: Option<(u32, WdpSolution)> = None;
+        for h in sweep_horizons(&inst, &AWinner::new()).unwrap() {
+            if let Ok(sol) = h.result {
+                if fold.as_ref().is_none_or(|(_, best)| sol.cost() < best.cost()) {
+                    fold = Some((h.horizon, sol));
+                }
+            }
+        }
+        match (run_auction(&inst), fold) {
+            (Ok(outcome), Some((horizon, sol))) => {
+                prop_assert_eq!(outcome.horizon(), horizon);
+                assert_solutions_identical(outcome.solution(), &sol, "fold");
+            }
+            (Err(AuctionError::Infeasible), None) => {}
+            (outcome, fold) => prop_assert!(
+                false,
+                "auction and fold disagree: {outcome:?} vs {fold:?}"
+            ),
+        }
+    }
+}
+
+/// An exact cross-horizon cost tie: horizon 2 (bids X+nothing) and horizon
+/// 4 (bid W) both cost $4.00, and W's slot lower bound equals — not
+/// exceeds — the incumbent, so horizon 4 is *solved*, ties with the
+/// incumbent, and loses to the smaller horizon. This pins the documented
+/// tie-break and the strictness of the prune comparison at once.
+#[test]
+fn exact_cost_ties_pick_the_smallest_horizon_under_every_strategy() {
+    for strategy in [
+        SweepStrategy::Sequential,
+        SweepStrategy::Parallel { threads: 2 },
+        SweepStrategy::Parallel { threads: 4 },
+    ] {
+        let cfg = AuctionConfig::builder()
+            .max_rounds(4)
+            .clients_per_round(1)
+            .round_time_limit(100.0)
+            .sweep_strategy(strategy)
+            .build()
+            .unwrap();
+        let mut inst = Instance::new(cfg);
+        let x = inst.add_client(ClientProfile::new(1.0, 1.0).unwrap());
+        let y = inst.add_client(ClientProfile::new(1.0, 1.0).unwrap());
+        let w = inst.add_client(ClientProfile::new(1.0, 1.0).unwrap());
+        // X alone covers horizon 2 for $4.
+        inst.add_bid(
+            x,
+            Bid::new(4.0, 0.5, Window::new(Round(1), Round(2)), 2).unwrap(),
+        )
+        .unwrap();
+        // Y only helps at horizon 4 (window [3,4]).
+        inst.add_bid(
+            y,
+            Bid::new(4.0, 0.5, Window::new(Round(3), Round(4)), 2).unwrap(),
+        )
+        .unwrap();
+        // W alone covers horizon 4 for $4 — an exact tie with horizon 2.
+        inst.add_bid(
+            w,
+            Bid::new(4.0, 0.5, Window::new(Round(1), Round(4)), 4).unwrap(),
+        )
+        .unwrap();
+        let sweep = sweep_horizons(&inst, &AWinner::new()).unwrap();
+        let costs: Vec<Option<f64>> = sweep
+            .iter()
+            .map(|h| h.result.as_ref().ok().map(WdpSolution::cost))
+            .collect();
+        assert_eq!(costs, vec![Some(4.0), None, Some(4.0)], "{strategy:?}");
+        let outcome = run_auction(&inst).unwrap();
+        assert_eq!(outcome.horizon(), 2, "{strategy:?}: tie must pick T̂_g = 2");
+        assert_eq!(outcome.social_cost(), 4.0, "{strategy:?}");
+    }
+}
+
+/// `FL_THREADS` parsing is covered by unit tests; here we pin that the
+/// builder normalises degenerate parallel strategies to sequential.
+#[test]
+fn builder_normalises_single_threaded_parallel_to_sequential() {
+    let cfg = AuctionConfig::builder()
+        .max_rounds(4)
+        .clients_per_round(1)
+        .sweep_strategy(SweepStrategy::Parallel { threads: 1 })
+        .build()
+        .unwrap();
+    assert_eq!(cfg.sweep_strategy(), SweepStrategy::Sequential);
+}

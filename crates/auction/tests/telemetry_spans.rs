@@ -1,20 +1,26 @@
 //! Integration tests for the `fl-telemetry` instrumentation of `A_FL`:
 //! a full auction run must emit the documented phase-span tree
-//! (`afl_run` > `tg_candidate` > qualify / wdp_greedy / payment /
-//! dual_certificate) with deterministic counters under a fixed instance.
+//! (`afl_run` > `sweep_precompute` + `tg_candidate` > qualify / wdp_greedy
+//! / payment / dual_certificate) with deterministic counters under a fixed
+//! instance, for both the sequential and the parallel sweep.
 
 use std::sync::Arc;
 
-use fl_auction::{run_auction, AuctionConfig, Bid, ClientProfile, Instance, Round, Window};
+use fl_auction::{
+    run_auction, AuctionConfig, Bid, ClientProfile, Instance, Round, SweepStrategy, Window,
+};
 use fl_telemetry::{install_local, Recorder, Snapshot};
 
 /// K = 1, T = 4, three full-window clients with θ = 0.5 (T_0 = 2), so the
-/// sweep visits horizons 2, 3 and 4 and every horizon is feasible.
-fn instance() -> Instance {
+/// sweep visits horizons 2, 3 and 4 and every horizon is feasible. The
+/// strategy is pinned explicitly because the pinned trees below depend on
+/// the wave structure, not on the machine's core count.
+fn instance(strategy: SweepStrategy) -> Instance {
     let cfg = AuctionConfig::builder()
         .max_rounds(4)
         .clients_per_round(1)
         .round_time_limit(100.0)
+        .sweep_strategy(strategy)
         .build()
         .unwrap();
     let mut inst = Instance::new(cfg);
@@ -38,60 +44,92 @@ fn recorded_run(inst: &Instance) -> Snapshot {
     recorder.snapshot()
 }
 
+/// The fully-evaluated candidate subtree (qualify + solve + pay + certify).
+fn solved_candidate(tg: u32) -> String {
+    format!(
+        "  tg_candidate tg={tg}\n    qualify tg={tg}\n    wdp_greedy bids=3\n    \
+         payment\n    dual_certificate\n"
+    )
+}
+
 #[test]
 fn afl_run_emits_the_documented_phase_span_tree() {
-    let snap = recorded_run(&instance());
-    let per_candidate = |tg: u32| {
-        format!(
-            "  tg_candidate tg={tg}\n    qualify tg={tg}\n    wdp_greedy bids=3\n    \
-             payment\n    dual_certificate\n"
-        )
-    };
+    // Sequential waves have size 1, so horizon 2's cost ($3) is already
+    // the incumbent when horizons 3 and 4 are considered; their slot
+    // lower bounds ($5.5 and $8) prune them to bare candidate spans.
+    let snap = recorded_run(&instance(SweepStrategy::Sequential));
     let expected = format!(
-        "afl_run solver=A_winner bids=3\n{}{}{}",
-        per_candidate(2),
-        per_candidate(3),
-        per_candidate(4)
+        "afl_run solver=A_winner bids=3\n  sweep_precompute bids=3\n{}  \
+         tg_candidate tg=3\n  tg_candidate tg=4\n",
+        solved_candidate(2)
     );
     assert_eq!(snap.tree_string(), expected);
 }
 
 #[test]
-fn phase_counts_match_the_horizon_sweep() {
-    let snap = recorded_run(&instance());
-    assert_eq!(snap.span_count("afl_run"), 1);
-    assert_eq!(snap.span_count("tg_candidate"), 3, "horizons 2, 3, 4");
-    assert_eq!(snap.span_count("qualify"), 3);
-    assert_eq!(snap.span_count("wdp_greedy"), 3);
-    assert_eq!(snap.span_count("payment"), 3);
-    assert_eq!(snap.span_count("dual_certificate"), 3);
-    // All 3 bids qualify at each of the 3 horizons.
+fn parallel_sweep_replays_the_sequential_trace_shape() {
+    // One wave of 3 workers: no incumbent exists when the wave starts, so
+    // nothing is pruned and every candidate is fully evaluated. Captured
+    // worker telemetry must replay in horizon order under `afl_run`.
+    let snap = recorded_run(&instance(SweepStrategy::Parallel { threads: 3 }));
+    let expected = format!(
+        "afl_run solver=A_winner bids=3\n  sweep_precompute bids=3\n{}{}{}",
+        solved_candidate(2),
+        solved_candidate(3),
+        solved_candidate(4)
+    );
+    assert_eq!(snap.tree_string(), expected);
     assert_eq!(snap.counters["qualify.examined"], 9);
-    assert_eq!(snap.counters["qualify.accepted"], 9);
-    assert_eq!(snap.counters["afl.horizons_swept"], 3);
     assert_eq!(snap.counters["afl.horizons_feasible"], 3);
-    // Winners: 1 at T̂_g = 2, 2 at T̂_g = 3, 2 at T̂_g = 4.
-    assert_eq!(snap.counters["winner.greedy_iterations"], 5);
+    assert!(!snap.counters.contains_key("afl.horizons_pruned"));
+}
+
+#[test]
+fn phase_counts_match_the_horizon_sweep() {
+    let snap = recorded_run(&instance(SweepStrategy::Sequential));
+    assert_eq!(snap.span_count("afl_run"), 1);
+    assert_eq!(snap.span_count("sweep_precompute"), 1);
+    assert_eq!(snap.span_count("tg_candidate"), 3, "horizons 2, 3, 4");
+    // Only the un-pruned horizon 2 qualifies and solves.
+    assert_eq!(snap.span_count("qualify"), 1);
+    assert_eq!(snap.span_count("wdp_greedy"), 1);
+    assert_eq!(snap.span_count("payment"), 1);
+    assert_eq!(snap.span_count("dual_certificate"), 1);
+    assert_eq!(snap.counters["qualify.examined"], 3);
+    assert_eq!(snap.counters["qualify.accepted"], 3);
+    assert_eq!(snap.counters["afl.horizons_swept"], 3);
+    assert_eq!(snap.counters["afl.horizons_feasible"], 1);
+    assert_eq!(snap.counters["afl.horizons_pruned"], 2);
+    // One winner at T̂_g = 2 (the only solved horizon).
+    assert_eq!(snap.counters["winner.greedy_iterations"], 1);
     assert_eq!(snap.gauges["afl.social_cost"], 3.0);
     assert_eq!(snap.gauges["afl.horizon"], 2.0);
 }
 
 #[test]
 fn recorder_output_is_deterministic_across_identical_runs() {
-    let inst = instance();
-    let a = recorded_run(&inst);
-    let b = recorded_run(&inst);
-    // Everything except wall-clock timing must reproduce exactly.
-    assert_eq!(a.tree_string(), b.tree_string());
-    assert_eq!(a.counters, b.counters);
-    assert_eq!(a.gauges, b.gauges);
-    assert_eq!(a.histograms, b.histograms);
-    assert_eq!(a.messages, b.messages);
+    for strategy in [
+        SweepStrategy::Sequential,
+        SweepStrategy::Parallel { threads: 2 },
+        SweepStrategy::Parallel { threads: 3 },
+    ] {
+        let inst = instance(strategy);
+        let a = recorded_run(&inst);
+        let b = recorded_run(&inst);
+        // Everything except wall-clock timing must reproduce exactly.
+        assert_eq!(a.tree_string(), b.tree_string(), "{strategy:?}");
+        assert_eq!(a.counters, b.counters, "{strategy:?}");
+        assert_eq!(a.gauges, b.gauges, "{strategy:?}");
+        assert_eq!(a.histograms, b.histograms, "{strategy:?}");
+        assert_eq!(a.messages, b.messages, "{strategy:?}");
+    }
 }
 
 #[test]
 fn span_timing_is_monotone_down_the_tree() {
-    let snap = recorded_run(&instance());
+    // Pinned sequential: replayed parallel spans keep their workers' own
+    // wall-clock durations, which legitimately overlap across siblings.
+    let snap = recorded_run(&instance(SweepStrategy::Sequential));
     fn check(node: &fl_telemetry::SpanNode) {
         let child_sum: std::time::Duration = node.children.iter().map(|c| c.elapsed).sum();
         assert!(
@@ -111,7 +149,7 @@ fn span_timing_is_monotone_down_the_tree() {
 
 #[test]
 fn standby_pool_construction_traces_its_own_phase() {
-    let inst = instance();
+    let inst = instance(SweepStrategy::Sequential);
     let recorder = Arc::new(Recorder::default());
     let guard = install_local(recorder.clone());
     let outcome = run_auction(&inst).unwrap();
@@ -130,9 +168,9 @@ fn standby_pool_construction_traces_its_own_phase() {
 #[test]
 fn instrumentation_is_inert_without_a_sink() {
     // No sink installed: the run must behave identically and telemetry
-    // must stay disabled throughout.
+    // must stay disabled throughout — including inside parallel workers.
     assert!(!fl_telemetry::enabled());
-    let outcome = run_auction(&instance()).unwrap();
+    let outcome = run_auction(&instance(SweepStrategy::Parallel { threads: 3 })).unwrap();
     assert_eq!(outcome.social_cost(), 3.0);
     assert!(!fl_telemetry::enabled());
 }

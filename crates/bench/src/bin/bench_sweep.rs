@@ -1,0 +1,215 @@
+//! `bench_sweep` — sequential vs parallel horizon-sweep benchmark.
+//!
+//! Generates one fixed-seed paper workload, runs the full (unpruned)
+//! [`sweep_horizons`] enumeration under [`SweepStrategy::Sequential`] and
+//! several parallel worker counts, and reports wall-clock speedups. Every
+//! strategy's per-horizon results must be **bit-identical** to the
+//! sequential reference (horizon order, qualified counts, solution cost
+//! bits, winner sets, errors) — any divergence fails the run, making this
+//! binary a release-mode determinism check as well as a benchmark.
+//!
+//! Artifacts: `results/BENCH_sweep.json` — the scale, detected core
+//! count, per-strategy min-of-3 timings and speedups.
+//!
+//! Flags: `--smoke` (CI scale). Timing runs are performed with no
+//! telemetry sinks installed, so neither code path pays capture/dispatch
+//! overhead and the comparison isolates the sweep itself. The `FL_THREADS`
+//! environment variable is deliberately *not* consulted: strategies are
+//! pinned explicitly per measurement.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fl_auction::{sweep_horizons, AWinner, AuctionConfig, HorizonOutcome, Instance, SweepStrategy};
+use fl_bench::Table;
+use fl_telemetry::json;
+use fl_workload::WorkloadSpec;
+
+const SEED: u64 = 42;
+const TIMED_RUNS: usize = 3;
+
+/// Workload scale: the default hits the `T ≥ 64`, `I·J ≥ 500` regime the
+/// parallel sweep targets; `--smoke` shrinks it for CI.
+struct Scale {
+    clients: usize,
+    bids_per_client: u32,
+    rounds: u32,
+    k: u32,
+}
+
+impl Scale {
+    fn new(smoke: bool) -> Scale {
+        if smoke {
+            Scale {
+                clients: 40,
+                bids_per_client: 3,
+                rounds: 16,
+                k: 3,
+            }
+        } else {
+            Scale {
+                clients: 125,
+                bids_per_client: 4,
+                rounds: 64,
+                k: 5,
+            }
+        }
+    }
+
+    /// The same logical instance under a chosen execution strategy (the
+    /// strategy is excluded from config equality and from generation).
+    fn instance(&self, strategy: SweepStrategy) -> Instance {
+        WorkloadSpec::paper_default()
+            .with_clients(self.clients)
+            .with_bids_per_client(self.bids_per_client)
+            .with_config(
+                AuctionConfig::builder()
+                    .max_rounds(self.rounds)
+                    .clients_per_round(self.k)
+                    .round_time_limit(60.0)
+                    .sweep_strategy(strategy)
+                    .build()
+                    .expect("valid config"),
+            )
+            .generate(SEED)
+            .expect("workload generates")
+    }
+}
+
+/// A bit-exact digest of a sweep's results (timing-free).
+fn fingerprint(sweep: &[HorizonOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for h in sweep {
+        match &h.result {
+            Ok(sol) => writeln!(
+                out,
+                "{} q={} cost={:016x} winners={:?}",
+                h.horizon,
+                h.qualified,
+                sol.cost().to_bits(),
+                sol.winners()
+            ),
+            Err(e) => writeln!(out, "{} q={} err={e}", h.horizon, h.qualified),
+        }
+        .expect("string write");
+    }
+    out
+}
+
+/// Min-of-N wall clock for a full sweep, after one warmup pass. Returns
+/// the timing and the last sweep's results for fingerprinting.
+fn time_sweep(inst: &Instance) -> (f64, Vec<HorizonOutcome>) {
+    let solver = AWinner::new();
+    let mut sweep = sweep_horizons(inst, &solver).expect("workload has bids");
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..TIMED_RUNS {
+        let start = Instant::now();
+        sweep = sweep_horizons(inst, &solver).expect("workload has bids");
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best_ms, sweep)
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = Scale::new(smoke);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "BENCH_sweep: horizon sweep, sequential vs parallel (I={}, J={}, T={}, K={}, seed={SEED}, cores={cores}{})",
+        scale.clients,
+        scale.bids_per_client,
+        scale.rounds,
+        scale.k,
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let strategies: Vec<(String, SweepStrategy)> = vec![
+        ("sequential".into(), SweepStrategy::Sequential),
+        ("parallel2".into(), SweepStrategy::Parallel { threads: 2 }),
+        ("parallel4".into(), SweepStrategy::Parallel { threads: 4 }),
+        (format!("auto{cores}"), SweepStrategy::auto()),
+    ];
+
+    let mut table = Table::new(["strategy", "threads", "min_ms", "speedup"]);
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut reference: Option<(f64, String)> = None;
+    for (name, strategy) in &strategies {
+        let inst = scale.instance(*strategy);
+        let (ms, sweep) = time_sweep(&inst);
+        let digest = fingerprint(&sweep);
+        let (seq_ms, speedup) = match &reference {
+            None => {
+                reference = Some((ms, digest));
+                (ms, 1.0)
+            }
+            Some((seq_ms, seq_digest)) => {
+                if digest != *seq_digest {
+                    eprintln!(
+                        "BENCH_sweep: {name} results diverge from the sequential sweep — determinism bug"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                (*seq_ms, seq_ms / ms)
+            }
+        };
+        let _ = seq_ms;
+        table.push_row(vec![
+            name.clone(),
+            strategy.threads().to_string(),
+            format!("{ms:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
+        timings.push((name.clone(), ms));
+    }
+    println!(
+        "determinism: OK — all {} strategies produced bit-identical sweeps",
+        strategies.len()
+    );
+    print!("{}", table.render());
+    if cores < 4 {
+        println!("note: only {cores} core(s) available — parallel speedup is bounded by the machine, not the sweep");
+    }
+
+    let (seq_name, seq_ms) = (timings[0].0.clone(), timings[0].1);
+    let timing_members: Vec<(String, String)> = timings
+        .iter()
+        .map(|(name, ms)| (name.clone(), json::number(*ms)))
+        .collect();
+    let speedup_members: Vec<(String, String)> = timings
+        .iter()
+        .skip(1)
+        .map(|(name, ms)| (name.clone(), json::number(seq_ms / ms)))
+        .collect();
+    let scale_obj = json::object(&[
+        ("clients".into(), json::number(scale.clients as f64)),
+        (
+            "bids_per_client".into(),
+            json::number(f64::from(scale.bids_per_client)),
+        ),
+        ("rounds".into(), json::number(f64::from(scale.rounds))),
+        ("k".into(), json::number(f64::from(scale.k))),
+    ]);
+    let doc = json::object(&[
+        ("bench".into(), json::string("sweep")),
+        ("seed".into(), json::number(SEED as f64)),
+        ("smoke".into(), if smoke { "true" } else { "false" }.into()),
+        ("cores".into(), json::number(cores as f64)),
+        ("scale".into(), scale_obj),
+        ("reference".into(), json::string(&seq_name)),
+        ("timed_runs".into(), json::number(TIMED_RUNS as f64)),
+        ("min_ms".into(), json::object(&timing_members)),
+        (
+            "speedup_vs_sequential".into(),
+            json::object(&speedup_members),
+        ),
+    ]);
+    match fl_bench::telemetry::write_results_json("BENCH_sweep", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("BENCH_sweep: could not write results: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,417 @@
+//! Capture-and-replay: deterministic telemetry for parallel orchestration.
+//!
+//! Sinks are either global (every thread) or thread-local, so a worker
+//! thread that executes one slice of a parallel computation would normally
+//! interleave its events with every other worker's — destroying the
+//! deterministic traces the [`Recorder`](crate::Recorder) and
+//! [`JsonlSink`](crate::JsonlSink) promise. [`capture`] solves this by
+//! diverting **all** of the current thread's events into an owned buffer
+//! (nothing reaches any sink, global or local), and [`replay`] re-emits a
+//! buffer on the coordinating thread:
+//!
+//! * in buffer order, so interleaving is whatever the coordinator chooses
+//!   (typically ascending task order → run-to-run deterministic);
+//! * with fresh span ids, so replayed spans never collide with live ones;
+//! * re-parented: a span that was a root inside the capture becomes a child
+//!   of the span currently open on the replaying thread.
+//!
+//! Span `elapsed` durations are preserved from the worker's wall clock, so
+//! per-phase profiles stay honest; only the *ordering* is normalised.
+//!
+//! ```
+//! use fl_telemetry::{capture, install_local, replay, span, Recorder};
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(Recorder::default());
+//! let guard = install_local(recorder.clone());
+//! let _outer = span!("outer");
+//! // Typically `f` runs on a worker thread; same-thread works too.
+//! let (value, events) = capture(|| {
+//!     let _s = span!("task", index = 3u32);
+//!     21 * 2
+//! });
+//! assert_eq!(value, 42);
+//! replay(&events);
+//! drop(_outer);
+//! drop(guard);
+//! let snap = recorder.snapshot();
+//! assert_eq!(snap.roots[0].name, "outer");
+//! assert_eq!(snap.roots[0].children[0].name, "task");
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::dispatch;
+use crate::event::{Event, Field, Level};
+
+thread_local! {
+    /// Buffer receiving this thread's events while a capture is active.
+    static BUFFER: RefCell<Option<Vec<CapturedEvent>>> = const { RefCell::new(None) };
+    /// Fast mirror of `BUFFER.is_some()` for the `enabled()` hot path.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// One telemetry event captured into an owned buffer by [`capture`].
+///
+/// The owned mirror of [`Event`]: span ids/parents are the capturing
+/// thread's and are remapped by [`replay`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapturedEvent {
+    /// A span was opened inside the capture.
+    SpanStart {
+        /// Span id as allocated on the capturing thread.
+        id: u64,
+        /// Parent span id within the capture, `None` for capture roots.
+        parent: Option<u64>,
+        /// Span name.
+        name: &'static str,
+        /// Span context fields.
+        fields: Vec<Field>,
+    },
+    /// A span closed inside the capture.
+    SpanEnd {
+        /// Span id as allocated on the capturing thread.
+        id: u64,
+        /// Parent span id within the capture, `None` for capture roots.
+        parent: Option<u64>,
+        /// Span name.
+        name: &'static str,
+        /// Span context fields.
+        fields: Vec<Field>,
+        /// Wall-clock duration measured on the capturing thread.
+        elapsed: Duration,
+    },
+    /// A counter increment.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Amount added.
+        delta: u64,
+    },
+    /// A gauge update.
+    Gauge {
+        /// Gauge name.
+        name: &'static str,
+        /// New value.
+        value: f64,
+    },
+    /// One histogram observation.
+    Sample {
+        /// Histogram name.
+        name: &'static str,
+        /// Observed value.
+        value: f64,
+    },
+    /// A levelled log message.
+    Message {
+        /// Severity.
+        level: Level,
+        /// Rendered message text.
+        text: String,
+    },
+}
+
+impl CapturedEvent {
+    fn from_event(event: &Event<'_>) -> CapturedEvent {
+        match *event {
+            Event::SpanStart {
+                id,
+                parent,
+                name,
+                fields,
+            } => CapturedEvent::SpanStart {
+                id,
+                parent,
+                name,
+                fields: fields.to_vec(),
+            },
+            Event::SpanEnd {
+                id,
+                parent,
+                name,
+                fields,
+                elapsed,
+            } => CapturedEvent::SpanEnd {
+                id,
+                parent,
+                name,
+                fields: fields.to_vec(),
+                elapsed,
+            },
+            Event::Counter { name, delta } => CapturedEvent::Counter { name, delta },
+            Event::Gauge { name, value } => CapturedEvent::Gauge { name, value },
+            Event::Sample { name, value } => CapturedEvent::Sample { name, value },
+            Event::Message { level, text } => CapturedEvent::Message {
+                level,
+                text: text.to_string(),
+            },
+        }
+    }
+}
+
+/// Whether a capture is active on this thread ([`crate::enabled`] gates on
+/// this so instrumentation fires even when no sink is installed anywhere).
+pub(crate) fn active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// Diverts `event` into the active capture buffer. Returns `false` when no
+/// capture is active (the caller should dispatch to sinks as usual).
+pub(crate) fn try_capture(event: &Event<'_>) -> bool {
+    if !active() {
+        return false;
+    }
+    BUFFER.with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            buf.push(CapturedEvent::from_event(event));
+        }
+    });
+    true
+}
+
+/// Restores the previous capture state on drop, so a panic inside the
+/// captured closure cannot leave the thread diverting events forever.
+struct CaptureScope {
+    prev_buffer: Option<Vec<CapturedEvent>>,
+    prev_active: bool,
+}
+
+impl Drop for CaptureScope {
+    fn drop(&mut self) {
+        let prev = self.prev_buffer.take();
+        ACTIVE.with(|a| a.set(self.prev_active));
+        BUFFER.with(|b| *b.borrow_mut() = prev);
+    }
+}
+
+/// Runs `f` with every telemetry event this thread emits diverted into an
+/// owned buffer, and returns `f`'s result together with the buffer.
+///
+/// During the capture **no** sink — global or thread-local — observes the
+/// thread's events, and instrumentation behaves as enabled even when no
+/// sink is installed anywhere. Captures nest: an inner [`capture`] shadows
+/// the outer one, and a [`replay`] performed while a capture is active is
+/// captured rather than dispatched.
+///
+/// Designed for fan-out/fan-in parallelism: workers wrap each task in
+/// `capture`, the coordinator [`replay`]s the buffers in task order, and
+/// the resulting trace is identical to a sequential run's.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<CapturedEvent>) {
+    let scope = CaptureScope {
+        prev_buffer: BUFFER.with(|b| b.borrow_mut().replace(Vec::new())),
+        prev_active: ACTIVE.with(|a| a.replace(true)),
+    };
+    let result = f();
+    let events = BUFFER.with(|b| b.borrow_mut().take()).unwrap_or_default();
+    drop(scope);
+    (result, events)
+}
+
+/// Re-emits a captured buffer on the current thread, as if the events had
+/// happened here, in order, just now.
+///
+/// Every captured span receives a fresh process-unique id; parent links
+/// within the buffer are remapped accordingly, and spans that were roots
+/// inside the capture are attached to the span currently open on this
+/// thread (if any). Counters, gauges, samples and messages pass through
+/// unchanged. No-op when no sink is installed and no capture is active.
+pub fn replay(events: &[CapturedEvent]) {
+    if events.is_empty() || !dispatch::enabled() {
+        return;
+    }
+    let base = dispatch::current_parent();
+    let mut ids: HashMap<u64, u64> = HashMap::new();
+    for event in events {
+        match event {
+            CapturedEvent::SpanStart {
+                id,
+                parent,
+                name,
+                fields,
+            } => {
+                let new_id = dispatch::fresh_id();
+                ids.insert(*id, new_id);
+                let parent = parent.and_then(|p| ids.get(&p).copied()).or(base);
+                dispatch::emit(&Event::SpanStart {
+                    id: new_id,
+                    parent,
+                    name,
+                    fields,
+                });
+            }
+            CapturedEvent::SpanEnd {
+                id,
+                parent,
+                name,
+                fields,
+                elapsed,
+            } => {
+                let new_id = ids.get(id).copied().unwrap_or_else(dispatch::fresh_id);
+                let parent = parent.and_then(|p| ids.get(&p).copied()).or(base);
+                dispatch::emit(&Event::SpanEnd {
+                    id: new_id,
+                    parent,
+                    name,
+                    fields,
+                    elapsed: *elapsed,
+                });
+            }
+            CapturedEvent::Counter { name, delta } => dispatch::emit(&Event::Counter {
+                name,
+                delta: *delta,
+            }),
+            CapturedEvent::Gauge { name, value } => dispatch::emit(&Event::Gauge {
+                name,
+                value: *value,
+            }),
+            CapturedEvent::Sample { name, value } => dispatch::emit(&Event::Sample {
+                name,
+                value: *value,
+            }),
+            CapturedEvent::Message { level, text } => dispatch::emit(&Event::Message {
+                level: *level,
+                text,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{counter, install_local, message, span, span_with};
+    use crate::recorder::Recorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn capture_diverts_events_away_from_local_sinks() {
+        let recorder = Arc::new(Recorder::default());
+        let guard = install_local(recorder.clone());
+        let ((), events) = capture(|| {
+            let _s = span("hidden");
+            counter("hidden.count", 3);
+        });
+        counter("visible.count", 1);
+        drop(guard);
+        let snap = recorder.snapshot();
+        assert!(snap.roots.is_empty(), "captured span must not reach sinks");
+        assert!(!snap.counters.contains_key("hidden.count"));
+        assert_eq!(snap.counters["visible.count"], 1);
+        assert_eq!(events.len(), 3, "span start+end and the counter");
+    }
+
+    #[test]
+    fn capture_enables_instrumentation_without_sinks() {
+        // This thread has no local sink; rely on the capture alone. (Other
+        // tests may have global sinks installed, so only check the buffer.)
+        let ((), events) = capture(|| {
+            counter("orphan", 2);
+        });
+        assert!(events.contains(&CapturedEvent::Counter {
+            name: "orphan",
+            delta: 2
+        }));
+    }
+
+    #[test]
+    fn replay_reparents_and_remaps_ids() {
+        let recorder = Arc::new(Recorder::default());
+        let guard = install_local(recorder.clone());
+        let outer = span("outer");
+        let ((), events) = capture(|| {
+            let _root = span_with("task", vec![Field::new("i", 7u32)]);
+            let _child = span("step");
+        });
+        replay(&events);
+        drop(outer);
+        drop(guard);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.roots.len(), 1);
+        let outer_node = &snap.roots[0];
+        assert_eq!(outer_node.name, "outer");
+        let task = &outer_node.children[0];
+        assert_eq!(task.name, "task");
+        assert_eq!(task.fields, vec![("i".into(), "7".into())]);
+        assert_eq!(task.children[0].name, "step");
+    }
+
+    #[test]
+    fn replay_issues_fresh_span_ids() {
+        let ((), events) = capture(|| {
+            let _s = span("task");
+        });
+        // Replaying inside a capture is itself captured, exposing the ids.
+        let ((), replayed) = capture(|| replay(&events));
+        let id_of = |buf: &[CapturedEvent]| match buf[0] {
+            CapturedEvent::SpanStart { id, .. } => id,
+            ref other => panic!("expected SpanStart, got {other:?}"),
+        };
+        assert_ne!(id_of(&events), id_of(&replayed));
+    }
+
+    #[test]
+    fn replay_from_worker_thread_matches_sequential_trace() {
+        let run = |parallel: bool| {
+            let recorder = Arc::new(Recorder::default());
+            let guard = install_local(recorder.clone());
+            let _root = span("sweep");
+            if parallel {
+                let buffers: Vec<Vec<CapturedEvent>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..3u32)
+                        .map(|i| {
+                            s.spawn(move || {
+                                capture(|| {
+                                    let _t = span_with("item", vec![Field::new("i", i)]);
+                                    counter("work", 1);
+                                    message(Level::Debug, &format!("item {i}"));
+                                })
+                                .1
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                for buffer in &buffers {
+                    replay(buffer);
+                }
+            } else {
+                for i in 0..3u32 {
+                    let _t = span_with("item", vec![Field::new("i", i)]);
+                    counter("work", 1);
+                    message(Level::Debug, &format!("item {i}"));
+                }
+            }
+            drop(_root);
+            drop(guard);
+            recorder.snapshot()
+        };
+        let sequential = run(false);
+        let parallel = run(true);
+        assert_eq!(sequential.tree_string(), parallel.tree_string());
+        assert_eq!(sequential.counters, parallel.counters);
+        assert_eq!(sequential.messages, parallel.messages);
+    }
+
+    #[test]
+    fn nested_capture_shadows_and_restores_the_outer_one() {
+        let ((), outer_events) = capture(|| {
+            counter("outer.before", 1);
+            let ((), inner_events) = capture(|| counter("inner", 1));
+            assert_eq!(inner_events.len(), 1);
+            // Replaying while the outer capture is active is captured too.
+            replay(&inner_events);
+            counter("outer.after", 1);
+        });
+        let names: Vec<&str> = outer_events
+            .iter()
+            .map(|e| match e {
+                CapturedEvent::Counter { name, .. } => *name,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["outer.before", "inner", "outer.after"]);
+        assert!(!active(), "capture state must be fully restored");
+    }
+}

@@ -32,11 +32,29 @@ fn global_sinks() -> &'static RwLock<Vec<SinkSlot>> {
     GLOBAL_SINKS.get_or_init(|| RwLock::new(Vec::new()))
 }
 
-/// Whether at least one sink (global or thread-local) is installed. The
-/// macros use this to skip field construction and message formatting.
+/// Whether at least one sink (global or thread-local) is installed, or a
+/// [`capture`](crate::capture) is active on this thread. The macros use
+/// this to skip field construction and message formatting.
 #[inline]
 pub fn enabled() -> bool {
-    GLOBAL_COUNT.load(Ordering::Relaxed) != 0 || LOCAL_COUNT.with(Cell::get) != 0
+    GLOBAL_COUNT.load(Ordering::Relaxed) != 0
+        || LOCAL_COUNT.with(Cell::get) != 0
+        || crate::capture::active()
+}
+
+/// Allocates a fresh process-unique id (used by replayed spans).
+pub(crate) fn fresh_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The innermost span currently open on this thread, if any.
+pub(crate) fn current_parent() -> Option<u64> {
+    SPAN_STACK.with(|stack| stack.borrow().last().copied())
+}
+
+/// Crate-internal alias for [`dispatch`], used by replay.
+pub(crate) fn emit(event: &Event<'_>) {
+    dispatch(event);
 }
 
 /// Uninstalls a global sink when dropped.
@@ -97,8 +115,13 @@ pub fn install_local(sink: Arc<dyn Sink>) -> LocalSinkGuard {
     }
 }
 
-/// Fans one event out to every local, then every global sink.
+/// Fans one event out to every local, then every global sink — unless a
+/// [`capture`](crate::capture) is active on this thread, which diverts the
+/// event into its buffer instead (exclusively; no sink sees it).
 fn dispatch(event: &Event<'_>) {
+    if crate::capture::try_capture(event) {
+        return;
+    }
     if LOCAL_COUNT.with(Cell::get) != 0 {
         LOCAL_SINKS.with(|sinks| {
             for (_, sink) in sinks.borrow().iter() {

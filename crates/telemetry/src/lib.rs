@@ -33,6 +33,13 @@
 //! the installing thread — what parallel tests use to avoid
 //! cross-contamination). Both return guards that uninstall on drop.
 //!
+//! For fan-out/fan-in parallelism there is a third mode: [`capture`]
+//! diverts a worker thread's events into an owned buffer and [`replay`]
+//! re-emits them on the coordinating thread in a deterministic order, with
+//! remapped span ids and re-parenting under the coordinator's open span —
+//! this is how the parallel `A_FL` horizon sweep keeps its trace identical
+//! to the sequential one.
+//!
 //! # Example
 //!
 //! ```
@@ -55,9 +62,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::print_stdout)]
 
+mod capture;
 mod dispatch;
 mod event;
 pub mod json;
@@ -66,6 +74,7 @@ mod logger;
 mod quantile;
 mod recorder;
 
+pub use capture::{capture, replay, CapturedEvent};
 pub use dispatch::{
     counter, enabled, gauge, install_global, install_local, message, sample, span, span_with,
     GlobalSinkGuard, LocalSinkGuard, SpanGuard,

@@ -175,7 +175,7 @@ fn cmd_auction(o: &Options) -> Result<(), String> {
 
 fn cmd_sweep(o: &Options) -> Result<(), String> {
     let inst = build_instance(o)?;
-    let solver: Box<dyn WdpSolver> = match o.algo.as_str() {
+    let solver: Box<dyn WdpSolver + Sync> = match o.algo.as_str() {
         "afl" => Box::new(AWinner::new().without_certificate()),
         "greedy" => Box::new(GreedyBaseline::new()),
         "online" => Box::new(OnlineBaseline::new()),

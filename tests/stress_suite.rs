@@ -27,7 +27,7 @@ fn corpus() -> Vec<(&'static str, Instance)> {
 #[test]
 fn every_solver_is_feasible_on_every_stress_instance() {
     for (name, inst) in corpus() {
-        let solvers: Vec<(&str, Box<dyn WdpSolver>)> = vec![
+        let solvers: Vec<(&str, Box<dyn WdpSolver + Sync>)> = vec![
             ("A_winner", Box::new(AWinner::new())),
             ("Greedy", Box::new(GreedyBaseline::new())),
             ("A_online", Box::new(OnlineBaseline::new())),
@@ -80,7 +80,7 @@ fn cost_ordering_opt_refine_greedy_holds_on_stress_corners() {
 #[test]
 fn all_solvers_are_deterministic_on_clone_armies() {
     let inst = stress::clones(10, 4, 3).unwrap();
-    let solvers: Vec<Box<dyn WdpSolver>> = vec![
+    let solvers: Vec<Box<dyn WdpSolver + Sync>> = vec![
         Box::new(AWinner::new()),
         Box::new(GreedyBaseline::new()),
         Box::new(OnlineBaseline::new()),
