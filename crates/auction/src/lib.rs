@@ -90,6 +90,7 @@ pub mod preprocess;
 mod qualify;
 pub mod recover;
 mod schedule;
+pub mod stats;
 pub mod truthful;
 mod types;
 pub mod verify;
@@ -107,6 +108,7 @@ pub use preprocess::SweepPrecomp;
 pub use qualify::{min_horizon, qualify, QualifiedBid};
 pub use recover::{standby_pool, StandbyEntry, StandbyPool};
 pub use schedule::{pick_schedule, representative_schedule, SchedulePolicy};
+pub use stats::{EconomicHealth, MechanismStats};
 pub use types::{BidRef, ClientId, Round, Window};
 pub use wdp::{DualCertificate, Wdp, WdpSolution, WdpSolver, WinnerEntry};
 pub use winner::AWinner;

@@ -1,0 +1,222 @@
+//! Stable, named views of the mechanism's deterministic health metrics.
+//!
+//! The telemetry [`Snapshot`] exposes counters as string keys
+//! (`"winner.greedy_iterations"`, …), which is fine for traces but brittle
+//! for consumers that persist records across PRs — a renamed key would
+//! silently read as zero. This module is the single point of truth tying
+//! those keys to typed fields: [`MechanismStats::from_snapshot`] lives next
+//! to the code that emits the counters, and [`EconomicHealth`] derives the
+//! auction's economic invariants (payment overhead, dual-certificate
+//! approximation ratios) from the outcome types directly. The bench suite
+//! embeds both in every `BENCH_history.jsonl` record, where they double as
+//! a cross-platform correctness oracle: for a fixed seed and fixed code
+//! every field must reproduce bit-for-bit.
+
+use crate::auction::AuctionOutcome;
+use crate::bid::Instance;
+use crate::wdp::WdpSolution;
+use fl_telemetry::Snapshot;
+
+/// Deterministic mechanism counters, extracted from a recorder
+/// [`Snapshot`] of one instrumented run.
+///
+/// Every field is reproducible for a fixed seed and fixed code; none is
+/// wall-clock dependent. Missing counters (phases that never ran) read as
+/// zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MechanismStats {
+    /// Bids examined by qualification across all horizons.
+    pub qualify_examined: u64,
+    /// Bids rejected by the accuracy gate (constraint (6b)).
+    pub qualify_rejected_accuracy: u64,
+    /// Bids rejected by the round-time gate (constraint (6d)).
+    pub qualify_rejected_time: u64,
+    /// Bids rejected because their window cannot host `c_ij` rounds.
+    pub qualify_rejected_window: u64,
+    /// Bids admitted into some horizon's WDP.
+    pub qualify_accepted: u64,
+    /// Greedy set-cover iterations across all `A_winner` solves.
+    pub greedy_iterations: u64,
+    /// Lazy-queue refreshes inside `A_winner`'s candidate selection.
+    pub lazy_refreshes: u64,
+    /// Winners paid their own bid for lack of a runner-up candidate.
+    pub payment_no_runner_up: u64,
+    /// `A_winner` re-solves probed by the Myerson payment bisection.
+    pub bisection_probes: u64,
+    /// Horizons enumerated by the `A_FL` outer loop.
+    pub horizons_swept: u64,
+    /// Horizons skipped by the cost-lower-bound prune.
+    pub horizons_pruned: u64,
+    /// Horizons whose WDP solved feasibly.
+    pub horizons_feasible: u64,
+    /// Horizons rejected by the obvious-infeasibility pre-check.
+    pub horizons_obviously_infeasible: u64,
+    /// Entries placed into the standby pool across all rounds.
+    pub standby_entries: u64,
+}
+
+impl MechanismStats {
+    /// Reads the mechanism counters out of a snapshot.
+    ///
+    /// This is the only place the counter key strings are interpreted;
+    /// downstream consumers (the bench suite's schema, dashboards) use the
+    /// named fields.
+    pub fn from_snapshot(snapshot: &Snapshot) -> MechanismStats {
+        let c = |key: &str| snapshot.counters.get(key).copied().unwrap_or(0);
+        MechanismStats {
+            qualify_examined: c("qualify.examined"),
+            qualify_rejected_accuracy: c("qualify.rejected_accuracy"),
+            qualify_rejected_time: c("qualify.rejected_time"),
+            qualify_rejected_window: c("qualify.rejected_window"),
+            qualify_accepted: c("qualify.accepted"),
+            greedy_iterations: c("winner.greedy_iterations"),
+            lazy_refreshes: c("winner.lazy_refreshes"),
+            payment_no_runner_up: c("payment.no_runner_up"),
+            bisection_probes: c("truthful.bisection_probes"),
+            horizons_swept: c("afl.horizons_swept"),
+            horizons_pruned: c("afl.horizons_pruned"),
+            horizons_feasible: c("afl.horizons_feasible"),
+            horizons_obviously_infeasible: c("afl.horizons_obviously_infeasible"),
+            standby_entries: c("standby.entries"),
+        }
+    }
+
+    /// Total qualification rejections across all three gates.
+    pub fn qualification_rejections(&self) -> u64 {
+        self.qualify_rejected_accuracy + self.qualify_rejected_time + self.qualify_rejected_window
+    }
+}
+
+/// The economic invariants of one solved auction (or one fixed-horizon WDP
+/// solution) — the quantities an auction service would monitor alongside
+/// latency.
+///
+/// Everything here is deterministic for a fixed seed; the approximation
+/// ratios are `NaN` (encoded as `null` in JSON) when the solver emitted no
+/// dual certificate (baselines, the exact solver).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EconomicHealth {
+    /// Social cost `Σ b_ij x_ij` of the chosen solution.
+    pub social_cost: f64,
+    /// Total remuneration `Σ p_i` paid to winners.
+    pub total_payment: f64,
+    /// Payment overhead `Σ p_i / Σ b_ij` — how much truthfulness costs on
+    /// top of the social cost (≥ 1 under individual rationality).
+    pub payment_overhead: f64,
+    /// A-priori approximation guarantee `H_{T̂_g}·ω` from the dual
+    /// certificate (Lemma 5).
+    pub approx_ratio_bound: f64,
+    /// Empirical bound `P / D` from weak duality (tighter; ≥ 1).
+    pub approx_ratio_empirical: f64,
+    /// Number of winning bids.
+    pub winners: u64,
+    /// The chosen horizon `T_g*` (or the WDP's fixed `T̂_g`).
+    pub horizon: u64,
+    /// Standby-pool entries backing the outcome (0 for a bare WDP
+    /// solution, which has no instance to recruit standbys from).
+    pub standby_pool: u64,
+}
+
+impl EconomicHealth {
+    /// Health of a fixed-horizon WDP solution (no standby pool).
+    pub fn of_solution(solution: &WdpSolution) -> EconomicHealth {
+        let cost = solution.cost();
+        let payment = solution.total_payment();
+        let (bound, empirical) = match solution.certificate() {
+            Some(cert) => (cert.ratio_bound(), cert.empirical_bound(cost)),
+            None => (f64::NAN, f64::NAN),
+        };
+        EconomicHealth {
+            social_cost: cost,
+            total_payment: payment,
+            payment_overhead: if cost > 0.0 { payment / cost } else { f64::NAN },
+            approx_ratio_bound: bound,
+            approx_ratio_empirical: empirical,
+            winners: solution.winners().len() as u64,
+            horizon: u64::from(solution.horizon()),
+            standby_pool: 0,
+        }
+    }
+
+    /// Health of a full auction outcome, including the standby pool the
+    /// instance can recruit behind it.
+    pub fn of_outcome(instance: &Instance, outcome: &AuctionOutcome) -> EconomicHealth {
+        let pool = outcome.standby_pool(instance);
+        let entries: usize = pool.iter().map(|(_, ranked)| ranked.len()).sum();
+        EconomicHealth {
+            standby_pool: entries as u64,
+            ..EconomicHealth::of_solution(outcome.solution())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auction::run_auction;
+    use crate::bid::{Bid, ClientProfile};
+    use crate::config::AuctionConfig;
+    use crate::types::{Round, Window};
+    use fl_telemetry::{install_local, Recorder};
+    use std::sync::Arc;
+
+    fn small_instance() -> Instance {
+        let cfg = AuctionConfig::builder()
+            .max_rounds(4)
+            .clients_per_round(1)
+            .build()
+            .unwrap();
+        let mut inst = Instance::new(cfg);
+        for price in [3.0, 5.0, 9.0] {
+            let c = inst.add_client(ClientProfile::new(2.0, 5.0).unwrap());
+            inst.add_bid(
+                c,
+                Bid::new(price, 0.6, Window::new(Round(1), Round(4)), 4).unwrap(),
+            )
+            .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn stats_mirror_the_recorder_counters() {
+        let rec = Arc::new(Recorder::default());
+        let guard = install_local(rec.clone());
+        let inst = small_instance();
+        let outcome = run_auction(&inst).unwrap();
+        let _pool = outcome.standby_pool(&inst);
+        drop(guard);
+        let snap = rec.snapshot();
+        let stats = MechanismStats::from_snapshot(&snap);
+        assert_eq!(stats.horizons_swept, snap.counters["afl.horizons_swept"]);
+        assert!(stats.qualify_examined > 0);
+        assert!(stats.greedy_iterations > 0);
+        assert!(stats.standby_entries > 0);
+        assert_eq!(
+            stats.qualification_rejections(),
+            stats.qualify_rejected_accuracy
+                + stats.qualify_rejected_time
+                + stats.qualify_rejected_window
+        );
+        // A counter that never fired reads as zero, not as a panic.
+        assert_eq!(MechanismStats::default().bisection_probes, 0);
+    }
+
+    #[test]
+    fn economic_health_of_outcome_adds_the_standby_pool() {
+        let inst = small_instance();
+        let outcome = run_auction(&inst).unwrap();
+        let health = EconomicHealth::of_outcome(&inst, &outcome);
+        assert_eq!(health.social_cost, outcome.social_cost());
+        assert_eq!(health.total_payment, outcome.solution().total_payment());
+        assert!(health.payment_overhead >= 1.0 - 1e-12);
+        assert!(health.approx_ratio_bound >= health.approx_ratio_empirical - 1e-9);
+        assert!(health.approx_ratio_empirical >= 1.0 - 1e-9);
+        assert_eq!(health.winners, 1);
+        // Two losing clients back every round of the chosen horizon.
+        assert!(health.standby_pool > 0);
+        let bare = EconomicHealth::of_solution(outcome.solution());
+        assert_eq!(bare.standby_pool, 0);
+        assert_eq!(bare.social_cost, health.social_cost);
+    }
+}

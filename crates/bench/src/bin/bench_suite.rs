@@ -1,0 +1,320 @@
+//! `bench_suite` — the unified benchmark observatory.
+//!
+//! One orchestrator replaces the ad-hoc `bench_afl` / `bench_sweep` /
+//! `perf_probe` binaries: it runs the curated scenario set (paper-scale
+//! Fig. 3/5 settings, stress scale, sequential vs parallel sweep,
+//! recovery-enabled pipeline) through the real entry points with the
+//! fl-telemetry recorder installed, and emits one canonical
+//! schema-versioned record per scenario.
+//!
+//! Artifacts:
+//!
+//! * `results/BENCH_history.jsonl` — every run ever appended (the
+//!   trajectory);
+//! * `BENCH_main.json` (repo root) — the latest record per scenario;
+//! * `results/REPORT_perf.md` — the rendered dashboard (`report`).
+//!
+//! Subcommands:
+//!
+//! ```text
+//! bench_suite [--smoke] [--runs N] [--scenario NAME]...   run + append + summarize
+//! bench_suite compare [--margin F] [--no-timing]          gate on the last two history
+//!                     [--baseline A --current B]          entries per scenario (or two files)
+//! bench_suite report                                      render results/REPORT_perf.md
+//! bench_suite list                                        print the scenario set
+//! ```
+//!
+//! Every scenario is seeded; two same-seed runs must agree bit-for-bit on
+//! all non-timing fields (the suite itself verifies this across its timed
+//! passes and aborts on divergence). `compare` enforces the same property
+//! across history — and never diffs timing between records from differing
+//! core counts. Set `FL_BUILD_INFO` (e.g. to `git describe` output) to
+//! label records with their build.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fl_bench::compare::{compare_history, compare_records, verdict, CompareOpts, Severity};
+use fl_bench::schema::{append_history, main_summary, read_history, BenchRecord};
+use fl_bench::suite::{find_scenario, run_scenario, scenarios};
+use fl_bench::{results_dir, Table};
+
+fn history_path() -> PathBuf {
+    results_dir().join("BENCH_history.jsonl")
+}
+
+fn main_path() -> PathBuf {
+    // results_dir() is <workspace>/results; BENCH_main.json sits at the root.
+    results_dir()
+        .parent()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+        .join("BENCH_main.json")
+}
+
+fn report_path() -> PathBuf {
+    results_dir().join("REPORT_perf.md")
+}
+
+/// Reads `--flag value` style options out of the argument list.
+struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    fn new() -> Args {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.raw.iter().any(|a| a == flag)
+    }
+
+    fn value_of(&self, flag: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn values_of(&self, flag: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        for (i, a) in self.raw.iter().enumerate() {
+            if a == flag {
+                if let Some(v) = self.raw.get(i + 1) {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    fn subcommand(&self) -> Option<&str> {
+        self.raw
+            .first()
+            .map(String::as_str)
+            .filter(|s| !s.starts_with("--"))
+    }
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let _telemetry = fl_bench::telemetry::init("bench_suite");
+    let smoke = args.has("--smoke");
+    let runs: usize = args
+        .value_of("--runs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let requested = args.values_of("--scenario");
+    let selected: Vec<_> = scenarios()
+        .into_iter()
+        .filter(|s| requested.is_empty() || requested.contains(&s.name))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("bench_suite: no scenario matches {requested:?} (see `bench_suite list`)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "BENCH_suite: {} scenario(s), {} timed pass(es) each{}",
+        selected.len(),
+        runs.max(2),
+        if smoke { ", smoke scale" } else { "" }
+    );
+
+    let mut table = Table::new([
+        "scenario",
+        "kind",
+        "min_ms",
+        "social_cost",
+        "overhead",
+        "approx_emp",
+        "winners",
+    ]);
+    for scenario in &selected {
+        match run_scenario(scenario, smoke, runs) {
+            Ok(record) => {
+                let e = &record.economics;
+                table.push_row(vec![
+                    record.key(),
+                    record.kind.clone(),
+                    format!("{:.3}", record.timing.min_ms),
+                    format!("{:.4}", e.social_cost),
+                    format!("{:.4}", e.payment_overhead),
+                    if e.approx_ratio_empirical.is_finite() {
+                        format!("{:.4}", e.approx_ratio_empirical)
+                    } else {
+                        "n/a".into()
+                    },
+                    e.winners.to_string(),
+                ]);
+                if let Err(e) = append_history(&history_path(), &record) {
+                    eprintln!("bench_suite: cannot append history: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_suite: scenario {} failed:\n{e}", scenario.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    print!("{}", table.render());
+    println!("determinism: OK — every scenario's passes agreed on all non-timing fields");
+
+    // Rewrite the repo-root summary from the full history.
+    let history = match read_history(&history_path()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bench_suite: cannot re-read history: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = main_summary(&history);
+    if let Err(e) = fl_telemetry::json::validate(&summary) {
+        eprintln!("bench_suite: summary failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(main_path(), &summary) {
+        eprintln!("bench_suite: cannot write {}: {e}", main_path().display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", history_path().display());
+    println!("wrote {}", main_path().display());
+    ExitCode::SUCCESS
+}
+
+fn load_single(path: &str) -> Result<BenchRecord, String> {
+    // Accept either a bare record file or a .jsonl (last record wins).
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let last = text
+        .lines()
+        .rfind(|l| !l.trim().is_empty())
+        .ok_or(format!("{path}: empty"))?;
+    BenchRecord::from_json(last).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_compare(args: &Args) -> ExitCode {
+    let opts = CompareOpts {
+        timing: !args.has("--no-timing"),
+        timing_margin: args
+            .value_of("--margin")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.25),
+    };
+    let findings = match (args.value_of("--baseline"), args.value_of("--current")) {
+        (Some(base), Some(cur)) => {
+            let (base, cur) = match (load_single(base), load_single(cur)) {
+                (Ok(b), Ok(c)) => (b, c),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("bench_suite compare: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            compare_records(&base, &cur, opts)
+        }
+        (None, None) => {
+            let path = history_path();
+            let history = match read_history(&path) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("bench_suite compare: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            compare_history(&history, opts)
+        }
+        _ => {
+            eprintln!("bench_suite compare: --baseline and --current must be given together");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &findings {
+        let tag = match f.severity {
+            Severity::Drift => "DRIFT",
+            Severity::Regression => "REGRESSION",
+            Severity::Note => "note",
+        };
+        println!("[{tag}] {}: {}", f.key, f.message);
+    }
+    if verdict(&findings) {
+        eprintln!("bench_suite compare: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "compare: OK ({} finding(s), none gating; timing margin {:.0}%{})",
+            findings.len(),
+            opts.timing_margin * 100.0,
+            if opts.timing { "" } else { ", timing disabled" }
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_report() -> ExitCode {
+    let history = match read_history(&history_path()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bench_suite report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let md = fl_bench::trajectory::render(&history);
+    if let Err(e) = std::fs::write(report_path(), &md) {
+        eprintln!(
+            "bench_suite report: cannot write {}: {e}",
+            report_path().display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", report_path().display());
+    ExitCode::SUCCESS
+}
+
+fn cmd_list() -> ExitCode {
+    let mut table = Table::new([
+        "scenario",
+        "kind",
+        "full scale",
+        "smoke scale",
+        "what it measures",
+    ]);
+    for s in scenarios() {
+        let fmt = |sc: fl_bench::suite::Scale| {
+            format!(
+                "I={} J={} T={} K={}",
+                sc.clients, sc.bids_per_client, sc.rounds, sc.k
+            )
+        };
+        table.push_row(vec![
+            s.name.to_string(),
+            s.kind.tag().to_string(),
+            fmt(s.full),
+            fmt(s.smoke),
+            s.summary.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = Args::new();
+    match args.subcommand() {
+        None | Some("run") => cmd_run(&args),
+        Some("compare") => cmd_compare(&args),
+        Some("report") => cmd_report(),
+        Some("list") => cmd_list(),
+        Some(other) => {
+            // Validate scenario names early for a friendlier error.
+            if find_scenario(other).is_some() {
+                eprintln!("bench_suite: to run one scenario use `--scenario {other}`");
+            } else {
+                eprintln!("bench_suite: unknown subcommand {other:?} (run|compare|report|list)");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -16,15 +16,28 @@
 //!
 //! Each binary prints its table and writes `results/<name>.csv`.
 //! Criterion micro-benchmarks live in `benches/`.
+//!
+//! Performance is tracked by one orchestrator, `bench_suite` (the
+//! benchmark observatory): it runs the curated scenario set in
+//! [`suite`], emits one versioned [`schema::BenchRecord`] per scenario
+//! into `results/BENCH_history.jsonl`, summarizes the latest records into
+//! the repo-root `BENCH_main.json`, diffs runs with the noise-aware gate
+//! in [`compare`], and renders the [`trajectory`] dashboard
+//! `results/REPORT_perf.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod output;
 pub mod runner;
+pub mod schema;
 pub mod stats;
+pub mod suite;
 pub mod telemetry;
+pub mod trajectory;
 
 pub use output::{results_dir, Table};
 pub use runner::{gen_prequalified_wdp, par_map, timed, wdp_at, Algo};
+pub use schema::{BenchRecord, SCHEMA_VERSION};
 pub use stats::Summary;

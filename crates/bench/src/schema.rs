@@ -1,0 +1,715 @@
+//! The versioned record schema every `bench_suite` scenario emits.
+//!
+//! One [`BenchRecord`] per scenario run, serialized as a single JSON line
+//! appended to `results/BENCH_history.jsonl` (the trajectory) and
+//! summarized into the repo-root `BENCH_main.json` (latest record per
+//! scenario). The schema splits cleanly into two halves:
+//!
+//! * **Deterministic fields** — seed, scale, per-phase call counts,
+//!   mechanism counters, economic health. For a fixed seed and fixed code
+//!   these must reproduce *bit-for-bit* on any machine, which is what
+//!   [`BenchRecord::deterministic_view`] canonicalizes and what
+//!   `bench_suite compare` gates on with zero tolerance.
+//! * **Timing fields** — min-of-N wall clock and per-phase quantiles.
+//!   These vary run to run and machine to machine; `compare` only flags
+//!   them beyond a relative margin, and never across differing core
+//!   counts.
+//!
+//! Encoding uses the workspace's hand-rolled `fl_telemetry::json` helpers;
+//! members are emitted in a fixed order and maps in sorted key order, so
+//! `encode → parse → encode` is byte-stable (pinned by the round-trip
+//! tests).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use fl_auction::{EconomicHealth, MechanismStats};
+use fl_telemetry::json::{self, Json};
+use fl_telemetry::Snapshot;
+
+/// Version of the record layout. Bump on any field addition/rename; the
+/// compare gate refuses to diff records across versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Workload scale knobs of one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleBlock {
+    /// Number of clients `I`.
+    pub clients: u64,
+    /// Bids per client `J`.
+    pub bids_per_client: u64,
+    /// Maximum horizon `T`.
+    pub rounds: u64,
+    /// Per-round demand `K`.
+    pub k: u64,
+}
+
+/// Execution environment of one record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvBlock {
+    /// Workload seed (deterministic field).
+    pub seed: u64,
+    /// Detected CPU cores — classification key for timing comparisons,
+    /// never a deterministic field.
+    pub cores: u64,
+    /// Sweep worker threads the scenario pins (1 = sequential). Pinned per
+    /// scenario, so deterministic.
+    pub threads: u64,
+    /// Whether the reduced CI scale was used (deterministic field).
+    pub smoke: bool,
+    /// Build identification passed via the `FL_BUILD_INFO` environment
+    /// variable (e.g. `git describe` output); `"unknown"` otherwise.
+    pub build: String,
+    /// Workload scale (deterministic field).
+    pub scale: ScaleBlock,
+}
+
+/// Wall-clock timing of the scenario's end-to-end passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingBlock {
+    /// Number of timed passes.
+    pub runs: u64,
+    /// Minimum wall clock across the passes, in milliseconds — the
+    /// regression-gate statistic (min-of-N is the low-noise estimator).
+    pub min_ms: f64,
+    /// Every pass's wall clock, in run order.
+    pub runs_ms: Vec<f64>,
+}
+
+/// Aggregate of one telemetry phase (span name) inside a scenario pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// How many spans closed (deterministic field).
+    pub calls: u64,
+    /// Total milliseconds across calls (timing field).
+    pub total_ms: f64,
+    /// Median call duration (timing field).
+    pub p50_ms: f64,
+    /// 90th percentile call duration (timing field).
+    pub p90_ms: f64,
+    /// 99th percentile call duration (timing field).
+    pub p99_ms: f64,
+}
+
+/// Named per-phase profiles, sorted by phase name.
+pub type PhaseList = Vec<(String, PhaseProfile)>;
+
+/// Named counter totals, sorted by counter name.
+pub type CounterList = Vec<(String, u64)>;
+
+/// One scenario run: the canonical record `bench_suite` appends to
+/// `results/BENCH_history.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Scenario name (stable key across history).
+    pub scenario: String,
+    /// Scenario kind: `"wdp"`, `"auction"`, `"sweep"`, or `"recovery"`.
+    pub kind: String,
+    /// Execution environment.
+    pub env: EnvBlock,
+    /// End-to-end wall-clock timing.
+    pub timing: TimingBlock,
+    /// Per-phase profile from the first pass's recorder snapshot, sorted
+    /// by phase name.
+    pub phases: PhaseList,
+    /// Every recorder counter of the first pass, sorted by name — the
+    /// complete drift oracle.
+    pub counters: CounterList,
+    /// The stable named mechanism counters (subset of `counters`, via
+    /// [`MechanismStats`]).
+    pub mechanism: MechanismStats,
+    /// Economic health of the chosen solution.
+    pub economics: EconomicHealth,
+}
+
+impl BenchRecord {
+    /// The history/summary key: scenario name, suffixed for smoke records
+    /// so reduced-scale CI runs never pair with full-scale ones.
+    pub fn key(&self) -> String {
+        if self.env.smoke {
+            format!("{}@smoke", self.scenario)
+        } else {
+            self.scenario.clone()
+        }
+    }
+
+    /// Builds the phase and counter blocks from a recorder snapshot.
+    /// `BTreeMap` iteration gives sorted keys, so the result is canonical.
+    pub fn profile_from_snapshot(snapshot: &Snapshot) -> (PhaseList, CounterList) {
+        let phases = snapshot
+            .phases
+            .iter()
+            .map(|(name, stat)| {
+                let t = &stat.timing_ms;
+                (
+                    name.clone(),
+                    PhaseProfile {
+                        calls: t.n as u64,
+                        total_ms: t.sum,
+                        p50_ms: t.p50,
+                        p90_ms: t.p90,
+                        p99_ms: t.p99,
+                    },
+                )
+            })
+            .collect();
+        let counters = snapshot
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        (phases, counters)
+    }
+
+    /// Serializes the record as one line of canonical JSON (fixed member
+    /// order, sorted map keys, no whitespace).
+    pub fn to_json(&self) -> String {
+        let scale = |s: &ScaleBlock| {
+            json::object(&[
+                ("clients".into(), s.clients.to_string()),
+                ("bids_per_client".into(), s.bids_per_client.to_string()),
+                ("rounds".into(), s.rounds.to_string()),
+                ("k".into(), s.k.to_string()),
+            ])
+        };
+        let env = json::object(&[
+            ("seed".into(), self.env.seed.to_string()),
+            ("cores".into(), self.env.cores.to_string()),
+            ("threads".into(), self.env.threads.to_string()),
+            ("smoke".into(), self.env.smoke.to_string()),
+            ("build".into(), json::string(&self.env.build)),
+            ("scale".into(), scale(&self.env.scale)),
+        ]);
+        let timing = json::object(&[
+            ("runs".into(), self.timing.runs.to_string()),
+            ("min_ms".into(), json::number(self.timing.min_ms)),
+            (
+                "runs_ms".into(),
+                json::array(
+                    &self
+                        .timing
+                        .runs_ms
+                        .iter()
+                        .map(|ms| json::number(*ms))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ]);
+        let phases = json::object(
+            &self
+                .phases
+                .iter()
+                .map(|(name, p)| {
+                    (
+                        name.clone(),
+                        json::object(&[
+                            ("calls".into(), p.calls.to_string()),
+                            ("total_ms".into(), json::number(p.total_ms)),
+                            ("p50_ms".into(), json::number(p.p50_ms)),
+                            ("p90_ms".into(), json::number(p.p90_ms)),
+                            ("p99_ms".into(), json::number(p.p99_ms)),
+                        ]),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let counters = json::object(
+            &self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_string()))
+                .collect::<Vec<_>>(),
+        );
+        let m = &self.mechanism;
+        let mechanism = json::object(&[
+            ("qualify_examined".into(), m.qualify_examined.to_string()),
+            (
+                "qualify_rejections".into(),
+                m.qualification_rejections().to_string(),
+            ),
+            ("qualify_accepted".into(), m.qualify_accepted.to_string()),
+            ("greedy_iterations".into(), m.greedy_iterations.to_string()),
+            ("lazy_refreshes".into(), m.lazy_refreshes.to_string()),
+            (
+                "payment_no_runner_up".into(),
+                m.payment_no_runner_up.to_string(),
+            ),
+            ("bisection_probes".into(), m.bisection_probes.to_string()),
+            ("horizons_swept".into(), m.horizons_swept.to_string()),
+            ("horizons_pruned".into(), m.horizons_pruned.to_string()),
+            ("horizons_feasible".into(), m.horizons_feasible.to_string()),
+            (
+                "horizons_obviously_infeasible".into(),
+                m.horizons_obviously_infeasible.to_string(),
+            ),
+            (
+                "rejected_accuracy".into(),
+                m.qualify_rejected_accuracy.to_string(),
+            ),
+            ("rejected_time".into(), m.qualify_rejected_time.to_string()),
+            (
+                "rejected_window".into(),
+                m.qualify_rejected_window.to_string(),
+            ),
+            ("standby_entries".into(), m.standby_entries.to_string()),
+        ]);
+        let e = &self.economics;
+        let economics = json::object(&[
+            ("social_cost".into(), json::number(e.social_cost)),
+            ("total_payment".into(), json::number(e.total_payment)),
+            ("payment_overhead".into(), json::number(e.payment_overhead)),
+            (
+                "approx_ratio_bound".into(),
+                json::number(e.approx_ratio_bound),
+            ),
+            (
+                "approx_ratio_empirical".into(),
+                json::number(e.approx_ratio_empirical),
+            ),
+            ("winners".into(), e.winners.to_string()),
+            ("horizon".into(), e.horizon.to_string()),
+            ("standby_pool".into(), e.standby_pool.to_string()),
+        ]);
+        json::object(&[
+            ("schema_version".into(), self.schema_version.to_string()),
+            ("scenario".into(), json::string(&self.scenario)),
+            ("kind".into(), json::string(&self.kind)),
+            ("env".into(), env),
+            ("timing".into(), timing),
+            ("phases".into(), phases),
+            ("counters".into(), counters),
+            ("mechanism".into(), mechanism),
+            ("economics".into(), economics),
+        ])
+    }
+
+    /// Parses a record back from its JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed or missing field.
+    pub fn from_json(text: &str) -> Result<BenchRecord, String> {
+        let doc = json::parse(text)?;
+        let obj = |v: &Json, key: &str| -> Result<Json, String> {
+            v.get(key).cloned().ok_or(format!("missing field {key:?}"))
+        };
+        let num = |v: &Json, key: &str| -> Result<f64, String> {
+            obj(v, key)?.as_f64().ok_or(format!("{key:?} not a number"))
+        };
+        let uint = |v: &Json, key: &str| -> Result<u64, String> {
+            obj(v, key)?
+                .as_u64()
+                .ok_or(format!("{key:?} not an unsigned integer"))
+        };
+        let text_field = |v: &Json, key: &str| -> Result<String, String> {
+            Ok(obj(v, key)?
+                .as_str()
+                .ok_or(format!("{key:?} not a string"))?
+                .to_string())
+        };
+
+        let schema_version = uint(&doc, "schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema version {schema_version} != supported {SCHEMA_VERSION}"
+            ));
+        }
+        let env_v = obj(&doc, "env")?;
+        let scale_v = obj(&env_v, "scale")?;
+        let smoke = match obj(&env_v, "smoke")? {
+            Json::Bool(b) => b,
+            other => return Err(format!("\"smoke\" not a boolean: {other:?}")),
+        };
+        let env = EnvBlock {
+            seed: uint(&env_v, "seed")?,
+            cores: uint(&env_v, "cores")?,
+            threads: uint(&env_v, "threads")?,
+            smoke,
+            build: text_field(&env_v, "build")?,
+            scale: ScaleBlock {
+                clients: uint(&scale_v, "clients")?,
+                bids_per_client: uint(&scale_v, "bids_per_client")?,
+                rounds: uint(&scale_v, "rounds")?,
+                k: uint(&scale_v, "k")?,
+            },
+        };
+        let timing_v = obj(&doc, "timing")?;
+        let runs_ms = obj(&timing_v, "runs_ms")?
+            .as_array()
+            .ok_or("\"runs_ms\" not an array")?
+            .iter()
+            .map(|v| v.as_f64().ok_or("non-numeric entry in runs_ms"))
+            .collect::<Result<Vec<f64>, _>>()?;
+        let timing = TimingBlock {
+            runs: uint(&timing_v, "runs")?,
+            min_ms: num(&timing_v, "min_ms")?,
+            runs_ms,
+        };
+        let phases = obj(&doc, "phases")?
+            .members()
+            .ok_or("\"phases\" not an object")?
+            .iter()
+            .map(|(name, p)| {
+                Ok((
+                    name.clone(),
+                    PhaseProfile {
+                        calls: uint(p, "calls")?,
+                        total_ms: num(p, "total_ms")?,
+                        p50_ms: num(p, "p50_ms")?,
+                        p90_ms: num(p, "p90_ms")?,
+                        p99_ms: num(p, "p99_ms")?,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let counters = obj(&doc, "counters")?
+            .members()
+            .ok_or("\"counters\" not an object")?
+            .iter()
+            .map(|(name, v)| {
+                Ok((
+                    name.clone(),
+                    v.as_u64().ok_or(format!("counter {name:?} not a u64"))?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let m = obj(&doc, "mechanism")?;
+        let mechanism = MechanismStats {
+            qualify_examined: uint(&m, "qualify_examined")?,
+            qualify_rejected_accuracy: uint(&m, "rejected_accuracy")?,
+            qualify_rejected_time: uint(&m, "rejected_time")?,
+            qualify_rejected_window: uint(&m, "rejected_window")?,
+            qualify_accepted: uint(&m, "qualify_accepted")?,
+            greedy_iterations: uint(&m, "greedy_iterations")?,
+            lazy_refreshes: uint(&m, "lazy_refreshes")?,
+            payment_no_runner_up: uint(&m, "payment_no_runner_up")?,
+            bisection_probes: uint(&m, "bisection_probes")?,
+            horizons_swept: uint(&m, "horizons_swept")?,
+            horizons_pruned: uint(&m, "horizons_pruned")?,
+            horizons_feasible: uint(&m, "horizons_feasible")?,
+            horizons_obviously_infeasible: uint(&m, "horizons_obviously_infeasible")?,
+            standby_entries: uint(&m, "standby_entries")?,
+        };
+        let e = obj(&doc, "economics")?;
+        let economics = EconomicHealth {
+            social_cost: num(&e, "social_cost")?,
+            total_payment: num(&e, "total_payment")?,
+            payment_overhead: num(&e, "payment_overhead")?,
+            approx_ratio_bound: num(&e, "approx_ratio_bound")?,
+            approx_ratio_empirical: num(&e, "approx_ratio_empirical")?,
+            winners: uint(&e, "winners")?,
+            horizon: uint(&e, "horizon")?,
+            standby_pool: uint(&e, "standby_pool")?,
+        };
+        Ok(BenchRecord {
+            schema_version,
+            scenario: text_field(&doc, "scenario")?,
+            kind: text_field(&doc, "kind")?,
+            env,
+            timing,
+            phases,
+            counters,
+            mechanism,
+            economics,
+        })
+    }
+
+    /// Canonical projection of every **deterministic** field — one line per
+    /// field, so compare failures can cite the exact divergence.
+    ///
+    /// Excluded: wall-clock timing (the whole `timing` block, phase `*_ms`
+    /// fields) and machine identity (`cores`, `build`). Included: seed,
+    /// scale, threads, phase call counts, all counters, mechanism stats,
+    /// economics (floats printed via their exact shortest round-trip form,
+    /// so equality is bit-equality).
+    pub fn deterministic_view(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| {
+            let _ = writeln!(out, "{k} = {v}");
+        };
+        line("schema_version", self.schema_version.to_string());
+        line("scenario", self.scenario.clone());
+        line("kind", self.kind.clone());
+        line("env.seed", self.env.seed.to_string());
+        line("env.threads", self.env.threads.to_string());
+        line("env.smoke", self.env.smoke.to_string());
+        line("env.scale.clients", self.env.scale.clients.to_string());
+        line(
+            "env.scale.bids_per_client",
+            self.env.scale.bids_per_client.to_string(),
+        );
+        line("env.scale.rounds", self.env.scale.rounds.to_string());
+        line("env.scale.k", self.env.scale.k.to_string());
+        for (name, p) in &self.phases {
+            line(&format!("phases.{name}.calls"), p.calls.to_string());
+        }
+        for (name, v) in &self.counters {
+            line(&format!("counters.{name}"), v.to_string());
+        }
+        let m = &self.mechanism;
+        line(
+            "mechanism.greedy_iterations",
+            m.greedy_iterations.to_string(),
+        );
+        line(
+            "mechanism.qualify_rejections",
+            m.qualification_rejections().to_string(),
+        );
+        line("mechanism.bisection_probes", m.bisection_probes.to_string());
+        line("mechanism.horizons_swept", m.horizons_swept.to_string());
+        line("mechanism.horizons_pruned", m.horizons_pruned.to_string());
+        line("mechanism.standby_entries", m.standby_entries.to_string());
+        let e = &self.economics;
+        line("economics.social_cost", json::number(e.social_cost));
+        line("economics.total_payment", json::number(e.total_payment));
+        line(
+            "economics.payment_overhead",
+            json::number(e.payment_overhead),
+        );
+        line(
+            "economics.approx_ratio_bound",
+            json::number(e.approx_ratio_bound),
+        );
+        line(
+            "economics.approx_ratio_empirical",
+            json::number(e.approx_ratio_empirical),
+        );
+        line("economics.winners", e.winners.to_string());
+        line("economics.horizon", e.horizon.to_string());
+        line("economics.standby_pool", e.standby_pool.to_string());
+        out
+    }
+}
+
+/// Reads every record of a `BENCH_history.jsonl` file, oldest first.
+/// Blank lines are skipped; a malformed line aborts with its line number.
+///
+/// # Errors
+///
+/// I/O errors and parse errors (as [`io::ErrorKind::InvalidData`]).
+pub fn read_history(path: &Path) -> io::Result<Vec<BenchRecord>> {
+    let text = fs::read_to_string(path)?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = BenchRecord::from_json(line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}:{}: {e}", path.display(), i + 1),
+            )
+        })?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Appends one record as a JSON line, creating the file (and parents) on
+/// first use.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_history(path: &Path, record: &BenchRecord) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    use std::io::Write as _;
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", record.to_json())
+}
+
+/// Renders the `BENCH_main.json` summary: the latest record per
+/// [`BenchRecord::key`], in first-seen key order.
+pub fn main_summary(history: &[BenchRecord]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut latest: Vec<(String, String)> = Vec::new();
+    for r in history {
+        let key = r.key();
+        if !order.contains(&key) {
+            order.push(key.clone());
+        }
+        latest.retain(|(k, _)| *k != key);
+        latest.push((key, r.to_json()));
+    }
+    let scenarios: Vec<(String, String)> = order
+        .into_iter()
+        .map(|key| {
+            let json = latest
+                .iter()
+                .find(|(k, _)| *k == key)
+                .expect("key recorded above")
+                .1
+                .clone();
+            (key, json)
+        })
+        .collect();
+    json::object(&[
+        ("schema_version".into(), SCHEMA_VERSION.to_string()),
+        ("scenarios".into(), json::object(&scenarios)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fully-populated record for unit tests.
+    fn sample(scenario: &str, smoke: bool, cores: u64, min_ms: f64) -> BenchRecord {
+        BenchRecord {
+            schema_version: SCHEMA_VERSION,
+            scenario: scenario.into(),
+            kind: "auction".into(),
+            env: EnvBlock {
+                seed: 42,
+                cores,
+                threads: 1,
+                smoke,
+                build: "test".into(),
+                scale: ScaleBlock {
+                    clients: 10,
+                    bids_per_client: 2,
+                    rounds: 6,
+                    k: 2,
+                },
+            },
+            timing: TimingBlock {
+                runs: 3,
+                min_ms,
+                runs_ms: vec![min_ms + 1.5, min_ms, min_ms + 0.25],
+            },
+            phases: vec![(
+                "afl_run".into(),
+                PhaseProfile {
+                    calls: 1,
+                    total_ms: min_ms,
+                    p50_ms: min_ms,
+                    p90_ms: min_ms,
+                    p99_ms: min_ms,
+                },
+            )],
+            counters: vec![
+                ("afl.horizons_swept".into(), 5),
+                ("qualify.accepted".into(), 9),
+            ],
+            mechanism: MechanismStats {
+                horizons_swept: 5,
+                qualify_accepted: 9,
+                greedy_iterations: 7,
+                ..MechanismStats::default()
+            },
+            economics: EconomicHealth {
+                social_cost: 12.5,
+                total_payment: 15.625,
+                payment_overhead: 1.25,
+                approx_ratio_bound: 3.0,
+                approx_ratio_empirical: 1.1,
+                winners: 3,
+                horizon: 4,
+                standby_pool: 6,
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips_byte_identically() {
+        let r = sample("unit", false, 4, 10.0);
+        let json = r.to_json();
+        fl_telemetry::json::validate(&json).unwrap();
+        let back = BenchRecord::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        // encode → parse → encode must be byte-stable.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn round_trip_preserves_nan_ratios_as_null() {
+        let mut r = sample("unit", false, 4, 10.0);
+        r.economics.approx_ratio_bound = f64::NAN;
+        r.economics.approx_ratio_empirical = f64::NAN;
+        let json = r.to_json();
+        assert!(json.contains("\"approx_ratio_bound\":null"));
+        let back = BenchRecord::from_json(&json).unwrap();
+        assert!(back.economics.approx_ratio_bound.is_nan());
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_version_and_missing_fields() {
+        let r = sample("unit", false, 4, 10.0);
+        let bumped = r
+            .to_json()
+            .replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+        assert!(BenchRecord::from_json(&bumped)
+            .unwrap_err()
+            .contains("schema version"));
+        assert!(BenchRecord::from_json("{}").is_err());
+        assert!(BenchRecord::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn deterministic_view_excludes_timing_and_machine_identity() {
+        let mut a = sample("unit", false, 4, 10.0);
+        let mut b = sample("unit", false, 8, 99.0); // different cores + timing
+        b.env.build = "elsewhere".into();
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+        // …but a counter drift shows up.
+        a.counters[0].1 += 1;
+        assert_ne!(a.deterministic_view(), b.deterministic_view());
+    }
+
+    #[test]
+    fn smoke_records_get_their_own_key() {
+        assert_eq!(sample("s", false, 1, 1.0).key(), "s");
+        assert_eq!(sample("s", true, 1, 1.0).key(), "s@smoke");
+    }
+
+    #[test]
+    fn history_append_and_read_round_trip() {
+        let dir = std::env::temp_dir().join("fl-bench-schema-history-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("BENCH_history.jsonl");
+        let a = sample("one", false, 4, 10.0);
+        let b = sample("two", true, 4, 5.0);
+        append_history(&path, &a).unwrap();
+        append_history(&path, &b).unwrap();
+        let back = read_history(&path).unwrap();
+        assert_eq!(back, vec![a, b]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn main_summary_keeps_the_latest_record_per_key() {
+        let old = sample("one", false, 4, 10.0);
+        let mut new = sample("one", false, 4, 8.0);
+        new.economics.winners = 99;
+        let other = sample("two", true, 4, 5.0);
+        let summary = main_summary(&[old, other.clone(), new.clone()]);
+        fl_telemetry::json::validate(&summary).unwrap();
+        let doc = json::parse(&summary).unwrap();
+        let scenarios = doc.get("scenarios").unwrap();
+        let members = scenarios.members().unwrap();
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0].0, "one");
+        assert_eq!(members[1].0, "two@smoke");
+        assert_eq!(
+            scenarios
+                .get("one")
+                .unwrap()
+                .get("economics")
+                .unwrap()
+                .get("winners")
+                .unwrap()
+                .as_u64(),
+            Some(99)
+        );
+    }
+}

@@ -1,0 +1,438 @@
+//! The curated scenario set behind `bench_suite`, and the runner that
+//! turns one scenario into one [`BenchRecord`].
+//!
+//! Every scenario is a fixed-seed workload pushed through the real
+//! pipeline entry points (`run_auction_with`, `sweep_horizons`, the
+//! Myerson re-pricer, the FedAvg simulator) under a fresh thread-local
+//! [`Recorder`]. A scenario is executed `runs` times: the minimum wall
+//! clock becomes the record's timing statistic, and every pass's
+//! timing-free telemetry (span tree, counters, gauges, histograms,
+//! messages) plus economics must agree **bit-for-bit** — any divergence is
+//! a determinism bug and fails the run before anything is written.
+//!
+//! Parallel scenarios pin their worker-thread count explicitly (never
+//! `FL_THREADS` or auto-detection): the pruned-horizon set of `A_FL`
+//! depends on the wave width, so a machine-dependent thread count would
+//! make counters machine-dependent and break the cross-platform
+//! determinism gate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fl_auction::truthful::myerson_payments;
+use fl_auction::{
+    run_auction_with, AWinner, AuctionConfig, EconomicHealth, Instance, MechanismStats,
+    SweepStrategy, WdpSolver,
+};
+use fl_sim::{DatasetSpec, FaultModel, Federation, FlJob, RecoveryPolicy};
+use fl_telemetry::{install_local, Recorder, Snapshot};
+use fl_workload::WorkloadSpec;
+
+use crate::runner::gen_prequalified_wdp;
+use crate::schema::{BenchRecord, EnvBlock, ScaleBlock, TimingBlock, SCHEMA_VERSION};
+
+/// The fixed seed every scenario runs under.
+pub const SUITE_SEED: u64 = 42;
+/// Payment-bisection cap for the recovery scenario — safely above the
+/// workload's price range.
+const MYERSON_CAP: f64 = 500.0;
+
+/// Workload scale of one scenario variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of clients `I`.
+    pub clients: usize,
+    /// Bids per client `J`.
+    pub bids_per_client: u32,
+    /// Maximum horizon `T`.
+    pub rounds: u32,
+    /// Per-round demand `K`.
+    pub k: u32,
+}
+
+impl Scale {
+    fn block(&self) -> ScaleBlock {
+        ScaleBlock {
+            clients: self.clients as u64,
+            bids_per_client: u64::from(self.bids_per_client),
+            rounds: u64::from(self.rounds),
+            k: u64::from(self.k),
+        }
+    }
+}
+
+/// What one scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// A single pre-qualified WDP solved by `A_winner` (Fig. 3 setting).
+    Wdp,
+    /// The full `A_FL` enumeration with the given pinned worker count
+    /// (1 = sequential).
+    Auction {
+        /// Pinned sweep worker threads.
+        threads: usize,
+    },
+    /// The unpruned horizon sweep with the given pinned worker count.
+    Sweep {
+        /// Pinned sweep worker threads.
+        threads: usize,
+    },
+    /// The whole service pipeline: auction, Myerson re-pricing, standby
+    /// pool, simulated execution under churn with standby recovery.
+    Recovery,
+}
+
+impl ScenarioKind {
+    /// Schema tag for the record's `kind` field.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ScenarioKind::Wdp => "wdp",
+            ScenarioKind::Auction { .. } => "auction",
+            ScenarioKind::Sweep { .. } => "sweep",
+            ScenarioKind::Recovery => "recovery",
+        }
+    }
+
+    fn threads(self) -> usize {
+        match self {
+            ScenarioKind::Auction { threads } | ScenarioKind::Sweep { threads } => threads,
+            ScenarioKind::Wdp | ScenarioKind::Recovery => 1,
+        }
+    }
+}
+
+/// One named workload scenario with its full-scale and CI (`--smoke`)
+/// variants.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable history key.
+    pub name: &'static str,
+    /// One-line description for `bench_suite list` and the report.
+    pub summary: &'static str,
+    /// What the scenario exercises.
+    pub kind: ScenarioKind,
+    /// Full (paper/stress) scale.
+    pub full: Scale,
+    /// Reduced CI scale.
+    pub smoke: Scale,
+}
+
+impl Scenario {
+    /// The scale of the requested variant.
+    pub fn scale(&self, smoke: bool) -> Scale {
+        if smoke {
+            self.smoke
+        } else {
+            self.full
+        }
+    }
+}
+
+/// The curated suite, in reporting order.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "winner_fig3",
+            summary: "A_winner on one pre-qualified WDP at the Fig. 3 setting",
+            kind: ScenarioKind::Wdp,
+            full: Scale {
+                clients: 200,
+                bids_per_client: 4,
+                rounds: 24,
+                k: 10,
+            },
+            smoke: Scale {
+                clients: 40,
+                bids_per_client: 3,
+                rounds: 12,
+                k: 4,
+            },
+        },
+        Scenario {
+            name: "afl_fig5",
+            summary: "full A_FL at the paper's Fig. 5 scale (sequential)",
+            kind: ScenarioKind::Auction { threads: 1 },
+            full: Scale {
+                clients: 200,
+                bids_per_client: 4,
+                rounds: 16,
+                k: 5,
+            },
+            smoke: Scale {
+                clients: 60,
+                bids_per_client: 3,
+                rounds: 10,
+                k: 3,
+            },
+        },
+        Scenario {
+            name: "afl_stress",
+            summary: "full A_FL at stress scale (sequential)",
+            kind: ScenarioKind::Auction { threads: 1 },
+            full: Scale {
+                clients: 400,
+                bids_per_client: 5,
+                rounds: 32,
+                k: 6,
+            },
+            smoke: Scale {
+                clients: 80,
+                bids_per_client: 3,
+                rounds: 12,
+                k: 3,
+            },
+        },
+        Scenario {
+            name: "sweep_sequential",
+            summary: "unpruned horizon sweep, sequential",
+            kind: ScenarioKind::Sweep { threads: 1 },
+            full: Scale {
+                clients: 125,
+                bids_per_client: 4,
+                rounds: 64,
+                k: 5,
+            },
+            smoke: Scale {
+                clients: 40,
+                bids_per_client: 3,
+                rounds: 16,
+                k: 3,
+            },
+        },
+        Scenario {
+            name: "sweep_parallel4",
+            summary: "unpruned horizon sweep, 4 pinned workers",
+            kind: ScenarioKind::Sweep { threads: 4 },
+            full: Scale {
+                clients: 125,
+                bids_per_client: 4,
+                rounds: 64,
+                k: 5,
+            },
+            smoke: Scale {
+                clients: 40,
+                bids_per_client: 3,
+                rounds: 16,
+                k: 3,
+            },
+        },
+        Scenario {
+            name: "afl_recovery",
+            summary: "auction + Myerson re-pricing + standby pool + simulated churn recovery",
+            kind: ScenarioKind::Recovery,
+            full: Scale {
+                clients: 200,
+                bids_per_client: 4,
+                rounds: 16,
+                k: 5,
+            },
+            smoke: Scale {
+                clients: 60,
+                bids_per_client: 3,
+                rounds: 10,
+                k: 3,
+            },
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn find_scenario(name: &str) -> Option<Scenario> {
+    scenarios().into_iter().find(|s| s.name == name)
+}
+
+fn instance(scale: &Scale, threads: usize) -> Result<Instance, String> {
+    WorkloadSpec::paper_default()
+        .with_clients(scale.clients)
+        .with_bids_per_client(scale.bids_per_client)
+        .with_config(
+            AuctionConfig::builder()
+                .max_rounds(scale.rounds)
+                .clients_per_round(scale.k)
+                .round_time_limit(60.0)
+                .sweep_strategy(SweepStrategy::with_threads(threads))
+                .build()
+                .map_err(|e| format!("invalid config: {e}"))?,
+        )
+        .generate(SUITE_SEED)
+        .map_err(|e| format!("workload generation failed: {e}"))
+}
+
+/// One pass of the scenario's pipeline; returns its economic health.
+fn execute(kind: ScenarioKind, scale: &Scale) -> Result<EconomicHealth, String> {
+    match kind {
+        ScenarioKind::Wdp => {
+            let wdp = gen_prequalified_wdp(
+                SUITE_SEED,
+                scale.clients as u32,
+                scale.bids_per_client,
+                scale.rounds,
+                scale.k,
+            );
+            let solution = AWinner::new()
+                .solve_wdp(&wdp)
+                .map_err(|e| format!("A_winner failed: {e}"))?;
+            Ok(EconomicHealth::of_solution(&solution))
+        }
+        ScenarioKind::Auction { threads } => {
+            let inst = instance(scale, threads)?;
+            let outcome = run_auction_with(&inst, &AWinner::new())
+                .map_err(|e| format!("A_FL failed: {e}"))?;
+            Ok(EconomicHealth::of_outcome(&inst, &outcome))
+        }
+        ScenarioKind::Sweep { threads } => {
+            let inst = instance(scale, threads)?;
+            let sweep = fl_auction::sweep_horizons(&inst, &AWinner::new())
+                .map_err(|e| format!("sweep failed: {e}"))?;
+            // Fold to A_FL's answer: cheapest cost, smallest horizon on
+            // exact ties (the sweep is ascending, `<` keeps the first).
+            let best = sweep
+                .iter()
+                .filter_map(|h| h.result.as_ref().ok())
+                .fold(None::<&fl_auction::WdpSolution>, |acc, sol| match acc {
+                    Some(b) if b.cost() <= sol.cost() => Some(b),
+                    _ => Some(sol),
+                })
+                .ok_or("no feasible horizon in the sweep")?;
+            Ok(EconomicHealth::of_solution(best))
+        }
+        ScenarioKind::Recovery => {
+            let inst = instance(scale, 1)?;
+            let outcome = run_auction_with(&inst, &AWinner::new())
+                .map_err(|e| format!("A_FL failed: {e}"))?;
+            let health = EconomicHealth::of_outcome(&inst, &outcome);
+            // Exact threshold re-pricing of every winner (Myerson
+            // bisection) — the `truthful.bisection_probes` driver.
+            let wdp = crate::runner::wdp_at(&inst, outcome.horizon());
+            let repriced = myerson_payments(&wdp, outcome.solution(), MYERSON_CAP, 1e-7);
+            if repriced.len() != outcome.solution().winners().len() {
+                return Err("Myerson re-pricing lost a winner".into());
+            }
+            // Simulated execution under Bernoulli churn with standby
+            // recovery.
+            let federation =
+                Federation::generate(&DatasetSpec::default(), inst.num_clients(), SUITE_SEED);
+            let report = FlJob::new(0.3)
+                .with_faults(FaultModel::bernoulli(0.2))
+                .with_recovery(RecoveryPolicy::Standby)
+                .with_coverage_floor(scale.k)
+                .run(&inst, &outcome, &federation, SUITE_SEED);
+            if report.rounds.len() as u32 != outcome.horizon() {
+                return Err("simulator did not run the full horizon".into());
+            }
+            Ok(health)
+        }
+    }
+}
+
+/// Everything of a pass that must reproduce bit-for-bit under the same
+/// seed: the timing-free snapshot plus the economics. Wall-clock fields
+/// are deliberately excluded.
+fn deterministic_pass_view(snapshot: &Snapshot, health: &EconomicHealth) -> String {
+    format!(
+        "{}\ncounters: {:?}\ngauges: {:?}\nhistograms: {:?}\nmessages: {:?}\neconomics: {:?}",
+        snapshot.tree_string(),
+        snapshot.counters,
+        snapshot.gauges,
+        snapshot.histograms,
+        snapshot.messages,
+        health,
+    )
+}
+
+/// Runs one scenario variant `runs` times and assembles its record.
+///
+/// # Errors
+///
+/// Pipeline failures, and any pass-to-pass divergence of the deterministic
+/// telemetry (reported with the differing views).
+pub fn run_scenario(scenario: &Scenario, smoke: bool, runs: usize) -> Result<BenchRecord, String> {
+    let runs = runs.max(2); // at least two passes for the determinism check
+    let scale = scenario.scale(smoke);
+    let mut runs_ms: Vec<f64> = Vec::with_capacity(runs);
+    let mut first: Option<(Snapshot, EconomicHealth, String)> = None;
+    for pass in 0..runs {
+        let recorder = Arc::new(Recorder::default());
+        let guard = install_local(recorder.clone());
+        let start = Instant::now();
+        let health = execute(scenario.kind, &scale);
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        drop(guard);
+        let health = health?;
+        runs_ms.push(elapsed_ms);
+        let snapshot = recorder.snapshot();
+        let view = deterministic_pass_view(&snapshot, &health);
+        match &first {
+            None => first = Some((snapshot, health, view)),
+            Some((_, _, reference)) => {
+                if view != *reference {
+                    return Err(format!(
+                        "scenario {}: pass {} diverged from pass 0 on timing-free \
+                         telemetry — determinism bug\n--- pass 0 ---\n{reference}\n--- pass {pass} ---\n{view}",
+                        scenario.name, pass
+                    ));
+                }
+            }
+        }
+    }
+    let (snapshot, health, _) = first.expect("runs >= 2");
+    let (phases, counters) = BenchRecord::profile_from_snapshot(&snapshot);
+    if phases.is_empty() {
+        return Err(format!(
+            "scenario {}: no telemetry phases recorded — instrumentation regressed",
+            scenario.name
+        ));
+    }
+    let min_ms = runs_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    Ok(BenchRecord {
+        schema_version: SCHEMA_VERSION,
+        scenario: scenario.name.to_string(),
+        kind: scenario.kind.tag().to_string(),
+        env: EnvBlock {
+            seed: SUITE_SEED,
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+            threads: scenario.kind.threads() as u64,
+            smoke,
+            build: std::env::var("FL_BUILD_INFO").unwrap_or_else(|_| "unknown".into()),
+            scale: scale.block(),
+        },
+        timing: TimingBlock {
+            runs: runs as u64,
+            min_ms,
+            runs_ms,
+        },
+        phases,
+        counters,
+        mechanism: MechanismStats::from_snapshot(&snapshot),
+        economics: health,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_suite_has_at_least_four_uniquely_named_scenarios() {
+        let all = scenarios();
+        assert!(all.len() >= 4);
+        let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "scenario names must be unique");
+        assert!(find_scenario("afl_fig5").is_some());
+        assert!(find_scenario("nope").is_none());
+        // Every parallel scenario pins its thread count (no auto-detect).
+        for s in &all {
+            assert!(s.kind.threads() >= 1);
+        }
+    }
+
+    #[test]
+    fn smoke_scales_are_smaller_than_full_scales() {
+        for s in scenarios() {
+            assert!(s.smoke.clients < s.full.clients, "{}", s.name);
+            assert!(s.smoke.rounds <= s.full.rounds, "{}", s.name);
+        }
+    }
+}

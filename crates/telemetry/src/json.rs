@@ -3,7 +3,10 @@
 //! The workspace has no registry access, so instead of `serde_json` the
 //! exporters build JSON through these helpers. The encoder is
 //! intentionally small: strings, finite numbers (non-finite floats encode
-//! as `null`), booleans, and the object/array glue the sinks need.
+//! as `null`), booleans, and the object/array glue the sinks need. The
+//! [`parse`] function is the matching reader: it produces a [`Json`] value
+//! tree (object member order preserved) so the bench suite can load
+//! records from `BENCH_history.jsonl` back without a JSON library.
 
 use std::fmt::Write as _;
 
@@ -81,6 +84,218 @@ pub fn validate(text: &str) -> Result<(), String> {
         return Err(format!("trailing data at byte {pos}"));
     }
     Ok(())
+}
+
+/// A parsed JSON value.
+///
+/// Object members keep their source order (our exporters emit sorted keys,
+/// so re-encoding a parsed document reproduces the original bytes — the
+/// property the bench suite's schema round-trip test pins).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also what non-finite numbers encode to).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2^53 are exact).
+    Num(f64),
+    /// A string with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, member order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up an object member by key (`None` for non-objects/missing).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, with `null` read as NaN (the encoder maps
+    /// non-finite floats to `null`, so this inverts [`number`]).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, when it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The string payload of a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload of a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements of an `Arr` value.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members of an `Obj` value, in source order.
+    pub fn members(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document into a [`Json`] value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let pos = skip_ws(bytes, 0);
+    let (value, pos) = read_value(bytes, pos)?;
+    let pos = skip_ws(bytes, pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn read_value(b: &[u8], pos: usize) -> Result<(Json, usize), String> {
+    match b.get(pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => read_object(b, pos + 1),
+        Some(b'[') => read_array(b, pos + 1),
+        Some(b'"') => {
+            let (s, p) = read_string(b, pos + 1)?;
+            Ok((Json::Str(s), p))
+        }
+        Some(b't') => Ok((Json::Bool(true), parse_literal(b, pos, "true")?)),
+        Some(b'f') => Ok((Json::Bool(false), parse_literal(b, pos, "false")?)),
+        Some(b'n') => Ok((Json::Null, parse_literal(b, pos, "null")?)),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let end = parse_number(b, pos)?;
+            let text = std::str::from_utf8(&b[pos..end]).map_err(|_| "non-utf8 number")?;
+            let x: f64 = text
+                .parse()
+                .map_err(|e| format!("unparseable number {text:?}: {e}"))?;
+            Ok((Json::Num(x), end))
+        }
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
+    }
+}
+
+fn read_string(b: &[u8], mut pos: usize) -> Result<(String, usize), String> {
+    let mut out = String::new();
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok((out, pos + 1)),
+            b'\\' => {
+                match b.get(pos + 1) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b.get(pos + 2..pos + 6).ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "non-utf8 \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        // Surrogates are not emitted by our encoder; map
+                        // them to U+FFFD rather than erroring.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        pos += 6;
+                        continue;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                pos += 2;
+            }
+            0x00..=0x1f => return Err(format!("raw control byte {c:#x} in string at {pos}")),
+            _ => {
+                // Consume one UTF-8 scalar (input is a &str, so slicing on
+                // char boundaries is safe via the char iterator).
+                let rest = std::str::from_utf8(&b[pos..]).map_err(|_| "non-utf8 string")?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn read_object(b: &[u8], mut pos: usize) -> Result<(Json, usize), String> {
+    let mut members = Vec::new();
+    pos = skip_ws(b, pos);
+    if b.get(pos) == Some(&b'}') {
+        return Ok((Json::Obj(members), pos + 1));
+    }
+    loop {
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let (key, p) = read_string(b, pos + 1)?;
+        pos = skip_ws(b, p);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos = skip_ws(b, pos + 1);
+        let (value, p) = read_value(b, pos)?;
+        members.push((key, value));
+        pos = skip_ws(b, p);
+        match b.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok((Json::Obj(members), pos + 1)),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn read_array(b: &[u8], mut pos: usize) -> Result<(Json, usize), String> {
+    let mut items = Vec::new();
+    pos = skip_ws(b, pos);
+    if b.get(pos) == Some(&b']') {
+        return Ok((Json::Arr(items), pos + 1));
+    }
+    loop {
+        pos = skip_ws(b, pos);
+        let (value, p) = read_value(b, pos)?;
+        items.push(value);
+        pos = skip_ws(b, p);
+        match b.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b']') => return Ok((Json::Arr(items), pos + 1)),
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
 }
 
 fn skip_ws(b: &[u8], mut pos: usize) -> usize {
@@ -277,6 +492,60 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_reads_back_what_the_encoder_writes() {
+        let doc = object(&[
+            ("name".into(), string("sweep")),
+            ("count".into(), "3".into()),
+            ("ratio".into(), number(1.25)),
+            ("nan".into(), number(f64::NAN)),
+            ("ok".into(), "true".into()),
+            ("xs".into(), array(&["1".into(), "2.5".into()])),
+        ]);
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("sweep"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(1.25));
+        assert!(v.get("nan").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let xs = v.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[1].as_f64(), Some(2.5));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_preserves_member_order() {
+        let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        let keys: Vec<&str> = v
+            .members()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_unicode() {
+        let v = parse(r#""a\n\t\"\\ Aé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\ Aé"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "1e", "{} x", "\"oops"] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(parse("3.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-2").unwrap().as_u64(), None);
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
     }
 
     #[test]

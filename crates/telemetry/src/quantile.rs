@@ -111,5 +111,39 @@ mod tests {
     fn empty_and_nan_samples_are_rejected() {
         assert!(HistSummary::of(&[]).is_none());
         assert!(HistSummary::of(&[1.0, f64::NAN]).is_none());
+        assert!(HistSummary::of(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn two_samples_split_median_from_tail() {
+        // Nearest rank with n = 2: p50 → ⌈0.5·2⌉ = rank 1 (the smaller),
+        // p90/p99 → rank 2 (the larger).
+        let s = HistSummary::of(&[4.0, 1.0]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 1.0);
+        assert_eq!(s.p90, 4.0);
+        assert_eq!(s.p99, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.sum - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_every_quantile() {
+        for n in [1usize, 2, 3, 17] {
+            let s = HistSummary::of(&vec![2.25; n]).unwrap();
+            assert_eq!(s.n, n);
+            assert_eq!((s.min, s.max), (2.25, 2.25));
+            assert_eq!((s.p50, s.p90, s.p99), (2.25, 2.25, 2.25));
+            assert!((s.mean - 2.25).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn extreme_quantile_arguments_clamp_to_the_sample() {
+        let sorted = [1.0, 2.0, 3.0];
+        assert_eq!(nearest_rank(&sorted, 0.0), 1.0);
+        assert_eq!(nearest_rank(&sorted, 1.0), 3.0);
     }
 }

@@ -1,5 +1,5 @@
 //! Deterministic in-memory aggregation: the sink behind tests and the
-//! `BENCH_afl.json` perf snapshot.
+//! `bench_suite` perf records.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
@@ -438,5 +438,49 @@ mod tests {
         crate::json::validate(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
         assert!(json.contains("\"iterations\":3"));
         assert!(json.contains("\"phases\""));
+    }
+
+    /// Two identical instrumented computations must serialize to
+    /// byte-identical JSON once the wall-clock fields are projected away —
+    /// the stability `bench_suite compare` and the history diffs rely on.
+    /// Keys are BTreeMap-sorted, so insertion order cannot leak through.
+    #[test]
+    fn same_seed_snapshots_serialize_byte_identically_modulo_timing() {
+        let timing_free = |snap: &Snapshot| -> String {
+            let strip = |json: &str| -> String {
+                // Drop every `*_ms` member; they are the only wall-clock
+                // dependent fields in the export.
+                let mut out = String::new();
+                for part in json.split(',') {
+                    if !part.contains("_ms\":") {
+                        out.push_str(part);
+                        out.push(',');
+                    }
+                }
+                out
+            };
+            format!("{}\n{}", snap.tree_string(), strip(&snap.to_json()))
+        };
+        let run = |order_hint: bool| {
+            let rec = Arc::new(Recorder::default());
+            let g = install_local(rec.clone());
+            // Same aggregate content, touched in a different order on the
+            // second run: the export must not depend on insertion order.
+            if order_hint {
+                gauge!("z_last", 1.0);
+                counter!("b", 2);
+                counter!("a", 1);
+            } else {
+                counter!("a", 1);
+                counter!("b", 2);
+                gauge!("z_last", 1.0);
+            }
+            workload();
+            drop(g);
+            rec.snapshot()
+        };
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(timing_free(&a), timing_free(&b));
     }
 }
