@@ -111,4 +111,4 @@ pub use schedule::{pick_schedule, representative_schedule, SchedulePolicy};
 pub use stats::{EconomicHealth, MechanismStats};
 pub use types::{BidRef, ClientId, Round, Window};
 pub use wdp::{DualCertificate, Wdp, WdpSolution, WdpSolver, WinnerEntry};
-pub use winner::AWinner;
+pub use winner::{AWinner, SelectionStep};

@@ -102,7 +102,12 @@ impl WinnerEntry {
 pub struct DualCertificate {
     /// Harmonic number `H_{T̂_g} = Σ_{t≤T̂_g} 1/t`.
     pub harmonic: f64,
-    /// `ω = max_t ψ_max^t / ψ_min^t` (Alg. 2 line 18).
+    /// `ω = max_t ψ_max^t / ψ_min^t` (Alg. 2 line 18), where `ψ_max^t` is
+    /// the largest qualified price covering round `t` and `ψ_min^t` the
+    /// smallest possible average cost `ρ/c` over **all** qualified bids
+    /// covering `t` (not just averages realised during the run — the wider
+    /// domain is what keeps the scaled dual point feasible for bids the
+    /// greedy never evaluated at `t`).
     pub omega: f64,
     /// Dual variable `g(t)` per round (index 0 ↔ round 1).
     pub g: Vec<f64>,

@@ -13,9 +13,28 @@ use crate::coverage::Coverage;
 use crate::error::WdpError;
 use crate::payment::{payment, PaymentRule};
 use crate::schedule::{pick_schedule, SchedulePolicy};
-use crate::types::Round;
+use crate::types::{BidRef, Round};
 use crate::wdp::{DualCertificate, Wdp, WdpSolution, WdpSolver, WinnerEntry};
 use fl_telemetry::{counter, span};
+
+/// One `A_winner` iteration as seen by the payment rule: who was selected,
+/// at what marginal gain and average cost, and which runner-up average set
+/// the critical value. The trace lets external checkers (the `fl-certify`
+/// property engine) verify the Alg. 3 payment identity
+/// `payment = gain · critical_avg` (or `price` when no runner-up existed)
+/// without re-deriving the greedy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionStep {
+    /// The bid selected in this iteration.
+    pub bid_ref: BidRef,
+    /// Marginal utility `R_{i*l*}(S)` at selection.
+    pub gain: u32,
+    /// Average cost `ρ_{i*l*} / R_{i*l*}(S)` at selection.
+    pub avg: f64,
+    /// The runner-up's average cost at this step (Alg. 3's critical
+    /// value), `None` when the candidate set held no other bid.
+    pub critical_avg: Option<f64>,
+}
 
 /// The paper's greedy WDP solver.
 ///
@@ -97,6 +116,17 @@ impl AWinner {
         self.full_scan = true;
         self
     }
+
+    /// Like [`WdpSolver::solve_wdp`] but also returns the per-iteration
+    /// selection trace, in selection order (one [`SelectionStep`] per
+    /// winner).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`WdpSolver::solve_wdp`].
+    pub fn solve_traced(&self, wdp: &Wdp) -> Result<(WdpSolution, Vec<SelectionStep>), WdpError> {
+        self.solve_inner(wdp)
+    }
 }
 
 /// A candidate: an unselected bid with its representative schedule under
@@ -128,6 +158,12 @@ impl WdpSolver for AWinner {
     }
 
     fn solve_wdp(&self, wdp: &Wdp) -> Result<WdpSolution, WdpError> {
+        self.solve_inner(wdp).map(|(solution, _)| solution)
+    }
+}
+
+impl AWinner {
+    fn solve_inner(&self, wdp: &Wdp) -> Result<(WdpSolution, Vec<SelectionStep>), WdpError> {
         let horizon = wdp.horizon();
         let k = wdp.demand_per_round();
         let bids = wdp.bids();
@@ -135,10 +171,8 @@ impl WdpSolver for AWinner {
         let mut pair_selected = vec![false; bids.len()];
         let mut client_selected: std::collections::HashSet<u32> = std::collections::HashSet::new();
         let mut raw: Vec<RawWinner> = Vec::new();
-        // φ(t, l) of selected schedules, per round (for η_φ and ψ_min).
+        // φ(t, l) of selected schedules, per round (for η_φ).
         let mut phi: Vec<Vec<f64>> = vec![Vec::new(); horizon as usize];
-        // φ plus the per-iteration runner-up φ′ values (ψ_min's domain).
-        let mut phi_all: Vec<Vec<f64>> = vec![Vec::new(); horizon as usize];
         {
             let _greedy = span!("wdp_greedy", bids = bids.len() as u64);
             let mut lazy = if self.full_scan {
@@ -164,14 +198,6 @@ impl WdpSolver for AWinner {
                 debug_assert_eq!(available.len() as u32, winner.gain);
                 for &t in &available {
                     phi[t.index()].push(winner.avg);
-                    phi_all[t.index()].push(winner.avg);
-                }
-                // Alg. 2 line 11–12: the runner-up over G (which at this point
-                // still contains the winner) contributes φ′ to ψ_min.
-                if let Some(ru) = &pick.best_g {
-                    for t in cov.available_subset(&ru.schedule) {
-                        phi_all[t.index()].push(ru.avg);
-                    }
                 }
                 cov.add(&winner.schedule);
                 pair_selected[winner.bid_idx] = true;
@@ -213,10 +239,20 @@ impl WdpSolver for AWinner {
 
         let certificate = if self.with_certificate {
             let _cert = span!("dual_certificate");
-            Some(build_certificate(wdp, &raw, &phi, &phi_all))
+            Some(build_certificate(wdp, &raw, &phi))
         } else {
             None
         };
+
+        let trace: Vec<SelectionStep> = raw
+            .iter()
+            .map(|w| SelectionStep {
+                bid_ref: bids[w.bid_idx].bid_ref,
+                gain: w.gain,
+                avg: w.avg,
+                critical_avg: w.critical_avg,
+            })
+            .collect();
 
         let mut cost = 0.0;
         let winners: Vec<WinnerEntry> = raw
@@ -233,17 +269,16 @@ impl WdpSolver for AWinner {
                 }
             })
             .collect();
-        Ok(WdpSolution::new(horizon, winners, cost, certificate))
+        Ok((WdpSolution::new(horizon, winners, cost, certificate), trace))
     }
 }
 
 /// One greedy iteration's selection: the cheapest candidate of the
-/// candidate set `C`, the runner-up within `C` (for the critical payment),
-/// and the cheapest of the grand set `G` (for the dual's φ′).
+/// candidate set `C` and the runner-up within `C` (for the critical
+/// payment).
 struct IterationPick {
     best_c: Option<Candidate>,
     second_c: Option<Candidate>,
-    best_g: Option<Candidate>,
 }
 
 /// The straightforward O(bids) per-iteration scan (the equivalence oracle).
@@ -256,9 +291,11 @@ fn full_scan_pick(
 ) -> IterationPick {
     let mut best_c: Option<Candidate> = None;
     let mut second_c: Option<Candidate> = None;
-    let mut best_g: Option<Candidate> = None;
     for (idx, qb) in bids.iter().enumerate() {
         if pair_selected[idx] {
+            continue;
+        }
+        if client_selected.contains(&qb.bid_ref.client.0) {
             continue;
         }
         let schedule = pick_schedule(cov, qb.window, qb.rounds, policy);
@@ -272,12 +309,6 @@ fn full_scan_pick(
             gain,
             avg: qb.price / f64::from(gain),
         };
-        if better(&cand, &best_g, bids) {
-            best_g = Some(clone_cand(&cand));
-        }
-        if client_selected.contains(&qb.bid_ref.client.0) {
-            continue;
-        }
         if better(&cand, &best_c, bids) {
             second_c = best_c.take();
             best_c = Some(cand);
@@ -285,11 +316,7 @@ fn full_scan_pick(
             second_c = Some(cand);
         }
     }
-    IterationPick {
-        best_c,
-        second_c,
-        best_g,
-    }
+    IterationPick { best_c, second_c }
 }
 
 /// Lazy-greedy candidate queue.
@@ -383,8 +410,8 @@ impl LazyQueue {
         client_selected: &std::collections::HashSet<u32>,
         policy: SchedulePolicy,
     ) -> IterationPick {
-        // Extract fresh entries in exact ascending order until we hold the
-        // G-minimum plus two C-entries (winner + critical runner-up).
+        // Extract fresh entries in exact ascending order until we hold two
+        // C-entries (winner + critical runner-up).
         let mut fresh: Vec<HeapEntry> = Vec::new();
         let mut c_entries = 0usize;
         while c_entries < 2 {
@@ -424,7 +451,6 @@ impl LazyQueue {
             gain: e.gain,
             avg: e.avg,
         };
-        let best_g = fresh.first().map(to_candidate);
         let mut best_c = None;
         let mut second_c = None;
         let mut winner_pos = None;
@@ -447,11 +473,7 @@ impl LazyQueue {
                 self.heap.push(e);
             }
         }
-        IterationPick {
-            best_c,
-            second_c,
-            best_g,
-        }
+        IterationPick { best_c, second_c }
     }
 }
 
@@ -473,42 +495,30 @@ fn better(cand: &Candidate, incumbent: &Option<Candidate>, bids: &[crate::Qualif
         .is_lt()
 }
 
-fn clone_cand(c: &Candidate) -> Candidate {
-    Candidate {
-        bid_idx: c.bid_idx,
-        schedule: c.schedule.clone(),
-        gain: c.gain,
-        avg: c.avg,
-    }
-}
-
 /// Replays the run into the dual program (Alg. 2 lines 16–23).
-fn build_certificate(
-    wdp: &Wdp,
-    raw: &[RawWinner],
-    phi: &[Vec<f64>],
-    phi_all: &[Vec<f64>],
-) -> DualCertificate {
+fn build_certificate(wdp: &Wdp, raw: &[RawWinner], phi: &[Vec<f64>]) -> DualCertificate {
     let horizon = wdp.horizon();
     let harmonic: f64 = (1..=horizon).map(|t| 1.0 / f64::from(t)).sum();
 
     // ψ_max^t: the largest qualified bid price whose window covers t.
-    // ψ_min^t: the smallest recorded average cost (selected φ or runner-up
-    // φ′) at t. ω_t = ψ_max^t / ψ_min^t.
+    // ψ_min^t: the smallest *possible* average cost at t — `ρ/c` over every
+    // qualified bid whose window covers t. The domain must be all qualified
+    // bids, not just the averages recorded during the run: a cheap bid
+    // selected elsewhere (or never evaluated at t) still owns a dual
+    // constraint `Σ_{t∈l} g(t) − λ ≤ ρ_il` for its schedules through t, and
+    // `ρ/c` lower-bounds every realised average `ρ/R_il(S)` (R ≤ c), so
+    // dividing η_φ by `H·ω` with this ω keeps constraint (8a) feasible for
+    // every bid and schedule. (Differential fuzzing caught the narrower
+    // recorded-averages domain producing infeasible duals with D > OPT;
+    // see crates/certify/corpus/.)
     let mut omega: f64 = 0.0;
     for t in (1..=horizon).map(Round) {
-        let psi_max = wdp
-            .bids()
-            .iter()
-            .filter(|b| b.window.contains(t))
-            .map(|b| b.price)
-            .max_by(f64::total_cmp)
-            .unwrap_or(0.0);
-        let psi_min = phi_all[t.index()]
-            .iter()
-            .copied()
-            .min_by(f64::total_cmp)
-            .unwrap_or(f64::INFINITY);
+        let mut psi_max: f64 = 0.0;
+        let mut psi_min = f64::INFINITY;
+        for b in wdp.bids().iter().filter(|b| b.window.contains(t)) {
+            psi_max = psi_max.max(b.price);
+            psi_min = psi_min.min(b.price / f64::from(b.rounds.max(1)));
+        }
         let w_t = if psi_min > 0.0 && psi_min.is_finite() {
             psi_max / psi_min
         } else if psi_max == 0.0 {
@@ -706,6 +716,29 @@ mod tests {
     }
 
     #[test]
+    fn certificate_stays_dual_feasible_with_unrecorded_cheap_bids() {
+        // Fuzzer counterexample (crates/certify/corpus/, seed 870): the $1
+        // bid covers both rounds but is selected for round 1 only, so its
+        // average was never recorded at round 2. With ψ_min taken over
+        // recorded averages, g(2) = 12/H exceeded the $1 bid's dual
+        // constraint for schedule [2] and the dual objective exceeded the
+        // optimum. ψ_min over every covering bid's ρ/c keeps the point
+        // feasible.
+        let wdp = Wdp::new(2, 1, vec![qb(0, 0, 12.0, 2, 2, 1), qb(1, 0, 1.0, 1, 2, 1)]);
+        let sol = AWinner::new().solve_wdp(&wdp).unwrap();
+        assert!(crate::verify::dual_feasibility_violations(&wdp, &sol).is_empty());
+        let cert = sol.certificate().unwrap();
+        // Both bids must win, so OPT = 13; weak duality: D ≤ OPT.
+        assert_eq!(sol.cost(), 13.0);
+        assert!(
+            cert.dual_objective <= 13.0 + 1e-9,
+            "D = {} exceeds OPT = 13",
+            cert.dual_objective
+        );
+        assert!(sol.cost() <= cert.ratio_bound() * cert.dual_objective + 1e-9);
+    }
+
+    #[test]
     fn without_certificate_skips_the_dual_pass() {
         let sol = AWinner::new()
             .without_certificate()
@@ -806,5 +839,28 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(AWinner::new().name(), "A_winner");
+    }
+
+    #[test]
+    fn selection_trace_matches_winners_and_payment_identity() {
+        let wdp = paper_example();
+        let (sol, trace) = AWinner::new().solve_traced(&wdp).unwrap();
+        assert_eq!(sol, AWinner::new().solve_wdp(&wdp).unwrap());
+        assert_eq!(trace.len(), sol.winners().len());
+        for (step, w) in trace.iter().zip(sol.winners()) {
+            assert_eq!(step.bid_ref, w.bid_ref);
+            let expected = match step.critical_avg {
+                Some(avg) => f64::from(step.gain) * avg,
+                None => w.price,
+            };
+            assert_eq!(
+                w.payment, expected,
+                "{}: payment must equal gain × critical_avg exactly",
+                w.bid_ref
+            );
+            assert_eq!(step.avg, w.price / f64::from(step.gain));
+        }
+        // The worked example's first step has runner-up average 2.5.
+        assert_eq!(trace[0].critical_avg, Some(2.5));
     }
 }

@@ -1,0 +1,161 @@
+//! The `verify` module reports every violation batch to telemetry under a
+//! `verify.*` counter before returning it. These tests pin that contract
+//! from the outside: each counter fires (with the batch size) exactly when
+//! a crafted violation is present, and a clean end-to-end run emits no
+//! `verify.*` counter at all — so dashboards can alert on their mere
+//! existence.
+
+use std::sync::Arc;
+
+use fl_auction::{
+    run_auction, verify, AWinner, AuctionConfig, Bid, BidRef, ClientId, ClientProfile,
+    DualCertificate, Instance, QualifiedBid, Round, Wdp, WdpSolution, WdpSolver, Window,
+    WinnerEntry,
+};
+use fl_telemetry::{install_local, Recorder, Snapshot};
+
+fn qb(client: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+    QualifiedBid {
+        bid_ref: BidRef::new(ClientId(client), 0),
+        price,
+        accuracy: 0.5,
+        window: Window::new(Round(a), Round(d)),
+        rounds: c,
+        round_time: 1.0,
+    }
+}
+
+fn wdp() -> Wdp {
+    Wdp::new(2, 1, vec![qb(0, 2.0, 1, 2, 1), qb(1, 3.0, 1, 2, 1)])
+}
+
+fn entry(client: u32, price: f64, payment: f64, rounds: &[u32]) -> WinnerEntry {
+    WinnerEntry {
+        bid_ref: BidRef::new(ClientId(client), 0),
+        price,
+        payment,
+        schedule: rounds.iter().map(|&t| Round(t)).collect(),
+    }
+}
+
+/// Runs `f` with a thread-local recorder installed and returns the
+/// telemetry snapshot.
+fn recorded(f: impl FnOnce()) -> Snapshot {
+    let recorder = Arc::new(Recorder::default());
+    let guard = install_local(recorder.clone());
+    f();
+    drop(guard);
+    recorder.snapshot()
+}
+
+#[test]
+fn wdp_counter_fires_per_violation_batch() {
+    // Round 2 is uncovered AND the reported cost is wrong: one call, one
+    // counter increment per violation in the batch.
+    let sol = WdpSolution::new(2, vec![entry(0, 2.0, 2.0, &[1])], 2.0, None);
+    let snap = recorded(|| {
+        let bad = verify::wdp_violations(&wdp(), &sol);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+    });
+    assert_eq!(snap.counters["verify.wdp_violations"], 1);
+}
+
+#[test]
+fn ir_counter_fires_when_a_winner_is_underpaid() {
+    let sol = WdpSolution::new(2, vec![entry(0, 2.0, 1.5, &[1])], 2.0, None);
+    let snap = recorded(|| {
+        assert_eq!(verify::ir_violations(&sol).len(), 1);
+    });
+    assert_eq!(snap.counters["verify.ir_violations"], 1);
+}
+
+#[test]
+fn certificate_counter_fires_on_broken_weak_duality() {
+    // D = 100 > P = 2 and a negative λ: two violations in one batch.
+    let cert = DualCertificate {
+        harmonic: 1.0,
+        omega: 1.0,
+        g: vec![50.0, 50.0],
+        lambda: vec![-1.0],
+        dual_objective: 100.0,
+    };
+    let sol = WdpSolution::new(2, vec![entry(0, 2.0, 2.0, &[1])], 2.0, Some(cert));
+    let snap = recorded(|| {
+        assert_eq!(verify::certificate_violations(&sol).len(), 2);
+    });
+    assert_eq!(snap.counters["verify.certificate_violations"], 2);
+}
+
+#[test]
+fn dual_feasibility_counter_fires_on_oversized_g() {
+    // g(t) = 50 per round dwarfs every price, so constraint (8a) breaks
+    // for every sampled schedule of both bids.
+    let cert = DualCertificate {
+        harmonic: 1.5,
+        omega: 1.5,
+        g: vec![50.0, 50.0],
+        lambda: vec![0.0],
+        dual_objective: 100.0,
+    };
+    let sol = WdpSolution::new(2, vec![entry(0, 2.0, 2.0, &[1])], 2.0, Some(cert));
+    let snap = recorded(|| {
+        let bad = verify::dual_feasibility_violations(&wdp(), &sol);
+        assert!(!bad.is_empty());
+    });
+    assert!(snap.counters["verify.dual_feasibility_violations"] >= 2);
+}
+
+#[test]
+fn outcome_counter_fires_when_the_horizon_escapes_the_range() {
+    // Run the auction under T = 4, then verify the outcome against an
+    // otherwise-identical instance announcing T = 1: the chosen horizon
+    // now escapes [1, T] and the early-return branch must still report.
+    let build = |max_rounds: u32| {
+        let cfg = AuctionConfig::builder()
+            .max_rounds(max_rounds)
+            .clients_per_round(1)
+            .round_time_limit(100.0)
+            .build()
+            .unwrap();
+        let mut inst = Instance::new(cfg);
+        for price in [3.0, 5.0] {
+            let c = inst.add_client(ClientProfile::new(2.0, 5.0).unwrap());
+            inst.add_bid(
+                c,
+                Bid::new(price, 0.5, Window::new(Round(1), Round(4)), 2).unwrap(),
+            )
+            .unwrap();
+        }
+        inst
+    };
+    let outcome = run_auction(&build(4)).unwrap();
+    assert!(outcome.horizon() >= 2, "θ = 0.5 forces T_g ≥ 2");
+    let strict = build(1);
+    let snap = recorded(|| {
+        let bad = verify::outcome_violations(&strict, &outcome);
+        assert!(bad.iter().any(|m| m.contains("escapes")), "{bad:?}");
+    });
+    assert_eq!(snap.counters["verify.outcome_violations"], 1);
+}
+
+#[test]
+fn clean_run_emits_no_verify_counters() {
+    let w = wdp();
+    let sol = AWinner::new().solve_wdp(&w).unwrap();
+    let snap = recorded(|| {
+        assert!(verify::wdp_violations(&w, &sol).is_empty());
+        assert!(verify::ir_violations(&sol).is_empty());
+        assert!(verify::certificate_violations(&sol).is_empty());
+        assert!(verify::dual_feasibility_violations(&w, &sol).is_empty());
+    });
+    assert!(
+        !snap.counters.keys().any(|k| k.starts_with("verify.")),
+        "clean run leaked verify counters: {:?}",
+        snap.counters
+    );
+    assert!(
+        snap.messages.is_empty(),
+        "clean run warned: {:?}",
+        snap.messages
+    );
+}

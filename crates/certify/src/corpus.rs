@@ -1,0 +1,281 @@
+//! The one-line JSON counterexample format and the committed corpus.
+//!
+//! Every instance the certifier flags is minimised and written as a single
+//! JSON line, so a counterexample fits in a commit message, a bug report,
+//! or a grep. The files under `crates/certify/corpus/` are the permanent
+//! regression suite: each one pinned a real (or representative) mechanism
+//! edge case, and `certify replay` / the `corpus_replay` integration test
+//! re-check all of them on every CI run.
+//!
+//! The format is versioned (`"v": 1`) and deliberately flat:
+//!
+//! ```json
+//! {"v":1,"seed":7,"shape":"ties","note":"…","t":3,"k":1,"t_max":60,
+//!  "model":"linear","param":10,"qualify":"intent",
+//!  "clients":[[1,2],[0.5,1]],"bids":[[0,2,0.5,1,2,1],[1,6,0.5,2,3,2]]}
+//! ```
+//!
+//! Bid rows are `[client, price, theta, a, d, c]`; client rows are
+//! `[compute_time, comm_time]`. Encoding and parsing reuse
+//! [`fl_telemetry::json`] — the workspace's zero-dependency JSON layer.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fl_auction::{LocalIterationModel, QualifyMode};
+use fl_telemetry::json::{self, Json};
+
+use crate::gen::{CertBid, CertInstance};
+
+/// Version tag written into every corpus line.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Serialises an instance as one line of JSON (no trailing newline).
+pub fn to_json(ci: &CertInstance) -> String {
+    let (model, param) = match ci.model {
+        LocalIterationModel::Linear { scale } => ("linear", scale),
+        LocalIterationModel::LogInverse { eta } => ("log", eta),
+    };
+    let qualify = match ci.qualify {
+        QualifyMode::Intent => "intent",
+        QualifyMode::Literal => "literal",
+    };
+    let clients: Vec<String> = ci
+        .clients
+        .iter()
+        .map(|&(cmp, com)| json::array(&[json::number(cmp), json::number(com)]))
+        .collect();
+    let bids: Vec<String> = ci
+        .bids
+        .iter()
+        .map(|b| {
+            json::array(&[
+                b.client.to_string(),
+                json::number(b.price),
+                json::number(b.theta),
+                b.a.to_string(),
+                b.d.to_string(),
+                b.c.to_string(),
+            ])
+        })
+        .collect();
+    json::object(&[
+        ("v".into(), FORMAT_VERSION.to_string()),
+        ("seed".into(), ci.seed.to_string()),
+        ("shape".into(), json::string(&ci.shape)),
+        ("note".into(), json::string(&ci.note)),
+        ("t".into(), ci.t.to_string()),
+        ("k".into(), ci.k.to_string()),
+        ("t_max".into(), json::number(ci.t_max)),
+        ("model".into(), json::string(model)),
+        ("param".into(), json::number(param)),
+        ("qualify".into(), json::string(qualify)),
+        ("clients".into(), json::array(&clients)),
+        ("bids".into(), json::array(&bids)),
+    ])
+}
+
+/// Parses one corpus line back into an instance.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (bad JSON,
+/// missing key, wrong type, unknown model/qualify name, unsupported
+/// version). Semantic validation — windows, accuracies, client indices —
+/// happens later in [`CertInstance::to_instance`].
+pub fn from_json(line: &str) -> Result<CertInstance, String> {
+    let doc = json::parse(line)?;
+    let v = need_u64(&doc, "v")?;
+    if v != FORMAT_VERSION {
+        return Err(format!("unsupported corpus format version {v}"));
+    }
+    let model = match need_str(&doc, "model")? {
+        "linear" => LocalIterationModel::Linear {
+            scale: need_f64(&doc, "param")?,
+        },
+        "log" => LocalIterationModel::LogInverse {
+            eta: need_f64(&doc, "param")?,
+        },
+        other => return Err(format!("unknown local-iteration model {other:?}")),
+    };
+    let qualify = match need_str(&doc, "qualify")? {
+        "intent" => QualifyMode::Intent,
+        "literal" => QualifyMode::Literal,
+        other => return Err(format!("unknown qualify mode {other:?}")),
+    };
+    let clients = need_arr(&doc, "clients")?
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let row = row
+                .as_array()
+                .ok_or_else(|| format!("clients[{i}] is not an array"))?;
+            if row.len() != 2 {
+                return Err(format!("clients[{i}] must be [compute, comm]"));
+            }
+            Ok((num(&row[0], "compute")?, num(&row[1], "comm")?))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let bids = need_arr(&doc, "bids")?
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let row = row
+                .as_array()
+                .ok_or_else(|| format!("bids[{i}] is not an array"))?;
+            if row.len() != 6 {
+                return Err(format!("bids[{i}] must be [client, price, theta, a, d, c]"));
+            }
+            Ok(CertBid {
+                client: uint(&row[0], "client")?,
+                price: num(&row[1], "price")?,
+                theta: num(&row[2], "theta")?,
+                a: uint(&row[3], "a")?,
+                d: uint(&row[4], "d")?,
+                c: uint(&row[5], "c")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(CertInstance {
+        seed: need_u64(&doc, "seed")?,
+        shape: need_str(&doc, "shape")?.to_string(),
+        note: need_str(&doc, "note")?.to_string(),
+        t: u32::try_from(need_u64(&doc, "t")?).map_err(|_| "t out of range".to_string())?,
+        k: u32::try_from(need_u64(&doc, "k")?).map_err(|_| "k out of range".to_string())?,
+        t_max: need_f64(&doc, "t_max")?,
+        model,
+        qualify,
+        clients,
+        bids,
+    })
+}
+
+/// The committed corpus directory, resolved relative to this crate so the
+/// bin and tests agree regardless of the working directory.
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Loads every `*.json` corpus file under `dir`, sorted by file name.
+///
+/// # Errors
+///
+/// Returns the first I/O or parse failure, tagged with the file name.
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, CertInstance)>, String> {
+    let mut names: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let ci = from_json(text.trim()).map_err(|e| format!("{}: {e}", path.display()))?;
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            Ok((name, ci))
+        })
+        .collect()
+}
+
+fn need<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn need_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    need(doc, key)?
+        .as_u64()
+        .ok_or_else(|| format!("{key:?} is not an unsigned integer"))
+}
+
+fn need_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    num(need(doc, key)?, key)
+}
+
+fn need_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    need(doc, key)?
+        .as_str()
+        .ok_or_else(|| format!("{key:?} is not a string"))
+}
+
+fn need_arr<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    need(doc, key)?
+        .as_array()
+        .ok_or_else(|| format!("{key:?} is not an array"))
+}
+
+fn num(v: &Json, what: &str) -> Result<f64, String> {
+    match v.as_f64() {
+        Some(x) if x.is_finite() => Ok(x),
+        _ => Err(format!("{what:?} is not a finite number")),
+    }
+}
+
+fn uint(v: &Json, what: &str) -> Result<u32, String> {
+    v.as_u64()
+        .and_then(|x| u32::try_from(x).ok())
+        .ok_or_else(|| format!("{what:?} is not a u32"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn round_trip_is_lossless() {
+        for seed in [0, 3, 17, 99, 1234] {
+            let ci = generate(seed);
+            let line = to_json(&ci);
+            assert!(!line.contains('\n'), "corpus lines must be one line");
+            let back = from_json(&line).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(ci, back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error_with_context() {
+        for (line, expect) in [
+            ("", "unexpected end of input"),
+            ("{}", "missing key \"v\""),
+            (r#"{"v":2}"#, "unsupported corpus format version 2"),
+            (
+                &to_json(&generate(0)).replace("\"linear\"", "\"cubic\""),
+                "unknown local-iteration model",
+            ),
+            (
+                &to_json(&generate(0)).replace("\"intent\"", "\"strict\""),
+                "unknown qualify mode",
+            ),
+        ] {
+            let err = from_json(line).unwrap_err();
+            assert!(err.contains(expect), "{line:?} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn bid_rows_must_have_six_fields() {
+        let mut ci = generate(0);
+        ci.bids.truncate(1);
+        let line = to_json(&ci);
+        // Drop the last field of the only bid row. "bids" is the final
+        // key, so the document ends `…,{d},{c}]]}` — rewrite that tail.
+        let tail = format!(",{},{}]]}}", ci.bids[0].d, ci.bids[0].c);
+        assert!(line.ends_with(&tail), "{line}");
+        let broken = format!("{},{}]]}}", &line[..line.len() - tail.len()], ci.bids[0].d);
+        let err = from_json(&broken).unwrap_err();
+        assert!(
+            err.contains("must be [client, price, theta, a, d, c]"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corpus_dir_points_into_this_crate() {
+        assert!(corpus_dir().ends_with("crates/certify/corpus"));
+    }
+}

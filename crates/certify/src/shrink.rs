@@ -1,0 +1,194 @@
+//! Greedy counterexample minimisation.
+//!
+//! When the fuzzer finds a violation, the raw instance is rarely the story
+//! — the story is the three-bid core buried inside it. [`minimise`] shrinks
+//! an instance while preserving *the same failing property code*: each
+//! round it tries a list of simplifying transformations (drop a client,
+//! drop a bid, shorten the horizon, relax a window, round a price, …) in
+//! aggressiveness order and keeps the first one that still fails. The loop
+//! stops at a fixpoint: no single transformation reproduces the failure.
+//!
+//! Transformed instances that become structurally invalid are harmless:
+//! [`check`] classifies them as [`prop::INVALID`](crate::props::prop),
+//! which never equals the property being preserved, so the candidate is
+//! simply rejected.
+
+use crate::gen::CertInstance;
+use crate::props::check;
+
+/// Shrinks `ci` to a (locally) minimal instance that still violates
+/// `property`. Returns the input unchanged when it does not fail in the
+/// first place.
+pub fn minimise(ci: &CertInstance, property: &str) -> CertInstance {
+    let fails = |c: &CertInstance| check(c).violations.iter().any(|v| v.property == property);
+    let mut current = ci.clone();
+    if !fails(&current) {
+        return current;
+    }
+    loop {
+        let mut shrunk = false;
+        for candidate in candidates(&current) {
+            if fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    current.note = format!("minimised for {property}");
+    current
+}
+
+/// Candidate one-step simplifications, most aggressive first.
+fn candidates(ci: &CertInstance) -> Vec<CertInstance> {
+    let mut out = Vec::new();
+
+    // Drop a whole client (and its bids; higher indices shift down).
+    if ci.clients.len() > 1 {
+        for drop in 0..ci.clients.len() {
+            let mut c = ci.clone();
+            c.clients.remove(drop);
+            c.bids.retain(|b| b.client as usize != drop);
+            for b in &mut c.bids {
+                if b.client as usize > drop {
+                    b.client -= 1;
+                }
+            }
+            out.push(c);
+        }
+    }
+
+    // Drop a single bid.
+    if ci.bids.len() > 1 {
+        for drop in 0..ci.bids.len() {
+            let mut c = ci.clone();
+            c.bids.remove(drop);
+            out.push(c);
+        }
+    }
+
+    // Shorten the horizon, lower the demand.
+    if ci.t > 1 {
+        let mut c = ci.clone();
+        c.t -= 1;
+        out.push(c);
+    }
+    if ci.k > 1 {
+        let mut c = ci.clone();
+        c.k -= 1;
+        out.push(c);
+    }
+
+    // Per-bid structural simplifications.
+    for i in 0..ci.bids.len() {
+        let b = &ci.bids[i];
+        if b.c > 1 {
+            let mut c = ci.clone();
+            c.bids[i].c -= 1;
+            out.push(c);
+        }
+        if b.d > b.a && b.d - b.a >= b.c {
+            let mut c = ci.clone();
+            c.bids[i].d -= 1;
+            out.push(c);
+        }
+        if b.a < b.d && b.d - b.a >= b.c {
+            let mut c = ci.clone();
+            c.bids[i].a += 1;
+            out.push(c);
+        }
+        if b.price != b.price.floor() {
+            let mut c = ci.clone();
+            c.bids[i].price = b.price.floor().max(0.0);
+            out.push(c);
+        }
+        if b.price > 1.0 {
+            let mut c = ci.clone();
+            c.bids[i].price = 1.0;
+            out.push(c);
+        }
+        if b.theta != 0.5 {
+            let mut c = ci.clone();
+            c.bids[i].theta = 0.5;
+            out.push(c);
+        }
+    }
+
+    // Flatten incidental configuration.
+    if ci.clients.iter().any(|&p| p != (1.0, 1.0)) {
+        let mut c = ci.clone();
+        for p in &mut c.clients {
+            *p = (1.0, 1.0);
+        }
+        out.push(c);
+    }
+    if ci.t_max != 60.0 {
+        let mut c = ci.clone();
+        c.t_max = 60.0;
+        out.push(c);
+    }
+    if ci.model != fl_auction::LocalIterationModel::paper() {
+        let mut c = ci.clone();
+        c.model = fl_auction::LocalIterationModel::paper();
+        out.push(c);
+    }
+    if ci.qualify != fl_auction::QualifyMode::Intent {
+        let mut c = ci.clone();
+        c.qualify = fl_auction::QualifyMode::Intent;
+        out.push(c);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, CertBid};
+    use crate::props::prop;
+
+    #[test]
+    fn clean_instance_passes_through_unchanged() {
+        let ci = generate(0);
+        let out = minimise(&ci, prop::GREEDY_BELOW_OPT);
+        assert_eq!(out, ci);
+    }
+
+    #[test]
+    fn invalid_instance_minimises_to_a_tiny_core() {
+        // Plant an invalid accuracy inside a noisy instance: the minimiser
+        // must strip everything that is not needed to stay invalid.
+        let mut ci = generate(1);
+        ci.bids.push(CertBid {
+            client: 0,
+            price: 2.0,
+            theta: 1.5, // invalid on purpose
+            a: 1,
+            d: 1,
+            c: 1,
+        });
+        let out = minimise(&ci, prop::INVALID);
+        assert_eq!(out.bids.len(), 1, "{out:?}");
+        assert_eq!(out.clients.len(), 1, "{out:?}");
+        assert_eq!(out.t, 1, "{out:?}");
+        assert_eq!(out.bids[0].theta, 1.5, "the defect must survive");
+        assert_eq!(out.note, format!("minimised for {}", prop::INVALID));
+        let report = check(&out);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == prop::INVALID));
+    }
+
+    #[test]
+    fn minimisation_is_idempotent() {
+        let mut ci = generate(1);
+        ci.bids[0].theta = -0.25;
+        let once = minimise(&ci, prop::INVALID);
+        let twice = minimise(&once, prop::INVALID);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,57 @@
+//! Replays every committed corpus counterexample through the full property
+//! engine. Each file pinned a real mechanism edge case when it was added;
+//! this test is the permanent regression net that keeps them green.
+
+use fl_certify::{check, corpus_dir, load_dir};
+
+#[test]
+fn every_corpus_entry_replays_clean() {
+    let entries = load_dir(&corpus_dir()).expect("corpus must load");
+    assert!(
+        !entries.is_empty(),
+        "the committed corpus must not be empty"
+    );
+    for (name, ci) in &entries {
+        let report = check(ci);
+        assert!(
+            report.ok(),
+            "{name} regressed ({}): {:?}",
+            ci.note,
+            report.violations
+        );
+    }
+}
+
+/// The corpus entries are only worth committing while they still exercise
+/// the code path they were minimised for; these pins fail loudly if a
+/// behaviour change makes one of them vacuous.
+#[test]
+fn corpus_entries_still_exercise_their_edge_cases() {
+    let entries = load_dir(&corpus_dir()).expect("corpus must load");
+    let stats_of = |name: &str| {
+        let (_, ci) = entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} missing from corpus"));
+        check(ci).stats
+    };
+
+    // The stall entry must still stall the truthfulness probes (not merely
+    // pass): that reclassification is the behaviour it pins.
+    let stall = stats_of("stall-threshold-nonmonotone.json");
+    assert!(
+        stall.stalled_probes >= 1,
+        "stall entry no longer stalls: {stall:?}"
+    );
+
+    // The dual entries must still reach a proven optimum so the weak
+    // duality comparison actually runs.
+    for name in ["dual-cert-unrecorded-cheap-bid.json", "dual-above-opt.json"] {
+        let s = stats_of(name);
+        assert!(s.exact_proven >= 1, "{name} lost its proven optimum: {s:?}");
+    }
+
+    // T_0 == T: the sweep must have collapsed to a single candidate.
+    let single = stats_of("t0-eq-t-single-horizon.json");
+    assert_eq!(single.horizons, 1, "t0_eq_t entry qualifies extra horizons");
+}

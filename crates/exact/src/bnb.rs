@@ -18,6 +18,7 @@
 use fl_auction::{AWinner, QualifiedBid, Wdp, WdpError, WdpSolution, WdpSolver, WinnerEntry};
 
 use crate::sched;
+use crate::solver::{ExactOutcome, Optimality, ProvingWdpSolver};
 
 /// Exact WDP solver (pay-as-bid; OPT is a yardstick, not a mechanism).
 ///
@@ -79,7 +80,32 @@ impl WdpSolver for ExactSolver {
         "OPT"
     }
 
+    /// Solves to proven optimality or fails.
+    ///
+    /// Budget exhaustion surfaces as [`WdpError::ResourceLimit`] even when
+    /// a feasible incumbent exists — this method's contract is "a returned
+    /// solution is the proven optimum". Use
+    /// [`solve_proved`](ProvingWdpSolver::solve_proved) to receive the
+    /// incumbent together with an explicit "bound, not proven optimal"
+    /// marker instead.
     fn solve_wdp(&self, wdp: &Wdp) -> Result<WdpSolution, WdpError> {
+        match self.solve_proved(wdp)? {
+            ExactOutcome {
+                solution,
+                optimality: Optimality::Proven,
+            } => Ok(solution),
+            ExactOutcome {
+                optimality: Optimality::Bounded { reason },
+                ..
+            } => Err(WdpError::ResourceLimit(format!(
+                "{reason}; incumbent is a bound, not proven optimal"
+            ))),
+        }
+    }
+}
+
+impl ProvingWdpSolver for ExactSolver {
+    fn solve_proved(&self, wdp: &Wdp) -> Result<ExactOutcome, WdpError> {
         let horizon = wdp.horizon();
         let k = wdp.demand_per_round();
         // Branch order: ascending price per offered round, deterministic.
@@ -138,6 +164,7 @@ impl WdpSolver for ExactSolver {
             demand: u64::from(k) * u64::from(horizon),
             node_budget: self.node_budget,
             nodes: 0,
+            exhausted: false,
             best_cost,
             best_set,
             chosen: Vec::new(),
@@ -146,10 +173,19 @@ impl WdpSolver for ExactSolver {
             capacity: 0,
             cost: 0.0,
         };
-        search.dfs(0)?;
+        search.dfs(0);
 
         let Some(set) = search.best_set else {
-            return Err(WdpError::Infeasible);
+            return if search.exhausted {
+                // No incumbent at all: nothing reportable survives.
+                Err(WdpError::ResourceLimit(format!(
+                    "branch-and-bound node budget of {} exhausted before any \
+                     feasible incumbent was found",
+                    self.node_budget
+                )))
+            } else {
+                Err(WdpError::Infeasible)
+            };
         };
         let chosen: Vec<&QualifiedBid> = set.iter().map(|&i| bids[i]).collect();
         let schedules = sched::build_schedules(&chosen, horizon, k)
@@ -168,7 +204,20 @@ impl WdpSolver for ExactSolver {
                 }
             })
             .collect();
-        Ok(WdpSolution::new(horizon, winners, cost, None))
+        let optimality = if search.exhausted {
+            Optimality::Bounded {
+                reason: format!(
+                    "branch-and-bound node budget of {} exhausted",
+                    self.node_budget
+                ),
+            }
+        } else {
+            Optimality::Proven
+        };
+        Ok(ExactOutcome {
+            solution: WdpSolution::new(horizon, winners, cost, None),
+            optimality,
+        })
     }
 }
 
@@ -215,6 +264,9 @@ struct Search<'a> {
     demand: u64,
     node_budget: usize,
     nodes: usize,
+    /// Set when the node budget runs out; the search unwinds without
+    /// exploring further but keeps the incumbent found so far.
+    exhausted: bool,
     best_cost: f64,
     best_set: Option<Vec<usize>>,
     chosen: Vec<usize>,
@@ -227,13 +279,14 @@ struct Search<'a> {
 }
 
 impl Search<'_> {
-    fn dfs(&mut self, idx: usize) -> Result<(), WdpError> {
+    fn dfs(&mut self, idx: usize) {
+        if self.exhausted {
+            return;
+        }
         self.nodes += 1;
         if self.nodes > self.node_budget {
-            return Err(WdpError::ResourceLimit(format!(
-                "branch-and-bound node budget of {} exhausted",
-                self.node_budget
-            )));
+            self.exhausted = true;
+            return;
         }
         // Early acceptance: the chosen set may already be complete.
         if self.capacity >= self.demand && self.optimistic_chosen_coverage() >= self.demand {
@@ -244,21 +297,21 @@ impl Search<'_> {
                     self.best_set = Some(self.chosen.clone());
                 }
                 // Supersets only cost more; close the subtree.
-                return Ok(());
+                return;
             }
         }
         if idx == self.bids.len() {
-            return Ok(());
+            return;
         }
         // Per-round potential prune.
         for t in 0..self.horizon as usize {
             if self.window_count[t] + self.suffix_cover[idx][t] < self.k {
-                return Ok(());
+                return;
             }
         }
         // Fractional-knapsack bound on completing the remaining demand.
         if self.cost + self.completion_bound(idx) >= self.best_cost - 1e-9 {
-            return Ok(());
+            return;
         }
         // Branch 1: include bids[idx] (only if the client is free).
         let b = self.bids[idx];
@@ -270,7 +323,7 @@ impl Search<'_> {
             }
             self.capacity += u64::from(b.rounds);
             self.cost += b.price;
-            self.dfs(idx + 1)?;
+            self.dfs(idx + 1);
             self.cost -= b.price;
             self.capacity -= u64::from(b.rounds);
             for t in b.window.rounds() {
@@ -280,7 +333,7 @@ impl Search<'_> {
             self.chosen.pop();
         }
         // Branch 2: exclude bids[idx].
-        self.dfs(idx + 1)
+        self.dfs(idx + 1);
     }
 
     /// Optimistic useful coverage of the chosen set:

@@ -7,6 +7,7 @@
 use fl_auction::{QualifiedBid, Wdp, WdpError, WdpSolution, WdpSolver, WinnerEntry};
 
 use crate::sched;
+use crate::solver::{ExactOutcome, Optimality, ProvingWdpSolver};
 
 /// Hard cap on the number of bids the enumerator accepts.
 pub const MAX_BIDS: usize = 22;
@@ -89,6 +90,18 @@ impl WdpSolver for BruteForceSolver {
             })
             .collect();
         Ok(WdpSolution::new(horizon, winners, cost, None))
+    }
+}
+
+impl ProvingWdpSolver for BruteForceSolver {
+    /// Enumeration either visits every subset (a proof) or refuses the
+    /// instance outright, so a returned solution is always
+    /// [`Optimality::Proven`].
+    fn solve_proved(&self, wdp: &Wdp) -> Result<ExactOutcome, WdpError> {
+        self.solve_wdp(wdp).map(|solution| ExactOutcome {
+            solution,
+            optimality: Optimality::Proven,
+        })
     }
 }
 

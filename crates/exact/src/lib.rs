@@ -26,10 +26,12 @@ pub mod flow;
 pub mod refine;
 pub mod relax;
 pub mod sched;
+mod solver;
 pub mod vcg;
 
 pub use bnb::ExactSolver;
 pub use colgen::{solve_lp7, ColGenResult};
 pub use enumerate::{BruteForceSolver, MAX_BIDS};
 pub use refine::RefineSolver;
+pub use solver::{ExactOutcome, Optimality, ProvingWdpSolver};
 pub use vcg::{vcg, VcgOutcome};

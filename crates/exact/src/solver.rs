@@ -1,0 +1,153 @@
+//! Unified interface over the exact winner-determination solvers.
+//!
+//! The plain [`WdpSolver`] contract has no way to say *how much* a result
+//! can be trusted: a branch-and-bound run that exhausts its node budget
+//! still holds a perfectly feasible incumbent — it just cannot prove the
+//! incumbent optimal. Before this module existed, [`ExactSolver`] turned
+//! budget exhaustion into a hard [`WdpError::ResourceLimit`] and threw the
+//! incumbent away, which forced downstream consumers (differential
+//! certifiers, VCG payments, figures normalising by "OPT") either to treat
+//! the horizon as unsolved or, worse, to silently accept an unproven
+//! incumbent as the optimum.
+//!
+//! [`ProvingWdpSolver`] makes the distinction explicit: `solve_proved`
+//! returns the best solution found *plus* an [`Optimality`] tag saying
+//! whether the search completed. [`ExactSolver`] and [`BruteForceSolver`]
+//! both implement it, so they are interchangeable wherever a proof-aware
+//! exact solver is needed (the `fl-certify` differential fuzzer picks
+//! whichever fits the instance size and cross-checks them against each
+//! other).
+
+use fl_auction::{Wdp, WdpError, WdpSolution, WdpSolver};
+
+/// How trustworthy an exact solver's result is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Optimality {
+    /// The search ran to completion: the solution is a proven optimum.
+    Proven,
+    /// An internal resource budget ran out before the search completed.
+    /// The accompanying solution is the best incumbent found — an **upper
+    /// bound** on the optimum, not a proven optimum.
+    Bounded {
+        /// Human-readable description of the exhausted budget.
+        reason: String,
+    },
+}
+
+impl Optimality {
+    /// Whether the result is a proven optimum.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, Optimality::Proven)
+    }
+}
+
+/// The result of a proof-aware exact solve: the best solution found and
+/// whether it was proven optimal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactOutcome {
+    /// The best (feasible) solution the search found.
+    pub solution: WdpSolution,
+    /// Whether `solution` is a proven optimum or just an incumbent bound.
+    pub optimality: Optimality,
+}
+
+/// A [`WdpSolver`] that can report whether its answer is a proven optimum.
+///
+/// The contract sharpens [`WdpSolver::solve_wdp`]:
+///
+/// * `Ok(outcome)` with [`Optimality::Proven`] — `outcome.solution` is the
+///   exact optimum.
+/// * `Ok(outcome)` with [`Optimality::Bounded`] — a feasible incumbent
+///   exists but the search stopped early; the true optimum may be cheaper.
+///   Consumers that must not produce false positives (e.g. a certifier
+///   flagging "greedy beat the optimum") must skip such horizons.
+/// * `Err(WdpError::Infeasible)` — proven infeasible.
+/// * `Err(WdpError::ResourceLimit)` — the budget ran out **before any
+///   feasible incumbent was found**: nothing at all can be reported.
+pub trait ProvingWdpSolver: WdpSolver {
+    /// Solves one WDP, reporting the optimality status alongside the
+    /// solution.
+    ///
+    /// # Errors
+    ///
+    /// See the trait-level contract.
+    fn solve_proved(&self, wdp: &Wdp) -> Result<ExactOutcome, WdpError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForceSolver, ExactSolver};
+    use fl_auction::{BidRef, ClientId, QualifiedBid, Round, Window};
+
+    fn qb(client: u32, price: f64, a: u32, d: u32, c: u32) -> QualifiedBid {
+        QualifiedBid {
+            bid_ref: BidRef::new(ClientId(client), 0),
+            price,
+            accuracy: 0.5,
+            window: Window::new(Round(a), Round(d)),
+            rounds: c,
+            round_time: 1.0,
+        }
+    }
+
+    /// `A_winner` picks the $1 round-1 bid first (average cost 1 ties the
+    /// $2 full-window bid, smaller price wins) and then must buy the $2
+    /// full-window bid anyway: greedy pays 3, OPT is the $2 bid alone.
+    /// Forces real branching, so a 1-node budget exhausts mid-search with
+    /// the suboptimal greedy incumbent still in hand.
+    fn branching_wdp() -> Wdp {
+        Wdp::new(
+            2,
+            1,
+            vec![
+                qb(0, 1.0, 1, 1, 1),
+                qb(1, 2.0, 1, 2, 2),
+                qb(2, 10.0, 2, 2, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn both_exact_solvers_prove_the_same_optimum() {
+        let wdp = branching_wdp();
+        let bnb = ExactSolver::new().solve_proved(&wdp).unwrap();
+        let brute = BruteForceSolver::new().solve_proved(&wdp).unwrap();
+        assert!(bnb.optimality.is_proven());
+        assert!(brute.optimality.is_proven());
+        assert_eq!(bnb.solution.cost(), 2.0);
+        assert_eq!(brute.solution.cost(), 2.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_bounded_incumbent_not_error() {
+        let wdp = branching_wdp();
+        let out = ExactSolver::new()
+            .with_node_budget(1)
+            .solve_proved(&wdp)
+            .unwrap();
+        match &out.optimality {
+            Optimality::Bounded { reason } => {
+                assert!(reason.contains("node budget"), "{reason}");
+            }
+            other => panic!("expected Bounded, got {other:?}"),
+        }
+        // The incumbent is the greedy seed — feasible, just not proven.
+        assert_eq!(out.solution.cost(), 3.0);
+        assert!(fl_auction::verify::wdp_violations(&wdp, &out.solution).is_empty());
+    }
+
+    #[test]
+    fn solvers_are_object_safe_and_interchangeable() {
+        let wdp = branching_wdp();
+        let solvers: Vec<Box<dyn ProvingWdpSolver>> = vec![
+            Box::new(ExactSolver::new()),
+            Box::new(BruteForceSolver::new()),
+        ];
+        for s in &solvers {
+            let out = s.solve_proved(&wdp).unwrap();
+            assert!(out.optimality.is_proven());
+            assert_eq!(out.solution.cost(), 2.0);
+        }
+    }
+}
