@@ -48,6 +48,14 @@ pub struct AuctionOutcome {
 }
 
 impl AuctionOutcome {
+    /// Reassembles an outcome from its parts — the inverse of
+    /// `(horizon(), solution())`, used by [`crate::serial`] and the
+    /// service layer's journal recovery to reconstruct announced outcomes
+    /// bit-identically.
+    pub fn from_parts(horizon: u32, solution: WdpSolution) -> AuctionOutcome {
+        AuctionOutcome { horizon, solution }
+    }
+
     /// The chosen number of global iterations `T_g*`.
     pub fn horizon(&self) -> u32 {
         self.horizon

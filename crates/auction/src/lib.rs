@@ -90,6 +90,7 @@ pub mod preprocess;
 mod qualify;
 pub mod recover;
 mod schedule;
+pub mod serial;
 pub mod stats;
 pub mod truthful;
 mod types;

@@ -1,0 +1,342 @@
+//! JSON serialisation of auction outcomes and payments.
+//!
+//! The service layer (`fl-flpd`) must persist epoch decisions in its
+//! write-ahead journal and announce them over the wire, and the certifier
+//! replays recovered outcomes against fresh solves — all of which demands
+//! a *lossless* encoding: payments must survive encode → decode
+//! **bit-identically**, or the crash-recovery invariant ("a replayed
+//! epoch equals the fault-free run") could not be checked with `==`.
+//!
+//! Floats therefore use Rust's shortest-round-trip formatting (exact by
+//! construction) with non-finite values spelled as the strings `"inf"`,
+//! `"-inf"`, `"nan"` — `ω` in a dual certificate is legitimately infinite
+//! when a round's cheapest average cost is zero, and plain JSON `null`
+//! would collapse `±inf`/NaN into one value.
+//!
+//! The format is versioned and flat:
+//!
+//! ```json
+//! {"v":1,"horizon":4,"cost":12.5,
+//!  "winners":[{"client":0,"bid":1,"price":3.5,"payment":4.25,"schedule":[1,2]}],
+//!  "certificate":{"harmonic":2.08,"omega":3.0,"g":[…],"lambda":[…],"dual":8.1}}
+//! ```
+
+use fl_telemetry::json::{self, Json};
+
+use crate::auction::AuctionOutcome;
+use crate::types::{BidRef, ClientId, Round};
+use crate::wdp::{DualCertificate, WdpSolution, WinnerEntry};
+
+/// Version tag of the outcome encoding.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Encodes a float losslessly: shortest-round-trip for finite values,
+/// `"inf"` / `"-inf"` / `"nan"` strings otherwise.
+fn float(x: f64) -> String {
+    if x.is_finite() {
+        json::number(x)
+    } else if x.is_nan() {
+        json::string("nan")
+    } else if x > 0.0 {
+        json::string("inf")
+    } else {
+        json::string("-inf")
+    }
+}
+
+/// Decodes a float written by [`float`].
+fn read_float(v: &Json, what: &str) -> Result<f64, String> {
+    match v {
+        Json::Num(x) => Ok(*x),
+        Json::Str(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(format!("{what}: unknown float literal {other:?}")),
+        },
+        other => Err(format!("{what}: expected number, got {other:?}")),
+    }
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn read_u32(doc: &Json, key: &str) -> Result<u32, String> {
+    let raw = field(doc, key)?
+        .as_u64()
+        .ok_or_else(|| format!("{key:?} not an unsigned integer"))?;
+    u32::try_from(raw).map_err(|_| format!("{key:?} exceeds u32"))
+}
+
+fn floats_array(xs: &[f64]) -> String {
+    json::array(&xs.iter().map(|&x| float(x)).collect::<Vec<_>>())
+}
+
+fn read_floats(doc: &Json, key: &str) -> Result<Vec<f64>, String> {
+    field(doc, key)?
+        .as_array()
+        .ok_or_else(|| format!("{key:?} not an array"))?
+        .iter()
+        .map(|v| read_float(v, key))
+        .collect()
+}
+
+fn winner_json(w: &WinnerEntry) -> String {
+    json::object(&[
+        ("client".into(), w.bid_ref.client.0.to_string()),
+        ("bid".into(), w.bid_ref.bid.to_string()),
+        ("price".into(), float(w.price)),
+        ("payment".into(), float(w.payment)),
+        (
+            "schedule".into(),
+            json::array(
+                &w.schedule
+                    .iter()
+                    .map(|t| t.0.to_string())
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+}
+
+fn read_winner(v: &Json) -> Result<WinnerEntry, String> {
+    let schedule = field(v, "schedule")?
+        .as_array()
+        .ok_or("\"schedule\" not an array")?
+        .iter()
+        .map(|t| {
+            t.as_u64()
+                .and_then(|t| u32::try_from(t).ok())
+                .map(Round)
+                .ok_or_else(|| "bad round in schedule".to_string())
+        })
+        .collect::<Result<Vec<Round>, String>>()?;
+    Ok(WinnerEntry {
+        bid_ref: BidRef::new(ClientId(read_u32(v, "client")?), read_u32(v, "bid")?),
+        price: read_float(field(v, "price")?, "price")?,
+        payment: read_float(field(v, "payment")?, "payment")?,
+        schedule,
+    })
+}
+
+fn certificate_json(c: &DualCertificate) -> String {
+    json::object(&[
+        ("harmonic".into(), float(c.harmonic)),
+        ("omega".into(), float(c.omega)),
+        ("g".into(), floats_array(&c.g)),
+        ("lambda".into(), floats_array(&c.lambda)),
+        ("dual".into(), float(c.dual_objective)),
+    ])
+}
+
+fn read_certificate(v: &Json) -> Result<DualCertificate, String> {
+    Ok(DualCertificate {
+        harmonic: read_float(field(v, "harmonic")?, "harmonic")?,
+        omega: read_float(field(v, "omega")?, "omega")?,
+        g: read_floats(v, "g")?,
+        lambda: read_floats(v, "lambda")?,
+        dual_objective: read_float(field(v, "dual")?, "dual")?,
+    })
+}
+
+/// Encodes a WDP solution as one line of JSON (no trailing newline).
+pub fn solution_to_json(solution: &WdpSolution) -> String {
+    let mut members = vec![
+        ("v".into(), FORMAT_VERSION.to_string()),
+        ("horizon".into(), solution.horizon().to_string()),
+        ("cost".into(), float(solution.cost())),
+        (
+            "winners".into(),
+            json::array(
+                &solution
+                    .winners()
+                    .iter()
+                    .map(winner_json)
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ];
+    if let Some(cert) = solution.certificate() {
+        members.push(("certificate".into(), certificate_json(cert)));
+    }
+    json::object(&members)
+}
+
+/// Decodes a WDP solution from its JSON line.
+///
+/// # Errors
+///
+/// Describes the first malformed or missing field; rejects unknown format
+/// versions.
+pub fn solution_from_json(text: &str) -> Result<WdpSolution, String> {
+    let doc = json::parse(text)?;
+    solution_from_value(&doc)
+}
+
+/// Decodes a WDP solution from an already-parsed document (for callers
+/// that find the outcome embedded inside a larger response or record).
+///
+/// # Errors
+///
+/// Same failure modes as [`solution_from_json`].
+pub fn solution_from_value(doc: &Json) -> Result<WdpSolution, String> {
+    let v = field(doc, "v")?.as_u64().ok_or("\"v\" not an integer")?;
+    if v != FORMAT_VERSION {
+        return Err(format!("unsupported outcome format version {v}"));
+    }
+    let horizon = read_u32(doc, "horizon")?;
+    let cost = read_float(field(doc, "cost")?, "cost")?;
+    let winners = field(doc, "winners")?
+        .as_array()
+        .ok_or("\"winners\" not an array")?
+        .iter()
+        .map(read_winner)
+        .collect::<Result<Vec<_>, String>>()?;
+    let certificate = match doc.get("certificate") {
+        Some(c) => Some(read_certificate(c)?),
+        None => None,
+    };
+    Ok(WdpSolution::new(horizon, winners, cost, certificate))
+}
+
+/// Encodes an announced auction outcome as one line of JSON.
+pub fn outcome_to_json(outcome: &AuctionOutcome) -> String {
+    // The outer horizon equals the solution's; the solution line is the
+    // whole payload.
+    solution_to_json(outcome.solution())
+}
+
+/// Decodes an auction outcome from its JSON line.
+///
+/// # Errors
+///
+/// Same failure modes as [`solution_from_json`].
+pub fn outcome_from_json(text: &str) -> Result<AuctionOutcome, String> {
+    let solution = solution_from_json(text)?;
+    Ok(AuctionOutcome::from_parts(solution.horizon(), solution))
+}
+
+/// Decodes an auction outcome from an already-parsed document.
+///
+/// # Errors
+///
+/// Same failure modes as [`solution_from_json`].
+pub fn outcome_from_value(doc: &Json) -> Result<AuctionOutcome, String> {
+    let solution = solution_from_value(doc)?;
+    Ok(AuctionOutcome::from_parts(solution.horizon(), solution))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bid::{Bid, ClientProfile, Instance};
+    use crate::config::AuctionConfig;
+    use crate::types::Window;
+
+    fn outcome() -> AuctionOutcome {
+        let cfg = AuctionConfig::builder()
+            .max_rounds(6)
+            .clients_per_round(2)
+            .round_time_limit(60.0)
+            .build()
+            .unwrap();
+        let mut inst = Instance::new(cfg);
+        for i in 0..5u32 {
+            let c = inst.add_client(ClientProfile::new(2.0, 5.0).unwrap());
+            inst.add_bid(
+                c,
+                Bid::new(
+                    3.0 + f64::from(i) * 1.37,
+                    0.55,
+                    Window::new(Round(1), Round(6)),
+                    6,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        crate::auction::run_auction(&inst).unwrap()
+    }
+
+    #[test]
+    fn outcome_round_trips_bit_identically() {
+        let a = outcome();
+        let line = outcome_to_json(&a);
+        fl_telemetry::json::validate(&line).unwrap();
+        let b = outcome_from_json(&line).unwrap();
+        // PartialEq on the nested floats is exact — this is the journal
+        // replay invariant's foundation.
+        assert_eq!(a, b);
+        // Encode → decode → encode is byte-stable.
+        assert_eq!(outcome_to_json(&b), line);
+    }
+
+    #[test]
+    fn payments_survive_exactly() {
+        let a = outcome();
+        let b = outcome_from_json(&outcome_to_json(&a)).unwrap();
+        for (x, y) in a
+            .solution()
+            .winners()
+            .iter()
+            .zip(b.solution().winners().iter())
+        {
+            assert_eq!(x.payment.to_bits(), y.payment.to_bits());
+            assert_eq!(x.price.to_bits(), y.price.to_bits());
+            assert_eq!(x.schedule, y.schedule);
+        }
+    }
+
+    #[test]
+    fn non_finite_certificate_floats_round_trip() {
+        let solution = WdpSolution::new(
+            3,
+            vec![WinnerEntry {
+                bid_ref: BidRef::new(ClientId(0), 0),
+                price: 2.5,
+                payment: 2.5,
+                schedule: vec![Round(1), Round(2), Round(3)],
+            }],
+            2.5,
+            Some(DualCertificate {
+                harmonic: 1.5,
+                omega: f64::INFINITY,
+                g: vec![0.5, f64::NEG_INFINITY, f64::NAN],
+                lambda: vec![0.0],
+                dual_objective: 1.25,
+            }),
+        );
+        let line = solution_to_json(&solution);
+        let back = solution_from_json(&line).unwrap();
+        let cert = back.certificate().unwrap();
+        assert!(cert.omega.is_infinite() && cert.omega > 0.0);
+        assert!(cert.g[1].is_infinite() && cert.g[1] < 0.0);
+        assert!(cert.g[2].is_nan());
+        assert_eq!(solution_to_json(&back), line);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_reasons() {
+        for (bad, needle) in [
+            ("{}", "missing field"),
+            (r#"{"v":9,"horizon":1,"cost":0,"winners":[]}"#, "version"),
+            (
+                r#"{"v":1,"horizon":1,"cost":0,"winners":[{"client":0}]}"#,
+                "missing field",
+            ),
+            (r#"{"v":1,"horizon":-2,"cost":0,"winners":[]}"#, "unsigned"),
+            ("@garbage", "unexpected byte"),
+        ] {
+            let err = solution_from_json(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_float_literal_is_rejected() {
+        let err =
+            solution_from_json(r#"{"v":1,"horizon":1,"cost":"huge","winners":[]}"#).unwrap_err();
+        assert!(err.contains("unknown float literal"), "{err}");
+    }
+}

@@ -107,7 +107,8 @@ pub struct BenchRecord {
     pub schema_version: u64,
     /// Scenario name (stable key across history).
     pub scenario: String,
-    /// Scenario kind: `"wdp"`, `"auction"`, `"sweep"`, or `"recovery"`.
+    /// Scenario kind: `"wdp"`, `"auction"`, `"sweep"`, `"recovery"`, or
+    /// `"service"`.
     pub kind: String,
     /// Execution environment.
     pub env: EnvBlock,

@@ -24,9 +24,13 @@ use fl_auction::{
     run_auction_with, AWinner, AuctionConfig, EconomicHealth, Instance, MechanismStats,
     SweepStrategy, WdpSolver,
 };
+use fl_flpd::wire::{BidParams, OpenParams};
+use fl_flpd::{Client, ClientConfig, CloseReply, Daemon, DaemonConfig};
 use fl_sim::{DatasetSpec, FaultModel, Federation, FlJob, RecoveryPolicy};
 use fl_telemetry::{install_local, Recorder, Snapshot};
 use fl_workload::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
 
 use crate::runner::gen_prequalified_wdp;
 use crate::schema::{BenchRecord, EnvBlock, ScaleBlock, TimingBlock, SCHEMA_VERSION};
@@ -80,6 +84,10 @@ pub enum ScenarioKind {
     /// The whole service pipeline: auction, Myerson re-pricing, standby
     /// pool, simulated execution under churn with standby recovery.
     Recovery,
+    /// Full session lifecycles against a live `flpd` daemon over loopback
+    /// TCP: open, register clients, submit bids, close the epoch, query
+    /// payments — journal and wire layers included.
+    Service,
 }
 
 impl ScenarioKind {
@@ -90,13 +98,14 @@ impl ScenarioKind {
             ScenarioKind::Auction { .. } => "auction",
             ScenarioKind::Sweep { .. } => "sweep",
             ScenarioKind::Recovery => "recovery",
+            ScenarioKind::Service => "service",
         }
     }
 
     fn threads(self) -> usize {
         match self {
             ScenarioKind::Auction { threads } | ScenarioKind::Sweep { threads } => threads,
-            ScenarioKind::Wdp | ScenarioKind::Recovery => 1,
+            ScenarioKind::Wdp | ScenarioKind::Recovery | ScenarioKind::Service => 1,
         }
     }
 }
@@ -233,6 +242,25 @@ pub fn scenarios() -> Vec<Scenario> {
                 k: 3,
             },
         },
+        Scenario {
+            name: "flpd_service",
+            summary: "full session lifecycles against a live flpd daemon over loopback TCP",
+            kind: ScenarioKind::Service,
+            // `clients` is the total across the run; the driver partitions
+            // it into sessions of `SERVICE_CLIENTS_PER_SESSION`.
+            full: Scale {
+                clients: 100,
+                bids_per_client: 2,
+                rounds: 8,
+                k: 2,
+            },
+            smoke: Scale {
+                clients: 20,
+                bids_per_client: 2,
+                rounds: 8,
+                k: 2,
+            },
+        },
     ]
 }
 
@@ -296,6 +324,7 @@ fn execute(kind: ScenarioKind, scale: &Scale) -> Result<EconomicHealth, String> 
                 .ok_or("no feasible horizon in the sweep")?;
             Ok(EconomicHealth::of_solution(best))
         }
+        ScenarioKind::Service => service_pass(scale),
         ScenarioKind::Recovery => {
             let inst = instance(scale, 1)?;
             let outcome = run_auction_with(&inst, &AWinner::new())
@@ -323,6 +352,104 @@ fn execute(kind: ScenarioKind, scale: &Scale) -> Result<EconomicHealth, String> 
             Ok(health)
         }
     }
+}
+
+/// FL clients registered per daemon session in the service scenario;
+/// `Scale::clients` is the total across the whole run.
+const SERVICE_CLIENTS_PER_SESSION: usize = 5;
+
+/// One pass of the `flpd_service` scenario: self-host a daemon on an
+/// ephemeral loopback port with a scratch journal, then drive full
+/// session lifecycles (open, register, bid, close, query payments)
+/// sequentially from this thread.
+///
+/// Telemetry discipline: the recorder installed by [`run_scenario`] is
+/// thread-local, so the daemon's worker threads never write into it —
+/// every span and counter below is emitted from the bench thread, which
+/// keeps the pass view deterministic. Client retries are possible under
+/// a slow machine but idempotent, so only *logical* operations are
+/// counted, never attempts.
+fn service_pass(scale: &Scale) -> Result<EconomicHealth, String> {
+    let dir = fl_flpd::testutil::TempDir::new("bench-service");
+    let mut daemon = Daemon::start(DaemonConfig::new(dir.path().join("wal.jsonl")))
+        .map_err(|e| format!("daemon start failed: {e}"))?;
+    let mut client = Client::new(
+        daemon.addr(),
+        ClientConfig {
+            seed: SUITE_SEED,
+            ..ClientConfig::default()
+        },
+    );
+
+    let sessions = (scale.clients / SERVICE_CLIENTS_PER_SESSION).max(1);
+    let per_session = SERVICE_CLIENTS_PER_SESSION as u32;
+    let t = scale.rounds;
+    let mut last_committed = None;
+    for s in 0..sessions {
+        let _session = fl_telemetry::span!("service.session");
+        let mut rng = StdRng::seed_from_u64(SUITE_SEED ^ (s as u64).wrapping_mul(0x9e37_79b9));
+        let sid = {
+            let _g = fl_telemetry::span!("service.open");
+            client
+                .open(OpenParams::new(0, t, scale.k, 60.0))
+                .map_err(|e| format!("open: {e}"))?
+        };
+        {
+            let _g = fl_telemetry::span!("service.submit");
+            for c in 0..per_session {
+                client
+                    .add_client(&sid, 1.0 + rng.next_f64(), 2.0 + rng.next_f64() * 2.0)
+                    .map_err(|e| format!("add_client: {e}"))?;
+                for j in 0..scale.bids_per_client {
+                    // The first bid of every client spans the full horizon
+                    // so the pool always covers demand; the rest draw
+                    // random windows for a non-trivial WDP.
+                    let (a, d) = if j == 0 {
+                        (1, t)
+                    } else {
+                        let a = rng.random_range(1..=t);
+                        (a, rng.random_range(a..=t))
+                    };
+                    client
+                        .add_bid(
+                            &sid,
+                            BidParams {
+                                client: c,
+                                price: 1.0 + rng.next_f64() * 5.0,
+                                theta: 0.5 + rng.next_f64() * 0.3,
+                                a,
+                                d,
+                                c: rng.random_range(1..=(d - a + 1)),
+                            },
+                        )
+                        .map_err(|e| format!("add_bid: {e}"))?;
+                    fl_telemetry::counter!("service.bids");
+                }
+            }
+        }
+        let reply = {
+            let _g = fl_telemetry::span!("service.close");
+            client.close(&sid).map_err(|e| format!("close: {e}"))?
+        };
+        match reply {
+            CloseReply::Committed(outcome) => {
+                fl_telemetry::counter!("service.committed");
+                fl_telemetry::counter!("service.winners", outcome.solution().winners().len());
+                let _g = fl_telemetry::span!("service.payments");
+                client
+                    .payments(&sid, 0)
+                    .map_err(|e| format!("payments: {e}"))?;
+                last_committed = Some(outcome);
+            }
+            CloseReply::Aborted(_) => {
+                fl_telemetry::counter!("service.aborted");
+            }
+        }
+        fl_telemetry::counter!("service.sessions");
+    }
+    daemon.stop();
+    let outcome = last_committed.ok_or("no session committed an epoch")?;
+    Ok(EconomicHealth::of_solution(outcome.solution()))
 }
 
 /// Everything of a pass that must reproduce bit-for-bit under the same

@@ -15,6 +15,9 @@
 //!   [`fl_exact`]'s two provers, Myerson-threshold truthfulness probes,
 //!   loser monotonicity, payment identities, and all of `fl_auction`'s
 //!   ILP/IR/certificate verifiers.
+//! * [`replay`] certifies the `fl-flpd` journal-replay invariant: an
+//!   epoch recovered from the service's write-ahead journal must be
+//!   bit-identical to a fresh solve on the recorded bid set.
 //! * [`shrink`] minimises any failure to a locally minimal core that still
 //!   violates the same property code.
 //! * [`corpus`] serialises counterexamples as replayable one-line JSON and
@@ -34,9 +37,11 @@
 pub mod corpus;
 pub mod gen;
 pub mod props;
+pub mod replay;
 pub mod shrink;
 
 pub use corpus::{corpus_dir, from_json, load_dir, to_json, FORMAT_VERSION};
 pub use gen::{generate, CertBid, CertInstance, Shape, SplitMix64};
 pub use props::{check, Report, Stats, Violation};
+pub use replay::check_replay;
 pub use shrink::minimise;

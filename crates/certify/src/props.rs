@@ -98,6 +98,9 @@ pub mod prop {
     /// A losing bid started winning after *raising* its price
     /// (monotonicity, Lemma 1).
     pub const LOSER_MONOTONICITY: &str = "loser_monotonicity";
+    /// A journal-recovered epoch decision diverged from a fresh solve on
+    /// the recorded bid set (see [`crate::replay`]).
+    pub const JOURNAL_REPLAY: &str = "journal_replay";
 }
 
 /// One failed property with human-readable context.

@@ -2,7 +2,7 @@
 //! engine. Each file pinned a real mechanism edge case when it was added;
 //! this test is the permanent regression net that keeps them green.
 
-use fl_certify::{check, corpus_dir, load_dir};
+use fl_certify::{check, check_replay, corpus_dir, load_dir};
 
 #[test]
 fn every_corpus_entry_replays_clean() {
@@ -18,6 +18,22 @@ fn every_corpus_entry_replays_clean() {
             "{name} regressed ({}): {:?}",
             ci.note,
             report.violations
+        );
+    }
+}
+
+/// Every corpus instance must also survive the service-layer journal
+/// round trip: recovering an interrupted epoch from the flpd write-ahead
+/// journal yields the same decision and bit-identical payments as a
+/// fresh solve on the recorded bid set.
+#[test]
+fn every_corpus_entry_survives_journal_recovery() {
+    let entries = load_dir(&corpus_dir()).expect("corpus must load");
+    for (name, ci) in &entries {
+        let violations = check_replay(ci);
+        assert!(
+            violations.is_empty(),
+            "{name} breaks the journal-replay invariant: {violations:?}"
         );
     }
 }

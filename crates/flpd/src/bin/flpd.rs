@@ -1,0 +1,134 @@
+//! `flpd` — run the crash-safe auction daemon in the foreground.
+//!
+//! ```text
+//! flpd --journal wal.jsonl [--addr 127.0.0.1:7741] [--durability strict|epoch]
+//!      [--max-conns N] [--max-inflight-close N] [--io-timeout-ms N]
+//! ```
+//!
+//! Fault injection is read from the `FLPD_FAULTS` environment variable
+//! (see `fl_flpd::faults`). The process exits 0 on a client `shutdown`
+//! request, 2 on an injected crash, and 1 on bad usage.
+
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fl_flpd::daemon::DaemonConfig;
+use fl_flpd::journal::Durability;
+use fl_flpd::{Daemon, FaultPlan};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: flpd --journal <path> [--addr HOST:PORT] [--durability strict|epoch]\n\
+         \x20           [--max-conns N] [--max-inflight-close N] [--io-timeout-ms N]"
+    );
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut journal: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:7741".to_string();
+    let mut durability = Durability::Strict;
+    let mut max_conns: Option<usize> = None;
+    let mut max_inflight_close: Option<usize> = None;
+    let mut io_timeout_ms: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("flpd: {name} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--journal" => journal = take("--journal").map(PathBuf::from),
+            "--addr" => match take("--addr") {
+                Some(a) => addr = a,
+                None => return usage(),
+            },
+            "--durability" => match take("--durability").as_deref() {
+                Some("strict") => durability = Durability::Strict,
+                Some("epoch") => durability = Durability::EpochOnly,
+                _ => return usage(),
+            },
+            "--max-conns" => max_conns = take("--max-conns").and_then(|v| v.parse().ok()),
+            "--max-inflight-close" => {
+                max_inflight_close = take("--max-inflight-close").and_then(|v| v.parse().ok());
+            }
+            "--io-timeout-ms" => {
+                io_timeout_ms = take("--io-timeout-ms").and_then(|v| v.parse().ok())
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("flpd: unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(journal) = journal else {
+        return usage();
+    };
+
+    let faults = match FaultPlan::from_env() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("flpd: bad FLPD_FAULTS: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let mut cfg = DaemonConfig::new(journal);
+    cfg.addr = addr;
+    cfg.durability = durability;
+    cfg.faults = faults;
+    if let Some(n) = max_conns {
+        cfg.max_conns = n;
+    }
+    if let Some(n) = max_inflight_close {
+        cfg.limits.max_inflight_close = n;
+    }
+    if let Some(ms) = io_timeout_ms {
+        cfg.io_timeout = Duration::from_millis(ms);
+    }
+
+    let mut daemon = match Daemon::start(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("flpd: start failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let rec = daemon.recovery();
+    println!(
+        "flpd listening on {} (recovered {} sessions, {} replayed closes, {} aborted, {} bytes truncated)",
+        daemon.addr(),
+        rec.sessions,
+        rec.replayed_closes,
+        rec.aborted,
+        rec.truncated_bytes
+    );
+
+    // The accept loop owns the lifecycle; park until it exits (client
+    // shutdown request or injected crash).
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if daemon.crashed() {
+            eprintln!("flpd: injected crash — exiting without cleanup");
+            // Leak the daemon handle so Drop does not run a clean stop.
+            std::mem::forget(daemon);
+            return ExitCode::from(2);
+        }
+        if daemon.stopped() {
+            daemon.stop();
+            println!("flpd: shutdown complete");
+            return ExitCode::SUCCESS;
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! `loadgen` — open-loop load generator for the flpd daemon.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--sessions N] [--rate R] [--process poisson|uniform|bursty]
+//!         [--clients N] [--seed S] [--json]
+//! ```
+//!
+//! Sessions arrive on an open-loop schedule drawn from
+//! `fl_workload::arrival::ArrivalProcess` — arrivals do not wait for
+//! earlier sessions to finish, so an overloaded daemon is observed
+//! shedding load rather than silently pacing the generator. Without
+//! `--addr` a daemon is self-hosted on an ephemeral port with a scratch
+//! journal. Reports p50/p90/p99 full-session latency and achieved
+//! sessions/sec.
+
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fl_flpd::client::{Client, ClientConfig};
+use fl_flpd::daemon::DaemonConfig;
+use fl_flpd::wire::{BidParams, OpenParams};
+use fl_flpd::{CloseReply, Daemon};
+use fl_workload::ArrivalProcess;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+struct Opts {
+    addr: Option<SocketAddr>,
+    sessions: usize,
+    rate: f64,
+    process: String,
+    clients: u32,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: None,
+        sessions: 40,
+        rate: 20.0,
+        process: "poisson".into(),
+        clients: 4,
+        seed: 1,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => {
+                opts.addr = Some(
+                    val("--addr")?
+                        .parse()
+                        .map_err(|e| format!("bad --addr: {e}"))?,
+                );
+            }
+            "--sessions" => {
+                opts.sessions = val("--sessions")?
+                    .parse()
+                    .map_err(|e| format!("bad --sessions: {e}"))?;
+            }
+            "--rate" => {
+                opts.rate = val("--rate")?
+                    .parse()
+                    .map_err(|e| format!("bad --rate: {e}"))?;
+            }
+            "--process" => opts.process = val("--process")?,
+            "--clients" => {
+                opts.clients = val("--clients")?
+                    .parse()
+                    .map_err(|e| format!("bad --clients: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = val("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--json" => opts.json = true,
+            "--help" | "-h" => {
+                return Err("usage".into());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn arrival(process: &str, rate: f64) -> Result<ArrivalProcess, String> {
+    match process {
+        "poisson" => Ok(ArrivalProcess::Poisson { rate_per_sec: rate }),
+        "uniform" => Ok(ArrivalProcess::Uniform { rate_per_sec: rate }),
+        "bursty" => Ok(ArrivalProcess::Bursty {
+            rate_per_sec: rate,
+            burst: 4,
+        }),
+        other => Err(format!("unknown arrival process {other:?}")),
+    }
+}
+
+/// One full session lifecycle; returns its latency on commit/abort.
+///
+/// The workload shape (horizons, windows, prices) is a pure function of
+/// `seed` and `idx`; `run_id` — fresh wall-clock entropy per process —
+/// only perturbs the *client* seed, which feeds open-nonces and backoff
+/// jitter. Without it, a second loadgen run with the same `--seed`
+/// against a long-lived daemon would re-derive last run's nonces, and
+/// the daemon's idempotent `open` would hand back the old, already
+/// closed sessions instead of fresh ones.
+fn run_session(
+    addr: SocketAddr,
+    seed: u64,
+    run_id: u64,
+    idx: u64,
+    clients: u32,
+    retries: &AtomicU64,
+) -> Result<Duration, String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ idx.wrapping_mul(0x9e37_79b9));
+    let mut client = Client::new(
+        addr,
+        ClientConfig {
+            seed: run_id ^ seed.wrapping_add(idx),
+            ..ClientConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let t = rng.random_range(5..=8);
+    let sid = client
+        .open(OpenParams::new(0, t, 1, 60.0))
+        .map_err(|e| format!("open: {e}"))?;
+    for c in 0..clients {
+        client
+            .add_client(&sid, 1.0 + rng.next_f64(), 2.0 + rng.next_f64() * 2.0)
+            .map_err(|e| format!("add_client: {e}"))?;
+        let a = rng.random_range(1..=t);
+        let d = rng.random_range(a..=t);
+        client
+            .add_bid(
+                &sid,
+                BidParams {
+                    client: c,
+                    price: 1.0 + rng.next_f64() * 5.0,
+                    theta: 0.5 + rng.next_f64() * 0.3,
+                    a,
+                    d,
+                    c: rng.random_range(1..=(d - a + 1)),
+                },
+            )
+            .map_err(|e| format!("add_bid: {e}"))?;
+    }
+    match client.close(&sid).map_err(|e| format!("close: {e}"))? {
+        CloseReply::Committed(_) | CloseReply::Aborted(_) => {}
+    }
+    retries.fetch_add(client.retries(), Ordering::Relaxed);
+    Ok(start.elapsed())
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "usage" {
+                eprintln!("loadgen: {e}");
+            }
+            eprintln!(
+                "usage: loadgen [--addr HOST:PORT] [--sessions N] [--rate R]\n\
+                 \x20              [--process poisson|uniform|bursty] [--clients N] [--seed S] [--json]"
+            );
+            return ExitCode::from(1);
+        }
+    };
+    let process = match arrival(&opts.process, opts.rate) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    // Self-host unless a target was given.
+    let mut hosted: Option<Daemon> = None;
+    let addr = match opts.addr {
+        Some(a) => a,
+        None => {
+            let dir = fl_flpd::testutil::TempDir::new("loadgen");
+            let daemon = match Daemon::start(DaemonConfig::new(dir.path().join("wal.jsonl"))) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("loadgen: self-hosted daemon failed to start: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            let a = daemon.addr();
+            hosted = Some(daemon);
+            // Keep the scratch dir alive for the run.
+            std::mem::forget(dir);
+            a
+        }
+    };
+
+    let schedule = process.schedule(opts.seed, opts.sessions);
+    let retries = Arc::new(AtomicU64::new(0));
+    let run_id = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(opts.sessions);
+    for (idx, offset) in schedule.into_iter().enumerate() {
+        let retries = Arc::clone(&retries);
+        let clients = opts.clients;
+        let seed = opts.seed;
+        workers.push(std::thread::spawn(move || {
+            let now = started.elapsed();
+            if offset > now {
+                std::thread::sleep(offset - now);
+            }
+            run_session(addr, seed, run_id, idx as u64, clients, &retries)
+        }));
+    }
+    let mut latencies = Vec::new();
+    let mut failures = 0usize;
+    for w in workers {
+        match w.join() {
+            Ok(Ok(latency)) => latencies.push(latency),
+            Ok(Err(e)) => {
+                failures += 1;
+                eprintln!("loadgen: session failed: {e}");
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    let wall = started.elapsed();
+    if let Some(mut d) = hosted.take() {
+        d.stop();
+    }
+
+    latencies.sort_unstable();
+    let done = latencies.len();
+    let throughput = done as f64 / wall.as_secs_f64();
+    let (p50, p90, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 90.0),
+        percentile(&latencies, 99.0),
+    );
+    let retries = retries.load(Ordering::Relaxed);
+    if opts.json {
+        println!(
+            "{{\"sessions\":{done},\"failures\":{failures},\"wall_s\":{:.4},\
+             \"sessions_per_sec\":{throughput:.3},\"p50_ms\":{:.3},\"p90_ms\":{:.3},\
+             \"p99_ms\":{:.3},\"retries\":{retries}}}",
+            wall.as_secs_f64(),
+            ms(p50),
+            ms(p90),
+            ms(p99),
+        );
+    } else {
+        println!(
+            "loadgen: {done} sessions ({failures} failed) in {:.2}s = {throughput:.1} sessions/sec",
+            wall.as_secs_f64()
+        );
+        println!(
+            "loadgen: latency p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms  ({retries} retries)",
+            ms(p50),
+            ms(p90),
+            ms(p99),
+        );
+    }
+    if failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,468 @@
+//! The retrying flpd client.
+//!
+//! Network faults and load shedding are normal operation for the
+//! daemon, so the client owns the recovery loop: every call retries on
+//! *retryable* service errors (`overloaded`, `backlog`, `deadline`) and
+//! on transport failures (timeouts, resets, refused connections) with
+//! jittered exponential backoff, up to a per-call attempt budget. Fatal
+//! service errors (`bad_request`, `conflict`, …) return immediately —
+//! resending them can never help.
+//!
+//! Retries are safe because every mutating request carries a session
+//! `seq` the daemon deduplicates on, and `open` carries a `nonce`; the
+//! client manages both, so callers just see at-most-once semantics.
+//! Responses are matched to requests by the echoed `id`; stale frames (a
+//! duplicated or very late response) are discarded, and an error frame
+//! without an id (the accept-gate shed path) applies to the in-flight
+//! request.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use fl_auction::{serial, AuctionOutcome};
+use fl_telemetry::frame;
+use fl_telemetry::json::{self, Json};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::ServiceError;
+use crate::wire::{self, BidParams, OpenParams, Request};
+
+/// Retry and deadline policy for a client.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-read/write deadline.
+    pub io_timeout: Duration,
+    /// Total attempts per call (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff sleep; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for backoff jitter (deterministic tests).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(2),
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+/// How a call ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The daemon answered with a fatal error.
+    Service(ServiceError),
+    /// The retry budget ran out; carries the last transport or
+    /// retryable-service failure seen.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Description of the final failure.
+        last: String,
+    },
+    /// The daemon answered with something the protocol does not allow.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Service(e) => write!(f, "service error: {e}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            ClientError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The daemon's decision for a closed epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloseReply {
+    /// The auction solved; full outcome attached.
+    Committed(AuctionOutcome),
+    /// The epoch was explicitly aborted.
+    Aborted(String),
+}
+
+/// Payments owed to one client of a closed epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaymentReply {
+    /// Committed epoch: total and per-bid payments.
+    Committed {
+        /// Sum over the client's winning bids.
+        total: f64,
+        /// `(bid index, payment)` pairs.
+        per_bid: Vec<(u32, f64)>,
+    },
+    /// The epoch was aborted; nobody is paid.
+    Aborted(String),
+}
+
+/// Response frames tolerated before declaring an attempt lost (guards
+/// against a pathological stream of stale duplicates).
+const MAX_STALE_FRAMES: u32 = 16;
+
+/// Response frame size cap (outcomes scale with winner count).
+const MAX_RESPONSE: usize = 4 << 20;
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A connection to one daemon, with retry state.
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<Conn>,
+    rng: StdRng,
+    next_id: u64,
+    next_nonce: u64,
+    seqs: HashMap<String, u64>,
+    retries: u64,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (connects lazily).
+    pub fn new(addr: SocketAddr, cfg: ClientConfig) -> Client {
+        Client {
+            addr,
+            cfg,
+            conn: None,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            next_id: 0,
+            // Nonces must be distinct per *client lifetime*; derive the
+            // space from the seed so parallel clients do not collide.
+            // Masked to 52 bits: the wire layer rejects integers beyond
+            // 2^53 (the JSON float-interop bound), and the counter needs
+            // headroom above the base.
+            next_nonce: cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) & ((1 << 52) - 1),
+            seqs: HashMap::new(),
+            retries: 0,
+        }
+    }
+
+    /// Retried attempts performed so far (observability for loadgen).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Transfers per-session idempotency state from a prior client
+    /// incarnation — the same logical caller reconnecting after a
+    /// daemon restart. Retried operations then keep their original
+    /// `seq`, which the daemon deduplicates on.
+    pub fn adopt_sessions(&mut self, prior: &Client) {
+        for (session, seq) in &prior.seqs {
+            self.seqs.insert(session.clone(), *seq);
+        }
+    }
+
+    /// Rewinds `session`'s seq counter by one so the next mutating call
+    /// reuses the seq of an operation whose fate is unknown (the daemon
+    /// died mid-call). The retry then either applies fresh — the record
+    /// never became durable — or replays the stored response; it can
+    /// never double-apply.
+    pub fn rewind_seq(&mut self, session: &str) {
+        if let Some(seq) = self.seqs.get_mut(session) {
+            *seq = seq.saturating_sub(1);
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(Request::Ping).map(|_| ())
+    }
+
+    /// Daemon counters: `(sessions, closed)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn stats(&mut self) -> Result<(u64, u64), ClientError> {
+        let doc = self.call(Request::Stats)?;
+        Ok((field_u64(&doc, "sessions")?, field_u64(&doc, "closed")?))
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.call(Request::Shutdown).map(|_| ())
+    }
+
+    /// Opens a session (idempotent: the nonce is chosen once per call).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn open(&mut self, mut params: OpenParams) -> Result<String, ClientError> {
+        if params.nonce == 0 {
+            self.next_nonce = self.next_nonce.wrapping_add(1);
+            params.nonce = self.next_nonce;
+        }
+        let doc = self.call(Request::Open(params))?;
+        let session = doc
+            .get("session")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ClientError::Protocol("open reply without session".into()))?
+            .to_string();
+        self.seqs.entry(session.clone()).or_insert(0);
+        Ok(session)
+    }
+
+    /// Registers a client profile; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn add_client(
+        &mut self,
+        session: &str,
+        t_cmp: f64,
+        t_com: f64,
+    ) -> Result<u32, ClientError> {
+        let seq = self.next_seq(session);
+        let doc = self.call(Request::Client {
+            session: session.into(),
+            seq,
+            t_cmp,
+            t_com,
+        })?;
+        field_u64(&doc, "client").map(|v| v as u32)
+    }
+
+    /// Submits a bid; returns its index within the owning client.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn add_bid(&mut self, session: &str, bid: BidParams) -> Result<u32, ClientError> {
+        let seq = self.next_seq(session);
+        let doc = self.call(Request::Bid {
+            session: session.into(),
+            seq,
+            bid,
+        })?;
+        field_u64(&doc, "bid").map(|v| v as u32)
+    }
+
+    /// Closes the epoch: runs the auction and returns the decision.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn close(&mut self, session: &str) -> Result<CloseReply, ClientError> {
+        let seq = self.next_seq(session);
+        let doc = self.call(Request::Close {
+            session: session.into(),
+            seq,
+        })?;
+        parse_close_reply(&doc)
+    }
+
+    /// Queries the decision of an already-closed epoch.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn outcome(&mut self, session: &str) -> Result<CloseReply, ClientError> {
+        let doc = self.call(Request::Outcome {
+            session: session.into(),
+        })?;
+        parse_close_reply(&doc)
+    }
+
+    /// Queries one client's payments in a closed epoch.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn payments(&mut self, session: &str, client: u32) -> Result<PaymentReply, ClientError> {
+        let doc = self.call(Request::Payment {
+            session: session.into(),
+            client,
+        })?;
+        match doc.get("status").and_then(Json::as_str) {
+            Some("committed") => {
+                let per_bid = doc
+                    .get("payments")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| ClientError::Protocol("payment reply without list".into()))?
+                    .iter()
+                    .map(|entry| {
+                        let bid = entry.get("bid").and_then(Json::as_u64)? as u32;
+                        let payment = entry.get("payment").and_then(Json::as_f64)?;
+                        Some((bid, payment))
+                    })
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| ClientError::Protocol("malformed payment entry".into()))?;
+                let total = doc
+                    .get("total")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ClientError::Protocol("payment reply without total".into()))?;
+                Ok(PaymentReply::Committed { total, per_bid })
+            }
+            Some("aborted") => Ok(PaymentReply::Aborted(
+                doc.get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            )),
+            other => Err(ClientError::Protocol(format!(
+                "payment reply with status {other:?}"
+            ))),
+        }
+    }
+
+    fn next_seq(&mut self, session: &str) -> u64 {
+        let seq = self.seqs.entry(session.to_string()).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+
+    /// The retry loop around one request.
+    fn call(&mut self, req: Request) -> Result<Json, ClientError> {
+        let mut last = String::from("never attempted");
+        for attempt in 1..=self.cfg.max_attempts.max(1) {
+            if attempt > 1 {
+                self.retries += 1;
+                self.backoff(attempt);
+            }
+            self.next_id += 1;
+            let id = self.next_id;
+            match self.attempt(id, &req) {
+                Ok(doc) => {
+                    if let Some(err) = wire::error_from_value(&doc) {
+                        if err.retryable() {
+                            last = err.to_string();
+                            continue;
+                        }
+                        return Err(ClientError::Service(err));
+                    }
+                    return Ok(doc);
+                }
+                Err(why) => {
+                    last = why;
+                    // Transport failure: the stream may be desynced.
+                    self.conn = None;
+                }
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.cfg.max_attempts.max(1),
+            last,
+        })
+    }
+
+    /// Jittered exponential backoff: `base·2^(attempt-2)`, capped, then
+    /// scaled by a uniform [0.5, 1.0) draw so synchronized clients
+    /// desynchronize.
+    fn backoff(&mut self, attempt: u32) {
+        let exp = attempt.saturating_sub(2).min(16);
+        let raw = self.cfg.base_backoff.saturating_mul(1 << exp);
+        let capped = raw.min(self.cfg.max_backoff);
+        let jitter = 0.5 + self.rng.next_f64() * 0.5;
+        std::thread::sleep(capped.mul_f64(jitter));
+    }
+
+    /// One wire exchange; errors are strings because they are all
+    /// retryable transport conditions.
+    fn attempt(&mut self, id: u64, req: &Request) -> Result<Json, String> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)
+                .map_err(|e| format!("connect: {e}"))?;
+            stream
+                .set_read_timeout(Some(self.cfg.io_timeout))
+                .map_err(|e| format!("set deadline: {e}"))?;
+            stream
+                .set_write_timeout(Some(self.cfg.io_timeout))
+                .map_err(|e| format!("set deadline: {e}"))?;
+            let writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+            self.conn = Some(Conn {
+                reader: BufReader::new(stream),
+                writer,
+            });
+        }
+        let conn = self.conn.as_mut().expect("just connected");
+        let text = wire::request_to_json(id, req);
+        frame::write_frame(&mut conn.writer, &text).map_err(|e| format!("send: {e}"))?;
+        conn.writer.flush().map_err(|e| format!("flush: {e}"))?;
+        for _ in 0..MAX_STALE_FRAMES {
+            let payload = match frame::read_frame(&mut conn.reader, MAX_RESPONSE) {
+                Ok(Some(p)) => p,
+                Ok(None) => return Err("connection closed by daemon".into()),
+                Err(e) => return Err(format!("recv: {e}")),
+            };
+            let doc = json::parse(&payload).map_err(|e| format!("bad response JSON: {e}"))?;
+            match doc.get("id").and_then(Json::as_u64) {
+                Some(resp_id) if resp_id == id => return Ok(doc),
+                // Stale response (duplicate or late): discard and keep
+                // reading.
+                Some(_) => continue,
+                // No id: an accept-gate shed or frame-level error frame,
+                // which applies to whatever is in flight — us.
+                None => return Ok(doc),
+            }
+        }
+        Err(format!("gave up after {MAX_STALE_FRAMES} stale frames"))
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.addr)
+            .field("retries", &self.retries)
+            .finish_non_exhaustive()
+    }
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, ClientError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ClientError::Protocol(format!("reply without {key:?}")))
+}
+
+fn parse_close_reply(doc: &Json) -> Result<CloseReply, ClientError> {
+    match doc.get("status").and_then(Json::as_str) {
+        Some("committed") => {
+            let outcome = doc
+                .get("outcome")
+                .ok_or_else(|| ClientError::Protocol("committed reply without outcome".into()))?;
+            serial::outcome_from_value(outcome)
+                .map(CloseReply::Committed)
+                .map_err(|e| ClientError::Protocol(format!("bad outcome payload: {e}")))
+        }
+        Some("aborted") => Ok(CloseReply::Aborted(
+            doc.get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        )),
+        other => Err(ClientError::Protocol(format!(
+            "close reply with status {other:?}"
+        ))),
+    }
+}

@@ -1,0 +1,319 @@
+//! The TCP daemon: listener, per-connection deadlines, load shedding,
+//! and the wire-fault seam.
+//!
+//! Threading model is deliberately boring — one thread per connection,
+//! bounded by `max_conns`; a connection above the bound is *shed*: it
+//! receives one `overloaded` (retryable) error frame and is closed, so
+//! overload turns into fast explicit backpressure instead of unbounded
+//! queueing. Read/write deadlines bound every blocking call; an idle or
+//! stalled peer is disconnected after `io_timeout`, never parked
+//! forever.
+//!
+//! An injected crash (see [`crate::journal::CrashPoint`]) makes the
+//! whole daemon behave like a killed process: every connection drops
+//! without a response and the acceptor exits. [`Daemon::crashed`] lets a
+//! supervisor (the chaos harness) observe the death and restart from the
+//! journal.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fl_telemetry::frame::{self, FrameError};
+
+use crate::error::{ErrCode, ServiceError};
+use crate::faults::{FaultPlan, WireAction, WireDice};
+use crate::journal::Durability;
+use crate::session::{HandleResult, Limits, RecoveryReport, ServerCore};
+use crate::wire;
+
+/// Everything a daemon needs to start.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Write-ahead journal path (created if absent, recovered if not).
+    pub journal: PathBuf,
+    /// Journal durability mode.
+    pub durability: Durability,
+    /// Session and close-concurrency limits.
+    pub limits: Limits,
+    /// Maximum request frame size in bytes.
+    pub max_frame: usize,
+    /// Per-connection read/write deadline.
+    pub io_timeout: Duration,
+    /// Connection cap; connections beyond it are shed.
+    pub max_conns: usize,
+    /// Fault-injection plan, if any.
+    pub faults: Option<FaultPlan>,
+}
+
+impl DaemonConfig {
+    /// Defaults: loopback on an ephemeral port, strict durability, 64
+    /// KiB frames, 2 s deadlines, 64 connections.
+    pub fn new(journal: PathBuf) -> DaemonConfig {
+        DaemonConfig {
+            addr: "127.0.0.1:0".into(),
+            journal,
+            durability: Durability::Strict,
+            limits: Limits::default(),
+            max_frame: 64 << 10,
+            io_timeout: Duration::from_secs(2),
+            max_conns: 64,
+            faults: None,
+        }
+    }
+}
+
+/// A running daemon.
+pub struct Daemon {
+    addr: SocketAddr,
+    core: Arc<ServerCore>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    shed: Arc<AtomicU64>,
+    recovery: RecoveryReport,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("addr", &self.addr)
+            .field("crashed", &self.crashed())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Recovers the journal, binds the listener, and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal and bind failures.
+    pub fn start(cfg: DaemonConfig) -> io::Result<Daemon> {
+        let crash = cfg.faults.and_then(|p| p.crash);
+        let (core, recovery) =
+            ServerCore::recover(&cfg.journal, cfg.durability, crash, cfg.limits)?;
+        let core = Arc::new(core);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shed = Arc::new(AtomicU64::new(0));
+
+        let accept = {
+            let core = Arc::clone(&core);
+            let shutdown = Arc::clone(&shutdown);
+            let shed = Arc::clone(&shed);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("flpd-accept".into())
+                .spawn(move || accept_loop(listener, addr, core, shutdown, shed, cfg))?
+        };
+        Ok(Daemon {
+            addr,
+            core,
+            shutdown,
+            accept: Some(accept),
+            shed,
+            recovery,
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What journal recovery found at startup.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Connections shed at the accept gate so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Whether an injected crash has killed the daemon.
+    pub fn crashed(&self) -> bool {
+        self.core.crashed()
+    }
+
+    /// Whether shutdown has begun (crash or a client `shutdown` request).
+    pub fn stopped(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Begins shutdown and waits for the acceptor to exit. Live
+    /// connections die within one `io_timeout`.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Nudges a blocking `accept` so it re-checks the shutdown flag.
+fn wake(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+#[allow(clippy::needless_pass_by_value)]
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    core: Arc<ServerCore>,
+    shutdown: Arc<AtomicBool>,
+    shed: Arc<AtomicU64>,
+    cfg: DaemonConfig,
+) {
+    let live = Arc::new(AtomicUsize::new(0));
+    let mut conn_no: u64 = 0;
+    loop {
+        if shutdown.load(Ordering::SeqCst) || core.crashed() {
+            return;
+        }
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => continue,
+        };
+        if shutdown.load(Ordering::SeqCst) || core.crashed() {
+            return;
+        }
+        conn_no += 1;
+        if live.load(Ordering::SeqCst) >= cfg.max_conns {
+            shed.fetch_add(1, Ordering::Relaxed);
+            shed_connection(stream, cfg.io_timeout, cfg.max_conns);
+            continue;
+        }
+        live.fetch_add(1, Ordering::SeqCst);
+        let core = Arc::clone(&core);
+        let shutdown = Arc::clone(&shutdown);
+        let live_conn = Arc::clone(&live);
+        let dice = cfg
+            .faults
+            .filter(FaultPlan::has_wire_faults)
+            .map(|plan| WireDice::new(plan, conn_no));
+        let cfg = cfg.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("flpd-conn-{conn_no}"))
+            .spawn(move || {
+                serve_conn(stream, &core, dice, &cfg, &shutdown, addr);
+                live_conn.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // Could not spawn: count it as shed; `live` was already
+            // incremented, undo it.
+            live.fetch_sub(1, Ordering::SeqCst);
+            shed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Load shedding: one retryable error frame, then close.
+fn shed_connection(mut stream: TcpStream, io_timeout: Duration, cap: usize) {
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let err = ServiceError::new(
+        ErrCode::Overloaded,
+        format!("connection capacity {cap} reached"),
+    );
+    let _ = frame::write_frame(&mut stream, &wire::error_response(&err));
+    let _ = stream.flush();
+}
+
+fn serve_conn(
+    stream: TcpStream,
+    core: &ServerCore,
+    mut dice: Option<WireDice>,
+    cfg: &DaemonConfig,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    if stream.set_read_timeout(Some(cfg.io_timeout)).is_err()
+        || stream.set_write_timeout(Some(cfg.io_timeout)).is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::SeqCst) || core.crashed() {
+            return;
+        }
+        match frame::read_frame(&mut reader, cfg.max_frame) {
+            Ok(None) => return,
+            Ok(Some(payload)) => match core.handle(&payload) {
+                HandleResult::Reply(resp) => {
+                    if !send(&mut writer, &resp, &mut dice) {
+                        return;
+                    }
+                }
+                HandleResult::Crashed => {
+                    // Simulated process death: no response, wake the
+                    // acceptor so it observes the crash flag.
+                    shutdown.store(true, Ordering::SeqCst);
+                    wake(addr);
+                    return;
+                }
+                HandleResult::ShutdownRequested(resp) => {
+                    let _ = frame::write_frame(&mut writer, &resp);
+                    let _ = writer.flush();
+                    shutdown.store(true, Ordering::SeqCst);
+                    wake(addr);
+                    return;
+                }
+            },
+            Err(e) => {
+                respond_to_frame_error(&mut writer, &e);
+                return;
+            }
+        }
+    }
+}
+
+/// Best-effort error frame for a broken request stream; the connection
+/// closes either way because framing is lost.
+fn respond_to_frame_error(writer: &mut TcpStream, e: &FrameError) {
+    let err = match e {
+        // Deadline expiry (idle or stalled peer) — just disconnect.
+        FrameError::Io(_) => return,
+        FrameError::TooLarge { declared, cap } => ServiceError::new(
+            ErrCode::TooLarge,
+            format!("frame of {declared} bytes exceeds cap {cap}"),
+        ),
+        other => ServiceError::new(ErrCode::BadRequest, format!("malformed frame: {other}")),
+    };
+    let _ = frame::write_frame(writer, &wire::error_response(&err));
+    let _ = writer.flush();
+}
+
+/// Writes one response, applying the wire-fault dice. Returns `false`
+/// when the connection is no longer usable.
+fn send(writer: &mut TcpStream, resp: &str, dice: &mut Option<WireDice>) -> bool {
+    let action = dice.as_mut().map_or(WireAction::Send, WireDice::roll);
+    match action {
+        WireAction::Drop => true,
+        WireAction::Send => frame::write_frame(writer, resp).is_ok(),
+        WireAction::DelayMs(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            frame::write_frame(writer, resp).is_ok()
+        }
+        WireAction::Duplicate => {
+            frame::write_frame(writer, resp).is_ok() && frame::write_frame(writer, resp).is_ok()
+        }
+    }
+}

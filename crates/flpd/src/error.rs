@@ -1,0 +1,148 @@
+//! The service error taxonomy: every failure a client can observe is
+//! either *retryable* (the daemon is alive but cannot take this request
+//! right now — back off and resend) or *fatal* (resending the same
+//! request can never succeed). The split is part of the wire contract:
+//! error responses carry both the code and its retryability so clients
+//! need no hard-coded table.
+
+/// Machine-readable error codes of the flpd protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrCode {
+    /// The daemon is at its connection or session capacity — load was
+    /// shed. Retryable.
+    Overloaded,
+    /// All epoch-close slots are busy; the close was not started.
+    /// Retryable.
+    Backlog,
+    /// A deadline elapsed (the peer held a connection idle, or a
+    /// response could not be produced in time). Retryable.
+    Deadline,
+    /// The request is malformed or violates mechanism invariants. Fatal.
+    BadRequest,
+    /// The named session does not exist. Fatal.
+    UnknownSession,
+    /// The request is valid but the session is in the wrong state (for
+    /// example a bid after close, or a stale sequence number). Fatal.
+    Conflict,
+    /// The request frame exceeds the daemon's size cap. Fatal.
+    TooLarge,
+    /// The daemon hit an internal failure (journal I/O, solver error)
+    /// and cannot guarantee the request's durability. Fatal.
+    Internal,
+}
+
+impl ErrCode {
+    /// Whether a client should back off and retry the identical request.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrCode::Overloaded | ErrCode::Backlog | ErrCode::Deadline
+        )
+    }
+
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::Overloaded => "overloaded",
+            ErrCode::Backlog => "backlog",
+            ErrCode::Deadline => "deadline",
+            ErrCode::BadRequest => "bad_request",
+            ErrCode::UnknownSession => "unknown_session",
+            ErrCode::Conflict => "conflict",
+            ErrCode::TooLarge => "too_large",
+            ErrCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling back into a code.
+    pub fn parse_str(s: &str) -> Option<ErrCode> {
+        Some(match s {
+            "overloaded" => ErrCode::Overloaded,
+            "backlog" => ErrCode::Backlog,
+            "deadline" => ErrCode::Deadline,
+            "bad_request" => ErrCode::BadRequest,
+            "unknown_session" => ErrCode::UnknownSession,
+            "conflict" => ErrCode::Conflict,
+            "too_large" => ErrCode::TooLarge,
+            "internal" => ErrCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An error as carried on the wire: code plus human detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// The machine-readable code.
+    pub code: ErrCode,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+impl ServiceError {
+    /// Builds an error with the given code and detail.
+    pub fn new(code: ErrCode, detail: impl Into<String>) -> ServiceError {
+        ServiceError {
+            code,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`ErrCode::retryable`].
+    pub fn retryable(&self) -> bool {
+        self.code.retryable()
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_splits_retryable_from_fatal() {
+        for code in [ErrCode::Overloaded, ErrCode::Backlog, ErrCode::Deadline] {
+            assert!(code.retryable(), "{code}");
+        }
+        for code in [
+            ErrCode::BadRequest,
+            ErrCode::UnknownSession,
+            ErrCode::Conflict,
+            ErrCode::TooLarge,
+            ErrCode::Internal,
+        ] {
+            assert!(!code.retryable(), "{code}");
+        }
+    }
+
+    #[test]
+    fn wire_spelling_round_trips() {
+        for code in [
+            ErrCode::Overloaded,
+            ErrCode::Backlog,
+            ErrCode::Deadline,
+            ErrCode::BadRequest,
+            ErrCode::UnknownSession,
+            ErrCode::Conflict,
+            ErrCode::TooLarge,
+            ErrCode::Internal,
+        ] {
+            assert_eq!(ErrCode::parse_str(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrCode::parse_str("nope"), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! Scratch-directory helpers shared by tests, the chaos harness and the
+//! bins. Everything lands under the workspace `target/` directory so the
+//! repository tree and the host system stay untouched.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// The workspace-local scratch root (`target/flpd-scratch`).
+pub fn scratch_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("flpd-scratch")
+}
+
+/// A unique directory under [`scratch_root`], removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `target/flpd-scratch/<tag>-<pid>-<n>/`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — tests cannot proceed
+    /// without scratch space.
+    pub fn new(tag: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = scratch_root().join(format!("{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -1,0 +1,359 @@
+//! End-to-end service tests: real daemon, real TCP, real journal.
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use fl_auction::{run_auction, serial, Bid, ClientId, ClientProfile, Instance, Round, Window};
+use fl_flpd::chaos::{run_matrix, FaultKind, MatrixConfig};
+use fl_flpd::client::PaymentReply;
+use fl_flpd::daemon::DaemonConfig;
+use fl_flpd::wire::{self, BidParams, OpenParams, Request};
+use fl_flpd::{
+    Client, ClientConfig, ClientError, CloseReply, Daemon, ErrCode, Limits, ServiceError,
+};
+use fl_telemetry::frame;
+use fl_telemetry::json::{self, Json};
+
+fn scratch(tag: &str) -> fl_flpd::testutil::TempDir {
+    fl_flpd::testutil::TempDir::new(tag)
+}
+
+fn fast_client(addr: std::net::SocketAddr) -> Client {
+    Client::new(
+        addr,
+        ClientConfig {
+            io_timeout: Duration::from_millis(500),
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            seed: 7,
+            ..ClientConfig::default()
+        },
+    )
+}
+
+/// The daemon's committed outcome must be bit-identical to solving the
+/// same instance locally.
+#[test]
+fn lifecycle_matches_local_reference() {
+    let dir = scratch("svc-lifecycle");
+    let daemon = Daemon::start(DaemonConfig::new(dir.path().join("wal.jsonl"))).unwrap();
+    let mut client = fast_client(daemon.addr());
+
+    let params = OpenParams::new(0, 6, 1, 60.0);
+    let sid = client.open(params.clone()).unwrap();
+    let profiles = [(1.5, 3.0), (2.0, 4.0), (1.0, 2.5)];
+    let bids = [
+        BidParams {
+            client: 0,
+            price: 4.0,
+            theta: 0.6,
+            a: 1,
+            d: 4,
+            c: 3,
+        },
+        BidParams {
+            client: 1,
+            price: 2.5,
+            theta: 0.5,
+            a: 2,
+            d: 6,
+            c: 4,
+        },
+        BidParams {
+            client: 2,
+            price: 6.0,
+            theta: 0.7,
+            a: 1,
+            d: 6,
+            c: 2,
+        },
+    ];
+    for &(t_cmp, t_com) in &profiles {
+        client.add_client(&sid, t_cmp, t_com).unwrap();
+    }
+    for bid in &bids {
+        client.add_bid(&sid, *bid).unwrap();
+    }
+    let CloseReply::Committed(remote) = client.close(&sid).unwrap() else {
+        panic!("epoch should commit");
+    };
+
+    // Local ground truth on the identical instance.
+    let mut instance = Instance::new(params.to_config().unwrap());
+    for &(t_cmp, t_com) in &profiles {
+        instance.add_client(ClientProfile::new(t_cmp, t_com).unwrap());
+    }
+    for b in &bids {
+        instance
+            .add_bid(
+                ClientId(b.client),
+                Bid::new(b.price, b.theta, Window::new(Round(b.a), Round(b.d)), b.c).unwrap(),
+            )
+            .unwrap();
+    }
+    let local = run_auction(&instance).unwrap();
+    assert_eq!(
+        serial::outcome_to_json(&remote),
+        serial::outcome_to_json(&local),
+        "service outcome must be bit-identical to a local solve"
+    );
+
+    // Outcome query replays the same decision; payments are consistent.
+    let CloseReply::Committed(again) = client.outcome(&sid).unwrap() else {
+        panic!("outcome query should see the commit");
+    };
+    assert_eq!(
+        serial::outcome_to_json(&again),
+        serial::outcome_to_json(&local)
+    );
+    let mut paid = 0.0;
+    for c in 0..profiles.len() as u32 {
+        match client.payments(&sid, c).unwrap() {
+            PaymentReply::Committed { total, .. } => paid += total,
+            PaymentReply::Aborted(r) => panic!("unexpected abort: {r}"),
+        }
+    }
+    let local_paid: f64 = local.solution().winners().iter().map(|w| w.payment).sum();
+    assert!((paid - local_paid).abs() < 1e-12);
+}
+
+/// Raw framed exchange on one connection.
+fn raw_call(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, text: &str) -> Json {
+    frame::write_frame(stream, text).unwrap();
+    let payload = frame::read_frame(reader, 4 << 20).unwrap().expect("reply");
+    json::parse(&payload).unwrap()
+}
+
+fn raw_conn(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    stream
+        .set_write_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+/// At 2x the connection cap, excess connections get an explicit
+/// retryable `overloaded` frame within the deadline — never a stall.
+#[test]
+fn overload_sheds_with_retryable_errors() {
+    let dir = scratch("svc-shed");
+    let mut cfg = DaemonConfig::new(dir.path().join("wal.jsonl"));
+    cfg.max_conns = 2;
+    cfg.io_timeout = Duration::from_secs(5);
+    let daemon = Daemon::start(cfg).unwrap();
+
+    // Fill the cap with two live connections (ping proves each is
+    // being served, not just queued in the accept backlog).
+    let mut holders = Vec::new();
+    for _ in 0..2 {
+        let (mut stream, mut reader) = raw_conn(daemon.addr());
+        let doc = raw_call(
+            &mut stream,
+            &mut reader,
+            &wire::request_to_json(1, &Request::Ping),
+        );
+        assert!(wire::error_from_value(&doc).is_none());
+        holders.push((stream, reader));
+    }
+
+    // 2x the cap beyond it: every one must be shed promptly.
+    let deadline = Duration::from_secs(2);
+    for i in 0..4 {
+        let start = Instant::now();
+        let (_stream, mut reader) = raw_conn(daemon.addr());
+        let payload = frame::read_frame(&mut reader, 64 << 10)
+            .unwrap()
+            .expect("shed frame");
+        let doc = json::parse(&payload).unwrap();
+        let err = wire::error_from_value(&doc).expect("shed is an error frame");
+        assert_eq!(err.code, ErrCode::Overloaded, "conn {i}");
+        assert!(err.retryable(), "shed must be retryable");
+        assert!(
+            start.elapsed() < deadline,
+            "shed reply stalled: {:?}",
+            start.elapsed()
+        );
+    }
+    assert!(daemon.shed_count() >= 4);
+}
+
+/// With zero close slots every close sheds with `backlog`; the client
+/// surfaces retry exhaustion rather than hanging.
+#[test]
+fn close_backlog_is_retryable_and_bounded() {
+    let dir = scratch("svc-backlog");
+    let mut cfg = DaemonConfig::new(dir.path().join("wal.jsonl"));
+    cfg.limits = Limits {
+        max_sessions: 16,
+        max_inflight_close: 0,
+    };
+    let daemon = Daemon::start(cfg).unwrap();
+    let mut client = fast_client(daemon.addr());
+    let sid = client.open(OpenParams::new(0, 5, 1, 60.0)).unwrap();
+    client.add_client(&sid, 1.0, 2.0).unwrap();
+
+    let start = Instant::now();
+    match client.close(&sid) {
+        Err(ClientError::Exhausted { attempts, last }) => {
+            assert_eq!(attempts, 6);
+            assert!(last.contains("backlog"), "last failure: {last}");
+        }
+        other => panic!("expected retry exhaustion, got {other:?}"),
+    }
+    assert!(client.retries() >= 5);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "close retries must stay bounded"
+    );
+}
+
+/// An idle connection is disconnected once the io deadline expires —
+/// the daemon never parks a reader forever.
+#[test]
+fn idle_connection_closed_by_deadline() {
+    let dir = scratch("svc-idle");
+    let mut cfg = DaemonConfig::new(dir.path().join("wal.jsonl"));
+    cfg.io_timeout = Duration::from_millis(150);
+    let daemon = Daemon::start(cfg).unwrap();
+
+    let (_stream, mut reader) = raw_conn(daemon.addr());
+    let start = Instant::now();
+    // Send nothing; the daemon must hang up on its own.
+    let got = frame::read_frame(&mut reader, 64 << 10).unwrap();
+    assert!(got.is_none(), "expected EOF from idle disconnect");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "idle disconnect took {:?}",
+        start.elapsed()
+    );
+}
+
+/// Crash mid-journal-append, restart on the same journal, and the
+/// recovered epoch must be bit-identical to the fault-free outcome.
+/// (The chaos matrix runs this over many seeds; this pins one cell of
+/// each crashing family as a plain test.)
+#[test]
+fn crash_recovery_is_bit_identical() {
+    let report = run_matrix(&MatrixConfig {
+        kinds: vec![FaultKind::Partial, FaultKind::Crash],
+        seeds: 2,
+        sessions: 2,
+    });
+    for cell in &report.cells {
+        assert!(
+            cell.pass,
+            "{}#{} violated consistency: {}",
+            cell.kind.as_str(),
+            cell.seed,
+            cell.detail
+        );
+    }
+    assert!(
+        report.cells.iter().any(|c| c.crashes > 0),
+        "at least one cell must actually crash for this test to mean anything"
+    );
+}
+
+/// A flaky listener: drops the first connection outright, sheds the
+/// second with a retryable error, then proxies nothing but answers ok.
+/// The client must ride through both failures and succeed on the third
+/// attempt; a fatal error must abort immediately.
+#[test]
+fn client_retries_flaky_listener_and_respects_fatal_errors() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        // 1st conn: slam the door (transport error for the client).
+        let (c1, _) = listener.accept().unwrap();
+        drop(c1);
+        // 2nd conn: retryable service error.
+        let (mut c2, _) = listener.accept().unwrap();
+        let mut r2 = BufReader::new(c2.try_clone().unwrap());
+        let _ = frame::read_frame(&mut r2, 64 << 10);
+        let shed = ServiceError::new(ErrCode::Overloaded, "synthetic shed");
+        frame::write_frame(&mut c2, &wire::error_response(&shed)).unwrap();
+        drop(c2);
+        // 3rd conn: success, then a *fatal* error on the next request.
+        let (mut c3, _) = listener.accept().unwrap();
+        let mut r3 = BufReader::new(c3.try_clone().unwrap());
+        let req = frame::read_frame(&mut r3, 64 << 10).unwrap().unwrap();
+        let doc = json::parse(&req).unwrap();
+        let id = doc.get("id").and_then(Json::as_u64).unwrap();
+        frame::write_frame(&mut c3, &format!("{{\"id\":{id},\"ok\":true}}")).unwrap();
+        let _ = frame::read_frame(&mut r3, 64 << 10);
+        let fatal = ServiceError::new(ErrCode::BadRequest, "synthetic fatal");
+        frame::write_frame(&mut c3, &wire::error_response(&fatal)).unwrap();
+    });
+
+    let mut client = fast_client(addr);
+    client
+        .ping()
+        .expect("ping should survive two flaky attempts");
+    assert!(
+        client.retries() >= 2,
+        "expected at least two retries, saw {}",
+        client.retries()
+    );
+    let retries_before = client.retries();
+    match client.ping() {
+        Err(ClientError::Service(e)) => {
+            assert_eq!(e.code, ErrCode::BadRequest);
+            assert!(!e.retryable());
+        }
+        other => panic!("fatal error must not be retried: {other:?}"),
+    }
+    assert_eq!(
+        client.retries(),
+        retries_before,
+        "fatal errors must not consume retry budget"
+    );
+    server.join().unwrap();
+}
+
+/// Restarting on a journal written by a *previous daemon process*
+/// (clean shutdown, no crash) serves the committed outcome again.
+#[test]
+fn journal_survives_clean_restart() {
+    let dir = scratch("svc-restart");
+    let journal = dir.path().join("wal.jsonl");
+    let first;
+    {
+        let daemon = Daemon::start(DaemonConfig::new(journal.clone())).unwrap();
+        let mut client = fast_client(daemon.addr());
+        let sid = client.open(OpenParams::new(0, 5, 1, 60.0)).unwrap();
+        client.add_client(&sid, 1.2, 2.4).unwrap();
+        client
+            .add_bid(
+                &sid,
+                BidParams {
+                    client: 0,
+                    price: 3.0,
+                    theta: 0.6,
+                    a: 1,
+                    d: 5,
+                    c: 3,
+                },
+            )
+            .unwrap();
+        first = match client.close(&sid).unwrap() {
+            CloseReply::Committed(o) => serial::outcome_to_json(&o),
+            CloseReply::Aborted(r) => panic!("unexpected abort: {r}"),
+        };
+    }
+    let daemon = Daemon::start(DaemonConfig::new(journal)).unwrap();
+    assert_eq!(daemon.recovery().sessions, 1);
+    // The close committed before shutdown, so nothing needed re-solving.
+    assert_eq!(daemon.recovery().replayed_closes, 0);
+    assert_eq!(daemon.recovery().truncated_bytes, 0);
+    let mut client = fast_client(daemon.addr());
+    match client.outcome("s-1").unwrap() {
+        CloseReply::Committed(o) => assert_eq!(serial::outcome_to_json(&o), first),
+        CloseReply::Aborted(r) => panic!("lost the commit across restart: {r}"),
+    }
+}

@@ -1,0 +1,286 @@
+//! Length-prefixed text framing for untrusted byte streams.
+//!
+//! The service layer (`fl-flpd`) speaks JSON over TCP and journals JSON
+//! to disk; both need to turn a byte stream back into *whole* documents
+//! while surviving truncation, oversized payloads, and garbage. A frame
+//! is one line:
+//!
+//! ```text
+//! <decimal byte length> <payload>\n
+//! ```
+//!
+//! The explicit length makes torn writes detectable: a frame whose tail
+//! was cut off (a crash mid-append, a dropped connection mid-response)
+//! fails the length check instead of parsing as a shorter-but-valid
+//! document. The reader enforces a caller-chosen size cap *before*
+//! allocating, so an adversarial `999999999 …` header cannot balloon
+//! memory.
+//!
+//! Framing is payload-agnostic (any `str` without embedded `\n` in the
+//! header position works), but every workspace user frames one-line JSON
+//! from [`crate::json`].
+
+use std::io::{self, BufRead, Write};
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The length header is missing, non-numeric, or not followed by a
+    /// space.
+    BadHeader(String),
+    /// The declared length exceeds the caller's cap.
+    TooLarge {
+        /// Length the header declared.
+        declared: usize,
+        /// The cap the reader enforces.
+        cap: usize,
+    },
+    /// The stream ended (or the line ended) before `declared` payload
+    /// bytes arrived — a torn frame.
+    Truncated {
+        /// Length the header declared.
+        declared: usize,
+        /// Payload bytes actually present.
+        got: usize,
+    },
+    /// The payload is not valid UTF-8.
+    NotUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error reading frame: {e}"),
+            FrameError::BadHeader(why) => write!(f, "bad frame header: {why}"),
+            FrameError::TooLarge { declared, cap } => {
+                write!(f, "frame of {declared} bytes exceeds cap {cap}")
+            }
+            FrameError::Truncated { declared, got } => {
+                write!(f, "torn frame: declared {declared} bytes, got {got}")
+            }
+            FrameError::NotUtf8 => write!(f, "frame payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// Whether the error leaves the stream position unusable (anything
+    /// but a clean I/O timeout): torn and malformed frames desynchronise
+    /// the stream, so the connection (or journal scan) must stop.
+    pub fn poisons_stream(&self) -> bool {
+        !matches!(self, FrameError::Io(e) if e.kind() == io::ErrorKind::WouldBlock
+            || e.kind() == io::ErrorKind::TimedOut)
+    }
+}
+
+/// Writes one frame. The length header delimits the payload, so embedded
+/// newlines are preserved; the trailing `\n` merely keeps journal files
+/// greppable.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    // One buffered write: header, payload, terminator. Callers that need
+    // durability flush/fsync at their own commit points.
+    let mut line = Vec::with_capacity(payload.len() + 16);
+    line.extend_from_slice(payload.len().to_string().as_bytes());
+    line.push(b' ');
+    line.extend_from_slice(payload.as_bytes());
+    line.push(b'\n');
+    w.write_all(&line)
+}
+
+/// Reads one frame, returning `Ok(None)` at clean end-of-stream (EOF
+/// exactly at a frame boundary).
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the header declares more than `cap`
+/// bytes, [`FrameError::Truncated`] when the stream ends mid-payload,
+/// [`FrameError::BadHeader`] on garbage, [`FrameError::Io`] on reader
+/// failure.
+pub fn read_frame(r: &mut impl BufRead, cap: usize) -> Result<Option<String>, FrameError> {
+    // Header: decimal digits then one space. Read byte-wise so we never
+    // over-consume past this frame.
+    let mut declared: usize = 0;
+    let mut digits = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if digits == 0 {
+                    return Ok(None); // clean EOF between frames
+                }
+                return Err(FrameError::Truncated { declared, got: 0 });
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+        match byte[0] {
+            b'0'..=b'9' => {
+                digits += 1;
+                if digits > 12 {
+                    return Err(FrameError::BadHeader("length header too long".into()));
+                }
+                declared = declared
+                    .checked_mul(10)
+                    .and_then(|d| d.checked_add((byte[0] - b'0') as usize))
+                    .ok_or_else(|| FrameError::BadHeader("length overflows".into()))?;
+            }
+            b' ' if digits > 0 => break,
+            other => {
+                return Err(FrameError::BadHeader(format!(
+                    "unexpected byte {other:#04x} in length header"
+                )))
+            }
+        }
+    }
+    if declared > cap {
+        return Err(FrameError::TooLarge { declared, cap });
+    }
+    // Payload + mandatory trailing newline.
+    let mut payload = vec![0u8; declared];
+    let mut got = 0usize;
+    while got < declared {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::Truncated { declared, got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let mut nl = [0u8; 1];
+    loop {
+        match r.read(&mut nl) {
+            Ok(0) => return Err(FrameError::Truncated { declared, got }),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if nl[0] != b'\n' {
+        return Err(FrameError::BadHeader(
+            "frame not terminated by newline".into(),
+        ));
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| FrameError::NotUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(payloads: &[&str]) -> Vec<String> {
+        let mut buf = Vec::new();
+        for p in payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut r = buf.as_slice();
+        let mut out = Vec::new();
+        while let Some(p) = read_frame(&mut r, 1 << 20).unwrap() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let payloads = ["{}", r#"{"op":"ping"}"#, "", "é and \\n escapes"];
+        assert_eq!(round_trip(&payloads), payloads);
+    }
+
+    #[test]
+    fn embedded_newlines_survive() {
+        assert_eq!(round_trip(&["a\nb"]), vec!["a\nb"]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_parsed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"op":"bid","price":125}"#).unwrap();
+        // Simulate a crash mid-append: cut the second frame short.
+        let mut torn = buf.clone();
+        write_frame(&mut torn, r#"{"op":"bid","price":999}"#).unwrap();
+        torn.truncate(buf.len() + 10);
+        let mut r = torn.as_slice();
+        assert!(read_frame(&mut r, 1 << 20).unwrap().is_some());
+        match read_frame(&mut r, 1 << 20) {
+            Err(FrameError::Truncated { declared: 24, .. }) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_before_allocation() {
+        let mut r = "999999999999 x\n".as_bytes();
+        match read_frame(&mut r, 1024) {
+            Err(FrameError::TooLarge {
+                declared: 999_999_999_999,
+                cap: 1024,
+            }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_headers_are_rejected() {
+        for bad in ["x 1\n", "12x oops\n", " 3 abc\n", "1234567890123 x\n"] {
+            let mut r = bad.as_bytes();
+            assert!(
+                matches!(read_frame(&mut r, 1024), Err(FrameError::BadHeader(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_terminator_is_flagged() {
+        let mut r = "2 ab!".as_bytes();
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_payload_is_flagged() {
+        let mut buf = b"2 ".to_vec();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        buf.push(b'\n');
+        let mut r = buf.as_slice();
+        assert!(matches!(read_frame(&mut r, 1024), Err(FrameError::NotUtf8)));
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        let mut r: &[u8] = &[];
+        assert!(read_frame(&mut r, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn poisoning_classification() {
+        assert!(FrameError::BadHeader("x".into()).poisons_stream());
+        assert!(FrameError::Truncated {
+            declared: 5,
+            got: 1
+        }
+        .poisons_stream());
+        let timeout = FrameError::Io(io::Error::new(io::ErrorKind::WouldBlock, "t"));
+        assert!(!timeout.poisons_stream());
+    }
+}

@@ -10,6 +10,15 @@
 
 use std::fmt::Write as _;
 
+/// Maximum container nesting depth accepted by [`parse`] and [`validate`].
+///
+/// The readers are recursive, so without a cap an adversarial document of
+/// a few hundred kilobytes of `[` would overflow the stack — an abort, not
+/// a catchable panic. 96 levels is far beyond anything the workspace
+/// emits (bench records nest 3 deep) while keeping worst-case stack use
+/// trivially small.
+pub const MAX_DEPTH: usize = 96;
+
 /// Encodes a string as a JSON string literal (quoted, escaped).
 pub fn string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -78,7 +87,7 @@ pub fn array(values: &[String]) -> String {
 pub fn validate(text: &str) -> Result<(), String> {
     let bytes = text.as_bytes();
     let mut pos = skip_ws(bytes, 0);
-    pos = parse_value(bytes, pos)?;
+    pos = parse_value(bytes, pos, MAX_DEPTH)?;
     pos = skip_ws(bytes, pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -175,7 +184,7 @@ impl Json {
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let pos = skip_ws(bytes, 0);
-    let (value, pos) = read_value(bytes, pos)?;
+    let (value, pos) = read_value(bytes, pos, MAX_DEPTH)?;
     let pos = skip_ws(bytes, pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -183,11 +192,14 @@ pub fn parse(text: &str) -> Result<Json, String> {
     Ok(value)
 }
 
-fn read_value(b: &[u8], pos: usize) -> Result<(Json, usize), String> {
+fn read_value(b: &[u8], pos: usize, depth: usize) -> Result<(Json, usize), String> {
     match b.get(pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => read_object(b, pos + 1),
-        Some(b'[') => read_array(b, pos + 1),
+        Some(b'{' | b'[') if depth == 0 => {
+            Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"))
+        }
+        Some(b'{') => read_object(b, pos + 1, depth - 1),
+        Some(b'[') => read_array(b, pos + 1, depth - 1),
         Some(b'"') => {
             let (s, p) = read_string(b, pos + 1)?;
             Ok((Json::Str(s), p))
@@ -251,7 +263,7 @@ fn read_string(b: &[u8], mut pos: usize) -> Result<(String, usize), String> {
     Err("unterminated string".into())
 }
 
-fn read_object(b: &[u8], mut pos: usize) -> Result<(Json, usize), String> {
+fn read_object(b: &[u8], mut pos: usize, depth: usize) -> Result<(Json, usize), String> {
     let mut members = Vec::new();
     pos = skip_ws(b, pos);
     if b.get(pos) == Some(&b'}') {
@@ -268,7 +280,7 @@ fn read_object(b: &[u8], mut pos: usize) -> Result<(Json, usize), String> {
             return Err(format!("expected ':' at byte {pos}"));
         }
         pos = skip_ws(b, pos + 1);
-        let (value, p) = read_value(b, pos)?;
+        let (value, p) = read_value(b, pos, depth)?;
         members.push((key, value));
         pos = skip_ws(b, p);
         match b.get(pos) {
@@ -279,7 +291,7 @@ fn read_object(b: &[u8], mut pos: usize) -> Result<(Json, usize), String> {
     }
 }
 
-fn read_array(b: &[u8], mut pos: usize) -> Result<(Json, usize), String> {
+fn read_array(b: &[u8], mut pos: usize, depth: usize) -> Result<(Json, usize), String> {
     let mut items = Vec::new();
     pos = skip_ws(b, pos);
     if b.get(pos) == Some(&b']') {
@@ -287,7 +299,7 @@ fn read_array(b: &[u8], mut pos: usize) -> Result<(Json, usize), String> {
     }
     loop {
         pos = skip_ws(b, pos);
-        let (value, p) = read_value(b, pos)?;
+        let (value, p) = read_value(b, pos, depth)?;
         items.push(value);
         pos = skip_ws(b, p);
         match b.get(pos) {
@@ -305,11 +317,14 @@ fn skip_ws(b: &[u8], mut pos: usize) -> usize {
     pos
 }
 
-fn parse_value(b: &[u8], pos: usize) -> Result<usize, String> {
+fn parse_value(b: &[u8], pos: usize, depth: usize) -> Result<usize, String> {
     match b.get(pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(b, pos + 1),
-        Some(b'[') => parse_array(b, pos + 1),
+        Some(b'{' | b'[') if depth == 0 => {
+            Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"))
+        }
+        Some(b'{') => parse_object(b, pos + 1, depth - 1),
+        Some(b'[') => parse_array(b, pos + 1, depth - 1),
         Some(b'"') => parse_string(b, pos + 1),
         Some(b't') => parse_literal(b, pos, "true"),
         Some(b'f') => parse_literal(b, pos, "false"),
@@ -388,7 +403,7 @@ fn parse_number(b: &[u8], mut pos: usize) -> Result<usize, String> {
     Ok(pos)
 }
 
-fn parse_object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+fn parse_object(b: &[u8], mut pos: usize, depth: usize) -> Result<usize, String> {
     pos = skip_ws(b, pos);
     if b.get(pos) == Some(&b'}') {
         return Ok(pos + 1);
@@ -404,7 +419,7 @@ fn parse_object(b: &[u8], mut pos: usize) -> Result<usize, String> {
             return Err(format!("expected ':' at byte {pos}"));
         }
         pos = skip_ws(b, pos + 1);
-        pos = parse_value(b, pos)?;
+        pos = parse_value(b, pos, depth)?;
         pos = skip_ws(b, pos);
         match b.get(pos) {
             Some(b',') => pos += 1,
@@ -414,14 +429,14 @@ fn parse_object(b: &[u8], mut pos: usize) -> Result<usize, String> {
     }
 }
 
-fn parse_array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+fn parse_array(b: &[u8], mut pos: usize, depth: usize) -> Result<usize, String> {
     pos = skip_ws(b, pos);
     if b.get(pos) == Some(&b']') {
         return Ok(pos + 1);
     }
     loop {
         pos = skip_ws(b, pos);
-        pos = parse_value(b, pos)?;
+        pos = parse_value(b, pos, depth)?;
         pos = skip_ws(b, pos);
         match b.get(pos) {
             Some(b',') => pos += 1,

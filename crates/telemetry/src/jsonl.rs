@@ -3,6 +3,7 @@
 use std::fs;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -20,6 +21,13 @@ use crate::json;
 pub struct JsonlSink {
     out: Mutex<BufWriter<Box<dyn Write + Send>>>,
     start: Instant,
+    /// Lines lost to write errors (ENOSPC, closed pipe, …). Telemetry
+    /// must never panic the instrumented program, so failures degrade to
+    /// dropped lines — but they are *counted* and the last cause is kept,
+    /// so hosts can surface the loss instead of silently shipping a
+    /// truncated trace.
+    dropped: AtomicU64,
+    last_error: Mutex<Option<io::Error>>,
 }
 
 impl JsonlSink {
@@ -42,7 +50,29 @@ impl JsonlSink {
         JsonlSink {
             out: Mutex::new(BufWriter::new(Box::new(w))),
             start: Instant::now(),
+            dropped: AtomicU64::new(0),
+            last_error: Mutex::new(None),
         }
+    }
+
+    /// How many event lines were lost to write errors so far.
+    pub fn dropped_lines(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Takes (and clears) the most recent write error, if any — the error
+    /// surface for hosts that want to report partial traces. Pair with
+    /// [`JsonlSink::dropped_lines`] for the loss count.
+    pub fn take_last_error(&self) -> Option<io::Error> {
+        self.last_error
+            .lock()
+            .expect("jsonl error slot poisoned")
+            .take()
+    }
+
+    fn note_error(&self, e: io::Error) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        *self.last_error.lock().expect("jsonl error slot poisoned") = Some(e);
     }
 
     /// Flushes buffered lines to the underlying writer.
@@ -51,7 +81,11 @@ impl JsonlSink {
     ///
     /// Propagates write errors.
     pub fn flush(&self) -> io::Result<()> {
-        self.out.lock().expect("jsonl writer poisoned").flush()
+        let result = self.out.lock().expect("jsonl writer poisoned").flush();
+        if let Err(e) = &result {
+            self.note_error(io::Error::new(e.kind(), e.to_string()));
+        }
+        result
     }
 
     fn write_line(&self, members: Vec<(String, String)>) {
@@ -61,9 +95,17 @@ impl JsonlSink {
         let line = json::object(&all);
         let mut out = self.out.lock().expect("jsonl writer poisoned");
         // Telemetry must never panic the instrumented program; a full disk
-        // degrades to dropped lines.
-        let _ = out.write_all(line.as_bytes());
-        let _ = out.write_all(b"\n");
+        // (ENOSPC) or closed pipe degrades to dropped lines. `write_all`
+        // already retries short writes, so a partial write only survives
+        // as a hard error here — which we count and keep (see
+        // `dropped_lines` / `take_last_error`) instead of losing silently.
+        let result = out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"));
+        drop(out);
+        if let Err(e) = result {
+            self.note_error(e);
+        }
     }
 }
 

@@ -68,6 +68,7 @@
 mod capture;
 mod dispatch;
 mod event;
+pub mod frame;
 pub mod json;
 mod jsonl;
 mod logger;

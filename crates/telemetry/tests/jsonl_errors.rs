@@ -1,0 +1,107 @@
+//! The JsonlSink write path under failing filesystems: errors must be
+//! counted and surfaced, never panic the instrumented program, and never
+//! be lost silently.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fl_telemetry::{counter, install_local, JsonlSink};
+
+/// A writer that fails every write after the first `ok_bytes` bytes, the
+/// way a filling disk does (short write, then ENOSPC-style hard errors).
+struct FillingDisk {
+    ok_bytes: usize,
+    written: Arc<AtomicU64>,
+}
+
+impl Write for FillingDisk {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let so_far = self.written.load(Ordering::Relaxed) as usize;
+        if so_far >= self.ok_bytes {
+            return Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"));
+        }
+        // Accept at most the remaining budget — a *partial* write.
+        let take = buf.len().min(self.ok_bytes - so_far).max(1).min(buf.len());
+        self.written.fetch_add(take as u64, Ordering::Relaxed);
+        Ok(take)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.written.load(Ordering::Relaxed) as usize >= self.ok_bytes {
+            return Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"));
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn enospc_is_counted_and_surfaced_not_silent() {
+    let written = Arc::new(AtomicU64::new(0));
+    // Budget far smaller than one line: the first flush-through fails.
+    let sink = Arc::new(JsonlSink::to_writer(FillingDisk {
+        ok_bytes: 8,
+        written: written.clone(),
+    }));
+    assert_eq!(sink.dropped_lines(), 0);
+    assert!(sink.take_last_error().is_none());
+
+    {
+        let _guard = install_local(sink.clone());
+        for _ in 0..64 {
+            counter!("stress", 1);
+        }
+    }
+    // Events are buffered (BufWriter), so force them to the writer. The
+    // flush must report the failure to the caller…
+    let flush_err = sink.flush();
+    assert!(flush_err.is_err(), "flush over a full disk must fail");
+
+    // …and the sink's own error surface must have recorded the loss.
+    assert!(
+        sink.dropped_lines() >= 1,
+        "losses must be counted, got {}",
+        sink.dropped_lines()
+    );
+    let last = sink.take_last_error().expect("last error kept");
+    assert_eq!(last.kind(), io::ErrorKind::StorageFull);
+    // take semantics: the slot clears after reading.
+    assert!(sink.take_last_error().is_none());
+}
+
+#[test]
+fn partial_writes_are_retried_to_completion() {
+    // A writer that only takes a few bytes per call but never errors:
+    // write_all in the sink must loop until every byte lands, so no line
+    // is torn and nothing is dropped.
+    struct Dribble {
+        out: Arc<std::sync::Mutex<Vec<u8>>>,
+    }
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let take = buf.len().min(3);
+            self.out.lock().unwrap().extend_from_slice(&buf[..take]);
+            Ok(take)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let out = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = Arc::new(JsonlSink::to_writer(Dribble { out: out.clone() }));
+    {
+        let _guard = install_local(sink.clone());
+        for _ in 0..10 {
+            counter!("dribble", 1);
+        }
+    }
+    sink.flush().unwrap();
+    assert_eq!(sink.dropped_lines(), 0);
+    let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 10);
+    for line in lines {
+        fl_telemetry::json::validate(line).unwrap_or_else(|e| panic!("torn line {line:?}: {e}"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Open-loop arrival processes for service-layer load generation.
+//!
+//! An *open-loop* load generator fires sessions at predetermined times
+//! regardless of how fast the server answers — the only arrival model
+//! that actually exposes queueing collapse (a closed loop self-throttles
+//! and hides it). This module turns a seed into a deterministic arrival
+//! schedule: the `loadgen` bin replays the same offered load every run,
+//! so latency trajectories are comparable across builds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// The inter-arrival law of an open-loop session stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential inter-arrival gaps with the given
+    /// mean rate (sessions per second).
+    Poisson {
+        /// Mean arrival rate λ, sessions per second. Must be positive.
+        rate_per_sec: f64,
+    },
+    /// Evenly spaced arrivals (a paced benchmark): one session every
+    /// `1/rate_per_sec` seconds, no randomness.
+    Uniform {
+        /// Arrival rate, sessions per second. Must be positive.
+        rate_per_sec: f64,
+    },
+    /// Bursty arrivals: batches of `burst` back-to-back sessions, the
+    /// batches themselves Poisson at `rate_per_sec / burst` — same mean
+    /// load as `Poisson`, far harsher tail.
+    Bursty {
+        /// Mean arrival rate λ, sessions per second. Must be positive.
+        rate_per_sec: f64,
+        /// Sessions per burst (≥ 1).
+        burst: u32,
+    },
+}
+
+impl ArrivalProcess {
+    /// The mean offered load in sessions per second.
+    pub fn rate_per_sec(self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_per_sec }
+            | ArrivalProcess::Uniform { rate_per_sec }
+            | ArrivalProcess::Bursty { rate_per_sec, .. } => rate_per_sec,
+        }
+    }
+
+    /// Generates the arrival offsets (from test start) of `n` sessions,
+    /// non-decreasing, fully determined by `(self, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured rate is not strictly positive or a burst
+    /// size is zero.
+    pub fn schedule(self, seed: u64, n: usize) -> Vec<Duration> {
+        let rate = self.rate_per_sec();
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        let mut clock = 0.0f64;
+        match self {
+            ArrivalProcess::Uniform { .. } => {
+                let gap = 1.0 / rate;
+                for i in 0..n {
+                    out.push(Duration::from_secs_f64(gap * i as f64));
+                }
+            }
+            ArrivalProcess::Poisson { .. } => {
+                for _ in 0..n {
+                    clock += exponential_gap(&mut rng, rate);
+                    out.push(Duration::from_secs_f64(clock));
+                }
+            }
+            ArrivalProcess::Bursty { burst, .. } => {
+                assert!(burst >= 1, "burst size must be at least 1");
+                let batch_rate = rate / f64::from(burst);
+                while out.len() < n {
+                    clock += exponential_gap(&mut rng, batch_rate);
+                    for _ in 0..burst {
+                        if out.len() == n {
+                            break;
+                        }
+                        out.push(Duration::from_secs_f64(clock));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One exponential inter-arrival gap with mean `1/rate`, clamped away
+/// from `ln(0)`.
+fn exponential_gap(rng: &mut StdRng, rate: f64) -> f64 {
+    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 50.0 };
+        assert_eq!(p.schedule(7, 100), p.schedule(7, 100));
+        assert_ne!(p.schedule(7, 100), p.schedule(8, 100));
+    }
+
+    #[test]
+    fn offsets_are_non_decreasing() {
+        for p in [
+            ArrivalProcess::Poisson { rate_per_sec: 20.0 },
+            ArrivalProcess::Uniform { rate_per_sec: 20.0 },
+            ArrivalProcess::Bursty {
+                rate_per_sec: 20.0,
+                burst: 4,
+            },
+        ] {
+            let xs = p.schedule(3, 200);
+            assert_eq!(xs.len(), 200);
+            assert!(xs.windows(2).all(|w| w[0] <= w[1]), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn mean_rate_is_roughly_the_configured_rate() {
+        let rate = 100.0;
+        let n = 5_000;
+        for p in [
+            ArrivalProcess::Poisson { rate_per_sec: rate },
+            ArrivalProcess::Bursty {
+                rate_per_sec: rate,
+                burst: 5,
+            },
+        ] {
+            let xs = p.schedule(42, n);
+            let span = xs.last().unwrap().as_secs_f64();
+            let empirical = (n as f64 - 1.0) / span;
+            assert!(
+                (empirical / rate - 1.0).abs() < 0.15,
+                "{p:?}: empirical rate {empirical:.1}/s vs configured {rate}/s"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_is_exactly_paced() {
+        let xs = ArrivalProcess::Uniform { rate_per_sec: 10.0 }.schedule(0, 5);
+        assert_eq!(xs[0], Duration::ZERO);
+        assert_eq!(xs[4], Duration::from_millis(400));
+    }
+
+    #[test]
+    fn bursts_arrive_back_to_back() {
+        let xs = ArrivalProcess::Bursty {
+            rate_per_sec: 10.0,
+            burst: 3,
+        }
+        .schedule(1, 9);
+        for chunk in xs.chunks(3) {
+            assert!(chunk.iter().all(|t| *t == chunk[0]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = ArrivalProcess::Poisson { rate_per_sec: 0.0 }.schedule(0, 1);
+    }
+}

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 mod battery;
 mod device;
 mod diurnal;
@@ -34,6 +35,7 @@ mod paper;
 pub mod sample;
 pub mod stress;
 
+pub use arrival::ArrivalProcess;
 pub use battery::BatteryWorkload;
 pub use device::{DeviceClass, DeviceMix};
 pub use diurnal::{ActivityPeak, DiurnalWorkload};
