@@ -17,7 +17,7 @@
 //!   profiles and bids.
 //! * [`run_auction`] executes Alg. 1: it enumerates the admissible horizons
 //!   `T̂_g ∈ [T_0, T]`, builds a qualified bid set per horizon
-//!   ([`qualify`]), solves each winner-determination problem with
+//!   ([`qualify()`]), solves each winner-determination problem with
 //!   [`AWinner`] (Alg. 2, greedy over representative schedules) and the
 //!   critical-value payment rule (Alg. 3), and returns the cheapest
 //!   feasible [`AuctionOutcome`].
@@ -80,6 +80,7 @@
 pub mod analysis;
 mod auction;
 mod bid;
+pub mod columnar;
 mod config;
 pub mod coverage;
 mod error;
@@ -100,6 +101,7 @@ mod winner;
 
 pub use auction::{run_auction, run_auction_with, sweep_horizons, AuctionOutcome, HorizonOutcome};
 pub use bid::{Bid, ClientProfile, Instance};
+pub use columnar::{ColumnarBids, CoverageIndex};
 pub use config::{AuctionConfig, AuctionConfigBuilder, LocalIterationModel, QualifyMode};
 pub use coverage::Coverage;
 pub use error::{AuctionError, WdpError};
@@ -108,7 +110,7 @@ pub use payment::{payment, PaymentRule};
 pub use preprocess::SweepPrecomp;
 pub use qualify::{min_horizon, qualify, QualifiedBid};
 pub use recover::{standby_pool, StandbyEntry, StandbyPool};
-pub use schedule::{pick_schedule, representative_schedule, SchedulePolicy};
+pub use schedule::{pick_schedule, pick_schedule_into, representative_schedule, SchedulePolicy};
 pub use stats::{EconomicHealth, MechanismStats};
 pub use types::{BidRef, ClientId, Round, Window};
 pub use wdp::{DualCertificate, Wdp, WdpSolution, WdpSolver, WinnerEntry};

@@ -15,7 +15,7 @@
 //! bid set changes critical values, so the mechanism itself never prunes
 //! **bids**. [`SweepPrecomp`] is different: it never drops a bid — it only
 //! precomputes, per bid, the smallest horizon at which the unchanged
-//! qualification rules of [`crate::qualify`] admit it, so the sweep can
+//! qualification rules of [`crate::qualify()`] admit it, so the sweep can
 //! rebuild each horizon's exact qualified set by threshold comparison
 //! instead of re-deriving every gate, and can lower-bound a horizon's cost
 //! to skip horizons that provably cannot win (see
@@ -72,28 +72,40 @@ fn dominates(a: &QualifiedBid, b: &QualifiedBid) -> bool {
 /// Sentinel threshold for "no horizon in the sweep admits this bid".
 const NEVER: u32 = u32::MAX;
 
-/// Per-bid admissibility data precomputed once per sweep.
-#[derive(Debug, Clone)]
-struct PrecompEntry {
-    bid_ref: BidRef,
-    price: f64,
-    accuracy: f64,
-    /// The bid's full (untruncated) window.
-    window: Window,
-    rounds: u32,
-    round_time: f64,
+/// Per-bid admissibility data precomputed once per sweep, stored as
+/// parallel columns (one entry per bid, instance order) in the same
+/// struct-of-arrays style as [`crate::columnar`]: the per-horizon
+/// qualification scan of [`SweepPrecomp::qualify_at`] reads only the
+/// threshold columns until a bid is admitted, so rejected bids cost three
+/// contiguous-array compares instead of dragging a full record through
+/// the cache.
+#[derive(Debug, Clone, Default)]
+struct PrecompColumns {
+    bid_refs: Vec<BidRef>,
+    prices: Vec<f64>,
+    accuracies: Vec<f64>,
+    /// The bids' full (untruncated) windows.
+    windows: Vec<Window>,
+    rounds: Vec<u32>,
+    round_times: Vec<f64>,
     /// Whether `t_ij ≤ t_max + ε` (horizon-independent).
-    time_ok: bool,
+    time_ok: Vec<bool>,
     /// Smallest horizon passing the accuracy gate `θ ≤ 1 − 1/T̂_g + ε`
     /// ([`NEVER`] if none within the sweep).
-    h_accuracy: u32,
+    h_accuracy: Vec<u32>,
     /// Smallest horizon passing the window gate under the instance's
     /// [`QualifyMode`].
-    h_window: u32,
+    h_window: Vec<u32>,
     /// Smallest horizon at which the bid qualifies outright, or [`NEVER`].
-    min_admissible: u32,
+    min_admissible: Vec<u32>,
     /// Average per-scheduled-round cost `b_ij / c_ij`.
-    avg: f64,
+    avg: Vec<f64>,
+}
+
+impl PrecompColumns {
+    fn len(&self) -> usize {
+        self.bid_refs.len()
+    }
 }
 
 /// Incremental qualification for the `A_FL` horizon sweep.
@@ -116,7 +128,7 @@ struct PrecompEntry {
 pub struct SweepPrecomp {
     k: u32,
     horizon_cap: u32,
-    entries: Vec<PrecompEntry>,
+    cols: PrecompColumns,
     /// Indices of `time_ok` entries sorted by ascending average cost
     /// (ties: instance order), for the lower bound's cheapest-slot scan.
     by_avg: Vec<usize>,
@@ -133,51 +145,47 @@ impl SweepPrecomp {
         let horizon_cap = instance.config().max_rounds();
         let t_max = instance.config().round_time_limit();
         let mode = instance.config().qualify_mode();
-        let entries: Vec<PrecompEntry> = instance
-            .iter_bids()
-            .map(|(bid_ref, bid)| {
-                let round_time = instance.round_time(bid_ref);
-                let time_ok = round_time <= t_max + QUALIFY_EPS;
-                let h_accuracy = accuracy_threshold(bid.accuracy(), horizon_cap);
-                let a = u64::from(bid.window().start().0);
-                let c = u64::from(bid.rounds());
-                let h_window = match mode {
-                    // Truncated window `[a, min(d, T̂_g)]` holds `c` rounds
-                    // iff `T̂_g ≥ a + c − 1` (bids guarantee `c ≤ d − a + 1`).
-                    QualifyMode::Intent => clamp_u32(a + c - 1),
-                    // Literal Alg. 1 line 6: `a + c ≤ T̂_g`.
-                    QualifyMode::Literal => clamp_u32(a + c),
-                };
-                let min_admissible = if !time_ok || h_accuracy == NEVER {
-                    NEVER
-                } else {
-                    h_accuracy.max(h_window)
-                };
-                PrecompEntry {
-                    bid_ref,
-                    price: bid.price(),
-                    accuracy: bid.accuracy(),
-                    window: bid.window(),
-                    rounds: bid.rounds(),
-                    round_time,
-                    time_ok,
-                    h_accuracy,
-                    h_window,
-                    min_admissible,
-                    avg: bid.price() / f64::from(bid.rounds()),
-                }
-            })
-            .collect();
-        let mut by_avg: Vec<usize> = (0..entries.len())
-            .filter(|&i| entries[i].min_admissible != NEVER)
+        let mut cols = PrecompColumns::default();
+        for (bid_ref, bid) in instance.iter_bids() {
+            let round_time = instance.round_time(bid_ref);
+            let time_ok = round_time <= t_max + QUALIFY_EPS;
+            let h_accuracy = accuracy_threshold(bid.accuracy(), horizon_cap);
+            let a = u64::from(bid.window().start().0);
+            let c = u64::from(bid.rounds());
+            let h_window = match mode {
+                // Truncated window `[a, min(d, T̂_g)]` holds `c` rounds
+                // iff `T̂_g ≥ a + c − 1` (bids guarantee `c ≤ d − a + 1`).
+                QualifyMode::Intent => clamp_u32(a + c - 1),
+                // Literal Alg. 1 line 6: `a + c ≤ T̂_g`.
+                QualifyMode::Literal => clamp_u32(a + c),
+            };
+            let min_admissible = if !time_ok || h_accuracy == NEVER {
+                NEVER
+            } else {
+                h_accuracy.max(h_window)
+            };
+            cols.bid_refs.push(bid_ref);
+            cols.prices.push(bid.price());
+            cols.accuracies.push(bid.accuracy());
+            cols.windows.push(bid.window());
+            cols.rounds.push(bid.rounds());
+            cols.round_times.push(round_time);
+            cols.time_ok.push(time_ok);
+            cols.h_accuracy.push(h_accuracy);
+            cols.h_window.push(h_window);
+            cols.min_admissible.push(min_admissible);
+            cols.avg.push(bid.price() / f64::from(bid.rounds()));
+        }
+        let mut by_avg: Vec<usize> = (0..cols.len())
+            .filter(|&i| cols.min_admissible[i] != NEVER)
             .collect();
         // Stable sort: equal averages keep instance order, so the lower
         // bound sums in a deterministic order.
-        by_avg.sort_by(|&i, &j| entries[i].avg.total_cmp(&entries[j].avg));
+        by_avg.sort_by(|&i, &j| cols.avg[i].total_cmp(&cols.avg[j]));
         SweepPrecomp {
             k: instance.config().clients_per_round(),
             horizon_cap,
-            entries,
+            cols,
             by_avg,
         }
     }
@@ -208,32 +216,32 @@ impl SweepPrecomp {
         let last = Round(horizon);
         let (mut examined, mut by_accuracy, mut by_time, mut by_window) = (0u64, 0u64, 0u64, 0u64);
         let mut bids = Vec::new();
-        for entry in &self.entries {
+        for i in 0..self.cols.len() {
             examined += 1;
             // Same gate order as `qualify`, so rejection counters agree.
-            if horizon < entry.h_accuracy {
+            // Only the three threshold columns are read until admission.
+            if horizon < self.cols.h_accuracy[i] {
                 by_accuracy += 1;
                 continue;
             }
-            if !entry.time_ok {
+            if !self.cols.time_ok[i] {
                 by_time += 1;
                 continue;
             }
-            if horizon < entry.h_window {
+            if horizon < self.cols.h_window[i] {
                 by_window += 1;
                 continue;
             }
-            let window = entry
-                .window
+            let window = self.cols.windows[i]
                 .truncate(last)
                 .expect("h ≥ h_window implies h ≥ window start");
             bids.push(QualifiedBid {
-                bid_ref: entry.bid_ref,
-                price: entry.price,
-                accuracy: entry.accuracy,
+                bid_ref: self.cols.bid_refs[i],
+                price: self.cols.prices[i],
+                accuracy: self.cols.accuracies[i],
                 window,
-                rounds: entry.rounds,
-                round_time: entry.round_time,
+                rounds: self.cols.rounds[i],
+                round_time: self.cols.round_times[i],
             });
         }
         counter!("qualify.examined", examined);
@@ -260,12 +268,11 @@ impl SweepPrecomp {
         let mut remaining = u64::from(self.k) * u64::from(horizon);
         let mut bound = 0.0;
         for &idx in &self.by_avg {
-            let entry = &self.entries[idx];
-            if entry.min_admissible > horizon {
+            if self.cols.min_admissible[idx] > horizon {
                 continue;
             }
-            let take = remaining.min(u64::from(entry.rounds));
-            bound += entry.avg * take as f64;
+            let take = remaining.min(u64::from(self.cols.rounds[idx]));
+            bound += self.cols.avg[idx] * take as f64;
             remaining -= take;
             if remaining == 0 {
                 return bound;
@@ -277,10 +284,13 @@ impl SweepPrecomp {
     /// The smallest horizon at which `bid_ref` qualifies, or `None` if no
     /// horizon in `1..=T` admits it (exposed for tests and analyses).
     pub fn admission_horizon(&self, bid_ref: BidRef) -> Option<u32> {
-        self.entries
+        self.cols
+            .bid_refs
             .iter()
-            .find(|e| e.bid_ref == bid_ref)
-            .and_then(|e| (e.min_admissible != NEVER).then_some(e.min_admissible))
+            .position(|&r| r == bid_ref)
+            .and_then(|i| {
+                (self.cols.min_admissible[i] != NEVER).then_some(self.cols.min_admissible[i])
+            })
     }
 }
 

@@ -55,6 +55,93 @@ pub fn representative_schedule(cov: &Coverage, window: Window, c: u32) -> Vec<Ro
     pick_schedule(cov, window, c, SchedulePolicy::LeastLoaded)
 }
 
+/// The marginal utility `R_il(S)` of a bid's representative schedule,
+/// computed **without deriving the schedule**: under
+/// [`SchedulePolicy::LeastLoaded`] the `c` least-loaded rounds contain
+/// every unsaturated round of the window up to `c` (an unsaturated round's
+/// load `< k` is strictly below any saturated round's `≥ k`, so
+/// unsaturated rounds always sort first), hence the gain is exactly
+/// `min(c, m)` where `m` counts the window's rounds with `γ_t < k`. Under
+/// [`SchedulePolicy::Earliest`] the schedule is the fixed first `c` rounds
+/// of the window, so the gain counts the unsaturated ones among those.
+///
+/// Either way the result is bit-identical to
+/// [`pick_schedule`] + [`Coverage::gain`] (asserted by tests), at the cost
+/// of one branch-free pass over the window instead of a sort — this is
+/// what the columnar lazy queue uses to refresh entries, reserving the
+/// full schedule derivation for the one winner per iteration.
+pub fn gain_in_window(
+    loads: &[u32],
+    k: u32,
+    start: u32,
+    end: u32,
+    c: u32,
+    policy: SchedulePolicy,
+) -> u32 {
+    debug_assert!(end as usize <= loads.len(), "window escapes the horizon");
+    debug_assert!(end - start + 1 >= c, "window cannot hold c rounds");
+    let window = &loads[(start - 1) as usize..end as usize];
+    match policy {
+        SchedulePolicy::LeastLoaded => {
+            let m = window.iter().filter(|&&g| g < k).count() as u32;
+            m.min(c)
+        }
+        SchedulePolicy::Earliest => window[..c as usize].iter().filter(|&&g| g < k).count() as u32,
+    }
+}
+
+/// Allocation-free twin of [`pick_schedule`] for the columnar hot path
+/// (see [`crate::columnar`]): computes the schedule of a bid with window
+/// `[start, end]` (1-based, inclusive) and `c` participation rounds
+/// straight from the raw per-round load array, writing the chosen rounds
+/// (ascending) into `out` and returning the marginal utility `R_il(S)` —
+/// the number of chosen rounds with `γ_t < k`. `order` is a caller-owned
+/// scratch buffer reused across calls.
+///
+/// Bit-identical to [`pick_schedule`] + [`Coverage::gain`] by
+/// construction: the sort key `(γ_t, t)` is unique per round, so even the
+/// unstable sort is fully deterministic and selects the same
+/// representative schedule (asserted by tests against the row-form path).
+///
+/// # Panics
+///
+/// Panics if the window holds fewer than `c` rounds or extends past
+/// `loads.len()` rounds, mirroring [`pick_schedule`].
+#[allow(clippy::too_many_arguments)]
+pub fn pick_schedule_into(
+    loads: &[u32],
+    k: u32,
+    start: u32,
+    end: u32,
+    c: u32,
+    policy: SchedulePolicy,
+    order: &mut Vec<u32>,
+    out: &mut Vec<u32>,
+) -> u32 {
+    assert!(
+        end - start + 1 >= c,
+        "window [{start},{end}] cannot hold {c} rounds; qualification should have rejected this bid"
+    );
+    assert!(
+        end as usize <= loads.len(),
+        "window [{start},{end}] extends past horizon {}",
+        loads.len()
+    );
+    order.clear();
+    order.extend(start..=end);
+    match policy {
+        SchedulePolicy::LeastLoaded => {
+            order.sort_unstable_by_key(|&t| (loads[(t - 1) as usize], t));
+            order.truncate(c as usize);
+            order.sort_unstable();
+        }
+        SchedulePolicy::Earliest => order.truncate(c as usize),
+    }
+    out.clear();
+    out.extend_from_slice(order);
+    out.iter().filter(|&&t| loads[(t - 1) as usize] < k).count() as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +223,41 @@ mod tests {
     fn oversized_demand_panics() {
         let cov = Coverage::new(3, 1);
         let _ = representative_schedule(&cov, w(1, 2), 3);
+    }
+
+    #[test]
+    fn pick_schedule_into_matches_pick_schedule_under_both_policies() {
+        let mut cov = Coverage::new(9, 2);
+        cov.add(&[Round(2), Round(3), Round(7)]);
+        cov.add(&[Round(3)]);
+        let loads: Vec<u32> = (1..=9).map(|t| cov.load(Round(t))).collect();
+        let (mut order, mut out) = (Vec::new(), Vec::new());
+        for policy in [SchedulePolicy::LeastLoaded, SchedulePolicy::Earliest] {
+            for (a, d) in [(1u32, 9u32), (2, 5), (3, 3), (6, 9)] {
+                for c in 1..=(d - a + 1) {
+                    let reference = pick_schedule(&cov, w(a, d), c, policy);
+                    let gain = pick_schedule_into(&loads, 2, a, d, c, policy, &mut order, &mut out);
+                    let got: Vec<Round> = out.iter().map(|&t| Round(t)).collect();
+                    assert_eq!(got, reference, "[{a},{d}] c={c} {policy:?}");
+                    assert_eq!(gain, cov.gain(&reference), "[{a},{d}] c={c} {policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn pick_schedule_into_oversized_demand_panics() {
+        let loads = [0u32; 3];
+        let _ = pick_schedule_into(
+            &loads,
+            1,
+            1,
+            2,
+            3,
+            SchedulePolicy::LeastLoaded,
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
     }
 }

@@ -8,11 +8,21 @@
 //! has `K` participants. Payments follow the critical-value rule, and the
 //! run is replayed into the dual of the relaxed compact-exponential ILP to
 //! produce an instance-specific approximation certificate (Lemma 5).
+//!
+//! The default execution path runs over the columnar bid store of
+//! [`crate::columnar`]: a struct-of-arrays view of the qualified bids, a
+//! per-thread scratch arena reused across the horizon sweep, and a
+//! bucketed coverage index that keeps lazy-queue entries valid until a
+//! load inside their window actually changes. The row-form full scan
+//! ([`AWinner::with_full_scan`]) is retained as the equivalence oracle;
+//! both paths are bit-identical (tested here, in the certifier's
+//! shape-family suite, and by the parallel-sweep determinism suite).
 
+use crate::columnar::{with_scratch, ColumnarBids, HeapSlot};
 use crate::coverage::Coverage;
 use crate::error::WdpError;
 use crate::payment::{payment, PaymentRule};
-use crate::schedule::{pick_schedule, SchedulePolicy};
+use crate::schedule::{gain_in_window, pick_schedule, pick_schedule_into, SchedulePolicy};
 use crate::types::{BidRef, Round};
 use crate::wdp::{DualCertificate, Wdp, WdpSolution, WdpSolver, WinnerEntry};
 use fl_telemetry::{counter, span};
@@ -165,60 +175,15 @@ impl WdpSolver for AWinner {
 impl AWinner {
     fn solve_inner(&self, wdp: &Wdp) -> Result<(WdpSolution, Vec<SelectionStep>), WdpError> {
         let horizon = wdp.horizon();
-        let k = wdp.demand_per_round();
         let bids = wdp.bids();
-        let mut cov = Coverage::new(horizon, k);
-        let mut pair_selected = vec![false; bids.len()];
-        let mut client_selected: std::collections::HashSet<u32> = std::collections::HashSet::new();
-        let mut raw: Vec<RawWinner> = Vec::new();
-        // φ(t, l) of selected schedules, per round (for η_φ).
-        let mut phi: Vec<Vec<f64>> = vec![Vec::new(); horizon as usize];
-        {
+        let (raw, phi) = {
             let _greedy = span!("wdp_greedy", bids = bids.len() as u64);
-            let mut lazy = if self.full_scan {
-                None
+            if self.full_scan {
+                full_scan_greedy(wdp, self.policy)?
             } else {
-                Some(LazyQueue::new(bids, &cov, self.policy))
-            };
-
-            while !cov.is_complete() {
-                let pick = match &mut lazy {
-                    Some(q) => q.pick(&cov, bids, &pair_selected, &client_selected, self.policy),
-                    None => {
-                        full_scan_pick(&cov, bids, &pair_selected, &client_selected, self.policy)
-                    }
-                };
-                let Some(winner) = pick.best_c else {
-                    counter!("winner.greedy_iterations", raw.len());
-                    return Err(WdpError::Infeasible);
-                };
-                let qb = &bids[winner.bid_idx];
-                let critical_avg = pick.second_c.as_ref().map(|c| c.avg);
-                let available = cov.available_subset(&winner.schedule);
-                debug_assert_eq!(available.len() as u32, winner.gain);
-                for &t in &available {
-                    phi[t.index()].push(winner.avg);
-                }
-                cov.add(&winner.schedule);
-                pair_selected[winner.bid_idx] = true;
-                client_selected.insert(qb.bid_ref.client.0);
-                if let Some(q) = &mut lazy {
-                    q.end_iteration();
-                }
-                raw.push(RawWinner {
-                    bid_idx: winner.bid_idx,
-                    schedule: winner.schedule,
-                    available,
-                    avg: winner.avg,
-                    gain: winner.gain,
-                    critical_avg,
-                });
+                columnar_greedy(wdp, self.policy)?
             }
-            counter!("winner.greedy_iterations", raw.len());
-            if let Some(q) = &lazy {
-                counter!("winner.lazy_refreshes", q.refreshes);
-            }
-        }
+        };
 
         let payments: Vec<f64> = {
             let _pay = span!("payment");
@@ -281,6 +246,241 @@ struct IterationPick {
     second_c: Option<Candidate>,
 }
 
+/// The row-form greedy loop over [`Coverage`] and [`full_scan_pick`] — the
+/// equivalence oracle for the columnar path ([`columnar_greedy`]). Returns
+/// the selected winners and the per-round `φ(t, l)` averages for the dual
+/// replay.
+fn full_scan_greedy(
+    wdp: &Wdp,
+    policy: SchedulePolicy,
+) -> Result<(Vec<RawWinner>, Vec<Vec<f64>>), WdpError> {
+    let horizon = wdp.horizon();
+    let k = wdp.demand_per_round();
+    let bids = wdp.bids();
+    let mut cov = Coverage::new(horizon, k);
+    let mut pair_selected = vec![false; bids.len()];
+    let mut client_selected: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut raw: Vec<RawWinner> = Vec::new();
+    // φ(t, l) of selected schedules, per round (for η_φ).
+    let mut phi: Vec<Vec<f64>> = vec![Vec::new(); horizon as usize];
+    while !cov.is_complete() {
+        let pick = full_scan_pick(&cov, bids, &pair_selected, &client_selected, policy);
+        let Some(winner) = pick.best_c else {
+            counter!("winner.greedy_iterations", raw.len());
+            return Err(WdpError::Infeasible);
+        };
+        let qb = &bids[winner.bid_idx];
+        let critical_avg = pick.second_c.as_ref().map(|c| c.avg);
+        let available = cov.available_subset(&winner.schedule);
+        debug_assert_eq!(available.len() as u32, winner.gain);
+        for &t in &available {
+            phi[t.index()].push(winner.avg);
+        }
+        cov.add(&winner.schedule);
+        pair_selected[winner.bid_idx] = true;
+        client_selected.insert(qb.bid_ref.client.0);
+        raw.push(RawWinner {
+            bid_idx: winner.bid_idx,
+            schedule: winner.schedule,
+            available,
+            avg: winner.avg,
+            gain: winner.gain,
+            critical_avg,
+        });
+    }
+    counter!("winner.greedy_iterations", raw.len());
+    Ok((raw, phi))
+}
+
+/// The columnar greedy loop — Alg. 2 over the struct-of-arrays store of
+/// [`crate::columnar`], with the lazy candidate queue validated by the
+/// bucketed coverage index instead of per-iteration staleness.
+///
+/// # Why this is bit-identical to [`full_scan_greedy`]
+///
+/// A candidate's average cost `ρ / R_il(S)` can only **grow** as coverage
+/// accumulates (availability shrinks monotonically), so a cached heap key
+/// is a lower bound on the entry's current value. When the popped minimum
+/// is *current* — no round in its window saturated since its stamp
+/// ([`crate::columnar::CoverageIndex::is_current`]) — its cached `avg` and
+/// `gain` are exact (gain is `min(c, m)` with `m` the window's unsaturated
+/// round count; see [`gain_in_window`]), and every other entry's true
+/// value is at least its own cached key ≥ the popped key, so the pop is
+/// the exact minimum under the full `(avg, price, bid_ref)` order. Stale
+/// pops are re-evaluated with the sort-free [`gain_in_window`]; if the
+/// recomputed gain matches the cached key the bucket hit was conservative
+/// and the pop is *still* the exact minimum (same lower-bound argument),
+/// so it is accepted in place — only a genuinely changed key is counted
+/// by `winner.lazy_refreshes` and re-inserted. Because an entry stays
+/// valid until a round in its window actually saturates — at most `T̂_g`
+/// saturations exist per run — valid entries survive *across* iterations,
+/// which collapses the refresh count relative to the old one-iteration
+/// freshness rule.
+///
+/// Schedules are never cached per entry: only the winner needs one, and it
+/// is derived from the live loads at selection ([`pick_schedule_into`]) —
+/// exactly the schedule the full scan would compute at that iteration.
+/// Dropping the per-entry `Vec` keeps heap slots `Copy` and the seed pass
+/// allocation-free.
+fn columnar_greedy(
+    wdp: &Wdp,
+    policy: SchedulePolicy,
+) -> Result<(Vec<RawWinner>, Vec<Vec<f64>>), WdpError> {
+    let horizon = wdp.horizon();
+    let k = wdp.demand_per_round();
+    assert!(horizon >= 1, "horizon must be at least 1");
+    assert!(k >= 1, "per-round demand must be at least 1");
+    let cols = ColumnarBids::from(wdp.bids());
+    let total = u64::from(k) * u64::from(horizon);
+    let mut raw: Vec<RawWinner> = Vec::new();
+    // φ(t, l) of selected schedules, per round (for η_φ).
+    let mut phi: Vec<Vec<f64>> = vec![Vec::new(); horizon as usize];
+    let mut refreshes = 0u64;
+    let feasible = with_scratch(|s| {
+        s.reset(horizon, cols.len(), cols.num_clients());
+        // Seed: every bid evaluated under the empty coverage, stamp 0.
+        for i in 0..cols.len() {
+            let gain = gain_in_window(
+                &s.loads,
+                k,
+                cols.start(i),
+                cols.end(i),
+                cols.rounds(i),
+                policy,
+            );
+            if gain == 0 {
+                continue; // gains never grow back
+            }
+            s.heap.push(HeapSlot {
+                avg: cols.price(i) / f64::from(gain),
+                price: cols.price(i),
+                bid_ref: cols.bid_ref(i),
+                idx: i as u32,
+                gain,
+                stamp: 0,
+            });
+        }
+        let mut covered = 0u64;
+        while covered < total {
+            // Pop until we hold the exact minimum and runner-up.
+            let mut best: Option<HeapSlot> = None;
+            let mut second: Option<HeapSlot> = None;
+            while second.is_none() {
+                let Some(top) = s.heap.pop() else {
+                    break;
+                };
+                let i = top.idx as usize;
+                if s.pair_selected[i] {
+                    continue; // selected pairs leave G permanently
+                }
+                if s.client_selected[cols.client_slot(i) as usize] {
+                    continue; // the client already won another bid
+                }
+                if s.index.is_current(cols.start(i), cols.end(i), top.stamp) {
+                    if best.is_none() {
+                        best = Some(top);
+                    } else {
+                        second = Some(top);
+                    }
+                } else {
+                    let gain = gain_in_window(
+                        &s.loads,
+                        k,
+                        cols.start(i),
+                        cols.end(i),
+                        cols.rounds(i),
+                        policy,
+                    );
+                    if gain == top.gain {
+                        // The bucketed index was conservative: no round this
+                        // bid counts on actually saturated, so the cached key
+                        // is exact and this pop is still the true minimum of
+                        // the candidate set (every other cached key is a
+                        // lower bound that already sorts after it). Re-stamp
+                        // and accept — no invalidation happened.
+                        let fresh = HeapSlot {
+                            stamp: s.index.clock(),
+                            ..top
+                        };
+                        if best.is_none() {
+                            best = Some(fresh);
+                        } else {
+                            second = Some(fresh);
+                        }
+                        continue;
+                    }
+                    refreshes += 1;
+                    if gain == 0 {
+                        continue; // monotone: will never help again
+                    }
+                    s.heap.push(HeapSlot {
+                        avg: cols.price(i) / f64::from(gain),
+                        stamp: s.index.clock(),
+                        gain,
+                        ..top
+                    });
+                }
+            }
+            let Some(win) = best else {
+                return false; // candidate set exhausted: infeasible
+            };
+            if let Some(sec) = second {
+                // Still current — back into the heap untouched.
+                s.heap.push(sec);
+            }
+            let i = win.idx as usize;
+            // A current entry re-derives to exactly its cached evaluation.
+            let gain = pick_schedule_into(
+                &s.loads,
+                k,
+                cols.start(i),
+                cols.end(i),
+                cols.rounds(i),
+                policy,
+                &mut s.order,
+                &mut s.schedule,
+            );
+            debug_assert_eq!(
+                gain, win.gain,
+                "current winner entry must re-derive exactly"
+            );
+            let mut available = Vec::with_capacity(win.gain as usize);
+            s.index.advance();
+            for &t in &s.schedule {
+                let load = &mut s.loads[(t - 1) as usize];
+                if *load < k {
+                    covered += 1;
+                    available.push(Round(t));
+                    phi[(t - 1) as usize].push(win.avg);
+                    if *load + 1 == k {
+                        // The round just saturated: cached gains whose
+                        // windows contain it are stale from here on.
+                        s.index.touch(t);
+                    }
+                }
+                *load += 1;
+            }
+            s.pair_selected[i] = true;
+            s.client_selected[cols.client_slot(i) as usize] = true;
+            raw.push(RawWinner {
+                bid_idx: i,
+                schedule: s.schedule.iter().map(|&t| Round(t)).collect(),
+                available,
+                avg: win.avg,
+                gain: win.gain,
+                critical_avg: second.map(|c| c.avg),
+            });
+        }
+        true
+    });
+    counter!("winner.greedy_iterations", raw.len());
+    if !feasible {
+        return Err(WdpError::Infeasible);
+    }
+    counter!("winner.lazy_refreshes", refreshes);
+    Ok((raw, phi))
+}
+
 /// The straightforward O(bids) per-iteration scan (the equivalence oracle).
 fn full_scan_pick(
     cov: &Coverage,
@@ -317,164 +517,6 @@ fn full_scan_pick(
         }
     }
     IterationPick { best_c, second_c }
-}
-
-/// Lazy-greedy candidate queue.
-///
-/// A candidate's average cost `ρ / R_il(S)` can only **grow** as coverage
-/// accumulates (availability shrinks monotonically), so a stale cached
-/// value is a lower bound on the current one. The classic lazy-greedy
-/// argument then applies: pop the heap minimum; if its value was computed
-/// this iteration it is the exact current minimum (any stale entry's true
-/// value is at least its cached key, which is at least the fresh top);
-/// otherwise re-evaluate and re-insert. Ties are broken by `(price,
-/// bid_ref)` exactly as the full scan does, so the two strategies are
-/// bit-identical (asserted by tests).
-struct LazyQueue {
-    heap: std::collections::BinaryHeap<HeapEntry>,
-    iteration: u64,
-    /// How many stale entries were re-evaluated (telemetry: the lazy
-    /// queue's whole advantage is keeping this far below bids × iterations).
-    refreshes: u64,
-}
-
-/// Heap entry ordered as a **min-heap** on `(avg, price, bid_ref)`.
-struct HeapEntry {
-    avg: f64,
-    price: f64,
-    bid_ref: crate::types::BidRef,
-    bid_idx: usize,
-    schedule: Vec<Round>,
-    gain: u32,
-    stamp: u64,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need the smallest key on
-        // top.
-        self.avg
-            .total_cmp(&other.avg)
-            .then(self.price.total_cmp(&other.price))
-            .then(self.bid_ref.cmp(&other.bid_ref))
-            .reverse()
-    }
-}
-
-impl LazyQueue {
-    fn new(bids: &[crate::QualifiedBid], cov: &Coverage, policy: SchedulePolicy) -> Self {
-        let mut heap = std::collections::BinaryHeap::with_capacity(bids.len());
-        for (idx, qb) in bids.iter().enumerate() {
-            let schedule = pick_schedule(cov, qb.window, qb.rounds, policy);
-            let gain = cov.gain(&schedule);
-            if gain == 0 {
-                continue; // gains never grow back
-            }
-            heap.push(HeapEntry {
-                avg: qb.price / f64::from(gain),
-                price: qb.price,
-                bid_ref: qb.bid_ref,
-                bid_idx: idx,
-                schedule,
-                gain,
-                stamp: 0,
-            });
-        }
-        LazyQueue {
-            heap,
-            iteration: 0,
-            refreshes: 0,
-        }
-    }
-
-    fn end_iteration(&mut self) {
-        self.iteration += 1;
-    }
-
-    fn pick(
-        &mut self,
-        cov: &Coverage,
-        bids: &[crate::QualifiedBid],
-        pair_selected: &[bool],
-        client_selected: &std::collections::HashSet<u32>,
-        policy: SchedulePolicy,
-    ) -> IterationPick {
-        // Extract fresh entries in exact ascending order until we hold two
-        // C-entries (winner + critical runner-up).
-        let mut fresh: Vec<HeapEntry> = Vec::new();
-        let mut c_entries = 0usize;
-        while c_entries < 2 {
-            let Some(top) = self.heap.pop() else {
-                break;
-            };
-            if pair_selected[top.bid_idx] {
-                continue; // selected pairs leave G permanently
-            }
-            if top.stamp == self.iteration {
-                if !client_selected.contains(&top.bid_ref.client.0) {
-                    c_entries += 1;
-                }
-                fresh.push(top);
-            } else {
-                self.refreshes += 1;
-                let qb = &bids[top.bid_idx];
-                let schedule = pick_schedule(cov, qb.window, qb.rounds, policy);
-                let gain = cov.gain(&schedule);
-                if gain == 0 {
-                    continue; // monotone: will never help again
-                }
-                self.heap.push(HeapEntry {
-                    avg: qb.price / f64::from(gain),
-                    price: qb.price,
-                    bid_ref: qb.bid_ref,
-                    bid_idx: top.bid_idx,
-                    schedule,
-                    gain,
-                    stamp: self.iteration,
-                });
-            }
-        }
-        let to_candidate = |e: &HeapEntry| Candidate {
-            bid_idx: e.bid_idx,
-            schedule: e.schedule.clone(),
-            gain: e.gain,
-            avg: e.avg,
-        };
-        let mut best_c = None;
-        let mut second_c = None;
-        let mut winner_pos = None;
-        for (pos, e) in fresh.iter().enumerate() {
-            if client_selected.contains(&e.bid_ref.client.0) {
-                continue;
-            }
-            if best_c.is_none() {
-                best_c = Some(to_candidate(e));
-                winner_pos = Some(pos);
-            } else if second_c.is_none() {
-                second_c = Some(to_candidate(e));
-                break;
-            }
-        }
-        // Everything except the winner goes back (still fresh this
-        // iteration; stale next).
-        for (pos, e) in fresh.into_iter().enumerate() {
-            if Some(pos) != winner_pos {
-                self.heap.push(e);
-            }
-        }
-        IterationPick { best_c, second_c }
-    }
 }
 
 /// Deterministic "strictly better" comparison for candidates: smaller

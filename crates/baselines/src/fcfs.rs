@@ -1,4 +1,4 @@
-//! The `FCFS` benchmark [21]: first-come, first-served.
+//! The `FCFS` benchmark \[21\]: first-come, first-served.
 //!
 //! Bids are admitted in non-decreasing order of their start time `a_ij`,
 //! oblivious to price — the natural "accept whoever shows up first" policy

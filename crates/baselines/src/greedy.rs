@@ -1,4 +1,4 @@
-//! The `Greedy` benchmark [20]: static average-cost ordering.
+//! The `Greedy` benchmark \[20\]: static average-cost ordering.
 //!
 //! Bids are ranked once by `b_ij / c_ij` — price per *offered* round — and
 //! accepted in that order while they still add coverage. Unlike `A_winner`,

@@ -1,10 +1,10 @@
-//! The `A_online` benchmark, adapted from Zhou et al. [17] the way the
+//! The `A_online` benchmark, adapted from Zhou et al. \[17\] the way the
 //! paper's evaluation describes it: *"A_online first calculates the unit
 //! payment of each global iteration based on a payment function. Then it
 //! selects the client with larger utility and schedules the client
 //! according to the best schedule that maximizes its utility."*
 //!
-//! [17] is an **online** mechanism: clients arrive one by one and the
+//! \[17\] is an **online** mechanism: clients arrive one by one and the
 //! decision for each is immediate and irrevocable, driven by posted prices
 //! rather than by cost comparisons across clients. Our adaptation to this
 //! procurement setting keeps that character:

@@ -191,6 +191,62 @@ pub fn scenarios() -> Vec<Scenario> {
                 k: 3,
             },
         },
+        // The scale frontier: A_winner on the columnar store as the bid
+        // count climbs 10³ → 10⁴ → 10⁵ (clients × 4 bids each). One shared
+        // shape (T = 64, K = 8, J = 4) so the trajectory isolates bid-count
+        // scaling; see the "Scale frontier" section of REPORT_perf.md for
+        // the bids/sec headline derived from these records.
+        Scenario {
+            name: "scale_frontier_1k",
+            summary: "A_winner on a 1 000-bid WDP (columnar scale frontier)",
+            kind: ScenarioKind::Wdp,
+            full: Scale {
+                clients: 250,
+                bids_per_client: 4,
+                rounds: 64,
+                k: 8,
+            },
+            smoke: Scale {
+                clients: 125,
+                bids_per_client: 4,
+                rounds: 64,
+                k: 8,
+            },
+        },
+        Scenario {
+            name: "scale_frontier_10k",
+            summary: "A_winner on a 10 000-bid WDP (columnar scale frontier)",
+            kind: ScenarioKind::Wdp,
+            full: Scale {
+                clients: 2_500,
+                bids_per_client: 4,
+                rounds: 64,
+                k: 8,
+            },
+            smoke: Scale {
+                clients: 250,
+                bids_per_client: 4,
+                rounds: 64,
+                k: 8,
+            },
+        },
+        Scenario {
+            name: "scale_frontier_100k",
+            summary: "A_winner on a 100 000-bid WDP (columnar scale frontier)",
+            kind: ScenarioKind::Wdp,
+            full: Scale {
+                clients: 25_000,
+                bids_per_client: 4,
+                rounds: 64,
+                k: 8,
+            },
+            smoke: Scale {
+                clients: 250,
+                bids_per_client: 4,
+                rounds: 64,
+                k: 8,
+            },
+        },
         Scenario {
             name: "sweep_sequential",
             summary: "unpruned horizon sweep, sequential",
@@ -552,6 +608,30 @@ mod tests {
         // Every parallel scenario pins its thread count (no auto-detect).
         for s in &all {
             assert!(s.kind.threads() >= 1);
+        }
+    }
+
+    #[test]
+    fn the_scale_frontier_spans_three_decades_of_bids() {
+        for (name, bids) in [
+            ("scale_frontier_1k", 1_000u64),
+            ("scale_frontier_10k", 10_000),
+            ("scale_frontier_100k", 100_000),
+        ] {
+            let s = find_scenario(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(s.kind, ScenarioKind::Wdp, "{name} must be a raw WDP solve");
+            assert_eq!(
+                s.full.clients as u64 * u64::from(s.full.bids_per_client),
+                bids,
+                "{name} full scale must hold exactly {bids} bids"
+            );
+            assert!(
+                s.smoke.clients as u64 * u64::from(s.smoke.bids_per_client) <= 1_000,
+                "{name} smoke variant must stay at or below 10³ bids for CI"
+            );
+            // All three share one shape so the trajectory isolates the
+            // bid count.
+            assert_eq!((s.full.rounds, s.full.k), (64, 8), "{name} shape drifted");
         }
     }
 

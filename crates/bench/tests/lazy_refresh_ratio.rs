@@ -1,0 +1,72 @@
+//! Regression gate for the coverage-index lazy queue.
+//!
+//! Before the columnar refactor, every lazy-queue entry went stale after
+//! one greedy iteration, so the `winner_fig3` profile re-evaluated
+//! `winner.lazy_refreshes` ≈ 10× `winner.greedy_iterations` (598 vs 62 in
+//! the pre-refactor BENCH_main.json baseline). The saturation-event
+//! `fl_auction::columnar::CoverageIndex` keeps an entry valid until a
+//! round inside its window actually saturates, and the queue only counts
+//! (and re-inserts) an entry whose gain truly changed — a stale pop whose
+//! recomputed gain matches its cached key is accepted as the exact
+//! minimum on the spot. The counter therefore measures the workload's
+//! intrinsic invalidation pressure, not index conservatism. On fig3 the
+//! narrow windows (2J marks over T=24 ⇒ width ≈ 3) put `c` close to the
+//! window width, so most saturations genuinely invalidate overlapping
+//! bids: the measured floor is 316 refreshes for 62 selections (≈ 5×),
+//! down from 598 (≈ 10×). This test pins that improvement so a queue
+//! regression cannot land silently.
+
+use std::sync::Arc;
+
+use fl_auction::{AWinner, WdpSolver};
+use fl_bench::gen_prequalified_wdp;
+use fl_telemetry::{install_local, Recorder};
+
+/// The `winner_fig3` full-scale workload (see `fl_bench::suite`).
+const SEED: u64 = 42;
+const CLIENTS: u32 = 200;
+const BIDS_PER_CLIENT: u32 = 4;
+const ROUNDS: u32 = 24;
+const K: u32 = 10;
+
+#[test]
+fn lazy_refreshes_stay_below_six_per_selection_on_fig3() {
+    let wdp = gen_prequalified_wdp(SEED, CLIENTS, BIDS_PER_CLIENT, ROUNDS, K);
+    let recorder = Arc::new(Recorder::default());
+    let guard = install_local(recorder.clone());
+    AWinner::new()
+        .solve_wdp(&wdp)
+        .expect("fig3 WDP is feasible");
+    drop(guard);
+    let snapshot = recorder.snapshot();
+    let iterations = snapshot.counters["winner.greedy_iterations"];
+    let refreshes = snapshot.counters["winner.lazy_refreshes"];
+    assert!(iterations > 0, "the greedy must select winners");
+    // Pre-refactor: 598 refreshes / 62 selections (≈ 10×, every pop past
+    // the first per iteration re-derived a schedule). Saturation-indexed:
+    // 316 / 62 (≈ 5×, each a branch-free window count, no sort). The 6×
+    // threshold gives noise headroom while catching a return to stamp-
+    // per-iteration staleness.
+    assert!(
+        refreshes <= 6 * iterations,
+        "lazy queue regressed: {refreshes} refreshes for {iterations} iterations \
+         (pre-refactor ratio was ≈ 10×; saturation-indexed ratio is ≈ 5×)"
+    );
+}
+
+#[test]
+fn refresh_counter_still_counts_real_invalidations() {
+    // A K=1 workload where every selection saturates its rounds outright:
+    // refreshes must be non-zero (the counter is live, not trivially
+    // optimised away).
+    let wdp = gen_prequalified_wdp(SEED, 40, 2, 8, 1);
+    let recorder = Arc::new(Recorder::default());
+    let guard = install_local(recorder.clone());
+    let _ = AWinner::new().solve_wdp(&wdp);
+    drop(guard);
+    let snapshot = recorder.snapshot();
+    assert!(
+        snapshot.counters["winner.lazy_refreshes"] > 0,
+        "overlapping windows must trigger at least one re-evaluation"
+    );
+}

@@ -3,7 +3,7 @@
 //! The plain [`WdpSolver`] contract has no way to say *how much* a result
 //! can be trusted: a branch-and-bound run that exhausts its node budget
 //! still holds a perfectly feasible incumbent — it just cannot prove the
-//! incumbent optimal. Before this module existed, [`ExactSolver`] turned
+//! incumbent optimal. Before this module existed, [`ExactSolver`](crate::ExactSolver) turned
 //! budget exhaustion into a hard [`WdpError::ResourceLimit`] and threw the
 //! incumbent away, which forced downstream consumers (differential
 //! certifiers, VCG payments, figures normalising by "OPT") either to treat
@@ -12,7 +12,7 @@
 //!
 //! [`ProvingWdpSolver`] makes the distinction explicit: `solve_proved`
 //! returns the best solution found *plus* an [`Optimality`] tag saying
-//! whether the search completed. [`ExactSolver`] and [`BruteForceSolver`]
+//! whether the search completed. [`ExactSolver`](crate::ExactSolver) and [`BruteForceSolver`](crate::BruteForceSolver)
 //! both implement it, so they are interchangeable wherever a proof-aware
 //! exact solver is needed (the `fl-certify` differential fuzzer picks
 //! whichever fits the instance size and cross-checks them against each

@@ -33,7 +33,7 @@ fn global_sinks() -> &'static RwLock<Vec<SinkSlot>> {
 }
 
 /// Whether at least one sink (global or thread-local) is installed, or a
-/// [`capture`](crate::capture) is active on this thread. The macros use
+/// [`capture`](crate::capture()) is active on this thread. The macros use
 /// this to skip field construction and message formatting.
 #[inline]
 pub fn enabled() -> bool {
@@ -116,7 +116,7 @@ pub fn install_local(sink: Arc<dyn Sink>) -> LocalSinkGuard {
 }
 
 /// Fans one event out to every local, then every global sink — unless a
-/// [`capture`](crate::capture) is active on this thread, which diverts the
+/// [`capture`](crate::capture()) is active on this thread, which diverts the
 /// event into its buffer instead (exclusively; no sink sees it).
 fn dispatch(event: &Event<'_>) {
     if crate::capture::try_capture(event) {

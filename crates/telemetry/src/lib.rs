@@ -33,7 +33,7 @@
 //! the installing thread — what parallel tests use to avoid
 //! cross-contamination). Both return guards that uninstall on drop.
 //!
-//! For fan-out/fan-in parallelism there is a third mode: [`capture`]
+//! For fan-out/fan-in parallelism there is a third mode: [`capture()`]
 //! diverts a worker thread's events into an owned buffer and [`replay`]
 //! re-emits them on the coordinating thread in a deterministic order, with
 //! remapped span ids and re-parenting under the coordinator's open span —

@@ -1,6 +1,6 @@
 //! Heterogeneous device-population generator.
 //!
-//! The paper grounds its parameter ranges in measurements from [4], [6] but
+//! The paper grounds its parameter ranges in measurements from \[4\], \[6\] but
 //! draws them i.i.d. uniform. Real client fleets are *clustered*: flagship
 //! phones compute fast and sit on Wi-Fi; budget phones are slow on both
 //! axes; their asking prices correlate with their costs. This module
