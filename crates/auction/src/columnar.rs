@@ -80,7 +80,7 @@
 //! `m` counts the window's rounds with `γ_t < K` (an unsaturated round
 //! sorts strictly before any saturated one, so the `c` least-loaded rounds
 //! absorb unsaturated rounds first; see
-//! [`gain_in_window`](crate::schedule::gain_in_window)). The heap key
+//! `schedule::gain_in_window`). The heap key
 //! `(avg, price, bid_ref)` therefore depends on the loads *only through
 //! `m`*, and `m` changes exactly when a round of the window saturates.
 //! Loads creeping from 0 to `K − 1` reorder which rounds a schedule picks,

@@ -261,7 +261,14 @@ fn cmd_report() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let md = fl_bench::trajectory::render(&history);
+    let mut md = fl_bench::trajectory::render(&history);
+    // Re-verify the "≤ 3 % overhead with sinks disabled" claim live, at
+    // the winner_fig3 full scale, and print the number into the report.
+    let fig3 = find_scenario("winner_fig3").expect("winner_fig3 is in the curated set");
+    match fl_bench::overhead::measure(&fig3.full, 5) {
+        Ok(r) => md.push_str(&fl_bench::trajectory::telemetry_overhead_section(&r)),
+        Err(e) => eprintln!("bench_suite report: overhead measurement skipped: {e}"),
+    }
     if let Err(e) = std::fs::write(report_path(), &md) {
         eprintln!(
             "bench_suite report: cannot write {}: {e}",

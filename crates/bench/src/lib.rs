@@ -30,6 +30,7 @@
 
 pub mod compare;
 pub mod output;
+pub mod overhead;
 pub mod runner;
 pub mod schema;
 pub mod stats;

@@ -1,0 +1,186 @@
+//! Measures the cost of *disabled* telemetry on the `A_winner` hot path —
+//! the standing "≤ 3 % overhead with sinks disabled" claim.
+//!
+//! With no sink installed every `fl-telemetry` entry point is one branch
+//! on a relaxed atomic plus a thread-local cell read. This module turns
+//! that design constraint into a measured number on the real workload:
+//!
+//! 1. count the telemetry events one `winner_fig3`-shaped WDP solve
+//!    actually emits (via a counting sink);
+//! 2. micro-time the disabled fast path per entry point;
+//! 3. min-of-N time the solve itself with no sink installed;
+//! 4. report `share = events × per_op / solve` — the fraction of the hot
+//!    path spent inside disabled instrumentation.
+//!
+//! The guard test (`crates/bench/tests/telemetry_overhead.rs`) holds
+//! `share` to the claimed 3 % bound; `bench_suite report` re-measures at
+//! full scale and prints the number into `results/REPORT_perf.md`.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use fl_auction::{AWinner, WdpSolver};
+use fl_telemetry::{install_local, Event, Recorder, Sink};
+
+use crate::runner::gen_prequalified_wdp;
+use crate::suite::{Scale, SUITE_SEED};
+
+/// Iterations of the disabled fast-path micro-loop (two entry points per
+/// iteration). Large enough that the per-op quotient is stable to well
+/// under a nanosecond on any machine CI runs on.
+const MICRO_ITERS: u64 = 200_000;
+
+/// One measurement of disabled-telemetry cost on the WDP hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadReport {
+    /// Bids in the measured WDP (`clients × bids_per_client`).
+    pub bids: u64,
+    /// Telemetry events one solve dispatches when a sink is listening —
+    /// an upper bound on disabled-path branches (span ends count here
+    /// but cost nothing when inert).
+    pub events: u64,
+    /// Measured disabled fast-path cost per entry point, nanoseconds.
+    pub per_op_ns: f64,
+    /// Min-of-N wall clock of one solve with **no** sink installed.
+    pub solve_ms: f64,
+    /// Min-of-N wall clock of the same solve with a [`Recorder`]
+    /// installed (context: what turning telemetry *on* costs).
+    pub recorded_ms: f64,
+    /// `events × per_op_ns / solve_ns` — the fraction of the hot path
+    /// spent in disabled instrumentation.
+    pub share: f64,
+}
+
+/// Counts every dispatched event; the cheapest possible sink, so the
+/// event census does not distort the count.
+#[derive(Default)]
+struct CountingSink {
+    n: AtomicU64,
+}
+
+impl Sink for CountingSink {
+    fn on_event(&self, _event: &Event<'_>) {
+        self.n.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Measures disabled-telemetry overhead on the `A_winner` hot path at the
+/// given scale, min-of-`passes`.
+///
+/// # Errors
+///
+/// When a sink is already active on this thread (the "disabled" passes
+/// would silently measure an enabled configuration) or the solve fails.
+pub fn measure(scale: &Scale, passes: usize) -> Result<OverheadReport, String> {
+    if fl_telemetry::enabled() {
+        return Err(
+            "telemetry sinks are active on this thread — the disabled-overhead \
+             measurement would be invalid"
+                .into(),
+        );
+    }
+    let passes = passes.max(1);
+    let wdp = gen_prequalified_wdp(
+        SUITE_SEED,
+        scale.clients as u32,
+        scale.bids_per_client,
+        scale.rounds,
+        scale.k,
+    );
+    let solver = AWinner::new();
+
+    // 1. Event census: one solve under a counting sink.
+    let counter = Arc::new(CountingSink::default());
+    let events = {
+        let _guard = install_local(counter.clone());
+        solver
+            .solve_wdp(&wdp)
+            .map_err(|e| format!("A_winner failed under census: {e}"))?;
+        counter.n.load(Ordering::Relaxed)
+    };
+
+    // 2. Disabled fast path per entry point. `black_box` keeps the
+    //    optimizer from hoisting the enabled() check out of the loop.
+    let started = Instant::now();
+    for i in 0..MICRO_ITERS {
+        fl_telemetry::counter(black_box("bench.overhead.probe"), black_box(i & 1));
+        fl_telemetry::sample(black_box("bench.overhead.probe_ms"), black_box(0.5));
+    }
+    let per_op_ns = started.elapsed().as_secs_f64() * 1e9 / (2 * MICRO_ITERS) as f64;
+
+    // 3. The solve with no sink installed (the production configuration).
+    let mut solve_ms = f64::INFINITY;
+    for _ in 0..passes {
+        let started = Instant::now();
+        let solution = solver
+            .solve_wdp(&wdp)
+            .map_err(|e| format!("A_winner failed: {e}"))?;
+        let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        black_box(solution.cost());
+        solve_ms = solve_ms.min(elapsed);
+    }
+
+    // 4. The same solve with a full recorder listening, for context.
+    let mut recorded_ms = f64::INFINITY;
+    for _ in 0..passes {
+        let recorder = Arc::new(Recorder::default());
+        let guard = install_local(recorder);
+        let started = Instant::now();
+        let solution = solver
+            .solve_wdp(&wdp)
+            .map_err(|e| format!("A_winner failed under recorder: {e}"))?;
+        let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        drop(guard);
+        black_box(solution.cost());
+        recorded_ms = recorded_ms.min(elapsed);
+    }
+
+    let share = (events as f64 * per_op_ns) / (solve_ms * 1e6);
+    Ok(OverheadReport {
+        bids: scale.clients as u64 * u64::from(scale.bids_per_client),
+        events,
+        per_op_ns,
+        solve_ms,
+        recorded_ms,
+        share,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_census_counts_real_events_and_the_share_is_finite() {
+        let scale = Scale {
+            clients: 20,
+            bids_per_client: 2,
+            rounds: 8,
+            k: 2,
+        };
+        let report = measure(&scale, 2).expect("measurement runs");
+        assert_eq!(report.bids, 40);
+        // The solve opens wdp_greedy/payment/dual_certificate spans and
+        // bumps iteration counters — the census must see them.
+        assert!(report.events >= 5, "census too small: {report:?}");
+        assert!(report.per_op_ns > 0.0 && report.per_op_ns.is_finite());
+        assert!(report.solve_ms > 0.0 && report.recorded_ms > 0.0);
+        assert!(report.share.is_finite() && report.share >= 0.0);
+    }
+
+    #[test]
+    fn measurement_refuses_to_run_with_a_sink_active() {
+        let recorder = Arc::new(Recorder::default());
+        let _guard = install_local(recorder);
+        let scale = Scale {
+            clients: 10,
+            bids_per_client: 2,
+            rounds: 6,
+            k: 2,
+        };
+        let err = measure(&scale, 1).expect_err("active sink must be rejected");
+        assert!(err.contains("sinks are active"), "{err}");
+    }
+}

@@ -16,6 +16,7 @@
 //! make counters machine-dependent and break the cross-platform
 //! determinism gate.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -27,13 +28,16 @@ use fl_auction::{
 use fl_flpd::wire::{BidParams, OpenParams};
 use fl_flpd::{Client, ClientConfig, CloseReply, Daemon, DaemonConfig};
 use fl_sim::{DatasetSpec, FaultModel, Federation, FlJob, RecoveryPolicy};
+use fl_telemetry::json::Json;
 use fl_telemetry::{install_local, Recorder, Snapshot};
 use fl_workload::WorkloadSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 
 use crate::runner::gen_prequalified_wdp;
-use crate::schema::{BenchRecord, EnvBlock, ScaleBlock, TimingBlock, SCHEMA_VERSION};
+use crate::schema::{
+    BenchRecord, EnvBlock, PhaseList, PhaseProfile, ScaleBlock, TimingBlock, SCHEMA_VERSION,
+};
 
 /// The fixed seed every scenario runs under.
 pub const SUITE_SEED: u64 = 42;
@@ -414,6 +418,14 @@ fn execute(kind: ScenarioKind, scale: &Scale) -> Result<EconomicHealth, String> 
 /// `Scale::clients` is the total across the whole run.
 const SERVICE_CLIENTS_PER_SESSION: usize = 5;
 
+thread_local! {
+    /// Side channel from [`service_pass`] to [`run_scenario`]: the
+    /// daemon's own per-command quantiles (`service.srv.*` phases),
+    /// which cannot travel through the bench recorder because the
+    /// daemon's threads never touch the bench's thread-local sink.
+    static SERVER_PHASES: RefCell<PhaseList> = const { RefCell::new(Vec::new()) };
+}
+
 /// One pass of the `flpd_service` scenario: self-host a daemon on an
 /// ephemeral loopback port with a scratch journal, then drive full
 /// session lifecycles (open, register, bid, close, query payments)
@@ -441,6 +453,7 @@ fn service_pass(scale: &Scale) -> Result<EconomicHealth, String> {
     let per_session = SERVICE_CLIENTS_PER_SESSION as u32;
     let t = scale.rounds;
     let mut last_committed = None;
+    let mut committed_count = 0u64;
     for s in 0..sessions {
         let _session = fl_telemetry::span!("service.session");
         let mut rng = StdRng::seed_from_u64(SUITE_SEED ^ (s as u64).wrapping_mul(0x9e37_79b9));
@@ -489,6 +502,7 @@ fn service_pass(scale: &Scale) -> Result<EconomicHealth, String> {
         };
         match reply {
             CloseReply::Committed(outcome) => {
+                committed_count += 1;
                 fl_telemetry::counter!("service.committed");
                 fl_telemetry::counter!("service.winners", outcome.solution().winners().len());
                 let _g = fl_telemetry::span!("service.payments");
@@ -503,6 +517,54 @@ fn service_pass(scale: &Scale) -> Result<EconomicHealth, String> {
         }
         fl_telemetry::counter!("service.sessions");
     }
+    // The daemon's own view of the run: per-command quantiles from its
+    // sharded live-metrics plane, committed to the record as
+    // `service.srv.*` phases. `calls` is the *client-side logical* op
+    // count — deterministic, unlike the server's sample count, which
+    // grows with retries — while the timing columns are the server's
+    // wall clock (compare-excluded, like every `*_ms` field).
+    let stats = client
+        .stats_doc()
+        .map_err(|e| format!("final stats fetch: {e}"))?;
+    let logical: [(&str, u64); 5] = [
+        ("open", sessions as u64),
+        ("client", sessions as u64 * u64::from(per_session)),
+        (
+            "bid",
+            sessions as u64 * u64::from(per_session) * u64::from(scale.bids_per_client),
+        ),
+        ("close", sessions as u64),
+        ("payment", committed_count),
+    ];
+    let hists = stats.get("live").and_then(|l| l.get("hists")).cloned();
+    let srv: PhaseList = logical
+        .iter()
+        .map(|(op, calls)| {
+            let h = hists
+                .as_ref()
+                .and_then(|hs| hs.get(&format!("service.cmd.{op}_ms")));
+            let f = |k: &str| {
+                h.and_then(|h| h.get(k))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0)
+            };
+            let n = h
+                .and_then(|h| h.get("n"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            (
+                format!("service.srv.{op}"),
+                PhaseProfile {
+                    calls: *calls,
+                    total_ms: f("mean") * n as f64,
+                    p50_ms: f("p50"),
+                    p90_ms: f("p90"),
+                    p99_ms: f("p99"),
+                },
+            )
+        })
+        .collect();
+    SERVER_PHASES.with(|p| *p.borrow_mut() = srv);
     daemon.stop();
     let outcome = last_committed.ok_or("no session committed an epoch")?;
     Ok(EconomicHealth::of_solution(outcome.solution()))
@@ -559,7 +621,14 @@ pub fn run_scenario(scenario: &Scenario, smoke: bool, runs: usize) -> Result<Ben
         }
     }
     let (snapshot, health, _) = first.expect("runs >= 2");
-    let (phases, counters) = BenchRecord::profile_from_snapshot(&snapshot);
+    let (mut phases, counters) = BenchRecord::profile_from_snapshot(&snapshot);
+    if scenario.kind == ScenarioKind::Service {
+        // Merge the daemon-side quantiles captured by the last pass;
+        // call counts are identical across passes by construction.
+        let server = SERVER_PHASES.with(|p| std::mem::take(&mut *p.borrow_mut()));
+        phases.extend(server);
+        phases.sort_by(|a, b| a.0.cmp(&b.0));
+    }
     if phases.is_empty() {
         return Err(format!(
             "scenario {}: no telemetry phases recorded — instrumentation regressed",

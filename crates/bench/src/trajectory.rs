@@ -11,6 +11,7 @@
 use std::fmt::Write as _;
 
 use crate::output::Table;
+use crate::overhead::OverheadReport;
 use crate::schema::BenchRecord;
 
 /// The block glyphs used for sparklines, shortest to tallest.
@@ -118,6 +119,34 @@ fn scale_frontier_section(history: &[BenchRecord]) -> Option<String> {
     );
     let _ = writeln!(out);
     Some(out)
+}
+
+/// Renders the "Telemetry overhead" section from a live measurement (see
+/// [`crate::overhead::measure`]) — the standing "≤ 3 % with sinks
+/// disabled" claim as a number, re-verified at report time.
+pub fn telemetry_overhead_section(r: &OverheadReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Telemetry overhead (sinks disabled)");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Measured at report time on the `A_winner` hot path ({} bids, the \
+         `winner_fig3` shape): one solve dispatches **{}** telemetry \
+         events; the disabled fast path costs **{:.1} ns** per entry \
+         point; the solve itself takes **{:.3} ms** with no sink \
+         installed ({:.3} ms with the full recorder listening). Disabled \
+         instrumentation therefore occupies **{:.4} %** of the hot path — \
+         the standing claim is **≤ 3 %**, pinned by the \
+         `telemetry_overhead` integration test.",
+        r.bids,
+        r.events,
+        r.per_op_ns,
+        r.solve_ms,
+        r.recorded_ms,
+        r.share * 100.0
+    );
+    let _ = writeln!(out);
+    out
 }
 
 /// Renders the full markdown dashboard from a history (oldest first).

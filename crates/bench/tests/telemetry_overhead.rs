@@ -1,0 +1,37 @@
+//! Pins the "≤ 3 % overhead with sinks disabled" claim on the columnar
+//! `A_winner` hot path (ROADMAP / CHANGES PR-2; re-verified after the
+//! columnar bid-store rewrite).
+//!
+//! The guard is deliberately measured the robust way: the disabled
+//! fast-path cost per entry point is micro-timed, multiplied by the
+//! number of events one `winner_fig3`-shaped solve actually dispatches,
+//! and divided by the solve's own min-of-N wall clock. That quotient is
+//! stable across machines (both numerator and denominator scale with the
+//! machine), unlike a direct A/B timing of two sub-millisecond runs.
+
+use fl_bench::overhead::measure;
+use fl_bench::suite::find_scenario;
+
+/// The claimed ceiling: disabled instrumentation may occupy at most 3 %
+/// of the hot path.
+const CLAIM: f64 = 0.03;
+
+#[test]
+fn disabled_telemetry_stays_within_three_percent_of_the_winner_hot_path() {
+    let fig3 = find_scenario("winner_fig3").expect("winner_fig3 is in the curated set");
+    let report = measure(&fig3.smoke, 5).expect("overhead measurement runs");
+    assert!(
+        report.events > 0,
+        "the winner hot path emits no telemetry — census broken: {report:?}"
+    );
+    assert!(
+        report.share <= CLAIM,
+        "disabled telemetry takes {:.4} % of the A_winner hot path \
+         (claim: <= {:.0} %): {} events x {:.1} ns against a {:.3} ms solve",
+        report.share * 100.0,
+        CLAIM * 100.0,
+        report.events,
+        report.per_op_ns,
+        report.solve_ms
+    );
+}

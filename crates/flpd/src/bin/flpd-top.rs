@@ -1,0 +1,242 @@
+//! `flpd-top` — live terminal view of a running daemon's stats plane.
+//!
+//! ```text
+//! flpd-top --addr HOST:PORT [--interval-ms N] [--iterations N] [--check]
+//! ```
+//!
+//! Polls the daemon's `stats` and `health` admin commands and renders a
+//! compact refresh: uptime, session/FSM census, shed count, per-command
+//! latency quantiles and every non-zero error counter. With
+//! `--iterations N` it exits after N polls (the default is to poll
+//! until interrupted).
+//!
+//! `--check` turns the tool into a scripted smoke probe (used by CI):
+//! it drives one full auction session against the daemon, then asserts
+//! that `stats` is well-formed with non-zero per-command counts, that
+//! `health` reports `ok`, and that the `flight` dump parses as a valid
+//! flight-recorder document. Exit code 0 means the observability plane
+//! is live and coherent; 1 names the first violated expectation.
+
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fl_flpd::client::{Client, ClientConfig};
+use fl_flpd::wire::{BidParams, OpenParams};
+use fl_telemetry::flight::events_from_json;
+use fl_telemetry::json::Json;
+
+struct Opts {
+    addr: SocketAddr,
+    interval: Duration,
+    iterations: Option<u64>,
+    check: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut iterations: Option<u64> = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => {
+                addr = Some(
+                    val("--addr")?
+                        .parse()
+                        .map_err(|e| format!("bad --addr: {e}"))?,
+                );
+            }
+            "--interval-ms" => {
+                interval = Duration::from_millis(
+                    val("--interval-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --interval-ms: {e}"))?,
+                );
+            }
+            "--iterations" => {
+                iterations = Some(
+                    val("--iterations")?
+                        .parse()
+                        .map_err(|e| format!("bad --iterations: {e}"))?,
+                );
+            }
+            "--check" => check = true,
+            "--help" | "-h" => return Err("usage".into()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Opts {
+        addr: addr.ok_or("missing --addr")?,
+        interval,
+        iterations,
+        check,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "usage" {
+                eprintln!("flpd-top: {e}");
+            }
+            eprintln!(
+                "usage: flpd-top --addr HOST:PORT [--interval-ms N] [--iterations N] [--check]"
+            );
+            return ExitCode::from(1);
+        }
+    };
+    if opts.check {
+        return match check(opts.addr) {
+            Ok(()) => {
+                println!("flpd-top: check ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("flpd-top: check failed: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    let mut client = Client::new(opts.addr, ClientConfig::default());
+    let mut polls = 0u64;
+    loop {
+        match client.stats_doc() {
+            Ok(doc) => render(&doc),
+            Err(e) => eprintln!("flpd-top: stats failed: {e}"),
+        }
+        polls += 1;
+        if opts.iterations.is_some_and(|n| polls >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(opts.interval);
+    }
+}
+
+fn u64_of(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// One compact refresh of the stats document.
+fn render(doc: &Json) {
+    let uptime_s = u64_of(doc, "uptime_ms") as f64 / 1e3;
+    let fsm = doc.get("fsm");
+    let census = |k: &str| fsm.map_or(0, |f| u64_of(f, k));
+    println!(
+        "flpd-top: up {uptime_s:.1}s  sessions {} (collecting {} closing {} committed {} aborted {})  closed {}  inflight {}  shed {}",
+        u64_of(doc, "sessions"),
+        census("collecting"),
+        census("closing"),
+        census("committed"),
+        census("aborted"),
+        u64_of(doc, "closed"),
+        u64_of(doc, "inflight_close"),
+        u64_of(doc, "shed"),
+    );
+    let live = doc.get("live");
+    if let Some(Json::Obj(hists)) = live.and_then(|l| l.get("hists")) {
+        for (name, h) in hists {
+            let Some(op) = name.strip_prefix("service.cmd.") else {
+                continue;
+            };
+            let f = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            println!(
+                "flpd-top:   {:>8}  n {:<6}  p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms",
+                op.trim_end_matches("_ms"),
+                u64_of(h, "n"),
+                f("p50"),
+                f("p90"),
+                f("p99"),
+            );
+        }
+    }
+    if let Some(Json::Obj(counters)) = live.and_then(|l| l.get("counters")) {
+        let errs: Vec<String> = counters
+            .iter()
+            .filter_map(|(name, v)| {
+                let code = name.strip_prefix("service.err.")?;
+                let n = v.as_u64().filter(|&n| n > 0)?;
+                Some(format!("{code}={n}"))
+            })
+            .collect();
+        if !errs.is_empty() {
+            println!("flpd-top:   errors  {}", errs.join("  "));
+        }
+    }
+}
+
+/// The scripted CI probe: drive one session, then hold the admin plane
+/// to its contract.
+fn check(addr: SocketAddr) -> Result<(), String> {
+    let mut client = Client::new(addr, ClientConfig::default());
+    let sid = client
+        .open(OpenParams::new(0, 6, 1, 60.0))
+        .map_err(|e| format!("open: {e}"))?;
+    for c in 0..2u32 {
+        client
+            .add_client(&sid, 1.5, 3.0)
+            .map_err(|e| format!("add_client: {e}"))?;
+        client
+            .add_bid(
+                &sid,
+                BidParams {
+                    client: c,
+                    price: 2.0 + f64::from(c),
+                    theta: 0.55,
+                    a: 1,
+                    d: 6,
+                    c: 6,
+                },
+            )
+            .map_err(|e| format!("add_bid: {e}"))?;
+    }
+    client.close(&sid).map_err(|e| format!("close: {e}"))?;
+    client
+        .payments(&sid, 0)
+        .map_err(|e| format!("payments: {e}"))?;
+
+    let stats = client.stats_doc().map_err(|e| format!("stats: {e}"))?;
+    if stats.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err("stats reply not ok".into());
+    }
+    let hists = stats
+        .get("live")
+        .and_then(|l| l.get("hists"))
+        .ok_or("stats without live.hists")?;
+    for op in ["open", "client", "bid", "close", "payment"] {
+        let n = hists
+            .get(&format!("service.cmd.{op}_ms"))
+            .map_or(0, |h| u64_of(h, "n"));
+        if n == 0 {
+            return Err(format!("service.cmd.{op}_ms has zero samples"));
+        }
+    }
+    let counters = stats
+        .get("live")
+        .and_then(|l| l.get("counters"))
+        .ok_or("stats without live.counters")?;
+    for code in fl_flpd::ErrCode::ALL {
+        if counters.get(&format!("service.err.{code}")).is_none() {
+            return Err(format!("service.err.{code} counter not registered"));
+        }
+    }
+
+    let health = client.health().map_err(|e| format!("health: {e}"))?;
+    match health.get("status").and_then(Json::as_str) {
+        Some("ok") => {}
+        other => return Err(format!("health status {other:?}, expected \"ok\"")),
+    }
+
+    let flight = client.flight().map_err(|e| format!("flight: {e}"))?;
+    let doc = flight.get("flight").ok_or("flight reply without dump")?;
+    let events = events_from_json(doc).map_err(|e| format!("flight dump invalid: {e}"))?;
+    if events.is_empty() {
+        return Err("flight dump is empty after a full session".into());
+    }
+    Ok(())
+}

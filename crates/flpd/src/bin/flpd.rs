@@ -3,11 +3,15 @@
 //! ```text
 //! flpd --journal wal.jsonl [--addr 127.0.0.1:7741] [--durability strict|epoch]
 //!      [--max-conns N] [--max-inflight-close N] [--io-timeout-ms N]
+//!      [--dump-dir DIR|none]
 //! ```
 //!
 //! Fault injection is read from the `FLPD_FAULTS` environment variable
-//! (see `fl_flpd::faults`). The process exits 0 on a client `shutdown`
-//! request, 2 on an injected crash, and 1 on bad usage.
+//! (see `fl_flpd::faults`). Automatic flight-recorder dumps (on shed
+//! storms and after a recovery that repaired anything) land in
+//! `--dump-dir`, `results/telemetry` by default; `--dump-dir none`
+//! disables them. The process exits 0 on a client `shutdown` request,
+//! 2 on an injected crash, and 1 on bad usage.
 
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
@@ -22,7 +26,8 @@ use fl_flpd::{Daemon, FaultPlan};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: flpd --journal <path> [--addr HOST:PORT] [--durability strict|epoch]\n\
-         \x20           [--max-conns N] [--max-inflight-close N] [--io-timeout-ms N]"
+         \x20           [--max-conns N] [--max-inflight-close N] [--io-timeout-ms N]\n\
+         \x20           [--dump-dir DIR|none]"
     );
     ExitCode::from(1)
 }
@@ -34,6 +39,7 @@ fn main() -> ExitCode {
     let mut max_conns: Option<usize> = None;
     let mut max_inflight_close: Option<usize> = None;
     let mut io_timeout_ms: Option<u64> = None;
+    let mut dump_dir: Option<PathBuf> = Some(PathBuf::from("results/telemetry"));
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,6 +68,11 @@ fn main() -> ExitCode {
             "--io-timeout-ms" => {
                 io_timeout_ms = take("--io-timeout-ms").and_then(|v| v.parse().ok())
             }
+            "--dump-dir" => match take("--dump-dir").as_deref() {
+                Some("none") => dump_dir = None,
+                Some(dir) => dump_dir = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -88,6 +99,7 @@ fn main() -> ExitCode {
     cfg.addr = addr;
     cfg.durability = durability;
     cfg.faults = faults;
+    cfg.dump_dir = dump_dir;
     if let Some(n) = max_conns {
         cfg.max_conns = n;
     }

@@ -10,8 +10,12 @@
 //! earlier sessions to finish, so an overloaded daemon is observed
 //! shedding load rather than silently pacing the generator. Without
 //! `--addr` a daemon is self-hosted on an ephemeral port with a scratch
-//! journal. Reports p50/p90/p99 full-session latency and achieved
-//! sessions/sec.
+//! journal. Reports p50/p90/p99 latency for the full session and for
+//! each phase (open / submit / close / payments), plus achieved
+//! sessions/sec. After the run the daemon's own `stats` document is
+//! fetched so the client-observed quantiles can be read side by side
+//! with the server's per-command quantiles — the gap between the two
+//! is queueing plus wire time.
 
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
@@ -25,6 +29,7 @@ use fl_flpd::client::{Client, ClientConfig};
 use fl_flpd::daemon::DaemonConfig;
 use fl_flpd::wire::{BidParams, OpenParams};
 use fl_flpd::{CloseReply, Daemon};
+use fl_telemetry::json::Json;
 use fl_workload::ArrivalProcess;
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
@@ -103,7 +108,17 @@ fn arrival(process: &str, rate: f64) -> Result<ArrivalProcess, String> {
     }
 }
 
-/// One full session lifecycle; returns its latency on commit/abort.
+/// Client-observed wall time of each session phase.
+struct PhaseTimes {
+    open: Duration,
+    submit: Duration,
+    close: Duration,
+    payments: Duration,
+    total: Duration,
+}
+
+/// One full session lifecycle; returns its per-phase latency on
+/// commit/abort.
 ///
 /// The workload shape (horizons, windows, prices) is a pure function of
 /// `seed` and `idx`; `run_id` — fresh wall-clock entropy per process —
@@ -119,7 +134,7 @@ fn run_session(
     idx: u64,
     clients: u32,
     retries: &AtomicU64,
-) -> Result<Duration, String> {
+) -> Result<PhaseTimes, String> {
     let mut rng = StdRng::seed_from_u64(seed ^ idx.wrapping_mul(0x9e37_79b9));
     let mut client = Client::new(
         addr,
@@ -133,6 +148,7 @@ fn run_session(
     let sid = client
         .open(OpenParams::new(0, t, 1, 60.0))
         .map_err(|e| format!("open: {e}"))?;
+    let opened = Instant::now();
     for c in 0..clients {
         client
             .add_client(&sid, 1.0 + rng.next_f64(), 2.0 + rng.next_f64() * 2.0)
@@ -153,11 +169,27 @@ fn run_session(
             )
             .map_err(|e| format!("add_bid: {e}"))?;
     }
-    match client.close(&sid).map_err(|e| format!("close: {e}"))? {
-        CloseReply::Committed(_) | CloseReply::Aborted(_) => {}
+    let submitted = Instant::now();
+    let committed = match client.close(&sid).map_err(|e| format!("close: {e}"))? {
+        CloseReply::Committed(_) => true,
+        CloseReply::Aborted(_) => false,
+    };
+    let closed = Instant::now();
+    if committed {
+        for c in 0..clients {
+            client
+                .payments(&sid, c)
+                .map_err(|e| format!("payments: {e}"))?;
+        }
     }
     retries.fetch_add(client.retries(), Ordering::Relaxed);
-    Ok(start.elapsed())
+    Ok(PhaseTimes {
+        open: opened - start,
+        submit: submitted - opened,
+        close: closed - submitted,
+        payments: closed.elapsed(),
+        total: start.elapsed(),
+    })
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -235,11 +267,11 @@ fn main() -> ExitCode {
             run_session(addr, seed, run_id, idx as u64, clients, &retries)
         }));
     }
-    let mut latencies = Vec::new();
+    let mut sessions = Vec::new();
     let mut failures = 0usize;
     for w in workers {
         match w.join() {
-            Ok(Ok(latency)) => latencies.push(latency),
+            Ok(Ok(times)) => sessions.push(times),
             Ok(Err(e)) => {
                 failures += 1;
                 eprintln!("loadgen: session failed: {e}");
@@ -248,24 +280,49 @@ fn main() -> ExitCode {
         }
     }
     let wall = started.elapsed();
+
+    // The daemon's own view, fetched while it is still up: server-side
+    // per-command quantiles to compare with the client-observed ones.
+    let server_stats = Client::new(addr, ClientConfig::default()).stats_doc().ok();
     if let Some(mut d) = hosted.take() {
         d.stop();
     }
 
-    latencies.sort_unstable();
-    let done = latencies.len();
+    let mut totals: Vec<Duration> = sessions.iter().map(|s| s.total).collect();
+    totals.sort_unstable();
+    let done = totals.len();
     let throughput = done as f64 / wall.as_secs_f64();
     let (p50, p90, p99) = (
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 90.0),
-        percentile(&latencies, 99.0),
+        percentile(&totals, 50.0),
+        percentile(&totals, 90.0),
+        percentile(&totals, 99.0),
     );
+    let phase_rows: Vec<(&str, Vec<Duration>)> = vec![
+        ("open", sessions.iter().map(|s| s.open).collect()),
+        ("submit", sessions.iter().map(|s| s.submit).collect()),
+        ("close", sessions.iter().map(|s| s.close).collect()),
+        ("payments", sessions.iter().map(|s| s.payments).collect()),
+    ];
     let retries = retries.load(Ordering::Relaxed);
     if opts.json {
+        let phases = phase_rows
+            .iter()
+            .map(|(name, lat)| {
+                let mut sorted = lat.clone();
+                sorted.sort_unstable();
+                format!(
+                    "\"{name}\":{{\"p50_ms\":{:.3},\"p90_ms\":{:.3},\"p99_ms\":{:.3}}}",
+                    ms(percentile(&sorted, 50.0)),
+                    ms(percentile(&sorted, 90.0)),
+                    ms(percentile(&sorted, 99.0)),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         println!(
             "{{\"sessions\":{done},\"failures\":{failures},\"wall_s\":{:.4},\
              \"sessions_per_sec\":{throughput:.3},\"p50_ms\":{:.3},\"p90_ms\":{:.3},\
-             \"p99_ms\":{:.3},\"retries\":{retries}}}",
+             \"p99_ms\":{:.3},\"retries\":{retries},\"phases\":{{{phases}}}}}",
             wall.as_secs_f64(),
             ms(p50),
             ms(p90),
@@ -282,10 +339,52 @@ fn main() -> ExitCode {
             ms(p90),
             ms(p99),
         );
+        for (name, lat) in &phase_rows {
+            let mut sorted = lat.clone();
+            sorted.sort_unstable();
+            println!(
+                "loadgen: phase {name:>8}  p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms",
+                ms(percentile(&sorted, 50.0)),
+                ms(percentile(&sorted, 90.0)),
+                ms(percentile(&sorted, 99.0)),
+            );
+        }
+        print_server_view(server_stats.as_ref());
     }
     if failures > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Prints the daemon's own per-command quantiles next to nothing else —
+/// the caller has just printed the client-observed ones, so the reader
+/// can subtract the two columns mentally (server excludes queueing and
+/// wire time).
+fn print_server_view(stats: Option<&Json>) {
+    let Some(hists) = stats
+        .and_then(|doc| doc.get("live"))
+        .and_then(|l| l.get("hists"))
+    else {
+        println!("loadgen: server stats unavailable");
+        return;
+    };
+    let Json::Obj(members) = hists else {
+        return;
+    };
+    for (name, h) in members {
+        let Some(op) = name.strip_prefix("service.cmd.") else {
+            continue;
+        };
+        let field = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        println!(
+            "loadgen: server {:>8}  p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms  (n={})",
+            op.trim_end_matches("_ms"),
+            field("p50"),
+            field("p90"),
+            field("p99"),
+            h.get("n").and_then(Json::as_u64).unwrap_or(0),
+        );
     }
 }

@@ -15,6 +15,12 @@
 //! duplicated or very late response) are discarded, and an error frame
 //! without an id (the accept-gate shed path) applies to the in-flight
 //! request.
+//!
+//! Every logical call also carries a client-generated trace id, reused
+//! verbatim across that call's retries. The daemon stamps the trace on
+//! its spans, flight-recorder events and journal records, so one trace
+//! names one caller operation end to end — including all its retried
+//! attempts.
 
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
@@ -134,6 +140,7 @@ pub struct Client {
     rng: StdRng,
     next_id: u64,
     next_nonce: u64,
+    next_trace: u64,
     seqs: HashMap<String, u64>,
     retries: u64,
 }
@@ -153,6 +160,7 @@ impl Client {
             // 2^53 (the JSON float-interop bound), and the counter needs
             // headroom above the base.
             next_nonce: cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) & ((1 << 52) - 1),
+            next_trace: 0,
             seqs: HashMap::new(),
             retries: 0,
         }
@@ -201,6 +209,38 @@ impl Client {
     pub fn stats(&mut self) -> Result<(u64, u64), ClientError> {
         let doc = self.call(Request::Stats)?;
         Ok((field_u64(&doc, "sessions")?, field_u64(&doc, "closed")?))
+    }
+
+    /// The full `stats` document: session/FSM census, shed count, and
+    /// the merged live-metrics snapshot (per-command latency quantiles,
+    /// error counters, journal fsync latency).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn stats_doc(&mut self) -> Result<Json, ClientError> {
+        self.call(Request::Stats)
+    }
+
+    /// Cheap liveness and overload probe (`status` is `"ok"` or
+    /// `"overloaded"`); never touches the journal or session table
+    /// beyond two counter reads.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn health(&mut self) -> Result<Json, ClientError> {
+        self.call(Request::Health)
+    }
+
+    /// The daemon's flight-recorder dump: recent events across all
+    /// service threads, causally ordered.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn flight(&mut self) -> Result<Json, ClientError> {
+        self.call(Request::Flight)
     }
 
     /// Asks the daemon to shut down gracefully.
@@ -342,8 +382,11 @@ impl Client {
         *seq
     }
 
-    /// The retry loop around one request.
+    /// The retry loop around one request. The trace id is chosen once
+    /// here, so all retried attempts of a logical call share it.
     fn call(&mut self, req: Request) -> Result<Json, ClientError> {
+        self.next_trace += 1;
+        let trace = format!("cli-{}-{}", self.cfg.seed, self.next_trace);
         let mut last = String::from("never attempted");
         for attempt in 1..=self.cfg.max_attempts.max(1) {
             if attempt > 1 {
@@ -352,7 +395,7 @@ impl Client {
             }
             self.next_id += 1;
             let id = self.next_id;
-            match self.attempt(id, &req) {
+            match self.attempt(id, &trace, &req) {
                 Ok(doc) => {
                     if let Some(err) = wire::error_from_value(&doc) {
                         if err.retryable() {
@@ -389,7 +432,7 @@ impl Client {
 
     /// One wire exchange; errors are strings because they are all
     /// retryable transport conditions.
-    fn attempt(&mut self, id: u64, req: &Request) -> Result<Json, String> {
+    fn attempt(&mut self, id: u64, trace: &str, req: &Request) -> Result<Json, String> {
         if self.conn.is_none() {
             let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)
                 .map_err(|e| format!("connect: {e}"))?;
@@ -406,7 +449,7 @@ impl Client {
             });
         }
         let conn = self.conn.as_mut().expect("just connected");
-        let text = wire::request_to_json(id, req);
+        let text = wire::request_with_trace(id, Some(trace), req);
         frame::write_frame(&mut conn.writer, &text).map_err(|e| format!("send: {e}"))?;
         conn.writer.flush().map_err(|e| format!("flush: {e}"))?;
         for _ in 0..MAX_STALE_FRAMES {

@@ -49,6 +49,11 @@ pub struct DaemonConfig {
     pub max_conns: usize,
     /// Fault-injection plan, if any.
     pub faults: Option<FaultPlan>,
+    /// Where automatic flight-recorder dumps land (`None` disables
+    /// them). The daemon dumps once at startup when recovery had to
+    /// repair anything, and once when sheds first cross
+    /// [`SHED_STORM_THRESHOLD`].
+    pub dump_dir: Option<PathBuf>,
 }
 
 impl DaemonConfig {
@@ -64,9 +69,14 @@ impl DaemonConfig {
             io_timeout: Duration::from_secs(2),
             max_conns: 64,
             faults: None,
+            dump_dir: None,
         }
     }
 }
+
+/// Shed count at which the daemon considers itself inside a shed storm
+/// and writes one automatic flight dump (if a dump dir is configured).
+pub const SHED_STORM_THRESHOLD: u64 = 8;
 
 /// A running daemon.
 pub struct Daemon {
@@ -94,12 +104,14 @@ impl Daemon {
     ///
     /// Propagates journal and bind failures.
     pub fn start(cfg: DaemonConfig) -> io::Result<Daemon> {
-        let crash = cfg.faults.and_then(|p| p.crash);
         let (core, recovery) =
-            ServerCore::recover(&cfg.journal, cfg.durability, crash, cfg.limits)?;
+            ServerCore::recover(&cfg.journal, cfg.durability, cfg.faults, cfg.limits)?;
         let core = Arc::new(core);
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        if recovery.replayed_closes > 0 || recovery.truncated_bytes > 0 || recovery.anomalies > 0 {
+            dump_flight(&core, cfg.dump_dir.as_deref(), "recovery", addr.port());
+        }
         let shutdown = Arc::new(AtomicBool::new(false));
         let shed = Arc::new(AtomicU64::new(0));
 
@@ -194,11 +206,15 @@ fn accept_loop(
         conn_no += 1;
         if live.load(Ordering::SeqCst) >= cfg.max_conns {
             shed.fetch_add(1, Ordering::Relaxed);
+            core.note_shed();
+            if core.shed_count() == SHED_STORM_THRESHOLD {
+                dump_flight(&core, cfg.dump_dir.as_deref(), "shed-storm", addr.port());
+            }
             shed_connection(stream, cfg.io_timeout, cfg.max_conns);
             continue;
         }
         live.fetch_add(1, Ordering::SeqCst);
-        let core = Arc::clone(&core);
+        let conn_core = Arc::clone(&core);
         let shutdown = Arc::clone(&shutdown);
         let live_conn = Arc::clone(&live);
         let dice = cfg
@@ -209,7 +225,7 @@ fn accept_loop(
         let spawned = std::thread::Builder::new()
             .name(format!("flpd-conn-{conn_no}"))
             .spawn(move || {
-                serve_conn(stream, &core, dice, &cfg, &shutdown, addr);
+                serve_conn(stream, &conn_core, dice, &cfg, &shutdown, addr);
                 live_conn.fetch_sub(1, Ordering::SeqCst);
             });
         if spawned.is_err() {
@@ -217,6 +233,7 @@ fn accept_loop(
             // incremented, undo it.
             live.fetch_sub(1, Ordering::SeqCst);
             shed.fetch_add(1, Ordering::Relaxed);
+            core.note_shed();
         }
     }
 }
@@ -278,7 +295,7 @@ fn serve_conn(
                 }
             },
             Err(e) => {
-                respond_to_frame_error(&mut writer, &e);
+                respond_to_frame_error(&mut writer, core, &e);
                 return;
             }
         }
@@ -287,18 +304,47 @@ fn serve_conn(
 
 /// Best-effort error frame for a broken request stream; the connection
 /// closes either way because framing is lost.
-fn respond_to_frame_error(writer: &mut TcpStream, e: &FrameError) {
+fn respond_to_frame_error(writer: &mut TcpStream, core: &ServerCore, e: &FrameError) {
     let err = match e {
-        // Deadline expiry (idle or stalled peer) — just disconnect.
-        FrameError::Io(_) => return,
-        FrameError::TooLarge { declared, cap } => ServiceError::new(
-            ErrCode::TooLarge,
-            format!("frame of {declared} bytes exceeds cap {cap}"),
-        ),
-        other => ServiceError::new(ErrCode::BadRequest, format!("malformed frame: {other}")),
+        // Deadline expiry (idle or stalled peer) — just disconnect,
+        // but account the lost connection in the stats plane.
+        FrameError::Io(io_err) => {
+            if matches!(
+                io_err.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ) {
+                core.note_wire_err(ErrCode::Deadline, "connection idle deadline expired");
+            }
+            return;
+        }
+        FrameError::TooLarge { declared, cap } => {
+            core.note_wire_err(ErrCode::TooLarge, "request frame exceeds cap");
+            ServiceError::new(
+                ErrCode::TooLarge,
+                format!("frame of {declared} bytes exceeds cap {cap}"),
+            )
+        }
+        other => {
+            core.note_wire_err(ErrCode::BadRequest, "malformed frame");
+            ServiceError::new(ErrCode::BadRequest, format!("malformed frame: {other}"))
+        }
     };
     let _ = frame::write_frame(writer, &wire::error_response(&err));
     let _ = writer.flush();
+}
+
+/// Writes the flight recorder to `<dir>/flight-<tag>-<port>.json`.
+/// Best-effort on purpose: observability must never take the daemon
+/// down, so directory or write failures are swallowed.
+fn dump_flight(core: &ServerCore, dir: Option<&std::path::Path>, tag: &str, port: u16) {
+    let Some(dir) = dir else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let _ = std::fs::write(
+        dir.join(format!("flight-{tag}-{port}.json")),
+        core.flight().dump_json(),
+    );
 }
 
 /// Writes one response, applying the wire-fault dice. Returns `false`

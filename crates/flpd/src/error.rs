@@ -33,6 +33,21 @@ pub enum ErrCode {
 }
 
 impl ErrCode {
+    /// Every code in the taxonomy, in wire-spelling order. The daemon
+    /// pre-registers a `service.err.<code>` counter for each so `stats`
+    /// always shows the full error surface, and tests can iterate the
+    /// taxonomy without hard-coding it.
+    pub const ALL: [ErrCode; 8] = [
+        ErrCode::Overloaded,
+        ErrCode::Backlog,
+        ErrCode::Deadline,
+        ErrCode::BadRequest,
+        ErrCode::UnknownSession,
+        ErrCode::Conflict,
+        ErrCode::TooLarge,
+        ErrCode::Internal,
+    ];
+
     /// Whether a client should back off and retry the identical request.
     pub fn retryable(self) -> bool {
         matches!(

@@ -20,12 +20,15 @@
 //! * `dup=<p>` — send each response twice with probability `p`;
 //! * `crash=<kind>:<nth>[:<cut>]` — die appending the `nth` journal
 //!   record of `kind` (`open|client|bid|close_begin|close_commit`),
-//!   having physically written `cut in [0, 1]` of it (default 0.5).
+//!   having physically written `cut in [0, 1]` of it (default 0.5);
+//! * `jam=<kind>:<nth>` — fail (without dying) the `nth` journal append
+//!   of `kind` with a plain I/O error, exercising the `internal` error
+//!   path: the record is not written and the journal poisons.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::journal::{CrashPoint, RecordKind};
+use crate::journal::{CrashPoint, JamPoint, RecordKind};
 
 /// Environment variable the `flpd` bin reads a plan from.
 pub const FAULTS_ENV: &str = "FLPD_FAULTS";
@@ -43,6 +46,8 @@ pub struct FaultPlan {
     pub dup_resp: f64,
     /// At most one injected death per daemon lifetime.
     pub crash: Option<CrashPoint>,
+    /// At most one injected non-fatal journal write failure.
+    pub jam: Option<JamPoint>,
 }
 
 impl FaultPlan {
@@ -97,6 +102,15 @@ impl FaultPlan {
                         Some(c) => parse_prob(c)?,
                     };
                     plan.crash = Some(CrashPoint { kind, nth, cut });
+                }
+                "jam" => {
+                    let (kind, nth) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("jam needs kind:nth, got {value:?}"))?;
+                    let kind = RecordKind::parse_str(kind)
+                        .ok_or_else(|| format!("unknown record kind {kind:?}"))?;
+                    let nth = nth.parse().map_err(|_| "bad jam nth".to_string())?;
+                    plan.jam = Some(JamPoint { kind, nth });
                 }
                 other => return Err(format!("unknown fault key {other:?}")),
             }
@@ -199,6 +213,15 @@ mod tests {
     }
 
     #[test]
+    fn jam_clause_parses() {
+        let plan = FaultPlan::parse("jam=bid:2").unwrap();
+        let jam = plan.jam.unwrap();
+        assert_eq!(jam.kind, RecordKind::Bid);
+        assert_eq!(jam.nth, 2);
+        assert!(!plan.has_wire_faults());
+    }
+
+    #[test]
     fn malformed_plans_are_rejected() {
         for bad in [
             "drop",
@@ -206,6 +229,8 @@ mod tests {
             "delay=0.5",
             "crash=warp:1",
             "crash=bid:x",
+            "jam=bid",
+            "jam=warp:1",
             "wat=1",
             "seed=minus",
         ] {

@@ -194,7 +194,19 @@ impl Record {
 
     /// Serialises the record payload (one line of JSON, no framing).
     pub fn to_json(&self) -> String {
+        self.to_json_with_trace(None)
+    }
+
+    /// Serialises the record payload with the originating request's trace
+    /// id stamped on it, so a journal read tells *which* request caused
+    /// each mutation. [`Record::from_json`] ignores the member (traces
+    /// are forensic, not state), so trace-stamped and bare records replay
+    /// identically.
+    pub fn to_json_with_trace(&self, trace: Option<&str>) -> String {
         let mut members = vec![("rec".into(), json::string(self.kind().as_str()))];
+        if let Some(trace) = trace {
+            members.push(("trace".into(), json::string(trace)));
+        }
         match self {
             Record::Open { session, params } => {
                 members.push(("session".into(), json::string(session)));
@@ -322,8 +334,15 @@ impl Record {
 
 /// Frames one record exactly as [`Journal::append`] writes it.
 pub fn encode_record(rec: &Record) -> Vec<u8> {
+    encode_record_traced(rec, None)
+}
+
+/// Frames one record with a trace stamp, exactly as
+/// [`Journal::append_with_trace`] writes it.
+pub fn encode_record_traced(rec: &Record, trace: Option<&str>) -> Vec<u8> {
     let mut bytes = Vec::new();
-    frame::write_frame(&mut bytes, &rec.to_json()).expect("Vec write is infallible");
+    frame::write_frame(&mut bytes, &rec.to_json_with_trace(trace))
+        .expect("Vec write is infallible");
     bytes
 }
 
@@ -397,6 +416,19 @@ pub fn is_injected_crash(e: &io::Error) -> bool {
     e.kind() == io::ErrorKind::Other && e.to_string().contains("injected crash")
 }
 
+/// A jam-injection target: the `nth` append of `kind` (1-based) fails
+/// with a *plain* I/O error — the daemon stays alive but must surface an
+/// `internal` error and treat the journal as poisoned, exactly like a
+/// real ENOSPC. The observability tests use this to drive the
+/// `service.err.internal` counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JamPoint {
+    /// Which record kind to fail on.
+    pub kind: RecordKind,
+    /// 1-based occurrence count of that kind.
+    pub nth: u32,
+}
+
 /// What `Journal::open` recovered from an existing file.
 #[derive(Debug)]
 pub struct Recovered {
@@ -412,6 +444,7 @@ pub struct Journal {
     path: PathBuf,
     durability: Durability,
     crash: Option<CrashPoint>,
+    jam: Option<JamPoint>,
     counts: [u32; 5],
     poisoned: bool,
 }
@@ -437,6 +470,7 @@ impl Journal {
         path: &Path,
         durability: Durability,
         crash: Option<CrashPoint>,
+        jam: Option<JamPoint>,
     ) -> io::Result<(Journal, Recovered)> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -466,6 +500,7 @@ impl Journal {
                 path: path.to_path_buf(),
                 durability,
                 crash,
+                jam,
                 counts: [0; 5],
                 poisoned: false,
             },
@@ -490,6 +525,16 @@ impl Journal {
     /// Real I/O failures (ENOSPC and friends) poison the journal, as
     /// does a firing [`CrashPoint`] (detect with [`is_injected_crash`]).
     pub fn append(&mut self, rec: &Record) -> io::Result<()> {
+        self.append_with_trace(rec, None)
+    }
+
+    /// [`append`](Self::append) with the originating request's trace id
+    /// stamped on the record (see [`Record::to_json_with_trace`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`append`](Self::append).
+    pub fn append_with_trace(&mut self, rec: &Record, trace: Option<&str>) -> io::Result<()> {
         if self.poisoned {
             return Err(io::Error::other("journal is poisoned"));
         }
@@ -497,10 +542,20 @@ impl Journal {
         self.counts[kind.index()] += 1;
         if let Some(cp) = self.crash {
             if cp.kind == kind && self.counts[kind.index()] == cp.nth {
-                return Err(self.crash_now(rec, cp.cut));
+                return Err(self.crash_now(rec, trace, cp.cut));
             }
         }
-        let frame = encode_record(rec);
+        if let Some(jp) = self.jam {
+            if jp.kind == kind && self.counts[kind.index()] == jp.nth {
+                self.poison();
+                return Err(io::Error::other(format!(
+                    "injected jam at {}#{}",
+                    kind.as_str(),
+                    self.counts[kind.index()]
+                )));
+            }
+        }
+        let frame = encode_record_traced(rec, trace);
         let result = (|| {
             let w = self
                 .writer
@@ -553,8 +608,8 @@ impl Journal {
     /// have (previous completed writes), physically write `cut` of the
     /// pending frame, and poison the journal so nothing further —
     /// including the `BufWriter`'s drop-flush — reaches the file.
-    fn crash_now(&mut self, rec: &Record, cut: f64) -> io::Error {
-        let frame = encode_record(rec);
+    fn crash_now(&mut self, rec: &Record, trace: Option<&str>, cut: f64) -> io::Error {
+        let frame = encode_record_traced(rec, trace);
         let take = ((frame.len() as f64) * cut.clamp(0.0, 1.0)).round() as usize;
         let take = take.min(frame.len());
         if let Some(w) = self.writer.take() {
@@ -677,7 +732,8 @@ mod tests {
         let cut = bytes.len() - 5;
         std::fs::write(&path, &bytes[..cut]).unwrap();
 
-        let (mut journal, recovered) = Journal::open(&path, Durability::Strict, None).unwrap();
+        let (mut journal, recovered) =
+            Journal::open(&path, Durability::Strict, None, None).unwrap();
         assert_eq!(recovered.records.len(), 4);
         assert!(recovered.truncated > 0);
         journal.append(&bid("s-1", 9, 1.5)).unwrap();
@@ -698,7 +754,7 @@ mod tests {
             nth: 2,
             cut: 0.5,
         };
-        let (mut journal, _) = Journal::open(&path, Durability::Strict, Some(cp)).unwrap();
+        let (mut journal, _) = Journal::open(&path, Durability::Strict, Some(cp), None).unwrap();
         journal.append(&bid("s-1", 1, 1.0)).unwrap();
         let err = journal.append(&bid("s-1", 2, 2.0)).unwrap_err();
         assert!(is_injected_crash(&err), "{err}");
@@ -713,7 +769,8 @@ mod tests {
         assert_eq!(scan.records, vec![bid("s-1", 1, 1.0)]);
 
         // Reopening recovers: torn tail gone, appends work again.
-        let (mut journal, recovered) = Journal::open(&path, Durability::Strict, None).unwrap();
+        let (mut journal, recovered) =
+            Journal::open(&path, Durability::Strict, None, None).unwrap();
         assert_eq!(recovered.records.len(), 1);
         assert!(recovered.truncated > 0);
         journal.append(&bid("s-1", 2, 2.0)).unwrap();
@@ -730,7 +787,7 @@ mod tests {
             nth: 1,
             cut: 0.0,
         };
-        let (mut journal, _) = Journal::open(&path, Durability::Strict, Some(cp)).unwrap();
+        let (mut journal, _) = Journal::open(&path, Durability::Strict, Some(cp), None).unwrap();
         journal.append(&bid("s-1", 1, 1.0)).unwrap();
         let err = journal
             .append(&Record::CloseBegin {

@@ -21,6 +21,13 @@
 //! Responses always carry `"ok"` and echo `"id"` when the request had
 //! one; failures add `"code"`, `"retryable"` and `"detail"` from the
 //! [`crate::error`] taxonomy.
+//!
+//! Requests may additionally carry a `"trace"` string — an end-to-end
+//! trace id the daemon echoes on the response, stamps on its journal
+//! records and flight-recorder events, and invents (`srv-<n>`) when the
+//! client sent none. The admin plane adds three read-only ops: `stats`
+//! (merged live-metrics snapshot), `health` (cheap liveness probe) and
+//! `flight` (flight-recorder dump).
 
 use fl_auction::{AuctionConfig, LocalIterationModel, QualifyMode, SweepStrategy};
 use fl_telemetry::json::{self, Json};
@@ -158,13 +165,39 @@ pub struct BidParams {
     pub c: u32,
 }
 
+/// Request envelope fields that are not the operation itself: the echo
+/// id and the propagated trace id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReqMeta {
+    /// Client echo token, stamped back on the response.
+    pub id: Option<u64>,
+    /// End-to-end trace id, echoed on the response and stamped on
+    /// journal records and flight events.
+    pub trace: Option<String>,
+}
+
+impl ReqMeta {
+    /// Meta carrying only an echo id (the common client case before
+    /// tracing).
+    pub fn with_id(id: u64) -> ReqMeta {
+        ReqMeta {
+            id: Some(id),
+            trace: None,
+        }
+    }
+}
+
 /// A fully parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
-    /// Daemon counters.
+    /// Merged live-metrics snapshot (admin plane).
     Stats,
+    /// Cheap liveness + overload state (admin plane).
+    Health,
+    /// Flight-recorder dump (admin plane).
+    Flight,
     /// Graceful daemon shutdown.
     Shutdown,
     /// Create (or idempotently re-fetch) a session.
@@ -260,20 +293,25 @@ fn opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
-/// Parses one request frame into its echo id and operation.
+/// Parses one request frame into its envelope meta and operation.
 ///
 /// # Errors
 ///
 /// `BadRequest` with the parse reason — the daemon answers these with an
 /// error frame and keeps the connection.
-pub fn parse_request(text: &str) -> Result<(Option<u64>, Request), ServiceError> {
+pub fn parse_request(text: &str) -> Result<(ReqMeta, Request), ServiceError> {
     let bad = |why: String| ServiceError::new(ErrCode::BadRequest, why);
     let doc = json::parse(text).map_err(|e| bad(format!("invalid JSON: {e}")))?;
-    let id = doc.get("id").and_then(Json::as_u64);
+    let meta = ReqMeta {
+        id: doc.get("id").and_then(Json::as_u64),
+        trace: opt_str(&doc, "trace").map(str::to_string),
+    };
     let op = get_str(&doc, "op").map_err(bad)?;
     let req = match op {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "health" => Request::Health,
+        "flight" => Request::Flight,
         "shutdown" => Request::Shutdown,
         "open" => Request::Open(OpenParams::from_value(&doc).map_err(bad)?),
         "client" => Request::Client {
@@ -307,15 +345,23 @@ pub fn parse_request(text: &str) -> Result<(Option<u64>, Request), ServiceError>
         },
         other => return Err(bad(format!("unknown op {other:?}"))),
     };
-    Ok((id, req))
+    Ok((meta, req))
 }
 
 /// Serialises a request. `id` is the echo token the response will carry.
 pub fn request_to_json(id: u64, req: &Request) -> String {
+    request_with_trace(id, None, req)
+}
+
+/// Serialises a request carrying a trace id for end-to-end propagation.
+pub fn request_with_trace(id: u64, trace: Option<&str>, req: &Request) -> String {
     let mut members = vec![("op".into(), json::string(op_name(req)))];
     members.push(("id".into(), id.to_string()));
+    if let Some(trace) = trace {
+        members.push(("trace".into(), json::string(trace)));
+    }
     match req {
-        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::Ping | Request::Stats | Request::Health | Request::Flight | Request::Shutdown => {}
         Request::Open(p) => members.extend(p.json_members()),
         Request::Client {
             session,
@@ -353,10 +399,14 @@ pub fn request_to_json(id: u64, req: &Request) -> String {
     json::object(&members)
 }
 
-fn op_name(req: &Request) -> &'static str {
+/// The wire discriminator of a request — also the suffix of the daemon's
+/// per-command `service.cmd.<op>` latency histograms.
+pub fn op_name(req: &Request) -> &'static str {
     match req {
         Request::Ping => "ping",
         Request::Stats => "stats",
+        Request::Health => "health",
+        Request::Flight => "flight",
         Request::Shutdown => "shutdown",
         Request::Open(_) => "open",
         Request::Client { .. } => "client",
@@ -391,6 +441,20 @@ pub fn with_id(resp: &str, id: Option<u64>) -> String {
     }
 }
 
+/// Splices the echo id *and* trace id into an already-serialised
+/// response object — the trace-aware [`with_id`]. Replay responses are
+/// stored bare, so a retried request gets its own current meta stamped.
+pub fn with_meta(resp: &str, meta: &ReqMeta) -> String {
+    let resp = match &meta.trace {
+        None => return with_id(resp, meta.id),
+        Some(trace) => {
+            debug_assert!(resp.starts_with('{') && resp.len() > 2);
+            format!("{{\"trace\":{},{}", json::string(trace), &resp[1..])
+        }
+    };
+    with_id(&resp, meta.id)
+}
+
 /// Reads an error response back into [`ServiceError`], if the document
 /// is one (`"ok": false`).
 pub fn error_from_value(doc: &Json) -> Option<ServiceError> {
@@ -420,6 +484,8 @@ mod tests {
         let reqs = [
             Request::Ping,
             Request::Stats,
+            Request::Health,
+            Request::Flight,
             Request::Open(OpenParams::new(7, 6, 2, 60.0)),
             Request::Client {
                 session: "s-1".into(),
@@ -453,10 +519,33 @@ mod tests {
         ];
         for (i, req) in reqs.iter().enumerate() {
             let text = request_to_json(i as u64, req);
-            let (id, back) = parse_request(&text).unwrap();
-            assert_eq!(id, Some(i as u64), "{text}");
+            let (meta, back) = parse_request(&text).unwrap();
+            assert_eq!(meta.id, Some(i as u64), "{text}");
+            assert_eq!(meta.trace, None, "{text}");
             assert_eq!(&back, req, "{text}");
         }
+    }
+
+    #[test]
+    fn trace_ids_round_trip_and_splice() {
+        let text = request_with_trace(9, Some("c-7-3"), &Request::Ping);
+        let (meta, req) = parse_request(&text).unwrap();
+        assert_eq!(meta.id, Some(9));
+        assert_eq!(meta.trace.as_deref(), Some("c-7-3"));
+        assert_eq!(req, Request::Ping);
+
+        let stamped = with_meta(r#"{"ok":true}"#, &meta);
+        let doc = json::parse(&stamped).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(9));
+        assert_eq!(doc.get("trace").and_then(Json::as_str), Some("c-7-3"));
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+
+        // No trace ⇒ byte-identical to the id-only splice.
+        let meta = ReqMeta::with_id(4);
+        assert_eq!(
+            with_meta(r#"{"ok":true}"#, &meta),
+            with_id(r#"{"ok":true}"#, Some(4))
+        );
     }
 
     #[test]

@@ -40,6 +40,21 @@
 //! this is how the parallel `A_FL` horizon sweep keeps its trace identical
 //! to the sequential one.
 //!
+//! # Live observability
+//!
+//! The sinks above are deterministic and after-the-fact; long-lived
+//! services need concurrent, always-on introspection instead. Two
+//! standalone primitives (not sinks — they never touch the dispatch path
+//! or a recorder's determinism) cover that:
+//!
+//! * [`LiveMetrics`] — per-thread shards of counters/gauges/windowed
+//!   histograms, contention-free recording, on-demand [`merge`]d
+//!   snapshots with the same nearest-rank quantiles.
+//! * [`FlightRecorder`] — fixed-capacity per-thread rings of recent
+//!   events, drained into one causally-ordered, wall-clock-stamped dump.
+//!
+//! [`merge`]: LiveMetrics::merge
+//!
 //! # Example
 //!
 //! ```
@@ -68,9 +83,11 @@
 mod capture;
 mod dispatch;
 mod event;
+pub mod flight;
 pub mod frame;
 pub mod json;
 mod jsonl;
+mod live;
 mod logger;
 mod quantile;
 mod recorder;
@@ -81,7 +98,9 @@ pub use dispatch::{
     GlobalSinkGuard, LocalSinkGuard, SpanGuard,
 };
 pub use event::{Event, Field, Level, Sink, Value};
+pub use flight::{FlightEvent, FlightRecorder};
 pub use jsonl::JsonlSink;
+pub use live::{LiveHist, LiveMetrics, LiveSnapshot};
 pub use logger::EnvLogger;
 pub use quantile::HistSummary;
 pub use recorder::{PhaseStat, Recorder, Snapshot, SpanNode};
