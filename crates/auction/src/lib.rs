@@ -85,6 +85,7 @@ mod config;
 pub mod coverage;
 mod error;
 pub mod io;
+pub mod online;
 mod parallel;
 mod payment;
 pub mod preprocess;
@@ -105,6 +106,7 @@ pub use columnar::{ColumnarBids, CoverageIndex};
 pub use config::{AuctionConfig, AuctionConfigBuilder, LocalIterationModel, QualifyMode};
 pub use coverage::Coverage;
 pub use error::{AuctionError, WdpError};
+pub use online::{DecisionReason, OnlineAuction, OnlineCounters, OnlineDecision, OnlineOutcome};
 pub use parallel::SweepStrategy;
 pub use payment::{payment, PaymentRule};
 pub use preprocess::SweepPrecomp;

@@ -142,6 +142,12 @@ pub struct WdpSolution {
     winners: Vec<WinnerEntry>,
     cost: f64,
     certificate: Option<DualCertificate>,
+    /// How many winners an *online* solver admitted through an offline
+    /// completion pass after its irrevocable arrival phase failed to fill
+    /// the quota (`A_online`'s "panic exit"). `0` for every solver that
+    /// honours its own decision model; a non-zero value flags the solution
+    /// as degraded for ratio aggregation.
+    backfilled: usize,
 }
 
 impl WdpSolution {
@@ -169,7 +175,31 @@ impl WdpSolution {
             winners,
             cost,
             certificate,
+            backfilled: 0,
         }
+    }
+
+    /// Marks `n` winners as admitted by an offline completion pass that
+    /// broke the solver's online (irrevocable-decision) semantics. See
+    /// [`WdpSolution::backfilled`].
+    pub fn with_backfilled(mut self, n: usize) -> Self {
+        self.backfilled = n;
+        self
+    }
+
+    /// Number of winners admitted outside the solver's own decision model
+    /// (0 unless an online solver fell back to an offline completion
+    /// pass). Solutions with `backfilled() > 0` must be excluded from
+    /// online-vs-offline ratio aggregates — the fallback quietly converts
+    /// an online run into a partially offline one.
+    pub fn backfilled(&self) -> usize {
+        self.backfilled
+    }
+
+    /// Whether this solution violates its solver's stated decision model
+    /// ([`backfilled`](WdpSolution::backfilled)` > 0`).
+    pub fn is_degraded(&self) -> bool {
+        self.backfilled > 0
     }
 
     /// The horizon this solution was computed for.

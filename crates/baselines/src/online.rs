@@ -24,6 +24,14 @@
 //!   completes the quota. (An online platform would hit this as a "panic
 //!   re-solicitation" phase; we fold it in so every mechanism answers the
 //!   same feasibility question.)
+//!
+//! The backfill **breaks the online decision model**: it revisits bids
+//! whose irrevocable answer was already "no". A solution that used it is
+//! therefore flagged — [`WdpSolution::backfilled`] reports how many
+//! winners the completion pass admitted, and the
+//! `online_baseline.backfilled` telemetry counter tallies them — so that
+//! online-vs-offline ratio aggregates can exclude degraded runs instead of
+//! silently crediting `A_online` with offline repairs.
 
 use fl_auction::{
     representative_schedule, Coverage, Round, Wdp, WdpError, WdpSolution, WdpSolver, WinnerEntry,
@@ -130,7 +138,10 @@ impl WdpSolver for OnlineBaseline {
         // cost. Lazy-greedy: average costs only grow as coverage fills, so
         // a stale heap entry is a lower bound and a fresh top is the exact
         // minimum (same argument as `A_winner`'s queue). Ties break toward
-        // the smaller bid index, matching the plain scan.
+        // the smaller bid index, matching the plain scan. Every winner
+        // admitted below is counted and flagged on the returned solution:
+        // this pass is offline completion, not online decision-making.
+        let phase1_winners = winners.len();
         let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(OrderedAvg, usize, u64)>> =
             std::collections::BinaryHeap::new();
         let mut stamp = 0u64;
@@ -184,7 +195,11 @@ impl WdpSolver for OnlineBaseline {
             });
             stamp += 1;
         }
-        Ok(WdpSolution::new(wdp.horizon(), winners, cost, None))
+        let backfilled = winners.len() - phase1_winners;
+        if backfilled > 0 {
+            fl_telemetry::counter!("online_baseline.backfilled", backfilled as u64);
+        }
+        Ok(WdpSolution::new(wdp.horizon(), winners, cost, None).with_backfilled(backfilled))
     }
 }
 
@@ -308,6 +323,36 @@ mod tests {
             OnlineBaseline::new().solve_wdp(&wdp).unwrap_err(),
             WdpError::Infeasible
         );
+    }
+
+    #[test]
+    fn forced_panic_exit_is_flagged_on_the_solution() {
+        // Regression: the offline completion pass used to be silent. This
+        // instance forces it deterministically. K = 2, one round; u_max =
+        // 10, u_min = 1. Client 0 is admitted at the opening offer (10 ≥
+        // 1) which drops round 1's posted price to 10·√(1/10) ≈ 3.16 <
+        // 10, so client 1 walks away irrevocably — yet the quota still
+        // needs a second client, and the backfill re-admits client 1,
+        // paid as bid.
+        let wdp = Wdp::new(2, 2, vec![qb(0, 1.0, 1, 2, 2), qb(1, 10.0, 1, 2, 2)]);
+        let sol = OnlineBaseline::new().solve_wdp(&wdp).unwrap();
+        assert_eq!(sol.winners().len(), 2);
+        assert_eq!(sol.backfilled(), 1, "the completion pass must be flagged");
+        assert!(sol.is_degraded());
+        let repaired = sol
+            .winners()
+            .iter()
+            .find(|w| w.bid_ref.client == ClientId(1))
+            .unwrap();
+        assert_eq!(
+            repaired.payment, repaired.price,
+            "backfill pays as bid, not the posted offer"
+        );
+        // A run that never needed the pass carries a clean solution.
+        let clean = Wdp::new(2, 1, vec![qb(0, 1.0, 1, 2, 2)]);
+        let sol = OnlineBaseline::new().solve_wdp(&clean).unwrap();
+        assert_eq!(sol.backfilled(), 0);
+        assert!(!sol.is_degraded());
     }
 
     #[test]

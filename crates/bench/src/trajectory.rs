@@ -121,6 +121,87 @@ fn scale_frontier_section(history: &[BenchRecord]) -> Option<String> {
     Some(out)
 }
 
+/// Renders the "Online ingest" summary: sustained streaming throughput of
+/// the [`OnlineAuction`](fl_auction::OnlineAuction) driver, derived from
+/// the latest `online_ingest` record's `online.arrived` counter over its
+/// min-of-N wall clock, plus the on-arrival decision mix and the
+/// competitive ratio against the offline `A_FL` solve of the same
+/// instance. Full-scale records are preferred; with only smoke history
+/// the section renders from `online_ingest@smoke` and says so. Returns
+/// `None` when no `online_ingest` record exists yet.
+fn online_ingest_section(history: &[BenchRecord]) -> Option<String> {
+    let latest = history
+        .iter()
+        .rev()
+        .find(|r| r.scenario == "online_ingest" && !r.env.smoke)
+        .or_else(|| history.iter().rev().find(|r| r.scenario == "online_ingest"))?;
+    let counter = |name: &str| {
+        latest
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    };
+    let arrived = counter("online.arrived").unwrap_or(0);
+    let bids_per_sec = arrived as f64 / (latest.timing.min_ms / 1e3);
+    let mut out = String::new();
+    let _ = writeln!(out, "## Online ingest");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Sustained streaming throughput of the `OnlineAuction` driver \
+         (`{}` record, {} core(s)): every bid decided irrevocably on \
+         arrival under the posted-price budget. Throughput is \
+         `online.arrived / (min_ms / 1000)`.",
+        latest.key(),
+        latest.env.cores
+    );
+    let _ = writeln!(out);
+    let mut table = Table::new(["metric", "value"]);
+    table.push_row(vec!["bids arrived".into(), arrived.to_string()]);
+    table.push_row(vec![
+        "min_ms".into(),
+        format!("{:.3}", latest.timing.min_ms),
+    ]);
+    table.push_row(vec!["bids/sec".into(), format!("{bids_per_sec:.0}")]);
+    for (label, name) in [
+        ("committed", "online.committed"),
+        ("rejected", "online.rejected"),
+        ("duplicates", "online.duplicates"),
+        ("coverage %", "online.coverage_pct"),
+    ] {
+        if let Some(v) = counter(name) {
+            table.push_row(vec![label.into(), v.to_string()]);
+        }
+    }
+    match counter("online.competitive_ratio_milli") {
+        Some(milli) => table.push_row(vec![
+            "competitive ratio vs offline A_FL".into(),
+            format!("{:.3}", milli as f64 / 1e3),
+        ]),
+        None => table.push_row(vec![
+            "competitive ratio vs offline A_FL",
+            "n/a (stream did not reach full coverage)",
+        ]),
+    }
+    out.push_str(&table.to_markdown());
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "**Headline: {bids_per_sec:.0} bids/sec sustained on-arrival \
+         ingest ({arrived} bids{}).** Reproduce with \
+         `cargo run --release -p fl-bench --bin bench_suite -- run \
+         --scenario online_ingest`.",
+        if latest.env.smoke {
+            ", smoke scale — run the full scenario for the comparable figure"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(out);
+    Some(out)
+}
+
 /// Renders the "Telemetry overhead" section from a live measurement (see
 /// [`crate::overhead::measure`]) — the standing "≤ 3 % with sinks
 /// disabled" claim as a number, re-verified at report time.
@@ -166,6 +247,9 @@ pub fn render(history: &[BenchRecord]) -> String {
     let _ = writeln!(out);
     if let Some(frontier) = scale_frontier_section(history) {
         out.push_str(&frontier);
+    }
+    if let Some(online) = online_ingest_section(history) {
+        out.push_str(&online);
     }
 
     let mut keys: Vec<String> = Vec::new();
@@ -357,5 +441,35 @@ mod tests {
         assert!(md.contains("5000"), "throughput column missing:\n{md}");
         assert!(md.contains("1-core record, machine-bounded"));
         assert!(md.contains("--scenario scale_frontier_100k"));
+    }
+
+    #[test]
+    fn online_ingest_section_reports_bids_per_sec_and_the_decision_mix() {
+        let tiny = Scenario {
+            name: "online_ingest",
+            summary: "online stand-in for report tests",
+            kind: ScenarioKind::OnlineIngest,
+            full: Scale {
+                clients: 20,
+                bids_per_client: 2,
+                rounds: 8,
+                k: 2,
+            },
+            smoke: Scale {
+                clients: 10,
+                bids_per_client: 2,
+                rounds: 8,
+                k: 2,
+            },
+        };
+        let mut r = run_scenario(&tiny, true, 2).unwrap();
+        r.timing.min_ms = 4.0; // 20 arrivals / 4 ms = 5000 bids/sec
+        let md = render(&[r]);
+        assert!(md.contains("## Online ingest"));
+        assert!(md.contains("bids/sec"));
+        assert!(md.contains("5000"), "throughput headline missing:\n{md}");
+        assert!(md.contains("competitive ratio vs offline A_FL"));
+        assert!(md.contains("smoke scale"));
+        assert!(md.contains("--scenario online_ingest"));
     }
 }

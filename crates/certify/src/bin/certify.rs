@@ -84,7 +84,7 @@ fn run(args: &[String]) -> ExitCode {
     }
     println!(
         "certify run: {} seed(s) from {start}, {} failing; horizons={} proven={} bounded={} \
-         greedy_stalls={} probes={} stalled_probes={}",
+         greedy_stalls={} probes={} stalled_probes={} online_streams={} online_probes={}",
         seeds,
         failures,
         totals.horizons,
@@ -92,7 +92,9 @@ fn run(args: &[String]) -> ExitCode {
         totals.exact_bounded,
         totals.greedy_stalls,
         totals.probes,
-        totals.stalled_probes
+        totals.stalled_probes,
+        totals.online_streams,
+        totals.online_probes
     );
 
     let replay_code = if smoke {
@@ -218,6 +220,10 @@ fn known_property(name: &str) -> Option<&'static str> {
         prop::BELOW_THRESHOLD_LOSES,
         prop::THRESHOLD_DEPENDS_ON_BID,
         prop::LOSER_MONOTONICITY,
+        prop::ONLINE_BUDGET,
+        prop::ONLINE_IR,
+        prop::ONLINE_POSTED_TRUTHFUL,
+        prop::ONLINE_INCREMENTAL_BATCH,
     ]
     .into_iter()
     .find(|&code| code == name)

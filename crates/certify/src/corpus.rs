@@ -59,7 +59,7 @@ pub fn to_json(ci: &CertInstance) -> String {
             ])
         })
         .collect();
-    json::object(&[
+    let mut members = vec![
         ("v".into(), FORMAT_VERSION.to_string()),
         ("seed".into(), ci.seed.to_string()),
         ("shape".into(), json::string(&ci.shape)),
@@ -72,7 +72,19 @@ pub fn to_json(ci: &CertInstance) -> String {
         ("qualify".into(), json::string(qualify)),
         ("clients".into(), json::array(&clients)),
         ("bids".into(), json::array(&bids)),
-    ])
+    ];
+    // Optional online knob; `+∞` is not a JSON number, so it is spelled
+    // as the string "inf". Absent = batch-only (pre-knob lines parse
+    // unchanged).
+    if let Some(b) = ci.online_budget {
+        let enc = if b.is_infinite() {
+            json::string("inf")
+        } else {
+            json::number(b)
+        };
+        members.push(("online_budget".into(), enc));
+    }
+    json::object(&members)
 }
 
 /// Parses one corpus line back into an instance.
@@ -136,6 +148,11 @@ pub fn from_json(line: &str) -> Result<CertInstance, String> {
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let online_budget = match doc.get("online_budget") {
+        None => None,
+        Some(v) if v.as_str() == Some("inf") => Some(f64::INFINITY),
+        Some(v) => Some(num(v, "online_budget")?),
+    };
     Ok(CertInstance {
         seed: need_u64(&doc, "seed")?,
         shape: need_str(&doc, "shape")?.to_string(),
@@ -147,6 +164,7 @@ pub fn from_json(line: &str) -> Result<CertInstance, String> {
         qualify,
         clients,
         bids,
+        online_budget,
     })
 }
 
@@ -235,6 +253,21 @@ mod tests {
             let back = from_json(&line).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(ci, back, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn online_budget_round_trips_including_infinity_and_absence() {
+        for budget in [None, Some(0.0), Some(42.5), Some(f64::INFINITY)] {
+            let mut ci = generate(0);
+            ci.online_budget = budget;
+            let line = to_json(&ci);
+            let back = from_json(&line).unwrap_or_else(|e| panic!("{budget:?}: {e}"));
+            assert_eq!(ci, back, "{budget:?}");
+        }
+        // Pre-knob corpus lines (no key) parse as batch-only.
+        let mut ci = generate(0);
+        ci.online_budget = None;
+        assert!(!to_json(&ci).contains("online_budget"));
     }
 
     #[test]

@@ -148,6 +148,14 @@ pub struct CertInstance {
     pub clients: Vec<(f64, f64)>,
     /// All submitted bids.
     pub bids: Vec<CertBid>,
+    /// The online knob: `Some(B)` additionally replays the bids as an
+    /// arrival stream through [`fl_auction::OnlineAuction`] under budget
+    /// `B` and checks the online properties (budget feasibility, online
+    /// IR, posted-price truthfulness, incremental ≡ batch qualification).
+    /// `B` may be `0` (degenerate: only zero-priced bids can commit) or
+    /// `+∞` (disables the budget and price gates). `None` certifies the
+    /// batch mechanism only.
+    pub online_budget: Option<f64>,
 }
 
 impl CertInstance {
@@ -274,6 +282,20 @@ pub fn generate(seed: u64) -> CertInstance {
         }
     }
 
+    // The online knob draws from a *forked* RNG so attaching it did not
+    // remap any seed's batch instance: every field above is produced by
+    // the exact byte-for-byte draws it always was.
+    let mut online_rng = SplitMix64::new(seed ^ ONLINE_SALT);
+    let online_budget = if online_rng.chance(1, 2) {
+        None
+    } else if online_rng.chance(1, 8) {
+        Some(0.0) // degenerate: a zero offer
+    } else if online_rng.chance(1, 6) {
+        Some(f64::INFINITY) // gates off: the threshold-equivalence regime
+    } else {
+        Some((1 + online_rng.below(60)) as f64)
+    };
+
     CertInstance {
         seed,
         shape: shape.name().to_string(),
@@ -285,8 +307,12 @@ pub fn generate(seed: u64) -> CertInstance {
         qualify,
         clients,
         bids,
+        online_budget,
     }
 }
+
+/// XOR salt forking the online-knob RNG off the instance seed.
+const ONLINE_SALT: u64 = 0x6f6e_6c69_6e65; // "online"
 
 #[cfg(test)]
 mod tests {
@@ -328,6 +354,23 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), Shape::ALL.len(), "shapes seen: {seen:?}");
+    }
+
+    #[test]
+    fn online_knob_covers_batch_degenerate_infinite_and_finite() {
+        let (mut none, mut zero, mut inf, mut finite) = (0, 0, 0, 0);
+        for seed in 0..200 {
+            match generate(seed).online_budget {
+                None => none += 1,
+                Some(0.0) => zero += 1,
+                Some(b) if b.is_infinite() => inf += 1,
+                Some(_) => finite += 1,
+            }
+        }
+        assert!(
+            none > 0 && zero > 0 && inf > 0 && finite > 0,
+            "knob coverage: none={none} zero={zero} inf={inf} finite={finite}"
+        );
     }
 
     #[test]

@@ -39,8 +39,9 @@ use std::collections::HashSet;
 
 use fl_auction::truthful::{deviation_outcome, myerson_payment, wins_at, DeviationOutcome};
 use fl_auction::{
-    min_horizon, qualify, run_auction, verify, AWinner, BidRef, Wdp, WdpError, WdpSolution,
-    WdpSolver,
+    min_horizon, qualify, run_auction, verify, AWinner, AuctionError, Bid, BidRef, ClientId,
+    ClientProfile, DecisionReason, OnlineAuction, OnlineDecision, Round, Wdp, WdpError,
+    WdpSolution, WdpSolver, Window,
 };
 use fl_exact::{BruteForceSolver, ExactSolver, Optimality, ProvingWdpSolver};
 
@@ -101,6 +102,17 @@ pub mod prop {
     /// A journal-recovered epoch decision diverged from a fresh solve on
     /// the recorded bid set (see [`crate::replay`]).
     pub const JOURNAL_REPLAY: &str = "journal_replay";
+    /// Online mode: total remuneration exceeded the budget `B`.
+    pub const ONLINE_BUDGET: &str = "online_budget_feasibility";
+    /// Online mode: a committed bid was paid below its claimed cost.
+    pub const ONLINE_IR: &str = "online_individual_rationality";
+    /// Online mode: a price misreport moved the payment, let the bid win
+    /// above the posted offer, or rejected it below (posted-price
+    /// truthfulness on the replayed arrival prefix).
+    pub const ONLINE_POSTED_TRUTHFUL: &str = "online_posted_truthfulness";
+    /// Online mode: the incremental qualified-set precomp diverged from
+    /// its batch-equivalence oracle ([`fl_auction::SweepPrecomp::rebatch`]).
+    pub const ONLINE_INCREMENTAL_BATCH: &str = "online_incremental_vs_batch";
 }
 
 /// One failed property with human-readable context.
@@ -136,6 +148,10 @@ pub struct Stats {
     /// their price axis (Lemma 1 monotonicity is conditional on the greedy
     /// staying feasible — see the module docs), not to the payment rule.
     pub stalled_probes: u64,
+    /// Instances replayed as an online arrival stream (the online knob).
+    pub online_streams: u64,
+    /// Online prefix-replay misreport probes executed.
+    pub online_probes: u64,
     /// Whether `run_auction` produced an outcome at all.
     pub feasible: bool,
 }
@@ -149,6 +165,8 @@ impl Stats {
         self.greedy_stalls += other.greedy_stalls;
         self.probes += other.probes;
         self.stalled_probes += other.stalled_probes;
+        self.online_streams += other.online_streams;
+        self.online_probes += other.online_probes;
         self.feasible |= other.feasible;
     }
 }
@@ -188,7 +206,11 @@ pub fn check(ci: &CertInstance) -> Report {
     };
     let t = instance.config().max_rounds();
     let Some(t0) = min_horizon(&instance) else {
-        // No bids: nothing to certify.
+        // No bids: nothing to certify for the batch mechanism, but the
+        // online driver must still survive the empty arrival prefix.
+        if let Some(budget) = ci.online_budget {
+            check_online(ci, budget, &mut v, &mut stats);
+        }
         return Report {
             violations: v,
             stats,
@@ -271,10 +293,237 @@ pub fn check(ci: &CertInstance) -> Report {
         }
     }
 
+    if let Some(budget) = ci.online_budget {
+        check_online(ci, budget, &mut v, &mut stats);
+    }
+
     Report {
         violations: v,
         stats,
     }
+}
+
+/// Replays the bid list as an arrival stream (bids arrive in list order)
+/// through [`OnlineAuction`] under budget `B` and checks the online
+/// mechanism's invariants:
+///
+/// * **Budget feasibility** — `Σ payments ≤ B`;
+/// * **Online IR** — every committed bid is paid at least its claimed
+///   cost (the posted offer covered the price by the commit rule);
+/// * **Posted-price truthfulness on arrival prefixes** — for each
+///   arrival, the prefix up to it is replayed with that one bid
+///   repriced: under-reporting must not move the payment, and pricing
+///   above the posted offer must flip the decision to
+///   `price_above_offer` (the payment is bid-independent, so no
+///   misreport can profit);
+/// * **Incremental ≡ batch** — the streaming [`fl_auction::SweepPrecomp`]
+///   must agree with its [`rebatch`](fl_auction::SweepPrecomp::rebatch)
+///   oracle on every horizon's qualified set and cost lower bound
+///   (bit-for-bit), proving the insert path equivalent to a fresh batch
+///   build.
+fn check_online(ci: &CertInstance, budget: f64, v: &mut Vec<Violation>, stats: &mut Stats) {
+    let full = match stream(ci, budget, ci.bids.len(), None) {
+        Ok(run) => run,
+        Err(e) => {
+            // `to_instance` validated the same fields already; an error
+            // here means the online driver rejects an input the batch
+            // path accepts.
+            v.push(Violation {
+                property: prop::ONLINE_INCREMENTAL_BATCH,
+                detail: format!("online stream rejected a valid instance: {e}"),
+            });
+            return;
+        }
+    };
+    stats.online_streams += 1;
+    let out = full.online.outcome();
+
+    // Budget feasibility: Σ payments ≤ B.
+    if out.total_payment() > budget + 1e-9 * (1.0 + budget.min(f64::MAX)) {
+        v.push(Violation {
+            property: prop::ONLINE_BUDGET,
+            detail: format!(
+                "total payment {} exceeds the budget {budget}",
+                out.total_payment()
+            ),
+        });
+    }
+
+    // Online IR: every committed payment covers the claimed cost.
+    for (i, d) in full.decisions.iter().enumerate() {
+        if d.committed && !d.duplicate && d.payment + 1e-9 < ci.bids[i].price {
+            v.push(Violation {
+                property: prop::ONLINE_IR,
+                detail: format!(
+                    "arrival {i}: committed at payment {} below the claimed cost {}",
+                    d.payment, ci.bids[i].price
+                ),
+            });
+        }
+    }
+
+    // Incremental ≡ batch: the streaming precomp vs its rebatch oracle,
+    // on every horizon's qualified set and cost lower bound.
+    let precomp = full.online.precomp();
+    let oracle = precomp.rebatch();
+    for h in 1..=ci.t {
+        let inc = precomp.qualify_at(h);
+        let bat = oracle.qualify_at(h);
+        if inc.bids() != bat.bids() {
+            v.push(Violation {
+                property: prop::ONLINE_INCREMENTAL_BATCH,
+                detail: format!(
+                    "T̂={h}: incremental qualified set has {} bid(s), rebatch oracle {}",
+                    inc.bids().len(),
+                    bat.bids().len()
+                ),
+            });
+        }
+        let (lb_inc, lb_bat) = (precomp.cost_lower_bound(h), oracle.cost_lower_bound(h));
+        if lb_inc.to_bits() != lb_bat.to_bits() {
+            v.push(Violation {
+                property: prop::ONLINE_INCREMENTAL_BATCH,
+                detail: format!("T̂={h}: incremental lower bound {lb_inc} vs rebatch {lb_bat}"),
+            });
+        }
+    }
+
+    // Posted-price truthfulness on arrival prefixes. Repricing a bid can
+    // make it collide with an identical earlier arrival (the duplicate
+    // ledger would replay that one instead); such probes are skipped.
+    for (i, d) in full.decisions.iter().enumerate() {
+        if d.duplicate {
+            continue;
+        }
+        let truth = ci.bids[i].price;
+        if d.committed {
+            // Under-report: still committed, payment bit-identical.
+            let lower = truth / 2.0;
+            if !collides(ci, i, lower) {
+                stats.online_probes += 1;
+                match stream(ci, budget, i + 1, Some((i, lower))) {
+                    Ok(run) => {
+                        let rd = &run.decisions[i];
+                        if !rd.committed
+                            || rd.payment.to_bits() != d.payment.to_bits()
+                            || rd.schedule != d.schedule
+                        {
+                            v.push(Violation {
+                                property: prop::ONLINE_POSTED_TRUTHFUL,
+                                detail: format!(
+                                    "arrival {i}: under-reporting {truth} → {lower} changed the \
+                                     decision (committed={}, payment {} → {})",
+                                    rd.committed, d.payment, rd.payment
+                                ),
+                            });
+                        }
+                    }
+                    Err(e) => v.push(Violation {
+                        property: prop::ONLINE_POSTED_TRUTHFUL,
+                        detail: format!("arrival {i}: repriced prefix replay failed: {e}"),
+                    }),
+                }
+            }
+            // Over-report past the posted offer: must be turned away by
+            // the price gate. (The offer is `payment`; unreachable when
+            // the budget, and hence the offer, is infinite.)
+            let above = 2.0 * d.payment + 1.0;
+            if above.is_finite() && !collides(ci, i, above) {
+                stats.online_probes += 1;
+                match stream(ci, budget, i + 1, Some((i, above))) {
+                    Ok(run) => {
+                        let rd = &run.decisions[i];
+                        if rd.committed || rd.reason != DecisionReason::PriceAboveOffer {
+                            v.push(Violation {
+                                property: prop::ONLINE_POSTED_TRUTHFUL,
+                                detail: format!(
+                                    "arrival {i}: priced at {above} above the offer {} but got \
+                                     {:?} instead of price_above_offer",
+                                    d.payment, rd.reason
+                                ),
+                            });
+                        }
+                    }
+                    Err(e) => v.push(Violation {
+                        property: prop::ONLINE_POSTED_TRUTHFUL,
+                        detail: format!("arrival {i}: repriced prefix replay failed: {e}"),
+                    }),
+                }
+            }
+        } else if d.reason == DecisionReason::PriceAboveOffer && !collides(ci, i, 0.0) {
+            // Rejected by the price gate alone: a free bid must clear it
+            // (it may still hit the budget gate, but never the price one).
+            stats.online_probes += 1;
+            match stream(ci, budget, i + 1, Some((i, 0.0))) {
+                Ok(run) => {
+                    let rd = &run.decisions[i];
+                    if rd.reason == DecisionReason::PriceAboveOffer {
+                        v.push(Violation {
+                            property: prop::ONLINE_POSTED_TRUTHFUL,
+                            detail: format!(
+                                "arrival {i}: still price_above_offer at price 0 \
+                                 (the offer cannot be negative)"
+                            ),
+                        });
+                    }
+                }
+                Err(e) => v.push(Violation {
+                    property: prop::ONLINE_POSTED_TRUTHFUL,
+                    detail: format!("arrival {i}: repriced prefix replay failed: {e}"),
+                }),
+            }
+        }
+    }
+}
+
+/// One replayed arrival stream: the per-arrival decisions plus the
+/// driver for end-state inspection.
+struct StreamRun {
+    decisions: Vec<OnlineDecision>,
+    online: OnlineAuction,
+}
+
+/// Replays the first `upto` bids of `ci` as an arrival stream under
+/// `budget`, optionally repricing the bid at index `reprice.0`.
+fn stream(
+    ci: &CertInstance,
+    budget: f64,
+    upto: usize,
+    reprice: Option<(usize, f64)>,
+) -> Result<StreamRun, AuctionError> {
+    let cfg = fl_auction::AuctionConfig::builder()
+        .max_rounds(ci.t)
+        .clients_per_round(ci.k)
+        .round_time_limit(ci.t_max)
+        .local_model(ci.model)
+        .qualify_mode(ci.qualify)
+        .build()?;
+    let mut online = OnlineAuction::new(cfg, budget)?;
+    for &(compute, comm) in &ci.clients {
+        online.register_client(ClientProfile::new(compute, comm)?);
+    }
+    let mut decisions = Vec::with_capacity(upto);
+    for (i, b) in ci.bids.iter().take(upto).enumerate() {
+        let price = match reprice {
+            Some((j, p)) if j == i => p,
+            _ => b.price,
+        };
+        let bid = Bid::new(price, b.theta, Window::new(Round(b.a), Round(b.d)), b.c)?;
+        decisions.push(online.submit(ClientId(b.client), bid)?);
+    }
+    Ok(StreamRun { decisions, online })
+}
+
+/// Whether repricing bid `i` to `price` makes it identical to an earlier
+/// arrival (the duplicate ledger would then replay that decision).
+fn collides(ci: &CertInstance, i: usize, price: f64) -> bool {
+    let b = &ci.bids[i];
+    ci.bids[..i].iter().any(|e| {
+        e.client == b.client
+            && e.price.to_bits() == price.to_bits()
+            && e.theta.to_bits() == b.theta.to_bits()
+            && (e.a, e.d, e.c) == (b.a, b.d, b.c)
+    })
 }
 
 /// Runs the exact yardsticks on one horizon's WDP. Returns the proven
@@ -606,6 +855,7 @@ mod tests {
             qualify: QualifyMode::Intent,
             clients: (0..n_clients).map(|_| (1.0, 1.0)).collect(),
             bids,
+            online_budget: None,
         }
     }
 
@@ -679,5 +929,49 @@ mod tests {
             let report = check(&generate(seed));
             assert!(report.ok(), "seed {seed}: {:?}", report.violations);
         }
+    }
+
+    #[test]
+    fn online_knob_runs_the_stream_and_certifies_clean() {
+        let mut ci = hand_instance(
+            vec![
+                bid(0, 2.0, 1, 2, 1),
+                bid(1, 6.0, 2, 3, 2),
+                bid(2, 5.0, 1, 3, 2),
+            ],
+            3,
+            1,
+        );
+        for budget in [0.0, 9.0, 1000.0, f64::INFINITY] {
+            ci.online_budget = Some(budget);
+            let report = check(&ci);
+            assert!(report.ok(), "B={budget}: {:?}", report.violations);
+            assert_eq!(report.stats.online_streams, 1, "B={budget}");
+            if budget > 0.0 && budget.is_finite() {
+                assert!(report.stats.online_probes > 0, "B={budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn online_knob_survives_the_empty_arrival_prefix() {
+        let mut ci = hand_instance(vec![], 3, 1);
+        ci.clients = vec![(1.0, 1.0)];
+        ci.online_budget = Some(12.0);
+        let report = check(&ci);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.stats.online_streams, 1);
+    }
+
+    #[test]
+    fn online_generated_seeds_certify_clean() {
+        let mut streamed = 0;
+        for seed in 0..40 {
+            let ci = generate(seed);
+            let report = check(&ci);
+            assert!(report.ok(), "seed {seed}: {:?}", report.violations);
+            streamed += report.stats.online_streams;
+        }
+        assert!(streamed > 0, "the online knob never fired in 40 seeds");
     }
 }

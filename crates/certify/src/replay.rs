@@ -127,6 +127,7 @@ fn journal_bytes(ci: &CertInstance) -> Vec<u8> {
         param,
         qualify: qualify.into(),
         threads: 1,
+        budget: None,
     };
     let mut records = vec![Record::Open {
         session: SESSION.into(),

@@ -106,6 +106,21 @@ pub enum CloseReply {
     Aborted(String),
 }
 
+/// The daemon's irrevocable on-arrival verdict for one streamed bid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitReply {
+    /// Bid index within the owning client.
+    pub bid: u32,
+    /// Whether the bid was committed (hired at the posted offer).
+    pub committed: bool,
+    /// Machine-readable reason (`committed`, `unqualified`, …).
+    pub reason: String,
+    /// Payment owed if committed; `0` otherwise.
+    pub payment: f64,
+    /// Whether this was a re-submission replaying an earlier verdict.
+    pub duplicate: bool,
+}
+
 /// Payments owed to one client of a closed epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PaymentReply {
@@ -306,6 +321,40 @@ impl Client {
             bid,
         })?;
         field_u64(&doc, "bid").map(|v| v as u32)
+    }
+
+    /// Streams a bid into an online (budgeted) session; the daemon
+    /// decides commit-or-reject on arrival, irrevocably.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn submit(&mut self, session: &str, bid: BidParams) -> Result<SubmitReply, ClientError> {
+        let seq = self.next_seq(session);
+        let doc = self.call(Request::Submit {
+            session: session.into(),
+            seq,
+            bid,
+        })?;
+        let field_bool = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ClientError::Protocol(format!("submit reply without {key:?}")))
+        };
+        Ok(SubmitReply {
+            bid: field_u64(&doc, "bid")? as u32,
+            committed: field_bool("committed")?,
+            reason: doc
+                .get("reason")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ClientError::Protocol("submit reply without reason".into()))?
+                .to_string(),
+            payment: doc
+                .get("payment")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ClientError::Protocol("submit reply without payment".into()))?,
+            duplicate: field_bool("duplicate")?,
+        })
     }
 
     /// Closes the epoch: runs the auction and returns the decision.

@@ -19,7 +19,8 @@
 //! * `delay=<p>:<ms>` — delay each response by `ms` with probability `p`;
 //! * `dup=<p>` — send each response twice with probability `p`;
 //! * `crash=<kind>:<nth>[:<cut>]` — die appending the `nth` journal
-//!   record of `kind` (`open|client|bid|close_begin|close_commit`),
+//!   record of `kind`
+//!   (`open|client|bid|decision|close_begin|close_commit`),
 //!   having physically written `cut in [0, 1]` of it (default 0.5);
 //! * `jam=<kind>:<nth>` — fail (without dying) the `nth` journal append
 //!   of `kind` with a plain I/O error, exercising the `internal` error
@@ -210,6 +211,15 @@ mod tests {
         let plan = FaultPlan::parse("crash=close_commit:1").unwrap();
         assert!((plan.crash.unwrap().cut - 0.5).abs() < 1e-12);
         assert!(!plan.has_wire_faults());
+    }
+
+    #[test]
+    fn crash_clause_targets_streaming_decisions() {
+        let plan = FaultPlan::parse("crash=decision:4:0.25").unwrap();
+        let cp = plan.crash.unwrap();
+        assert_eq!(cp.kind, RecordKind::Decision);
+        assert_eq!(cp.nth, 4);
+        assert!((cp.cut - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -10,8 +10,16 @@
 //! Record stream grammar (per session):
 //!
 //! ```text
-//! open → client* → bid* → close_begin → close_commit
+//! batch:     open → client* → bid* → close_begin → close_commit
+//! streaming: open(budget) → client* → decision* → close_begin → close_commit
 //! ```
+//!
+//! A streaming session (opened with a budget) journals one `decision`
+//! record per arriving bid *including the irrevocable commit/reject
+//! verdict and payment*: recovery re-drives the same deterministic
+//! online rule over the journaled arrivals and asserts the re-derived
+//! verdicts match the journaled ones bit-for-bit, so a replayed daemon
+//! can never silently re-decide an already-acknowledged arrival.
 //!
 //! `close_begin` is the intent marker: a journal that ends after a
 //! `close_begin` with no matching `close_commit` means the daemon died
@@ -103,6 +111,37 @@ pub enum Record {
         /// Participation round budget.
         c: u32,
     },
+    /// A streaming bid arrived and its irrevocable on-arrival verdict
+    /// was taken (online sessions only). The verdict fields are stored
+    /// alongside the bid so recovery can re-derive the decision and
+    /// prove it bit-identical before trusting the rebuilt state.
+    Decision {
+        /// Session handle.
+        session: String,
+        /// Sequence number the acknowledgement carried.
+        seq: u64,
+        /// Owning client index.
+        client: u32,
+        /// Claimed cost.
+        price: f64,
+        /// Local accuracy.
+        theta: f64,
+        /// Window start round.
+        a: u32,
+        /// Window end round.
+        d: u32,
+        /// Participation round budget.
+        c: u32,
+        /// Whether the bid was committed.
+        committed: bool,
+        /// The posted offer paid on commit (`0.0` on rejection).
+        payment: f64,
+        /// The decision reason (`fl_auction::DecisionReason` spelling).
+        reason: String,
+        /// Whether this submission duplicated an earlier identical bid
+        /// and replayed its original decision.
+        duplicate: bool,
+    },
     /// The daemon is about to solve the epoch.
     CloseBegin {
         /// Session handle.
@@ -128,6 +167,8 @@ pub enum RecordKind {
     Client,
     /// `bid` record.
     Bid,
+    /// `decision` record.
+    Decision,
     /// `close_begin` record.
     CloseBegin,
     /// `close_commit` record.
@@ -141,6 +182,7 @@ impl RecordKind {
             RecordKind::Open => "open",
             RecordKind::Client => "client",
             RecordKind::Bid => "bid",
+            RecordKind::Decision => "decision",
             RecordKind::CloseBegin => "close_begin",
             RecordKind::CloseCommit => "close_commit",
         }
@@ -152,6 +194,7 @@ impl RecordKind {
             "open" => RecordKind::Open,
             "client" => RecordKind::Client,
             "bid" => RecordKind::Bid,
+            "decision" => RecordKind::Decision,
             "close_begin" => RecordKind::CloseBegin,
             "close_commit" => RecordKind::CloseCommit,
             _ => return None,
@@ -163,8 +206,9 @@ impl RecordKind {
             RecordKind::Open => 0,
             RecordKind::Client => 1,
             RecordKind::Bid => 2,
-            RecordKind::CloseBegin => 3,
-            RecordKind::CloseCommit => 4,
+            RecordKind::Decision => 3,
+            RecordKind::CloseBegin => 4,
+            RecordKind::CloseCommit => 5,
         }
     }
 }
@@ -176,6 +220,7 @@ impl Record {
             Record::Open { .. } => RecordKind::Open,
             Record::Client { .. } => RecordKind::Client,
             Record::Bid { .. } => RecordKind::Bid,
+            Record::Decision { .. } => RecordKind::Decision,
             Record::CloseBegin { .. } => RecordKind::CloseBegin,
             Record::CloseCommit { .. } => RecordKind::CloseCommit,
         }
@@ -187,6 +232,7 @@ impl Record {
             Record::Open { session, .. }
             | Record::Client { session, .. }
             | Record::Bid { session, .. }
+            | Record::Decision { session, .. }
             | Record::CloseBegin { session, .. }
             | Record::CloseCommit { session, .. } => session,
         }
@@ -241,6 +287,33 @@ impl Record {
                 members.push(("a".into(), a.to_string()));
                 members.push(("d".into(), d.to_string()));
                 members.push(("c".into(), c.to_string()));
+            }
+            Record::Decision {
+                session,
+                seq,
+                client,
+                price,
+                theta,
+                a,
+                d,
+                c,
+                committed,
+                payment,
+                reason,
+                duplicate,
+            } => {
+                members.push(("session".into(), json::string(session)));
+                members.push(("seq".into(), seq.to_string()));
+                members.push(("client".into(), client.to_string()));
+                members.push(("price".into(), json::number(*price)));
+                members.push(("theta".into(), json::number(*theta)));
+                members.push(("a".into(), a.to_string()));
+                members.push(("d".into(), d.to_string()));
+                members.push(("c".into(), c.to_string()));
+                members.push(("committed".into(), committed.to_string()));
+                members.push(("payment".into(), json::number(*payment)));
+                members.push(("reason".into(), json::string(reason)));
+                members.push(("duplicate".into(), duplicate.to_string()));
             }
             Record::CloseBegin { session, seq } => {
                 members.push(("session".into(), json::string(session)));
@@ -314,6 +387,30 @@ impl Record {
                 a: u32_of("a")?,
                 d: u32_of("d")?,
                 c: u32_of("c")?,
+            },
+            RecordKind::Decision => Record::Decision {
+                session,
+                seq: seq()?,
+                client: u32_of("client")?,
+                price: f64_of("price")?,
+                theta: f64_of("theta")?,
+                a: u32_of("a")?,
+                d: u32_of("d")?,
+                c: u32_of("c")?,
+                committed: doc
+                    .get("committed")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing bool \"committed\"")?,
+                payment: f64_of("payment")?,
+                reason: doc
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .ok_or("missing \"reason\"")?
+                    .to_string(),
+                duplicate: doc
+                    .get("duplicate")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing bool \"duplicate\"")?,
             },
             RecordKind::CloseBegin => Record::CloseBegin {
                 session,
@@ -445,7 +542,7 @@ pub struct Journal {
     durability: Durability,
     crash: Option<CrashPoint>,
     jam: Option<JamPoint>,
-    counts: [u32; 5],
+    counts: [u32; 6],
     poisoned: bool,
 }
 
@@ -501,7 +598,7 @@ impl Journal {
                 durability,
                 crash,
                 jam,
-                counts: [0; 5],
+                counts: [0; 6],
                 poisoned: false,
             },
             Recovered {
@@ -695,6 +792,55 @@ mod tests {
             let back = Record::from_json(&rec.to_json()).unwrap();
             assert_eq!(back, rec);
         }
+    }
+
+    fn decision(seq: u64, committed: bool) -> Record {
+        Record::Decision {
+            session: "s-9".into(),
+            seq,
+            client: 2,
+            price: 3.5,
+            theta: 0.6,
+            a: 1,
+            d: 4,
+            c: 3,
+            committed,
+            payment: if committed { 12.0 } else { 0.0 },
+            reason: if committed {
+                "committed"
+            } else {
+                "price_above_offer"
+            }
+            .into(),
+            duplicate: false,
+        }
+    }
+
+    #[test]
+    fn decision_records_round_trip() {
+        for rec in [decision(1, true), decision(2, false)] {
+            let back = Record::from_json(&rec.to_json()).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn crash_point_targets_decision_records() {
+        let dir = TempDir::new("journal-decision-crash");
+        let path = dir.path().join("wal.jsonl");
+        let cp = CrashPoint {
+            kind: RecordKind::Decision,
+            nth: 2,
+            cut: 0.4,
+        };
+        let (mut journal, _) = Journal::open(&path, Durability::Strict, Some(cp), None).unwrap();
+        journal.append(&decision(1, true)).unwrap();
+        let err = journal.append(&decision(2, false)).unwrap_err();
+        assert!(is_injected_crash(&err), "{err}");
+        drop(journal);
+        let scan = scan_bytes(&std::fs::read(&path).unwrap());
+        assert!(scan.torn, "cut 0.4 must tear the second decision");
+        assert_eq!(scan.records, vec![decision(1, true)]);
     }
 
     #[test]

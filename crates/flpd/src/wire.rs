@@ -18,6 +18,18 @@
 //! {"op":"payment","id":6,"session":"s-1","client":0}
 //! ```
 //!
+//! An `open` carrying a `"budget"` member creates a *streaming* session:
+//! its bids arrive via the `submit` op (same body as `bid`) and each one
+//! is committed or rejected irrevocably on arrival by the online
+//! mechanism (`fl_auction::OnlineAuction`); the response carries the
+//! verdict, the posted payment, and the committed schedule.
+//!
+//! ```text
+//! {"op":"open","id":1,"nonce":7,"t":6,"k":2,"t_max":60,"budget":120}
+//! {"op":"submit","id":2,"session":"s-1","seq":1,"client":0,
+//!  "price":3.0,"theta":0.55,"a":1,"d":6,"c":6}
+//! ```
+//!
 //! Responses always carry `"ok"` and echo `"id"` when the request had
 //! one; failures add `"code"`, `"retryable"` and `"detail"` from the
 //! [`crate::error`] taxonomy.
@@ -57,6 +69,10 @@ pub struct OpenParams {
     pub qualify: String,
     /// Horizon-sweep worker threads for this session's closes.
     pub threads: usize,
+    /// Streaming-mode remuneration budget `B`: `Some` opens an online
+    /// session whose bids arrive via `submit` and are decided on arrival
+    /// under this budget; `None` (the default) opens a batch session.
+    pub budget: Option<f64>,
 }
 
 impl OpenParams {
@@ -72,6 +88,15 @@ impl OpenParams {
             param: 1.0,
             qualify: "intent".into(),
             threads: DEFAULT_THREADS,
+            budget: None,
+        }
+    }
+
+    /// The same defaults opened in streaming mode under `budget`.
+    pub fn streaming(nonce: u64, t: u32, k: u32, t_max: f64, budget: f64) -> OpenParams {
+        OpenParams {
+            budget: Some(budget),
+            ..OpenParams::new(nonce, t, k, t_max)
         }
     }
 
@@ -116,7 +141,7 @@ impl OpenParams {
     /// Serialises the parameter fields (shared by the wire request and
     /// the journal's `open` record).
     pub fn json_members(&self) -> Vec<(String, String)> {
-        vec![
+        let mut members = vec![
             ("nonce".into(), self.nonce.to_string()),
             ("t".into(), self.t.to_string()),
             ("k".into(), self.k.to_string()),
@@ -125,7 +150,11 @@ impl OpenParams {
             ("param".into(), json::number(self.param)),
             ("qualify".into(), json::string(&self.qualify)),
             ("threads".into(), self.threads.to_string()),
-        ]
+        ];
+        if let Some(budget) = self.budget {
+            members.push(("budget".into(), json::number(budget)));
+        }
+        members
     }
 
     /// Reads the parameter fields back from a parsed document.
@@ -143,6 +172,7 @@ impl OpenParams {
             param: opt_f64(doc, "param")?.unwrap_or(1.0),
             qualify: opt_str(doc, "qualify").unwrap_or("intent").to_string(),
             threads: opt_u64(doc, "threads")?.unwrap_or(DEFAULT_THREADS as u64) as usize,
+            budget: opt_f64(doc, "budget")?,
         })
     }
 }
@@ -215,6 +245,16 @@ pub enum Request {
     },
     /// Submit a bid.
     Bid {
+        /// Session handle.
+        session: String,
+        /// Idempotency sequence number.
+        seq: u64,
+        /// The bid body.
+        bid: BidParams,
+    },
+    /// Submit a streaming bid for an irrevocable on-arrival decision
+    /// (streaming sessions only).
+    Submit {
         /// Session handle.
         session: String,
         /// Idempotency sequence number.
@@ -320,18 +360,23 @@ pub fn parse_request(text: &str) -> Result<(ReqMeta, Request), ServiceError> {
             t_cmp: get_f64(&doc, "t_cmp").map_err(bad)?,
             t_com: get_f64(&doc, "t_com").map_err(bad)?,
         },
-        "bid" => Request::Bid {
-            session: get_str(&doc, "session").map_err(bad)?.to_string(),
-            seq: get_u64(&doc, "seq").map_err(bad)?,
-            bid: BidParams {
+        "bid" | "submit" => {
+            let session = get_str(&doc, "session").map_err(bad)?.to_string();
+            let seq = get_u64(&doc, "seq").map_err(bad)?;
+            let bid = BidParams {
                 client: get_u32(&doc, "client").map_err(bad)?,
                 price: get_f64(&doc, "price").map_err(bad)?,
                 theta: get_f64(&doc, "theta").map_err(bad)?,
                 a: get_u32(&doc, "a").map_err(bad)?,
                 d: get_u32(&doc, "d").map_err(bad)?,
                 c: get_u32(&doc, "c").map_err(bad)?,
-            },
-        },
+            };
+            if op == "bid" {
+                Request::Bid { session, seq, bid }
+            } else {
+                Request::Submit { session, seq, bid }
+            }
+        }
         "close" => Request::Close {
             session: get_str(&doc, "session").map_err(bad)?.to_string(),
             seq: get_u64(&doc, "seq").map_err(bad)?,
@@ -374,7 +419,7 @@ pub fn request_with_trace(id: u64, trace: Option<&str>, req: &Request) -> String
             members.push(("t_cmp".into(), json::number(*t_cmp)));
             members.push(("t_com".into(), json::number(*t_com)));
         }
-        Request::Bid { session, seq, bid } => {
+        Request::Bid { session, seq, bid } | Request::Submit { session, seq, bid } => {
             members.push(("session".into(), json::string(session)));
             members.push(("seq".into(), seq.to_string()));
             members.push(("client".into(), bid.client.to_string()));
@@ -411,6 +456,7 @@ pub fn op_name(req: &Request) -> &'static str {
         Request::Open(_) => "open",
         Request::Client { .. } => "client",
         Request::Bid { .. } => "bid",
+        Request::Submit { .. } => "submit",
         Request::Close { .. } => "close",
         Request::Outcome { .. } => "outcome",
         Request::Payment { .. } => "payment",
@@ -505,6 +551,19 @@ mod tests {
                     c: 6,
                 },
             },
+            Request::Submit {
+                session: "s-2".into(),
+                seq: 1,
+                bid: BidParams {
+                    client: 1,
+                    price: 2.0,
+                    theta: 0.6,
+                    a: 2,
+                    d: 5,
+                    c: 3,
+                },
+            },
+            Request::Open(OpenParams::streaming(8, 6, 2, 60.0, 120.0)),
             Request::Close {
                 session: "s-1".into(),
                 seq: 3,
@@ -556,10 +615,27 @@ mod tests {
                 assert_eq!(p.model, "linear");
                 assert_eq!(p.qualify, "intent");
                 assert_eq!(p.threads, DEFAULT_THREADS);
+                assert_eq!(p.budget, None, "no budget member means batch mode");
                 p.to_config().unwrap();
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn open_with_budget_parses_as_streaming() {
+        let (_, req) =
+            parse_request(r#"{"op":"open","nonce":1,"t":5,"k":2,"t_max":30,"budget":42.5}"#)
+                .unwrap();
+        match req {
+            Request::Open(p) => assert_eq!(p.budget, Some(42.5)),
+            other => panic!("{other:?}"),
+        }
+        // A mistyped budget is a parse error, not a silent batch session.
+        let err =
+            parse_request(r#"{"op":"open","nonce":1,"t":5,"k":2,"t_max":30,"budget":"lots"}"#)
+                .unwrap_err();
+        assert_eq!(err.code, ErrCode::BadRequest);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use fl_auction::{run_auction, serial, Bid, ClientId, ClientProfile, Instance, Round, Window};
 use fl_flpd::chaos::{run_matrix, FaultKind, MatrixConfig};
-use fl_flpd::client::PaymentReply;
+use fl_flpd::client::{PaymentReply, SubmitReply};
 use fl_flpd::daemon::DaemonConfig;
 use fl_flpd::wire::{self, BidParams, OpenParams, Request};
 use fl_flpd::{
@@ -314,6 +314,126 @@ fn client_retries_flaky_listener_and_respects_fatal_errors() {
         "fatal errors must not consume retry budget"
     );
     server.join().unwrap();
+}
+
+/// End-to-end streaming session: submits decide on arrival, duplicate
+/// re-submissions replay their original verdict under fresh seqs, the
+/// wrong-op pairs are fatal `conflict`s in both directions, and the
+/// close commits exactly the on-arrival committed set.
+#[test]
+fn streaming_session_over_the_wire() {
+    let dir = scratch("svc-streaming");
+    let daemon = Daemon::start(DaemonConfig::new(dir.path().join("wal.jsonl"))).unwrap();
+    let mut client = fast_client(daemon.addr());
+
+    // K = 1, T = 4, B = 40 → posted offer π = 10 per round.
+    let sid = client
+        .open(OpenParams::streaming(0, 4, 1, 60.0, 40.0))
+        .unwrap();
+    client.add_client(&sid, 2.0, 5.0).unwrap();
+    let bid = BidParams {
+        client: 0,
+        price: 25.0,
+        theta: 0.55,
+        a: 1,
+        d: 4,
+        c: 4,
+    };
+    let d1 = client.submit(&sid, bid).unwrap();
+    assert_eq!(
+        d1,
+        SubmitReply {
+            bid: 0,
+            committed: true,
+            reason: "committed".into(),
+            payment: 40.0,
+            duplicate: false,
+        }
+    );
+
+    // Identical re-submission (fresh seq): the daemon replays the
+    // original verdict instead of double-hiring.
+    let dup = client.submit(&sid, bid).unwrap();
+    assert!(dup.duplicate, "re-submission must be flagged");
+    assert_eq!((dup.bid, dup.committed, dup.payment), (0, true, 40.0));
+
+    // A genuinely new bid is rejected explicitly — coverage is full.
+    let d2 = client
+        .submit(
+            &sid,
+            BidParams {
+                client: 0,
+                price: 1.0,
+                theta: 0.55,
+                a: 1,
+                d: 4,
+                c: 4,
+            },
+        )
+        .unwrap();
+    assert!(!d2.committed);
+    assert_eq!(d2.reason, "no_capacity");
+
+    // Wrong op for the session mode: fatal conflict, both directions.
+    match client.add_bid(&sid, bid) {
+        Err(ClientError::Service(e)) => assert_eq!(e.code, ErrCode::Conflict),
+        other => panic!("bid on a streaming session must conflict: {other:?}"),
+    }
+    let batch_sid = client.open(OpenParams::new(0, 4, 1, 60.0)).unwrap();
+    client.add_client(&batch_sid, 2.0, 5.0).unwrap();
+    match client.submit(&batch_sid, bid) {
+        Err(ClientError::Service(e)) => assert_eq!(e.code, ErrCode::Conflict),
+        other => panic!("submit on a batch session must conflict: {other:?}"),
+    }
+
+    // The streaming close needs no solve: it commits the set already
+    // decided on arrival, and survives a restart.
+    let first = match client.close(&sid).unwrap() {
+        CloseReply::Committed(o) => {
+            assert_eq!(o.solution().winners().len(), 1);
+            assert!((o.solution().winners()[0].payment - 40.0).abs() < 1e-12);
+            serial::outcome_to_json(&o)
+        }
+        CloseReply::Aborted(r) => panic!("unexpected abort: {r}"),
+    };
+    drop(daemon);
+    let daemon = Daemon::start(DaemonConfig::new(dir.path().join("wal.jsonl"))).unwrap();
+    assert_eq!(daemon.recovery().anomalies, 0);
+    let mut client = fast_client(daemon.addr());
+    match client.outcome(&sid).unwrap() {
+        CloseReply::Committed(o) => assert_eq!(serial::outcome_to_json(&o), first),
+        CloseReply::Aborted(r) => panic!("lost the streaming commit: {r}"),
+    }
+}
+
+/// Duplicate batch bids are deduplicated server-side: re-adding an
+/// identical bid under a fresh seq returns the original index and a
+/// duplicate marker rather than growing the instance.
+#[test]
+fn duplicate_batch_bids_are_idempotent_over_the_wire() {
+    let dir = scratch("svc-dup-bids");
+    let daemon = Daemon::start(DaemonConfig::new(dir.path().join("wal.jsonl"))).unwrap();
+    let mut client = fast_client(daemon.addr());
+    let sid = client.open(OpenParams::new(0, 6, 1, 60.0)).unwrap();
+    client.add_client(&sid, 1.2, 2.4).unwrap();
+    let bid = BidParams {
+        client: 0,
+        price: 3.0,
+        theta: 0.6,
+        a: 1,
+        d: 5,
+        c: 3,
+    };
+    assert_eq!(client.add_bid(&sid, bid).unwrap(), 0);
+    assert_eq!(client.add_bid(&sid, bid).unwrap(), 0, "dup replays index");
+    let mut other = bid;
+    other.price = 4.0;
+    assert_eq!(client.add_bid(&sid, other).unwrap(), 1);
+    // The close sees exactly two bids — no phantom duplicates.
+    match client.close(&sid).unwrap() {
+        CloseReply::Committed(o) => assert_eq!(o.solution().winners().len(), 1),
+        CloseReply::Aborted(r) => panic!("unexpected abort: {r}"),
+    }
 }
 
 /// Restarting on a journal written by a *previous daemon process*
